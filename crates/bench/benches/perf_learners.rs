@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the learners: per-fold training costs
+//! that dominate the table-regeneration wall time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use classicml::{ForestConfig, RandomForest, SvmClassifier, SvmConfig};
+use neuralnet::{models, train, Layer, TrainConfig};
+use tensorlite::Tensor;
+
+fn synthetic_rows(n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let x: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| (((i * 31 + j * 17) % 97) as f32 / 97.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect()
+        })
+        .collect();
+    let y: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+    (x, y)
+}
+
+fn bench_classicml(c: &mut Criterion) {
+    let (x, y) = synthetic_rows(200, 512);
+    let mut g = c.benchmark_group("classicml");
+    g.sample_size(10);
+    g.bench_function("svm_fit_200x512_4class", |b| {
+        b.iter(|| {
+            SvmClassifier::fit(
+                black_box(&x),
+                black_box(&y),
+                &SvmConfig { epochs: 10, ..Default::default() },
+                1,
+            )
+        })
+    });
+    g.bench_function("forest20_fit_200x512", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&x),
+                black_box(&y),
+                &ForestConfig { n_trees: 20, ..Default::default() },
+                1,
+            )
+        })
+    });
+    let svm = SvmClassifier::fit(&x, &y, &SvmConfig::default(), 1);
+    g.bench_function("svm_predict_200", |b| b.iter(|| svm.predict(black_box(&x))));
+    g.finish();
+}
+
+fn bench_neuralnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neuralnet");
+    g.sample_size(10);
+
+    let (rows, y) = synthetic_rows(256, 1024);
+    let x = Tensor::from_rows(&rows);
+    g.bench_function("mlp_epoch_256x1024", |b| {
+        let mut net = models::mlp(1024, 100, 4, 1);
+        let cfg = TrainConfig { epochs: 1, ..Default::default() };
+        b.iter(|| train(&mut net, black_box(&x), black_box(&y), &cfg))
+    });
+
+    let n = 64;
+    let img: Vec<f32> = (0..n * 3 * 32 * 32).map(|i| ((i * 2654435761usize) % 255) as f32 / 255.0).collect();
+    let xi = Tensor::from_vec(img, &[n, 3, 32, 32]);
+    let yi: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+    g.bench_function("cnn_epoch_64imgs", |b| {
+        let mut net = models::paper_cnn(4, 1);
+        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..Default::default() };
+        b.iter(|| train(&mut net, black_box(&xi), black_box(&yi), &cfg))
+    });
+    g.bench_function("cnn_forward_64imgs", |b| {
+        let mut net = models::paper_cnn(4, 1);
+        b.iter(|| net.forward(black_box(&xi), false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classicml, bench_neuralnet);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the substrate crates: the geodata
+//! path every experiment pays for (codecs, terrain sampling, route
+//! generation, GPX parsing, representations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use geoprim::{polyline, BoundingBox, LatLon};
+use imgrep::{render, ImageConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routegen::{generate_route, RouteKind, RouteParams};
+use terrain::{ElevationModel, ElevationService, SyntheticTerrain};
+use textrep::{Discretizer, FeatureSelection, TextPipeline};
+
+fn sample_path(n: usize) -> Vec<LatLon> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let bounds = BoundingBox::new(LatLon::new(38.8, -77.12), LatLon::new(39.0, -76.9));
+    let params = RouteParams::segment((n as f64) * 20.0, RouteKind::Wander);
+    generate_route(&mut rng, LatLon::new(38.9, -77.0), &bounds, &params)
+}
+
+fn bench_polyline(c: &mut Criterion) {
+    let path = sample_path(100);
+    let encoded = polyline::encode(&path);
+    let mut g = c.benchmark_group("polyline");
+    g.throughput(Throughput::Elements(path.len() as u64));
+    g.bench_function("encode_100pts", |b| b.iter(|| polyline::encode(black_box(&path))));
+    g.bench_function("decode_100pts", |b| {
+        b.iter(|| polyline::decode(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_terrain(c: &mut Criterion) {
+    let terrain = SyntheticTerrain::new(7);
+    let path = sample_path(100);
+    let mut g = c.benchmark_group("terrain");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("elevation_100pts", |b| {
+        b.iter(|| {
+            path.iter().map(|p| terrain.elevation_at(black_box(*p))).sum::<f64>()
+        })
+    });
+    g.bench_function("service_sample_path_200", |b| {
+        let service = ElevationService::new(SyntheticTerrain::new(7));
+        b.iter(|| service.sample_path(black_box(&path), 200))
+    });
+    g.finish();
+}
+
+fn bench_routes_and_gpx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routes");
+    g.bench_function("generate_5km_activity", |b| {
+        let bounds = BoundingBox::new(LatLon::new(38.8, -77.12), LatLon::new(39.0, -76.9));
+        let params = RouteParams::activity(5_000.0, RouteKind::Loop);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| generate_route(&mut rng, LatLon::new(38.9, -77.0), &bounds, &params))
+    });
+    let mut sim = routegen::AthleteSimulator::new(SyntheticTerrain::new(3), 5);
+    let activity = sim.generate_one(terrain::CityId::WashingtonDc);
+    let xml = activity.gpx.to_xml();
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("gpx_parse_activity", |b| {
+        b.iter(|| gpxfile::Gpx::parse(black_box(&xml)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let signals: Vec<Vec<f64>> = (0..100)
+        .map(|i| {
+            (0..80)
+                .map(|t| 50.0 + ((t as f64) * 0.2 + i as f64).sin() * 20.0)
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("representations");
+    g.bench_function("text_pipeline_fit_100x80", |b| {
+        b.iter(|| {
+            TextPipeline::fit(
+                Discretizer::mined(),
+                8,
+                FeatureSelection::standard(),
+                black_box(&signals),
+            )
+        })
+    });
+    let pipeline =
+        TextPipeline::fit(Discretizer::mined(), 8, FeatureSelection::standard(), &signals);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("text_transform_one", |b| {
+        b.iter(|| pipeline.transform(black_box(&signals[0])))
+    });
+    g.bench_function("image_render_one", |b| {
+        b.iter(|| render(black_box(&signals[0]), &ImageConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_polyline,
+    bench_terrain,
+    bench_routes_and_gpx,
+    bench_representations
+);
+criterion_main!(benches);

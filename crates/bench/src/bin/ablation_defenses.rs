@@ -1,0 +1,57 @@
+//! Ablation/extension: the paper's future-work defenses vs the text
+//! attack, swept over defense strength (TM-3 setting).
+
+use bench::{pct, start, TextTable};
+use datasets::split::balanced_downsample;
+use elev_core::defense::Defense;
+use elev_core::experiments::Corpora;
+use elev_core::text::{evaluate_text, TextAttackConfig, TextModel};
+use textrep::Discretizer;
+
+fn main() {
+    let (seed, scale) = start("ablation_defenses", "future work §VI: defenses vs the attack");
+    let corpora = Corpora::generate(seed, &scale);
+    let keep: Vec<u32> = corpora.city.classes_by_size().into_iter().take(5).collect();
+    let filtered = corpora.city.filter_classes(&keep);
+    let s = *filtered.class_counts().iter().min().unwrap();
+    let ds = balanced_downsample(&filtered, s, seed);
+
+    let cfg = TextAttackConfig {
+        folds: scale.folds,
+        mlp_epochs: scale.mlp_epochs,
+        seed,
+        ..Default::default()
+    };
+    let attack = |d: &datasets::Dataset| {
+        evaluate_text(d, Discretizer::mined(), TextModel::Mlp, &cfg).outcome().accuracy
+    };
+    let baseline = attack(&ds);
+    let chance = 1.0 / ds.n_classes() as f64;
+
+    let mut t = TextTable::new(&["defense", "attack acc", "Δ vs baseline"]);
+    t.row(vec!["none (raw profile)".into(), pct(baseline), "—".into()]);
+    for defense in [
+        Defense::Coarsen { step_m: 1.0 },
+        Defense::Coarsen { step_m: 10.0 },
+        Defense::Coarsen { step_m: 50.0 },
+        Defense::LaplaceNoise { scale_m: 1.0, seed },
+        Defense::LaplaceNoise { scale_m: 5.0, seed },
+        Defense::LaplaceNoise { scale_m: 25.0, seed },
+        Defense::SummaryOnly { bins: 16 },
+        Defense::SummaryOnly { bins: 4 },
+        Defense::RelativeProfile,
+    ] {
+        let acc = attack(&defense.apply_to_dataset(&ds));
+        t.row(vec![
+            defense.to_string(),
+            pct(acc),
+            format!("{:+.1}pp", (acc - baseline) * 100.0),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("chance level: {}", pct(chance));
+    println!("coarsening barely helps (cities differ by tens of metres, not millimetres);");
+    println!("only statistics-only sharing approaches chance — supporting the paper's");
+    println!("proposed defense direction while quantifying how strong it must be.");
+}

@@ -1,0 +1,48 @@
+//! Ablation: discretization precision (paper §III-B1 — `⌊e⌋` for the
+//! dense user-specific data, `⌊e·10³⌋/10³` for the sparse mined data).
+
+use bench::{pct, start, TextTable};
+use datasets::split::balanced_downsample;
+use elev_core::experiments::Corpora;
+use elev_core::text::{evaluate_text, TextAttackConfig, TextModel};
+use textrep::Discretizer;
+
+fn main() {
+    let (seed, scale) =
+        start("ablation_discretization", "design choice: discretization precision");
+    let corpora = Corpora::generate(seed, &scale);
+    let keep: Vec<u32> = corpora.city.classes_by_size().into_iter().take(5).collect();
+    let filtered = corpora.city.filter_classes(&keep);
+    let s = *filtered.class_counts().iter().min().unwrap();
+    let mined = balanced_downsample(&filtered, s, seed);
+
+    let variants = [
+        ("floor (1 m)", Discretizer::Floor),
+        ("1 decimal", Discretizer::FixedPrecision { decimals: 1 }),
+        ("2 decimals", Discretizer::FixedPrecision { decimals: 2 }),
+        ("3 decimals (paper)", Discretizer::FixedPrecision { decimals: 3 }),
+    ];
+
+    let cfg = TextAttackConfig {
+        folds: scale.folds,
+        mlp_epochs: scale.mlp_epochs,
+        seed,
+        ..Default::default()
+    };
+    let mut t = TextTable::new(&["discretizer", "mined A", "mined acc", "user acc"]);
+    for (name, d) in variants {
+        let mined_o = evaluate_text(&mined, d, TextModel::Mlp, &cfg).outcome();
+        let user_o = evaluate_text(&corpora.user, d, TextModel::Mlp, &cfg).outcome();
+        t.row(vec![
+            name.to_owned(),
+            pct(mined_o.ovr_accuracy),
+            pct(mined_o.accuracy),
+            pct(user_o.accuracy),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("the paper's rationale: dense recordings tolerate coarse floors, while the");
+    println!("sparse mined profiles would lose discriminative micro-relief — finer");
+    println!("precision should help (or at least not hurt) the mined column.");
+}

@@ -1,0 +1,62 @@
+//! Regenerates paper Fig. 1: the 60-participant survey statistics.
+
+use bench::{start, TextTable};
+use surveysim::{Survey, PAPER_N};
+
+fn main() {
+    let (seed, _) = start("fig1_survey", "Fig. 1 (survey results)");
+    let survey = Survey::sample(PAPER_N, seed);
+
+    let mut a = TextTable::new(&["start point", "%", "paper %"]);
+    let start_pct = survey.start_point_percentages();
+    for (place, measured, paper) in [
+        ("home", start_pct[0], 51.0),
+        ("school", start_pct[1], 36.0),
+        ("work", start_pct[2], 3.0),
+        ("other", start_pct[3], 10.0),
+    ] {
+        a.row(vec![place.into(), format!("{measured:.1}"), format!("{paper:.1}")]);
+    }
+    println!("(a) starting point");
+    a.print();
+    println!();
+
+    let mut b = TextTable::new(&["end point", "%", "paper %"]);
+    let end_pct = survey.end_point_percentages();
+    for (place, measured, paper) in [
+        ("home", end_pct[0], 76.0),
+        ("school", end_pct[1], 17.0),
+        ("work", end_pct[2], 5.0),
+        ("other", end_pct[3], 2.0),
+    ] {
+        b.row(vec![place.into(), format!("{measured:.1}"), format!("{paper:.1}")]);
+    }
+    println!("(b) end point");
+    b.print();
+    println!();
+
+    let mut c = TextTable::new(&["no location = privacy?", "%", "paper %"]);
+    let privacy = survey.privacy_belief_percentages();
+    for (belief, measured, paper) in [
+        ("yes", privacy[0], 42.0),
+        ("uncertain", privacy[1], 30.0),
+        ("no", privacy[2], 28.0),
+    ] {
+        c.row(vec![belief.into(), format!("{measured:.1}"), format!("{paper:.1}")]);
+    }
+    println!("(c) not sharing location implies privacy");
+    c.print();
+    println!();
+
+    let map = survey.map_hiding_percentages();
+    println!(
+        "map-hiding belief (§I): yes {:.1}% / maybe {:.1}% / no {:.1}% (paper: 41.7/30.0/28.3)",
+        map[0], map[1], map[2]
+    );
+    let (anchored_start, anchored_end) = survey.anchored_fractions();
+    println!(
+        "activities anchored at home/school/work: start {:.0}% (paper 90%), end {:.0}% (paper 98%)",
+        anchored_start * 100.0,
+        anchored_end * 100.0
+    );
+}

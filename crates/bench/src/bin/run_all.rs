@@ -1,0 +1,109 @@
+//! Runs every experiment in sequence, printing a compact summary —
+//! including the paper's headline accuracy range (§I: 59.59%–95.83%).
+
+use bench::{pct, start, TextTable};
+use elev_core::experiments::*;
+use elev_core::text::TextModel;
+use std::time::Instant;
+
+fn main() {
+    let (seed, scale) = start("run_all", "all tables and figures (summary)");
+    let t0 = Instant::now();
+    let corpora = Corpora::generate(seed, &scale);
+    println!(
+        "corpora: user {} / city {} / boroughs {} samples ({:?})",
+        corpora.user.len(),
+        corpora.city.len(),
+        corpora.boroughs.values().map(|d| d.len()).sum::<usize>(),
+        t0.elapsed()
+    );
+    println!("user-specific overlap ratio: {:.2} (paper 0.35)", corpora.user.mean_overlap_ratio());
+    println!();
+
+    let mut lows: Vec<f64> = Vec::new();
+    let mut highs: Vec<f64> = Vec::new();
+
+    // TM-1 (Table IV).
+    let t = Instant::now();
+    let tm1 = table4_tm1(&corpora.user, &scale, seed);
+    let tm1_best = tm1.iter().map(|r| r.outcome.accuracy).fold(0.0f64, f64::max);
+    let tm1_worst = tm1.iter().map(|r| r.outcome.accuracy).fold(1.0f64, f64::min);
+    println!("TM-1 text accuracy: {}–{} (paper 86.8–98.5) [{:?}]", pct(tm1_worst), pct(tm1_best), t.elapsed());
+    lows.push(tm1_worst);
+    highs.push(tm1_best);
+
+    // TM-2 (Fig. 8).
+    let t = Instant::now();
+    let tm2 = fig8_tm2(&corpora.boroughs, &scale, seed);
+    let mut tm2_table = TextTable::new(&["city", "best model", "A"]);
+    for &city in corpora.boroughs.keys() {
+        let best = tm2
+            .iter()
+            .filter(|(c, _, _)| *c == city)
+            .max_by(|a, b| a.2.ovr_accuracy.total_cmp(&b.2.ovr_accuracy))
+            .expect("three models per city");
+        tm2_table.row(vec![
+            city.abbrev().to_owned(),
+            best.1.to_string(),
+            pct(best.2.ovr_accuracy),
+        ]);
+        lows.push(best.2.ovr_accuracy);
+        highs.push(best.2.ovr_accuracy);
+    }
+    println!("TM-2 per-city best (paper: all above 55%) [{:?}]:", t.elapsed());
+    tm2_table.print();
+
+    // TM-3 (Table V).
+    let t = Instant::now();
+    let tm3 = table5_tm3(&corpora.city, &scale, seed);
+    let best10 = tm3
+        .iter()
+        .filter(|r| r.classes == 10)
+        .map(|r| r.outcome.ovr_accuracy)
+        .fold(0.0f64, f64::max);
+    let mlp3 = tm3
+        .iter()
+        .find(|r| r.classes == 3 && r.model == TextModel::Mlp)
+        .map(|r| r.outcome.ovr_accuracy)
+        .unwrap_or(0.0);
+    println!(
+        "TM-3: best A at C=10 {} (paper 93.9); MLP A at C=3 {} (paper 80.9) [{:?}]",
+        pct(best10),
+        pct(mlp3),
+        t.elapsed()
+    );
+    lows.push(mlp3);
+    highs.push(best10);
+
+    // Overlap simulations (Fig. 9 / Table VI).
+    let t = Instant::now();
+    let injected = table6_tm3_overlap(&corpora.city, &scale, seed);
+    let gains = injected
+        .iter()
+        .filter(|r| {
+            tm3.iter()
+                .find(|o| o.classes == r.classes && o.model == r.model)
+                .is_some_and(|o| r.outcome.ovr_accuracy >= o.outcome.ovr_accuracy - 0.005)
+        })
+        .count();
+    println!(
+        "Table VI: overlap injection holds or improves {}/{} settings (paper: all) [{:?}]",
+        gains,
+        injected.len(),
+        t.elapsed()
+    );
+
+    let lo = lows.iter().copied().fold(1.0f64, f64::min);
+    let hi = highs.iter().copied().fold(0.0f64, f64::max);
+    println!();
+    println!(
+        "headline: prediction success ranges {}%–{}% across threat models \
+         (paper: 59.59%–95.83%)",
+        pct(lo).trim_end_matches(".0"),
+        pct(hi).trim_end_matches(".0")
+    );
+    println!("total wall time {:?}", t0.elapsed());
+    println!();
+    println!("run the per-table binaries (table4_tm1_text, table7_image_methods, …) for");
+    println!("the full layouts, and set ELEV_SCALE=full for paper-scale sweeps.");
+}

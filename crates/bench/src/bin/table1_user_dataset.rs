@@ -1,0 +1,44 @@
+//! Regenerates paper Table I: the user-specific dataset distribution,
+//! plus the 35% average route-overlap measurement (§III-A1, Fig. 3).
+
+use bench::{start, TextTable};
+use datasets::user_specific;
+
+fn main() {
+    let (seed, scale) = start("table1_user_dataset", "Table I (user-specific dataset)");
+    let counts: Vec<_> = user_specific::TABLE_I
+        .iter()
+        .map(|&(c, n)| {
+            let scaled =
+                (((n as f64) * scale.dataset_fraction).round() as usize).max(scale.min_per_class);
+            (c, scaled)
+        })
+        .collect();
+    let ds = user_specific::build_with_counts(seed, &counts);
+
+    let mut t = TextTable::new(&["region", "samples", "paper", "overlap ratio"]);
+    for (label, name) in ds.label_names().iter().enumerate() {
+        let measured = ds.class_counts()[label];
+        let paper = user_specific::TABLE_I
+            .iter()
+            .find(|(c, _)| c.name() == name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        t.row(vec![
+            name.clone(),
+            measured.to_string(),
+            paper.to_string(),
+            format!("{:.2}", ds.overlap_ratio(label as u32)),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "mean overlap ratio (avg pairwise tight-rectangle IoU): {:.2} (paper: 0.35)",
+        ds.mean_overlap_ratio()
+    );
+    println!(
+        "labels were assigned by region clustering with threshold {}°, as in Fig. 3",
+        user_specific::REGION_THRESHOLD_DEG
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates paper Table III: the borough-level mined dataset
+//! distribution for the six TM-2 cities.
+
+use bench::{start, TextTable};
+use datasets::borough_level;
+use terrain::CityId;
+
+fn main() {
+    let (seed, scale) = start("table3_borough_dataset", "Table III (borough-level mining)");
+    let mut t = TextTable::new(&["city", "borough", "samples", "paper"]);
+    let mut total = 0usize;
+    for city in CityId::BOROUGH_LEVEL {
+        let counts: Vec<_> = borough_level::TABLE_III
+            .iter()
+            .filter(|(b, _)| b.city() == city)
+            .map(|&(b, n)| {
+                let scaled = (((n as f64) * scale.dataset_fraction).round() as usize)
+                    .max(scale.min_per_class);
+                (b, scaled)
+            })
+            .collect();
+        let ds = borough_level::build_with_counts(seed, &counts);
+        total += ds.len();
+        for (label, name) in ds.label_names().iter().enumerate() {
+            let paper = counts
+                .iter()
+                .find(|(b, _)| b.name() == name)
+                .map(|(b, _)| {
+                    borough_level::TABLE_III
+                        .iter()
+                        .find(|(bb, _)| bb == b)
+                        .map(|(_, n)| *n)
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            t.row(vec![
+                city.abbrev().to_owned(),
+                name.clone(),
+                ds.class_counts()[label].to_string(),
+                paper.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!();
+    println!("total {total} borough-labelled samples across 6 cities / 22 boroughs");
+}

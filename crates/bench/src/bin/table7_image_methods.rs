@@ -1,0 +1,59 @@
+//! Regenerates paper Table VII: maximum achieved accuracy across
+//! methods — text (DS) vs the Fig. 7 CNN with unweighted loss (biased),
+//! weighted loss, and fine-tuning, for TM-1, the six TM-2 cities, and
+//! TM-3.
+
+use bench::{pct, start, TextTable};
+use elev_core::experiments::{table7_methods, Corpora};
+
+/// Paper Table VII: (setting, text DS, UWL, WL, FT).
+const PAPER: [(&str, f64, f64, f64, f64); 8] = [
+    ("TM-1", 95.83, 96.98, 95.23, 87.93),
+    ("TM-2: LA", 65.13, 68.85, 68.39, 63.63),
+    ("TM-2: MIA", 68.65, 88.96, 86.80, 62.50),
+    ("TM-2: NJ", 63.52, 93.45, 79.42, 57.14),
+    ("TM-2: NYC", 78.85, 74.20, 79.37, 72.79),
+    ("TM-2: SF", 64.52, 67.20, 78.70, 65.38),
+    ("TM-2: WDC", 60.79, 62.79, 70.28, 71.50),
+    ("TM-3", 93.90, 92.51, 92.82, 89.00),
+];
+
+fn main() {
+    let (seed, scale) = start("table7_image_methods", "Table VII (method comparison)");
+    let corpora = Corpora::generate(seed, &scale);
+    let rows = table7_methods(&corpora, &scale, seed);
+
+    let mut t = TextTable::new(&[
+        "setting", "DS", "UWL*", "WL", "FT", "paper DS", "paper UWL*", "paper WL", "paper FT",
+    ]);
+    for r in &rows {
+        let paper = PAPER.iter().find(|(s, ..)| *s == r.setting);
+        let mut cells = vec![
+            r.setting.clone(),
+            pct(r.text_ds),
+            pct(r.uwl),
+            pct(r.wl),
+            pct(r.ft),
+        ];
+        match paper {
+            Some((_, ds, uwl, wl, ft)) => {
+                cells.push(format!("{ds:.1}"));
+                cells.push(format!("{uwl:.1}"));
+                cells.push(format!("{wl:.1}"));
+                cells.push(format!("{ft:.1}"));
+            }
+            None => cells.extend(std::iter::repeat_n("-".to_owned(), 4)),
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!();
+    println!("* UWL (unweighted loss on unbalanced data) is biased toward majority classes");
+    println!("  and excluded from the paper's max-accuracy comparison.");
+    let wl_wins = rows
+        .iter()
+        .filter(|r| r.setting.starts_with("TM-2") && r.wl >= r.ft)
+        .count();
+    let tm2 = rows.iter().filter(|r| r.setting.starts_with("TM-2")).count();
+    println!("WL beats FT on {wl_wins}/{tm2} TM-2 cities (paper: WL wins except WDC).");
+}

@@ -1,0 +1,53 @@
+//! Regenerates paper Table VIII: fine-tuning vs training budget for
+//! TM-1 and TM-3 (accuracy / recall / specificity / F1).
+//!
+//! The paper sweeps epoch sizes {500, 1000, 2000}; this reproduction
+//! sweeps proportional budgets {½·E, E, 2·E} of the configured scale's
+//! per-round epoch count E — the shape to check is the *inverted U*:
+//! the middle budget wins, the largest overfits.
+
+use bench::{pct, start, TextTable};
+use elev_core::experiments::{table8_finetune_epochs, Corpora};
+
+/// Paper Table VIII: (setting, epoch, accuracy, recall, specificity, F1).
+const PAPER: [(&str, usize, f64, f64, f64, f64); 6] = [
+    ("TM-1", 500, 79.3, 55.8, 86.3, 58.6),
+    ("TM-1", 1000, 87.9, 67.5, 92.6, 68.2),
+    ("TM-1", 2000, 82.7, 63.1, 88.4, 63.3),
+    ("TM-3", 500, 86.0, 29.7, 92.2, 36.2),
+    ("TM-3", 1000, 89.0, 45.3, 93.9, 45.4),
+    ("TM-3", 2000, 87.8, 38.9, 93.2, 41.1),
+];
+
+fn main() {
+    let (seed, scale) = start("table8_finetune_epochs", "Table VIII (fine-tuning epoch sweep)");
+    let corpora = Corpora::generate(seed, &scale);
+    let rows = table8_finetune_epochs(&corpora, &scale, seed);
+
+    let mut t = TextTable::new(&["setting", "epochs/round", "A", "R", "Spec", "F1"]);
+    for (setting, epochs, o) in &rows {
+        t.row(vec![
+            setting.clone(),
+            epochs.to_string(),
+            pct(o.ovr_accuracy),
+            pct(o.recall),
+            pct(o.specificity),
+            pct(o.f1),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper values (epoch size 500 / 1000 / 2000):");
+    let mut p = TextTable::new(&["setting", "epochs", "A", "R", "Spec", "F1"]);
+    for (s, e, a, r, sp, f1) in PAPER {
+        p.row(vec![
+            s.to_owned(),
+            e.to_string(),
+            format!("{a:.1}"),
+            format!("{r:.1}"),
+            format!("{sp:.1}"),
+            format!("{f1:.1}"),
+        ]);
+    }
+    p.print();
+}

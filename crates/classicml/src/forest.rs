@@ -1,0 +1,203 @@
+//! Random forest: bagged CART trees with majority voting.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees (the paper uses 100).
+    pub n_trees: usize,
+    /// Per-tree configuration; `max_features: None` here means √d is
+    /// chosen automatically, the standard forest heuristic.
+    pub tree: TreeConfig,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 100, tree: TreeConfig::default() }
+    }
+}
+
+/// The paper's RFC: 100 bagged trees, majority vote.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains the forest. Trees are grown in parallel across available
+    /// cores (crossbeam scoped threads); results are position-stable,
+    /// so training remains deterministic for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or ragged, lengths mismatch, or
+    /// `n_trees == 0`.
+    pub fn fit(x: &[Vec<f32>], y: &[u32], config: &ForestConfig, seed: u64) -> Self {
+        assert!(config.n_trees > 0, "need at least one tree");
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(x.len(), y.len(), "one label per row");
+        let dim = x[0].len();
+        let n_classes = y.iter().copied().max().unwrap() as usize + 1;
+
+        let tree_cfg = TreeConfig {
+            max_features: config
+                .tree
+                .max_features
+                .or_else(|| Some(((dim as f64).sqrt().round() as usize).max(1))),
+            ..config.tree
+        };
+
+        // Pre-draw bootstrap samples sequentially for determinism.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bootstraps: Vec<(Vec<Vec<f32>>, Vec<u32>, u64)> = (0..config.n_trees)
+            .map(|_| {
+                let mut bx = Vec::with_capacity(x.len());
+                let mut by = Vec::with_capacity(y.len());
+                for _ in 0..x.len() {
+                    let i = rng.gen_range(0..x.len());
+                    bx.push(x[i].clone());
+                    by.push(y[i]);
+                }
+                (bx, by, rng.gen())
+            })
+            .collect();
+
+        let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let mut trees: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<&mut Option<DecisionTree>>> =
+            trees.iter_mut().map(std::sync::Mutex::new).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= bootstraps.len() {
+                        break;
+                    }
+                    let (bx, by, tree_seed) = &bootstraps[i];
+                    let tree = DecisionTree::fit(bx, by, &tree_cfg, *tree_seed);
+                    **slots[i].lock().expect("no poisoned slots") = Some(tree);
+                });
+            }
+        })
+        .expect("forest workers never panic");
+        drop(slots);
+
+        Self {
+            trees: trees.into_iter().map(|t| t.expect("every slot filled")).collect(),
+            n_classes,
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Class-vote histogram for one row.
+    pub fn votes(&self, row: &[f32]) -> Vec<usize> {
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict_one(row) as usize] += 1;
+        }
+        votes
+    }
+
+    /// Majority-vote prediction for one row (ties go to the lower
+    /// class index, deterministically).
+    pub fn predict_one(&self, row: &[f32]) -> u32 {
+        let votes = self.votes(row);
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &v)| (v, usize::MAX - i))
+            .map(|(i, _)| i as u32)
+            .expect("at least one class")
+    }
+
+    /// Predictions for many rows.
+    pub fn predict(&self, rows: &[Vec<f32>]) -> Vec<u32> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_per {
+            let j = (i as f32 * 0.31).sin() * 0.3;
+            x.push(vec![2.0 + j, 2.0 - j]);
+            y.push(0);
+            x.push(vec![-2.0 + j, -2.0 - j]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_separates_blobs() {
+        let (x, y) = blobs(25);
+        let cfg = ForestConfig { n_trees: 20, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &cfg, 3);
+        assert_eq!(forest.predict(&x), y);
+    }
+
+    #[test]
+    fn votes_sum_to_tree_count() {
+        let (x, y) = blobs(10);
+        let cfg = ForestConfig { n_trees: 15, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &cfg, 3);
+        let votes = forest.votes(&x[0]);
+        assert_eq!(votes.iter().sum::<usize>(), 15);
+    }
+
+    #[test]
+    fn deterministic_despite_parallelism() {
+        let (x, y) = blobs(10);
+        let cfg = ForestConfig { n_trees: 12, ..Default::default() };
+        let a = RandomForest::fit(&x, &y, &cfg, 7);
+        let b = RandomForest::fit(&x, &y, &cfg, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_matches_paper_tree_count() {
+        assert_eq!(ForestConfig::default().n_trees, 100);
+    }
+
+    #[test]
+    fn forest_beats_single_stump_on_noisy_data() {
+        // Noisy labels: ensemble should at least match one shallow tree.
+        let (mut x, mut y) = blobs(30);
+        for i in (0..y.len()).step_by(7) {
+            y[i] = 1 - y[i]; // inject label noise
+            x[i][0] += 0.1;
+        }
+        let stump = crate::tree::DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig { max_depth: 1, ..Default::default() },
+            1,
+        );
+        let forest =
+            RandomForest::fit(&x, &y, &ForestConfig { n_trees: 30, ..Default::default() }, 1);
+        let acc = |pred: Vec<u32>| pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(acc(forest.predict(&x)) >= acc(stump.predict(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_zero_trees() {
+        let (x, y) = blobs(2);
+        RandomForest::fit(&x, &y, &ForestConfig { n_trees: 0, ..Default::default() }, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Classic machine-learning models of the paper's text-side attack.
+//!
+//! - [`SvmClassifier`]: a linear one-vs-rest support vector machine
+//!   trained with the Pegasos stochastic sub-gradient method on the
+//!   hinge loss ("the standard SVM, where the objective is to find the
+//!   best hyperplane separating classes"),
+//! - [`RandomForest`]: "the standard RFC, with 100 trees, and a
+//!   majority voting ... over the outcomes of those trees", built from
+//!   CART [`DecisionTree`]s with Gini impurity, bootstrap sampling, and
+//!   √d feature subsampling, trained in parallel with crossbeam,
+//! - [`KnnClassifier`]: a k-nearest-neighbours baseline that makes the
+//!   paper's overlap-leakage mechanism explicit (a repeated route's
+//!   near-twin sits in the training set).
+//!
+//! Both models consume dense `Vec<f32>` feature rows (the BoW vectors
+//! of `textrep`) and `u32` labels, and are deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use classicml::SvmClassifier;
+//!
+//! let x = vec![
+//!     vec![0.0, 1.0], vec![0.1, 0.9], vec![1.0, 0.0], vec![0.9, 0.2],
+//! ];
+//! let y = vec![0u32, 0, 1, 1];
+//! let svm = SvmClassifier::fit(&x, &y, &Default::default(), 7);
+//! assert_eq!(svm.predict(&x), y);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bayes;
+mod forest;
+mod knn;
+mod svm;
+mod tree;
+
+pub use bayes::NaiveBayes;
+pub use forest::{ForestConfig, RandomForest};
+pub use knn::{KnnClassifier, KnnMetric};
+pub use svm::{SvmClassifier, SvmConfig};
+pub use tree::{DecisionTree, TreeConfig};

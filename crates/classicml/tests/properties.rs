@@ -1,0 +1,96 @@
+//! Property-based tests for the classic learners.
+
+use classicml::{DecisionTree, ForestConfig, RandomForest, SvmClassifier, SvmConfig, TreeConfig};
+use proptest::prelude::*;
+
+/// Linearly separable 2-D blobs with adjustable separation.
+fn blobs(n_per: usize, sep: f32) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n_per {
+        let j = (i as f32 * 0.7).sin() * 0.3;
+        x.push(vec![sep + j, j]);
+        y.push(0);
+        x.push(vec![-sep - j, -j]);
+        y.push(1);
+    }
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn svm_separates_well_separated_blobs(seed in 0u64..500, n in 8usize..30) {
+        let (x, y) = blobs(n, 3.0);
+        let svm = SvmClassifier::fit(&x, &y, &SvmConfig::default(), seed);
+        let acc = svm.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        prop_assert!(acc * 10 >= x.len() * 9, "{acc}/{}", x.len());
+    }
+
+    #[test]
+    fn svm_decision_scores_are_finite(seed in 0u64..500) {
+        let (x, y) = blobs(10, 1.0);
+        let svm = SvmClassifier::fit(&x, &y, &SvmConfig::default(), seed);
+        for row in &x {
+            for s in svm.decision_function(row) {
+                prop_assert!(s.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_fits_training_data_perfectly_when_unbounded(
+        labels in prop::collection::vec(0u32..3, 6..40),
+    ) {
+        // Distinct 1-D inputs: an unbounded tree must memorize exactly.
+        let x: Vec<Vec<f32>> = (0..labels.len()).map(|i| vec![i as f32]).collect();
+        let cfg = TreeConfig { max_depth: 64, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &labels, &cfg, 1);
+        prop_assert_eq!(tree.predict(&x), labels);
+    }
+
+    #[test]
+    fn tree_depth_respects_bound(
+        labels in prop::collection::vec(0u32..4, 8..60),
+        depth in 1usize..6,
+    ) {
+        let x: Vec<Vec<f32>> = (0..labels.len()).map(|i| vec![i as f32, (i * i) as f32]).collect();
+        let cfg = TreeConfig { max_depth: depth, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &labels, &cfg, 1);
+        prop_assert!(tree.depth() <= depth);
+    }
+
+    #[test]
+    fn forest_votes_are_conserved(seed in 0u64..200) {
+        let (x, y) = blobs(10, 2.0);
+        let cfg = ForestConfig { n_trees: 9, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &cfg, seed);
+        for row in &x {
+            prop_assert_eq!(forest.votes(row).iter().sum::<usize>(), 9);
+        }
+    }
+
+    #[test]
+    fn forest_prediction_matches_top_vote(seed in 0u64..200) {
+        let (x, y) = blobs(8, 1.5);
+        let forest =
+            RandomForest::fit(&x, &y, &ForestConfig { n_trees: 7, ..Default::default() }, seed);
+        for row in &x {
+            let votes = forest.votes(row);
+            let pred = forest.predict_one(row) as usize;
+            prop_assert_eq!(votes[pred], *votes.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn learners_are_seed_deterministic(seed in 0u64..200) {
+        let (x, y) = blobs(8, 1.0);
+        let a = SvmClassifier::fit(&x, &y, &SvmConfig::default(), seed);
+        let b = SvmClassifier::fit(&x, &y, &SvmConfig::default(), seed);
+        prop_assert_eq!(a, b);
+        let fa = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 5, ..Default::default() }, seed);
+        let fb = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 5, ..Default::default() }, seed);
+        prop_assert_eq!(fa, fb);
+    }
+}

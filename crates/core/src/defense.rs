@@ -1,0 +1,265 @@
+//! Defenses against the elevation attack (the paper's future work).
+//!
+//! §VI: "In the future, we will explore compatible defenses such as
+//! devising and using route statistics that serves the same purpose as
+//! sharing elevation profile; demonstrating the roughness of the route,
+//! while preserving users' privacy." This module implements three such
+//! defenses and lets the rest of the pipeline measure how much attack
+//! accuracy each one removes (see the `defense_evaluation` example and
+//! the `ablation_defenses` bench):
+//!
+//! - [`Defense::Coarsen`]: quantize elevations to a coarse step,
+//! - [`Defense::LaplaceNoise`]: add Laplace noise per point (the
+//!   geo-indistinguishability mechanism applied to the z-axis),
+//! - [`Defense::SummaryOnly`]: share only roughness statistics — total
+//!   ascent/descent, elevation gain histogram — never the profile.
+
+use datasets::{Dataset, Sample};
+
+/// A privacy transformation applied to an elevation profile before it
+/// is shared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Defense {
+    /// Quantizes every elevation to multiples of `step_m` metres.
+    /// Preserves the shape users care about at coarse granularity.
+    Coarsen {
+        /// Quantization step in metres.
+        step_m: f64,
+    },
+    /// Adds zero-mean Laplace noise with scale `scale_m` to every
+    /// point. Deterministic per (profile, seed) so experiments
+    /// reproduce.
+    LaplaceNoise {
+        /// Laplace scale parameter b (variance = 2b²).
+        scale_m: f64,
+        /// Noise seed.
+        seed: u64,
+    },
+    /// Replaces the profile with `2·bins` summary values: per-segment
+    /// total ascent and descent — the "route statistics" defense. The
+    /// absolute elevation never leaves the device.
+    SummaryOnly {
+        /// Number of route segments summarized.
+        bins: usize,
+    },
+    /// Shares the profile *relative to its starting elevation*
+    /// (`e_i − e_0`): the full shape and roughness survive, but the
+    /// absolute elevation band — the strongest city identifier — never
+    /// leaves the device. The defense a fitness platform could ship
+    /// without changing its elevation chart at all.
+    RelativeProfile,
+}
+
+impl Defense {
+    /// Applies the defense to one profile.
+    ///
+    /// Empty profiles pass through unchanged.
+    pub fn apply(&self, profile: &[f64]) -> Vec<f64> {
+        if profile.is_empty() {
+            return Vec::new();
+        }
+        match *self {
+            Defense::Coarsen { step_m } => {
+                assert!(step_m > 0.0, "coarsening step must be positive");
+                profile.iter().map(|e| (e / step_m).round() * step_m).collect()
+            }
+            Defense::LaplaceNoise { scale_m, seed } => {
+                assert!(scale_m >= 0.0, "noise scale must be non-negative");
+                profile
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| e + laplace(scale_m, hash2(seed, i as u64)))
+                    .collect()
+            }
+            Defense::RelativeProfile => {
+                let base = profile[0];
+                profile.iter().map(|e| e - base).collect()
+            }
+            Defense::SummaryOnly { bins } => {
+                assert!(bins > 0, "need at least one summary bin");
+                let mut out = Vec::with_capacity(bins * 2);
+                for b in 0..bins {
+                    let lo = b * profile.len() / bins;
+                    let hi = (((b + 1) * profile.len()) / bins).max(lo + 1).min(profile.len());
+                    let seg = &profile[lo..hi];
+                    let mut ascent = 0.0;
+                    let mut descent = 0.0;
+                    for w in seg.windows(2) {
+                        let d = w[1] - w[0];
+                        if d > 0.0 {
+                            ascent += d;
+                        } else {
+                            descent -= d;
+                        }
+                    }
+                    out.push(ascent);
+                    out.push(descent);
+                }
+                out
+            }
+        }
+    }
+
+    /// Applies the defense to every sample of a dataset (paths are
+    /// dropped: a defended dataset is what the adversary scrapes).
+    pub fn apply_to_dataset(&self, ds: &Dataset) -> Dataset {
+        let mut out = Dataset::new(ds.label_names().to_vec());
+        for (i, s) in ds.samples().iter().enumerate() {
+            let defense = match *self {
+                // Vary noise per sample, deterministically.
+                Defense::LaplaceNoise { scale_m, seed } => Defense::LaplaceNoise {
+                    scale_m,
+                    seed: hash2(seed, i as u64),
+                },
+                other => other,
+            };
+            out.push(Sample {
+                elevation: defense.apply(&s.elevation),
+                label: s.label,
+                path: None,
+            })
+            .expect("labels preserved");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Defense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Defense::Coarsen { step_m } => write!(f, "coarsen({step_m} m)"),
+            Defense::LaplaceNoise { scale_m, .. } => write!(f, "laplace(b={scale_m} m)"),
+            Defense::SummaryOnly { bins } => write!(f, "summary-only({bins} bins)"),
+            Defense::RelativeProfile => write!(f, "relative-profile"),
+        }
+    }
+}
+
+/// Deterministic Laplace sample from a hashed uniform.
+fn laplace(scale: f64, hash: u64) -> f64 {
+    // u uniform in (-0.5, 0.5), inverse CDF.
+    let u = ((hash >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+    let u = u.clamp(-0.499_999_9, 0.499_999_9);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Vec<f64> {
+        (0..100).map(|i| 50.0 + (i as f64 * 0.2).sin() * 10.0).collect()
+    }
+
+    #[test]
+    fn coarsen_quantizes() {
+        let out = Defense::Coarsen { step_m: 5.0 }.apply(&profile());
+        for v in out {
+            assert!((v / 5.0 - (v / 5.0).round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarsen_with_huge_step_flattens() {
+        let out = Defense::Coarsen { step_m: 1000.0 }.apply(&profile());
+        assert!(out.iter().all(|&v| v == out[0]));
+    }
+
+    #[test]
+    fn laplace_noise_is_deterministic_and_zero_mean_ish() {
+        let d = Defense::LaplaceNoise { scale_m: 3.0, seed: 9 };
+        let a = d.apply(&profile());
+        let b = d.apply(&profile());
+        assert_eq!(a, b);
+        let bias: f64 = a
+            .iter()
+            .zip(profile())
+            .map(|(noisy, clean)| noisy - clean)
+            .sum::<f64>()
+            / a.len() as f64;
+        assert!(bias.abs() < 1.5, "bias {bias}");
+    }
+
+    #[test]
+    fn summary_only_reports_roughness() {
+        let d = Defense::SummaryOnly { bins: 4 };
+        let out = d.apply(&profile());
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|&v| v >= 0.0));
+        // A monotone ramp has ascent but no descent.
+        let ramp: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let s = Defense::SummaryOnly { bins: 1 }.apply(&ramp);
+        assert_eq!(s, vec![49.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_only_hides_absolute_elevation() {
+        let low: Vec<f64> = (0..50).map(|i| 2.0 + (i as f64 * 0.3).sin()).collect();
+        let high: Vec<f64> = (0..50).map(|i| 1800.0 + (i as f64 * 0.3).sin()).collect();
+        let d = Defense::SummaryOnly { bins: 2 };
+        let (a, b) = (d.apply(&low), d.apply(&high));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "summaries leaked base elevation");
+        }
+    }
+
+    #[test]
+    fn apply_to_dataset_strips_paths_and_keeps_labels() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        ds.push(Sample {
+            elevation: profile(),
+            label: 0,
+            path: Some(vec![geoprim::LatLon::new(1.0, 2.0)]),
+        })
+        .unwrap();
+        let out = Defense::Coarsen { step_m: 10.0 }.apply_to_dataset(&ds);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.samples()[0].label, 0);
+        assert!(out.samples()[0].path.is_none());
+    }
+
+    #[test]
+    fn per_sample_noise_differs() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        for _ in 0..2 {
+            ds.push(Sample { elevation: profile(), label: 0, path: None }).unwrap();
+        }
+        let out = Defense::LaplaceNoise { scale_m: 2.0, seed: 4 }.apply_to_dataset(&ds);
+        assert_ne!(out.samples()[0].elevation, out.samples()[1].elevation);
+    }
+
+    #[test]
+    fn empty_profile_passes_through() {
+        for d in [
+            Defense::Coarsen { step_m: 1.0 },
+            Defense::LaplaceNoise { scale_m: 1.0, seed: 0 },
+            Defense::SummaryOnly { bins: 3 },
+            Defense::RelativeProfile,
+        ] {
+            assert!(d.apply(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn relative_profile_preserves_shape_and_hides_base() {
+        let low: Vec<f64> = (0..50).map(|i| 2.0 + (i as f64 * 0.3).sin()).collect();
+        let high: Vec<f64> = (0..50).map(|i| 1800.0 + (i as f64 * 0.3).sin()).collect();
+        let d = Defense::RelativeProfile;
+        let (a, b) = (d.apply(&low), d.apply(&high));
+        assert_eq!(a[0], 0.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "same shape must survive identically");
+        }
+        // Differences between consecutive points are untouched.
+        for (orig, rel) in low.windows(2).zip(a.windows(2)) {
+            assert!(((orig[1] - orig[0]) - (rel[1] - rel[0])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Parameterized experiment runners for every table and figure.
+//!
+//! Each function regenerates the data behind one artifact of the
+//! paper's evaluation section; `crates/bench` binaries format the
+//! returned rows and EXPERIMENTS.md records paper-vs-measured values.
+//!
+//! All runners accept an [`ExperimentScale`]: `full()` reproduces the
+//! paper's sample sizes, folds, and class sweeps; `quick()` shrinks the
+//! corpora and training budgets ~5–10× for smoke tests and CI.
+
+use crate::image::{evaluate_image, ImageAttackConfig, ImageMethod};
+use crate::text::{evaluate_text, TextAttackConfig, TextModel};
+use datasets::split::balanced_downsample;
+use datasets::{borough_level, city_level, overlap, user_specific, Dataset};
+use evalkit::FoldOutcome;
+use std::collections::BTreeMap;
+use terrain::{CityId, ElevationService, SyntheticTerrain};
+use textrep::Discretizer;
+
+/// Experiment sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Multiplier on the paper's per-class sample counts (1.0 = paper).
+    pub dataset_fraction: f64,
+    /// k for "10-fold" evaluations (the paired 5-fold runs use half).
+    pub folds: usize,
+    /// CNN epochs per training (per round for fine-tuning).
+    pub cnn_epochs: usize,
+    /// MLP epochs.
+    pub mlp_epochs: usize,
+    /// Minimum per-class samples after scaling (keeps folds feasible).
+    pub min_per_class: usize,
+}
+
+impl ExperimentScale {
+    /// Paper-scale experiments (minutes on a laptop).
+    pub fn full() -> Self {
+        Self {
+            dataset_fraction: 1.0,
+            folds: 10,
+            cnn_epochs: 12,
+            mlp_epochs: 60,
+            min_per_class: 12,
+        }
+    }
+
+    /// Intermediate scale for single-core machines: the paper's fold
+    /// counts and protocols at ~40% of the sample counts. This is the
+    /// scale EXPERIMENTS.md records.
+    pub fn medium() -> Self {
+        Self {
+            dataset_fraction: 0.4,
+            folds: 10,
+            cnn_epochs: 10,
+            mlp_epochs: 50,
+            min_per_class: 12,
+        }
+    }
+
+    /// Reduced experiments for smoke tests (seconds).
+    pub fn quick() -> Self {
+        Self {
+            dataset_fraction: 0.15,
+            folds: 3,
+            cnn_epochs: 4,
+            mlp_epochs: 25,
+            min_per_class: 9,
+        }
+    }
+
+    /// Reads `ELEV_SCALE=full|medium|quick` from the environment
+    /// (defaults to `quick` so casual `cargo run` stays fast).
+    pub fn from_env() -> Self {
+        match std::env::var("ELEV_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            Ok("medium") => Self::medium(),
+            _ => Self::quick(),
+        }
+    }
+
+    fn scale_count(&self, paper: usize) -> usize {
+        (((paper as f64) * self.dataset_fraction).round() as usize).max(self.min_per_class)
+    }
+
+    fn text_cfg(&self, seed: u64) -> TextAttackConfig {
+        TextAttackConfig {
+            folds: self.folds,
+            mlp_epochs: self.mlp_epochs,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn image_cfg(&self, seed: u64) -> ImageAttackConfig {
+        ImageAttackConfig { epochs: self.cnn_epochs, seed, ..Default::default() }
+    }
+}
+
+/// The three corpora, generated once and shared across experiments.
+#[derive(Debug, Clone)]
+pub struct Corpora {
+    /// The user-specific dataset (Table I).
+    pub user: Dataset,
+    /// The city-level dataset (Table II).
+    pub city: Dataset,
+    /// One borough-labelled dataset per Table III city.
+    pub boroughs: BTreeMap<CityId, Dataset>,
+}
+
+impl Corpora {
+    /// Generates all three corpora at the given scale.
+    pub fn generate(seed: u64, scale: &ExperimentScale) -> Self {
+        let user_counts: Vec<(CityId, usize)> = user_specific::TABLE_I
+            .iter()
+            .map(|&(c, n)| (c, scale.scale_count(n)))
+            .collect();
+        let user = user_specific::build_with_counts(seed, &user_counts);
+
+        let city_counts: Vec<(CityId, usize)> = city_level::TABLE_II
+            .iter()
+            .map(|&(c, n)| (c, scale.scale_count(n)))
+            .collect();
+        let city = city_level::build_with_counts(seed.wrapping_add(1), &city_counts);
+
+        let mut boroughs = BTreeMap::new();
+        for &cid in &CityId::BOROUGH_LEVEL {
+            let counts: Vec<_> = borough_level::TABLE_III
+                .iter()
+                .filter(|(b, _)| b.city() == cid)
+                .map(|&(b, n)| (b, scale.scale_count(n)))
+                .collect();
+            boroughs.insert(
+                cid,
+                borough_level::build_with_counts(seed.wrapping_add(2), &counts),
+            );
+        }
+        Self { user, city, boroughs }
+    }
+}
+
+/// One row of a classifier-comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Number of classes `C`.
+    pub classes: usize,
+    /// Per-class sample size `S`.
+    pub per_class: usize,
+    /// The classifier.
+    pub model: TextModel,
+    /// Fold-averaged metrics.
+    pub outcome: FoldOutcome,
+    /// Cross-validation folds used.
+    pub folds: usize,
+}
+
+/// Keeps the `c` most populous classes and balances them at the size of
+/// the smallest kept class — the paper's Table IV/V protocol.
+pub fn balanced_top_classes(ds: &Dataset, c: usize, seed: u64) -> Dataset {
+    assert!(c >= 2 && c <= ds.n_classes(), "class count out of range");
+    let keep: Vec<u32> = ds.classes_by_size().into_iter().take(c).collect();
+    let filtered = ds.filter_classes(&keep);
+    let s = *filtered.class_counts().iter().min().expect("non-empty");
+    balanced_downsample(&filtered, s, seed)
+}
+
+/// Table IV: TM-1 on the user-specific dataset — SVM/RFC/MLP × 5- and
+/// 10-fold × C ∈ {2, 3, 4} (balanced at the smallest kept class).
+pub fn table4_tm1(user: &Dataset, scale: &ExperimentScale, seed: u64) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for c in [2usize, 3, 4] {
+        let ds = balanced_top_classes(user, c, seed);
+        let s = ds.class_counts()[0];
+        for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
+            for folds in [scale.folds.div_ceil(2), scale.folds] {
+                let cfg = TextAttackConfig { folds, ..scale.text_cfg(seed) };
+                let outcome =
+                    evaluate_text(&ds, Discretizer::Floor, model, &cfg).outcome();
+                rows.push(SweepRow { classes: c, per_class: s, model, outcome, folds });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 8 / Table VII text rows: TM-2 per-city borough classification.
+pub fn fig8_tm2(
+    boroughs: &BTreeMap<CityId, Dataset>,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Vec<(CityId, TextModel, FoldOutcome)> {
+    let mut rows = Vec::new();
+    for (&city, ds) in boroughs {
+        for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
+            let cfg = scale.text_cfg(seed);
+            let outcome =
+                evaluate_text(ds, Discretizer::mined(), model, &cfg).outcome();
+            rows.push((city, model, outcome));
+        }
+    }
+    rows
+}
+
+/// Table V: TM-3 city identification — C ∈ {3, 5, 7, 8, 10} most
+/// populous cities, balanced, 10-fold.
+pub fn table5_tm3(city: &Dataset, scale: &ExperimentScale, seed: u64) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for c in [3usize, 5, 7, 8, 10] {
+        if c > city.n_classes() {
+            continue;
+        }
+        let ds = balanced_top_classes(city, c, seed);
+        let s = ds.class_counts()[0];
+        for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
+            let cfg = scale.text_cfg(seed);
+            let outcome = evaluate_text(&ds, Discretizer::mined(), model, &cfg).outcome();
+            rows.push(SweepRow { classes: c, per_class: s, model, outcome, folds: cfg.folds });
+        }
+    }
+    rows
+}
+
+/// Injects the paper's 30–35% simulated overlap into a mined dataset.
+pub fn inject_overlap(ds: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    let service = ElevationService::new(SyntheticTerrain::new(seed));
+    overlap::inject(ds, fraction, seed, &service)
+}
+
+/// Table VI: TM-3 with 35% injected overlap.
+pub fn table6_tm3_overlap(
+    city: &Dataset,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Vec<SweepRow> {
+    let injected = inject_overlap(city, 0.35, seed.wrapping_add(77));
+    table5_tm3(&injected, scale, seed)
+}
+
+/// Fig. 9: TM-2 MLP accuracy, original vs 30–34% overlap-injected, per
+/// city. Returns `(city, original, injected)` outcomes.
+pub fn fig9_tm2_overlap(
+    boroughs: &BTreeMap<CityId, Dataset>,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Vec<(CityId, FoldOutcome, FoldOutcome)> {
+    let mut rows = Vec::new();
+    for (&city, ds) in boroughs {
+        let cfg = scale.text_cfg(seed);
+        let original =
+            evaluate_text(ds, Discretizer::mined(), TextModel::Mlp, &cfg).outcome();
+        let injected_ds = inject_overlap(ds, 0.32, seed.wrapping_add(131));
+        let injected =
+            evaluate_text(&injected_ds, Discretizer::mined(), TextModel::Mlp, &cfg).outcome();
+        rows.push((city, original, injected));
+    }
+    rows
+}
+
+/// One Table VII row: the best text accuracy (DS column) vs the CNN
+/// methods (UWL/WL/FT) for a single evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodComparisonRow {
+    /// Row label ("TM-1", "TM-2: LA", …).
+    pub setting: String,
+    /// Best balanced/downsampled text accuracy.
+    pub text_ds: f64,
+    /// CNN with unweighted loss (biased baseline).
+    pub uwl: f64,
+    /// CNN with weighted loss.
+    pub wl: f64,
+    /// CNN with fine-tuning rounds.
+    pub ft: f64,
+}
+
+/// Table VII: maximum achieved accuracy across methods, for TM-1, the
+/// six TM-2 cities, and TM-3.
+pub fn table7_methods(corpora: &Corpora, scale: &ExperimentScale, seed: u64) -> Vec<MethodComparisonRow> {
+    let mut rows = Vec::new();
+
+    let image_methods = |ds: &Dataset, seed: u64| -> (f64, f64, f64) {
+        let cfg = scale.image_cfg(seed);
+        let uwl = evaluate_image(ds, ImageMethod::UnweightedLoss, &cfg)
+            .confusion
+            .ovr_accuracy();
+        let wl = evaluate_image(ds, ImageMethod::WeightedLoss, &cfg)
+            .confusion
+            .ovr_accuracy();
+        let ft = evaluate_image(ds, ImageMethod::FineTune, &cfg)
+            .confusion
+            .ovr_accuracy();
+        (uwl, wl, ft)
+    };
+
+    // TM-1.
+    {
+        let text_rows = table4_tm1(&corpora.user, scale, seed);
+        let text_ds = text_rows
+            .iter()
+            .map(|r| r.outcome.accuracy)
+            .fold(0.0f64, f64::max);
+        let (uwl, wl, ft) = image_methods(&corpora.user, seed);
+        rows.push(MethodComparisonRow { setting: "TM-1".into(), text_ds, uwl, wl, ft });
+    }
+    // TM-2 per city.
+    for (&city, ds) in &corpora.boroughs {
+        let cfg = scale.text_cfg(seed);
+        let text_ds = [TextModel::Svm, TextModel::Rfc, TextModel::Mlp]
+            .into_iter()
+            .map(|m| evaluate_text(ds, Discretizer::mined(), m, &cfg).outcome().ovr_accuracy)
+            .fold(0.0f64, f64::max);
+        let (uwl, wl, ft) = image_methods(ds, seed.wrapping_add(city as u64 + 1));
+        rows.push(MethodComparisonRow {
+            setting: format!("TM-2: {}", city.abbrev()),
+            text_ds,
+            uwl,
+            wl,
+            ft,
+        });
+    }
+    // TM-3.
+    {
+        let text_rows = table5_tm3(&corpora.city, scale, seed);
+        let text_ds = text_rows
+            .iter()
+            .map(|r| r.outcome.ovr_accuracy)
+            .fold(0.0f64, f64::max);
+        let (uwl, wl, ft) = image_methods(&corpora.city, seed.wrapping_add(999));
+        rows.push(MethodComparisonRow { setting: "TM-3".into(), text_ds, uwl, wl, ft });
+    }
+    rows
+}
+
+/// Table VIII: fine-tuning vs training budget. The paper sweeps epoch
+/// sizes {500, 1000, 2000}; we sweep proportional budgets
+/// `{epochs/2, epochs, 2·epochs}` of the configured scale and report
+/// accuracy / recall / specificity / F1 for TM-1 and TM-3.
+pub fn table8_finetune_epochs(
+    corpora: &Corpora,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Vec<(String, usize, FoldOutcome)> {
+    let mut rows = Vec::new();
+    for (name, ds) in [("TM-1", &corpora.user), ("TM-3", &corpora.city)] {
+        for mult in [1usize, 2, 4] {
+            let epochs = (scale.cnn_epochs * mult / 2).max(1);
+            let cfg = ImageAttackConfig { epochs, ..scale.image_cfg(seed) };
+            let out = evaluate_image(ds, ImageMethod::FineTune, &cfg);
+            let m = &out.confusion;
+            rows.push((
+                name.to_owned(),
+                epochs,
+                FoldOutcome {
+                    accuracy: m.accuracy(),
+                    ovr_accuracy: m.ovr_accuracy(),
+                    precision: m.macro_precision(),
+                    recall: m.macro_recall(),
+                    f1: m.macro_f1(),
+                    specificity: m.macro_specificity(),
+                },
+            ));
+        }
+    }
+    rows
+}
+
+/// Table IX: fine-tuning on the six TM-2 cities at the middle budget.
+pub fn table9_finetune_tm2(
+    corpora: &Corpora,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Vec<(CityId, FoldOutcome)> {
+    let mut rows = Vec::new();
+    for (&city, ds) in &corpora.boroughs {
+        let cfg = scale.image_cfg(seed.wrapping_add(city as u64));
+        let out = evaluate_image(ds, ImageMethod::FineTune, &cfg);
+        let m = &out.confusion;
+        rows.push((
+            city,
+            FoldOutcome {
+                accuracy: m.accuracy(),
+                ovr_accuracy: m.ovr_accuracy(),
+                precision: m.macro_precision(),
+                recall: m.macro_recall(),
+                f1: m.macro_f1(),
+                specificity: m.macro_specificity(),
+            },
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            dataset_fraction: 0.04,
+            folds: 3,
+            cnn_epochs: 2,
+            mlp_epochs: 10,
+            min_per_class: 9,
+        }
+    }
+
+    #[test]
+    fn corpora_generation_respects_scaling() {
+        let scale = tiny_scale();
+        let corpora = Corpora::generate(3, &scale);
+        assert_eq!(corpora.user.n_classes(), 4);
+        assert_eq!(corpora.city.n_classes(), 10);
+        assert_eq!(corpora.boroughs.len(), 6);
+        // Scaled NYC count: max(9, round(2437 * 0.04)) = 97.
+        assert_eq!(corpora.city.class_counts()[0], 97);
+        // Small classes clamp at min_per_class.
+        assert_eq!(*corpora.user.class_counts().last().unwrap(), 9);
+    }
+
+    #[test]
+    fn balanced_top_classes_balances() {
+        let corpora = Corpora::generate(4, &tiny_scale());
+        let ds = balanced_top_classes(&corpora.city, 3, 1);
+        assert_eq!(ds.n_classes(), 3);
+        let counts = ds.class_counts();
+        assert!(counts.iter().all(|&c| c == counts[0]));
+    }
+
+    #[test]
+    fn table4_rows_have_expected_structure() {
+        let scale = tiny_scale();
+        let corpora = Corpora::generate(5, &scale);
+        let rows = table4_tm1(&corpora.user, &scale, 1);
+        // 3 class-configs × 3 models × 2 fold-settings.
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| r.outcome.accuracy >= 0.0 && r.outcome.accuracy <= 1.0));
+    }
+
+    #[test]
+    fn overlap_injection_grows_dataset() {
+        let scale = tiny_scale();
+        let corpora = Corpora::generate(6, &scale);
+        let injected = inject_overlap(&corpora.city, 0.35, 9);
+        assert!(injected.len() > corpora.city.len());
+    }
+}

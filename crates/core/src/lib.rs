@@ -1,0 +1,56 @@
+//! The elevation-profile location-inference attack (the paper's core
+//! contribution).
+//!
+//! *Understanding the Potential Risks of Sharing Elevation Information
+//! on Fitness Applications* (ICDCS 2020) shows that the elevation
+//! profile of a workout — shared publicly even when the route map is
+//! hidden — suffices to infer the athlete's location at region,
+//! borough, or city granularity. This crate assembles the full attack
+//! from the workspace's substrates:
+//!
+//! - [`threat`]: the three threat models TM-1/TM-2/TM-3,
+//! - [`text`]: the text-side attack (discretize → encode → n-gram BoW →
+//!   SVM / RFC / MLP),
+//! - [`image`]: the image-side attack (colored line graphs → the Fig. 7
+//!   CNN) with the paper's three imbalance remedies (unweighted loss,
+//!   weighted loss, fine-tuning rounds),
+//! - [`attacker`]: a downstream-friendly train-once / predict-many API,
+//! - [`defense`]: the future-work defenses (coarsening, noise,
+//!   summary-only sharing) and their effect on the attack,
+//! - [`experiments`]: the parameterized experiment runners behind every
+//!   table and figure reproduction in `crates/bench`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use datasets::user_specific;
+//! use elev_core::attacker::TextAttacker;
+//! use elev_core::text::{TextAttackConfig, TextModel};
+//! use textrep::Discretizer;
+//!
+//! // TM-1: the adversary has the target's workout history...
+//! let history = user_specific::build(42);
+//! let mut attacker = TextAttacker::fit(
+//!     &history,
+//!     Discretizer::Floor,
+//!     TextModel::Mlp,
+//!     &TextAttackConfig::default(),
+//! );
+//! // ...and deanonymizes a fresh elevation profile.
+//! let profile: Vec<f64> = vec![21.0, 22.5, 23.0, 24.0, 22.0];
+//! println!("last workout region: {}", attacker.predict_name(&profile));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacker;
+pub mod defense;
+pub mod experiments;
+pub mod image;
+pub mod spectral;
+pub mod text;
+pub mod threat;
+
+pub use attacker::{ImageAttacker, TextAttacker};
+pub use threat::ThreatModel;

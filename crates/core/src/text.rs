@@ -1,0 +1,213 @@
+//! The text-side attack: n-gram BoW features into SVM / RFC / MLP.
+
+use datasets::split::stratified_k_fold;
+use datasets::Dataset;
+use evalkit::{evaluate_folds, FoldSummary};
+use textrep::{Discretizer, FeatureSelection, TextPipeline};
+
+/// Which classifier consumes the BoW features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextModel {
+    /// Linear one-vs-rest SVM (Pegasos).
+    Svm,
+    /// 100-tree random forest.
+    Rfc,
+    /// 100-unit single-hidden-layer MLP with Adam.
+    Mlp,
+}
+
+impl std::fmt::Display for TextModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TextModel::Svm => "SVM",
+            TextModel::Rfc => "RFC",
+            TextModel::Mlp => "MLP",
+        })
+    }
+}
+
+/// Configuration of the text-side evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextAttackConfig {
+    /// n-gram order (the paper fixes n = 8).
+    pub ngram: usize,
+    /// Cross-validation folds (the paper uses 5 and 10).
+    pub folds: usize,
+    /// Vocabulary feature selection.
+    pub selection: FeatureSelection,
+    /// Master seed for splits and model initialization.
+    pub seed: u64,
+    /// MLP epochs (text features are small, so this converges fast).
+    pub mlp_epochs: usize,
+    /// MLP learning rate.
+    pub mlp_lr: f32,
+    /// Random-forest tree count (paper: 100).
+    pub rfc_trees: usize,
+    /// SVM epochs.
+    pub svm_epochs: usize,
+    /// SVM regularization strength λ.
+    pub svm_lambda: f32,
+}
+
+impl Default for TextAttackConfig {
+    fn default() -> Self {
+        Self {
+            ngram: 8,
+            folds: 10,
+            selection: FeatureSelection::standard(),
+            seed: 0,
+            mlp_epochs: 60,
+            mlp_lr: 3e-3,
+            rfc_trees: 100,
+            svm_epochs: 30,
+            svm_lambda: 1e-4,
+        }
+    }
+}
+
+/// A trained text-side classifier (internal to this crate's API).
+pub(crate) enum FittedTextModel {
+    Svm(classicml::SvmClassifier),
+    Rfc(classicml::RandomForest),
+    Mlp(neuralnet::Sequential),
+}
+
+impl FittedTextModel {
+    pub(crate) fn fit(
+        model: TextModel,
+        x: &[Vec<f32>],
+        y: &[u32],
+        cfg: &TextAttackConfig,
+        seed: u64,
+    ) -> Self {
+        match model {
+            TextModel::Svm => FittedTextModel::Svm(classicml::SvmClassifier::fit(
+                x,
+                y,
+                &classicml::SvmConfig { epochs: cfg.svm_epochs, lambda: cfg.svm_lambda },
+                seed,
+            )),
+            TextModel::Rfc => FittedTextModel::Rfc(classicml::RandomForest::fit(
+                x,
+                y,
+                &classicml::ForestConfig { n_trees: cfg.rfc_trees, ..Default::default() },
+                seed,
+            )),
+            TextModel::Mlp => {
+                let n_classes = y.iter().copied().max().expect("non-empty") as usize + 1;
+                let mut net = neuralnet::models::mlp(x[0].len(), 100, n_classes.max(2), seed);
+                let tensor = tensorlite::Tensor::from_rows(x);
+                neuralnet::train(
+                    &mut net,
+                    &tensor,
+                    y,
+                    &neuralnet::TrainConfig {
+                        epochs: cfg.mlp_epochs,
+                        lr: cfg.mlp_lr,
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                FittedTextModel::Mlp(net)
+            }
+        }
+    }
+
+    pub(crate) fn predict(&mut self, x: &[Vec<f32>]) -> Vec<u32> {
+        match self {
+            FittedTextModel::Svm(m) => m.predict(x),
+            FittedTextModel::Rfc(m) => m.predict(x),
+            FittedTextModel::Mlp(net) => net.predict(&tensorlite::Tensor::from_rows(x)),
+        }
+    }
+}
+
+/// Runs the paper's text-side k-fold evaluation on a dataset.
+///
+/// The preprocessing (codebook + vocabulary) is fit on the *whole*
+/// corpus "regardless of labels", exactly as in the paper; only the
+/// classifier respects the train/test split.
+///
+/// # Panics
+///
+/// Panics if the dataset has fewer samples than folds or fewer than two
+/// classes.
+pub fn evaluate_text(
+    ds: &Dataset,
+    discretizer: Discretizer,
+    model: TextModel,
+    cfg: &TextAttackConfig,
+) -> FoldSummary {
+    assert!(ds.n_classes() >= 2, "need at least two classes");
+    let signals: Vec<Vec<f64>> =
+        ds.samples().iter().map(|s| s.elevation.clone()).collect();
+    let pipeline = TextPipeline::fit(discretizer, cfg.ngram, cfg.selection, &signals);
+    let features = pipeline.transform_all(&signals);
+    let labels = ds.labels();
+    let folds = stratified_k_fold(&labels, cfg.folds, cfg.seed);
+    evaluate_folds(&labels, ds.n_classes(), &folds, |train, test| {
+        let xt: Vec<Vec<f32>> = train.iter().map(|&i| features[i].clone()).collect();
+        let yt: Vec<u32> = train.iter().map(|&i| labels[i]).collect();
+        let mut fitted = FittedTextModel::fit(model, &xt, &yt, cfg, cfg.seed ^ 0x7E47);
+        let xs: Vec<Vec<f32>> = test.iter().map(|&i| features[i].clone()).collect();
+        fitted.predict(&xs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{Dataset, Sample};
+
+    /// A toy dataset with two obviously separable elevation regimes.
+    fn toy_dataset() -> Dataset {
+        let mut ds = Dataset::new(vec!["low".into(), "high".into()]);
+        for i in 0..30 {
+            let phase = i as f64 * 0.37;
+            let low: Vec<f64> =
+                (0..60).map(|t| 5.0 + ((t as f64) * 0.3 + phase).sin() * 2.0).collect();
+            let high: Vec<f64> =
+                (0..60).map(|t| 500.0 + ((t as f64) * 0.21 + phase).cos() * 40.0).collect();
+            ds.push(Sample { elevation: low, label: 0, path: None }).unwrap();
+            ds.push(Sample { elevation: high, label: 1, path: None }).unwrap();
+        }
+        ds
+    }
+
+    fn quick_cfg() -> TextAttackConfig {
+        TextAttackConfig {
+            folds: 3,
+            ngram: 4,
+            mlp_epochs: 30,
+            rfc_trees: 15,
+            svm_epochs: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_models_separate_toy_regimes() {
+        let ds = toy_dataset();
+        for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
+            let summary = evaluate_text(&ds, Discretizer::Floor, model, &quick_cfg());
+            let acc = summary.outcome().accuracy;
+            assert!(acc > 0.9, "{model} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let ds = toy_dataset();
+        let a = evaluate_text(&ds, Discretizer::Floor, TextModel::Svm, &quick_cfg());
+        let b = evaluate_text(&ds, Discretizer::Floor, TextModel::Svm, &quick_cfg());
+        assert_eq!(a.pooled, b.pooled);
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn rejects_single_class_dataset() {
+        let mut ds = Dataset::new(vec!["only".into()]);
+        ds.push(Sample { elevation: vec![1.0], label: 0, path: None }).unwrap();
+        evaluate_text(&ds, Discretizer::Floor, TextModel::Svm, &quick_cfg());
+    }
+}

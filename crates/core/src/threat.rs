@@ -1,0 +1,70 @@
+//! The paper's three threat models (§II-A).
+
+use terrain::CityId;
+
+/// Who the adversary is and what they already know.
+///
+/// All three adversaries observe only *publicly shared elevation
+/// profiles*; they differ in prior knowledge and in the granularity of
+/// the location they recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreatModel {
+    /// **TM-1** — the adversary holds the target's workout *history*
+    /// (an ex-connection, a former training partner) and wants the
+    /// target's **latest workout region**. Evaluated on the
+    /// user-specific dataset; the strongest adversary.
+    Tm1,
+    /// **TM-2** — the adversary knows the target's **city** (public
+    /// profile pages, athlinks.com, public records) and wants the
+    /// **borough** of an activity whose map is hidden. Evaluated on the
+    /// borough-level dataset of the given city.
+    Tm2(CityId),
+    /// **TM-3** — the adversary knows nothing about the target but can
+    /// profile city elevations from public sources (Google Maps,
+    /// OpenStreetMap) and wants the target's **city**; a stepping stone
+    /// toward TM-2. Evaluated on the city-level dataset.
+    Tm3,
+}
+
+impl ThreatModel {
+    /// What the adversary recovers, for report headers.
+    pub fn objective(&self) -> &'static str {
+        match self {
+            ThreatModel::Tm1 => "latest workout region of a known target",
+            ThreatModel::Tm2(_) => "borough within a known city",
+            ThreatModel::Tm3 => "city, with no prior knowledge",
+        }
+    }
+}
+
+impl std::fmt::Display for ThreatModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreatModel::Tm1 => write!(f, "TM-1"),
+            ThreatModel::Tm2(city) => write!(f, "TM-2: {}", city.abbrev()),
+            ThreatModel::Tm3 => write!(f, "TM-3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ThreatModel::Tm1.to_string(), "TM-1");
+        assert_eq!(ThreatModel::Tm2(CityId::NewYorkCity).to_string(), "TM-2: NYC");
+        assert_eq!(ThreatModel::Tm3.to_string(), "TM-3");
+    }
+
+    #[test]
+    fn objectives_are_distinct() {
+        let objs = [
+            ThreatModel::Tm1.objective(),
+            ThreatModel::Tm2(CityId::Miami).objective(),
+            ThreatModel::Tm3.objective(),
+        ];
+        assert_eq!(objs.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the defense transformations and the
+//! spectral baseline features.
+
+use elev_core::defense::Defense;
+use elev_core::spectral::{spectral_features, SPECTRAL_POINTS};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..3000.0, 1..300)
+}
+
+proptest! {
+    #[test]
+    fn coarsen_is_idempotent(profile in arb_profile(), step in 0.5f64..50.0) {
+        let d = Defense::Coarsen { step_m: step };
+        let once = d.apply(&profile);
+        let twice = d.apply(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarsen_error_is_bounded(profile in arb_profile(), step in 0.5f64..50.0) {
+        let out = Defense::Coarsen { step_m: step }.apply(&profile);
+        for (orig, c) in profile.iter().zip(&out) {
+            prop_assert!((orig - c).abs() <= step / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn laplace_is_deterministic_per_seed(profile in arb_profile(), seed in 0u64..1000) {
+        let d = Defense::LaplaceNoise { scale_m: 3.0, seed };
+        prop_assert_eq!(d.apply(&profile), d.apply(&profile));
+        let other = Defense::LaplaceNoise { scale_m: 3.0, seed: seed ^ 1 };
+        if profile.len() > 3 {
+            prop_assert_ne!(d.apply(&profile), other.apply(&profile));
+        }
+    }
+
+    #[test]
+    fn summary_is_nonnegative_and_fixed_width(profile in arb_profile(), bins in 1usize..16) {
+        let out = Defense::SummaryOnly { bins }.apply(&profile);
+        prop_assert_eq!(out.len(), bins * 2);
+        prop_assert!(out.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn summary_totals_match_whole_route(profile in arb_profile()) {
+        // Single-bin summary equals total ascent/descent of the route.
+        let out = Defense::SummaryOnly { bins: 1 }.apply(&profile);
+        let (mut asc, mut desc) = (0.0, 0.0);
+        for w in profile.windows(2) {
+            let d = w[1] - w[0];
+            if d > 0.0 { asc += d } else { desc -= d }
+        }
+        prop_assert!((out[0] - asc).abs() < 1e-9);
+        prop_assert!((out[1] - desc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_profile_is_shift_invariant(profile in arb_profile(), shift in 0.0f64..500.0) {
+        let d = Defense::RelativeProfile;
+        let base = d.apply(&profile);
+        let shifted: Vec<f64> = profile.iter().map(|e| e + shift).collect();
+        let moved = d.apply(&shifted);
+        for (a, b) in base.iter().zip(&moved) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spectral_features_are_unit_norm_and_fixed_dim(profile in arb_profile()) {
+        let f = spectral_features(&profile);
+        prop_assert_eq!(f.len(), 6 + SPECTRAL_POINTS / 2);
+        let norm: f32 = f.iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-3 || norm == 0.0);
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn spectral_features_are_deterministic(profile in arb_profile()) {
+        prop_assert_eq!(spectral_features(&profile), spectral_features(&profile));
+    }
+}

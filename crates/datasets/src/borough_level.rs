@@ -1,0 +1,135 @@
+//! The borough-level mined dataset of Table III.
+
+use crate::dataset::{Dataset, Sample};
+use crate::mined::mine_to_target;
+use terrain::{BoroughId, CityId, ElevationService, SyntheticTerrain};
+
+/// Table III: per-borough sample sizes of the borough-level dataset.
+pub const TABLE_III: [(BoroughId, usize); 22] = [
+    (BoroughId::LaDowntown, 280),
+    (BoroughId::LaSantaMonica, 128),
+    (BoroughId::LaChinatown, 46),
+    (BoroughId::LaBeverlyHills, 38),
+    (BoroughId::MiaDowntown, 67),
+    (BoroughId::MiaMiamiBeach, 44),
+    (BoroughId::MiaVirginiaKey, 18),
+    (BoroughId::NjJerseyCity, 266),
+    (BoroughId::NjWestNewYork, 23),
+    (BoroughId::NjNewark, 28),
+    (BoroughId::NycManhattan, 2437),
+    (BoroughId::NycQueens, 353),
+    (BoroughId::NycBrooklynSouth, 239),
+    (BoroughId::NycBrooklynNorth, 205),
+    (BoroughId::NycBronx, 142),
+    (BoroughId::NycStatenIsland, 119),
+    (BoroughId::SfSouthWest, 743),
+    (BoroughId::SfSouthEast, 144),
+    (BoroughId::SfNorthWest, 130),
+    (BoroughId::SfNorthEast, 86),
+    (BoroughId::WdcDistrictOfColumbia, 2129),
+    (BoroughId::WdcBaltimore, 218),
+];
+
+/// Builds the borough-level dataset for **one city** (the paper trains
+/// "a model for each of the cities", labelling data by borough).
+///
+/// # Examples
+///
+/// ```no_run
+/// use terrain::CityId;
+///
+/// let sf = datasets::borough_level::build_city(42, CityId::SanFrancisco);
+/// assert_eq!(sf.n_classes(), 4);
+/// assert_eq!(sf.len(), 743 + 144 + 130 + 86);
+/// ```
+pub fn build_city(seed: u64, city: CityId) -> Dataset {
+    let counts: Vec<(BoroughId, usize)> = TABLE_III
+        .iter()
+        .copied()
+        .filter(|(b, _)| b.city() == city)
+        .collect();
+    build_with_counts(seed, &counts)
+}
+
+/// Builds a borough-labelled dataset with custom counts.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn build_with_counts(seed: u64, counts: &[(BoroughId, usize)]) -> Dataset {
+    assert!(!counts.is_empty(), "need at least one borough");
+    let terrain = SyntheticTerrain::new(seed);
+    let service = ElevationService::new(terrain);
+    let catalog = service.model().catalog().clone();
+
+    let label_names: Vec<String> = counts.iter().map(|(b, _)| b.name().to_owned()).collect();
+    let mut ds = Dataset::new(label_names);
+    for (label, &(borough, target)) in counts.iter().enumerate() {
+        let boundary = catalog.borough(borough).bbox;
+        let borough_seed = seed
+            .wrapping_mul(0xCBF2_9CE4_8422_2325)
+            .wrapping_add(borough as u64)
+            .wrapping_add(label as u64 * 7919);
+        for m in mine_to_target(borough_seed, &boundary, target, &service) {
+            ds.push(Sample {
+                elevation: m.elevation,
+                label: label as u32,
+                path: Some(m.path),
+            })
+            .expect("labels are positional");
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miami_boroughs_build_fully() {
+        let ds = build_city(5, CityId::Miami);
+        assert_eq!(ds.class_counts(), vec![67, 44, 18]);
+        assert_eq!(ds.label_names(), &["Downtown", "Miami Beach", "Virginia Key"]);
+    }
+
+    #[test]
+    fn table_iii_totals_match_paper() {
+        let total: usize = TABLE_III.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 7_883);
+        // Per-city class counts match Table III's structure.
+        for (city, expect) in [
+            (CityId::LosAngeles, 4),
+            (CityId::Miami, 3),
+            (CityId::NewJersey, 3),
+            (CityId::NewYorkCity, 6),
+            (CityId::SanFrancisco, 4),
+            (CityId::WashingtonDc, 2),
+        ] {
+            let n = TABLE_III.iter().filter(|(b, _)| b.city() == city).count();
+            assert_eq!(n, expect, "{city}");
+        }
+    }
+
+    #[test]
+    fn boroughs_within_a_city_share_elevation_band() {
+        // The within-city classification problem must be *hard*: borough
+        // mean elevations of flat Miami stay within a few metres.
+        let ds = build_city(6, CityId::Miami);
+        let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); ds.n_classes()];
+        for s in ds.samples() {
+            let m = s.elevation.iter().sum::<f64>() / s.elevation.len() as f64;
+            per_class[s.label as usize].push(m);
+        }
+        for means in &per_class {
+            let m = means.iter().sum::<f64>() / means.len() as f64;
+            assert!(m < 20.0, "Miami borough mean {m}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let counts = [(BoroughId::MiaVirginiaKey, 10)];
+        assert_eq!(build_with_counts(8, &counts), build_with_counts(8, &counts));
+    }
+}

@@ -1,0 +1,109 @@
+//! The city-level mined dataset of Table II.
+
+use crate::dataset::{Dataset, Sample};
+use crate::mined::mine_to_target;
+use terrain::{CityId, ElevationService, SyntheticTerrain};
+
+/// Table II: per-city sample sizes of the city-level dataset.
+pub const TABLE_II: [(CityId, usize); 10] = [
+    (CityId::NewYorkCity, 2437),
+    (CityId::WashingtonDc, 2129),
+    (CityId::SanFrancisco, 743),
+    (CityId::ColoradoSprings, 369),
+    (CityId::Minneapolis, 363),
+    (CityId::LosAngeles, 280),
+    (CityId::NewJersey, 266),
+    (CityId::Duluth, 156),
+    (CityId::Miami, 94),
+    (CityId::Tampa, 83),
+];
+
+/// Builds the city-level dataset with the paper's Table II counts.
+///
+/// For each city, the Fig. 4 pipeline runs against that city's segment
+/// population: grid decomposition of the city boundary, top-10 explore
+/// per region, elevation augmentation through the elevation service.
+///
+/// # Examples
+///
+/// ```no_run
+/// let ds = datasets::city_level::build(42);
+/// assert_eq!(ds.len(), 6920);
+/// assert_eq!(ds.n_classes(), 10);
+/// ```
+pub fn build(seed: u64) -> Dataset {
+    build_with_counts(seed, &TABLE_II)
+}
+
+/// Builds a city-level-style dataset with custom counts (smaller
+/// configurations keep tests fast).
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn build_with_counts(seed: u64, counts: &[(CityId, usize)]) -> Dataset {
+    assert!(!counts.is_empty(), "need at least one city");
+    let terrain = SyntheticTerrain::new(seed);
+    let service = ElevationService::new(terrain);
+    let catalog = service.model().catalog().clone();
+
+    let label_names: Vec<String> = counts.iter().map(|(c, _)| c.name().to_owned()).collect();
+    let mut ds = Dataset::new(label_names);
+    for (label, &(city, target)) in counts.iter().enumerate() {
+        let boundary = catalog.city(city).bbox;
+        let city_seed = seed
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(label as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for m in mine_to_target(city_seed, &boundary, target, &service) {
+            ds.push(Sample {
+                elevation: m.elevation,
+                label: label as u32,
+                path: Some(m.path),
+            })
+            .expect("labels are positional");
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_build_matches_counts() {
+        let counts = [(CityId::Miami, 40), (CityId::SanFrancisco, 30), (CityId::Duluth, 20)];
+        let ds = build_with_counts(5, &counts);
+        assert_eq!(ds.class_counts(), vec![40, 30, 20]);
+        assert_eq!(ds.label_names(), &["Miami", "San Francisco", "Duluth"]);
+    }
+
+    #[test]
+    fn mined_dataset_has_negligible_overlap() {
+        // "city-level dataset does not include overlapped samples".
+        let counts = [(CityId::Miami, 40), (CityId::Tampa, 40)];
+        let ds = build_with_counts(6, &counts);
+        assert!(ds.mean_overlap_ratio() < 0.05, "overlap {}", ds.mean_overlap_ratio());
+    }
+
+    #[test]
+    fn cities_have_distinct_elevation_bands() {
+        let counts = [(CityId::Miami, 15), (CityId::ColoradoSprings, 15)];
+        let ds = build_with_counts(7, &counts);
+        let mean = |s: &Sample| s.elevation.iter().sum::<f64>() / s.elevation.len() as f64;
+        for s in ds.samples() {
+            if s.label == 0 {
+                assert!(mean(s) < 50.0);
+            } else {
+                assert!(mean(s) > 1_500.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let counts = [(CityId::Tampa, 12)];
+        assert_eq!(build_with_counts(8, &counts), build_with_counts(8, &counts));
+    }
+}

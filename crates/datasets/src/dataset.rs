@@ -1,0 +1,411 @@
+//! The labelled sample collection shared by every experiment.
+
+use geoprim::{average_pairwise_iou, BoundingBox, LatLon};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A single labelled elevation profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The elevation profile (the adversary's observation).
+    pub elevation: Vec<f64>,
+    /// Class index into [`Dataset::label_names`].
+    pub label: u32,
+    /// The underlying trajectory, kept for overlap measurement and
+    /// overlap injection. `None` once a dataset has been stripped for
+    /// release (the adversary never uses it).
+    pub path: Option<Vec<LatLon>>,
+}
+
+impl Sample {
+    /// Tight rectangle around the trajectory, if a path is attached.
+    pub fn bbox(&self) -> Option<BoundingBox> {
+        let path = self.path.as_ref()?;
+        BoundingBox::tight(path.iter().copied()).ok()
+    }
+}
+
+/// Errors from dataset operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A sample referenced a label index with no name.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+        /// Number of declared classes.
+        classes: usize,
+    },
+    /// (De)serialization failed.
+    Serde {
+        /// Underlying message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            DatasetError::Serde { message } => write!(f, "serde failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A labelled dataset of elevation profiles.
+///
+/// # Examples
+///
+/// ```
+/// use datasets::{Dataset, Sample};
+///
+/// let mut ds = Dataset::new(vec!["Miami".into(), "Tampa".into()]);
+/// ds.push(Sample { elevation: vec![2.0, 2.5, 3.0], label: 0, path: None })?;
+/// ds.push(Sample { elevation: vec![9.0, 11.0, 10.0], label: 1, path: None })?;
+/// assert_eq!(ds.class_counts(), vec![1, 1]);
+/// # Ok::<(), datasets::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    label_names: Vec<String>,
+}
+
+impl Dataset {
+    /// An empty dataset with the given class names.
+    pub fn new(label_names: Vec<String>) -> Self {
+        Self { samples: Vec::new(), label_names }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::LabelOutOfRange`] if the label has no name.
+    pub fn push(&mut self, sample: Sample) -> Result<(), DatasetError> {
+        if (sample.label as usize) >= self.label_names.len() {
+            return Err(DatasetError::LabelOutOfRange {
+                label: sample.label,
+                classes: self.label_names.len(),
+            });
+        }
+        self.samples.push(sample);
+        Ok(())
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Class names, indexed by label.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of declared classes.
+    pub fn n_classes(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.label_names.len()];
+        for s in &self.samples {
+            counts[s.label as usize] += 1;
+        }
+        counts
+    }
+
+    /// Labels of all samples, in order.
+    pub fn labels(&self) -> Vec<u32> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// A new dataset containing the samples at `indices` (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            samples: indices.iter().map(|&i| self.samples[i].clone()).collect(),
+            label_names: self.label_names.clone(),
+        }
+    }
+
+    /// Keeps only the listed classes, relabelling them `0..k` in the
+    /// order given. Used by the paper's class-count sweeps (Tables IV
+    /// and V keep the `C` most populous classes).
+    pub fn filter_classes(&self, keep: &[u32]) -> Dataset {
+        let names = keep
+            .iter()
+            .map(|&old| self.label_names[old as usize].clone())
+            .collect();
+        let mut out = Dataset::new(names);
+        for s in &self.samples {
+            if let Some(new) = keep.iter().position(|&old| old == s.label) {
+                out.samples.push(Sample { label: new as u32, ..s.clone() });
+            }
+        }
+        out
+    }
+
+    /// Class indices ordered by descending sample count (ties broken by
+    /// class index, so the ordering is deterministic).
+    pub fn classes_by_size(&self) -> Vec<u32> {
+        let counts = self.class_counts();
+        let mut order: Vec<u32> = (0..self.n_classes() as u32).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(counts[c as usize]), c));
+        order
+    }
+
+    /// A deterministic shuffled copy.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut out = self.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.samples.shuffle(&mut rng);
+        out
+    }
+
+    /// Drops every trajectory, keeping only what the adversary sees.
+    pub fn stripped(&self) -> Dataset {
+        Dataset {
+            samples: self
+                .samples
+                .iter()
+                .map(|s| Sample { elevation: s.elevation.clone(), label: s.label, path: None })
+                .collect(),
+            label_names: self.label_names.clone(),
+        }
+    }
+
+    /// Average pairwise tight-rectangle IoU among samples of `class` —
+    /// the paper's *overlap ratio* (35% for the user-specific dataset).
+    /// Samples without paths are ignored.
+    pub fn overlap_ratio(&self, class: u32) -> f64 {
+        let rects: Vec<BoundingBox> = self
+            .samples
+            .iter()
+            .filter(|s| s.label == class)
+            .filter_map(|s| s.bbox())
+            .collect();
+        average_pairwise_iou(&rects)
+    }
+
+    /// Mean of [`Dataset::overlap_ratio`] over all classes with ≥2
+    /// path-bearing samples.
+    pub fn mean_overlap_ratio(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.n_classes() as u32 {
+            let members = self
+                .samples
+                .iter()
+                .filter(|s| s.label == c && s.path.is_some())
+                .count();
+            if members >= 2 {
+                sum += self.overlap_ratio(c);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Fraction of path-bearing samples whose tight rectangle overlaps
+    /// some *other* same-class sample with IoU above `threshold`.
+    ///
+    /// This is the natural metric for the paper's *simulated* overlap
+    /// datasets ("rebuilt ... with 30–34% overlap ratio for each
+    /// region"): injecting 30% replayed routes makes ~30% of samples
+    /// near-duplicates of another, while the all-pairs mean IoU stays
+    /// small. Returns 0 when no sample carries a path.
+    pub fn overlapped_fraction(&self, threshold: f64) -> f64 {
+        let mut total = 0usize;
+        let mut overlapped = 0usize;
+        for class in 0..self.n_classes() as u32 {
+            let rects: Vec<BoundingBox> = self
+                .samples
+                .iter()
+                .filter(|s| s.label == class)
+                .filter_map(|s| s.bbox())
+                .collect();
+            total += rects.len();
+            for (i, r) in rects.iter().enumerate() {
+                let hit = rects
+                    .iter()
+                    .enumerate()
+                    .any(|(j, q)| j != i && r.iou(q) > threshold);
+                if hit {
+                    overlapped += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            overlapped as f64 / total as f64
+        }
+    }
+
+    /// Serializes to JSON (used to cache generated corpora between
+    /// experiment runs).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Serde`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, DatasetError> {
+        serde_json::to_string(self).map_err(|e| DatasetError::Serde { message: e.to_string() })
+    }
+
+    /// Deserializes from [`Dataset::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Serde`] on malformed input, and
+    /// [`DatasetError::LabelOutOfRange`] if a sample references a
+    /// missing class.
+    pub fn from_json(json: &str) -> Result<Self, DatasetError> {
+        let ds: Dataset = serde_json::from_str(json)
+            .map_err(|e| DatasetError::Serde { message: e.to_string() })?;
+        for s in &ds.samples {
+            if (s.label as usize) >= ds.label_names.len() {
+                return Err(DatasetError::LabelOutOfRange {
+                    label: s.label,
+                    classes: ds.label_names.len(),
+                });
+            }
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        for (label, n) in [(0u32, 5usize), (1, 3), (2, 7)] {
+            for i in 0..n {
+                ds.push(Sample {
+                    elevation: vec![label as f64, i as f64],
+                    label,
+                    path: None,
+                })
+                .unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let ds = toy();
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![5, 3, 7]);
+    }
+
+    #[test]
+    fn push_rejects_unknown_label() {
+        let mut ds = toy();
+        let err = ds
+            .push(Sample { elevation: vec![], label: 9, path: None })
+            .unwrap_err();
+        assert!(matches!(err, DatasetError::LabelOutOfRange { label: 9, classes: 3 }));
+    }
+
+    #[test]
+    fn filter_classes_relabels() {
+        let ds = toy().filter_classes(&[2, 0]);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.label_names(), &["c".to_owned(), "a".to_owned()]);
+        assert_eq!(ds.class_counts(), vec![7, 5]);
+        // Old class 2 is now 0.
+        assert!(ds.samples().iter().all(|s| s.label < 2));
+    }
+
+    #[test]
+    fn classes_by_size_orders_descending() {
+        assert_eq!(toy().classes_by_size(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn shuffled_preserves_content() {
+        let ds = toy();
+        let sh = ds.shuffled(9);
+        assert_eq!(sh.len(), ds.len());
+        assert_eq!(sh.class_counts(), ds.class_counts());
+        assert_ne!(sh.samples(), ds.samples()); // order changed
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = toy();
+        let json = ds.to_json().unwrap();
+        assert_eq!(Dataset::from_json(&json).unwrap(), ds);
+    }
+
+    #[test]
+    fn from_json_validates_labels() {
+        let bad = r#"{"samples":[{"elevation":[1.0],"label":5,"path":null}],"label_names":["x"]}"#;
+        assert!(matches!(
+            Dataset::from_json(bad),
+            Err(DatasetError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_ratio_without_paths_is_zero() {
+        assert_eq!(toy().overlap_ratio(0), 0.0);
+        assert_eq!(toy().mean_overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn overlap_ratio_with_identical_paths_is_one() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        let path = vec![LatLon::new(0.0, 0.0), LatLon::new(1.0, 1.0)];
+        for _ in 0..3 {
+            ds.push(Sample { elevation: vec![1.0], label: 0, path: Some(path.clone()) })
+                .unwrap();
+        }
+        assert!((ds.overlap_ratio(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stripped_removes_paths() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        ds.push(Sample {
+            elevation: vec![1.0],
+            label: 0,
+            path: Some(vec![LatLon::new(0.0, 0.0)]),
+        })
+        .unwrap();
+        assert!(ds.stripped().samples()[0].path.is_none());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = toy();
+        let sub = ds.subset(&[0, 14]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.samples()[1].label, 2);
+    }
+}

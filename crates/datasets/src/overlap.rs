@@ -1,0 +1,136 @@
+//! Overlap injection (paper §IV-A1, Table VI, Fig. 9).
+//!
+//! The mined datasets "do not contain overlapped or duplicate samples as
+//! in the user-specific dataset", so the paper "rebuilt a simulation
+//! dataset with 30–34% overlap ratio for each region" to test whether
+//! route repetition is what makes TM-1 so strong. [`inject`] performs
+//! that rebuild: for each class, extra samples are created by *replaying*
+//! existing routes — GPS jitter plus random truncation — and re-querying
+//! their elevation profiles, exactly how a repeat visitor re-records a
+//! favourite segment.
+
+use crate::dataset::{Dataset, Sample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use terrain::{ElevationModel, ElevationService};
+
+/// Injects `fraction` additional overlapped samples per class.
+///
+/// `fraction = 0.30` grows each class by 30% (the Table VI sample sizes:
+/// 743 → 966, 362 → 470, …). New samples *replay* a uniformly chosen
+/// existing same-class sample over a contiguous vertex window covering
+/// 60–100% of the route, re-querying elevations through `service`.
+/// Because a training segment is a fixed route, the replay visits the
+/// exact same coordinates and therefore shares the exact same elevation
+/// values on the common stretch — which is what makes overlapped
+/// samples leak across train/test splits, the paper's hypothesis.
+///
+/// Samples without stored paths cannot be replayed and are skipped as
+/// replay donors; if a class has no path-bearing samples it is left
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if `fraction` is negative or not finite.
+pub fn inject<M: ElevationModel>(
+    ds: &Dataset,
+    fraction: f64,
+    seed: u64,
+    service: &ElevationService<M>,
+) -> Dataset {
+    assert!(
+        fraction.is_finite() && fraction >= 0.0,
+        "overlap fraction must be non-negative, got {fraction}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = ds.clone();
+    for class in 0..ds.n_classes() as u32 {
+        let donors: Vec<&Sample> = ds
+            .samples()
+            .iter()
+            .filter(|s| s.label == class && s.path.as_ref().is_some_and(|p| p.len() >= 2))
+            .collect();
+        if donors.is_empty() {
+            continue;
+        }
+        let class_size = ds.samples().iter().filter(|s| s.label == class).count();
+        let n_new = ((class_size as f64) * fraction).round() as usize;
+        for _ in 0..n_new {
+            let donor = donors[rng.gen_range(0..donors.len())];
+            let replayed = replay_window(donor.path.as_ref().expect("filtered"), &mut rng);
+            let elevation = service.lookup(&replayed);
+            out.push(Sample { elevation, label: class, path: Some(replayed) })
+                .expect("class labels already exist");
+        }
+    }
+    out
+}
+
+/// A prefix window covering 70–100% of the route: a segment effort
+/// starts at the segment's start (that is what defines an effort); GPS
+/// trimming mainly shortens the tail. Prefix alignment also means the
+/// replay's word tilings coincide with the donor's, so the shared
+/// stretch shares entire n-grams.
+fn replay_window<R: Rng + ?Sized>(path: &[geoprim::LatLon], rng: &mut R) -> Vec<geoprim::LatLon> {
+    let keep = rng.gen_range(0.7..=1.0);
+    let n = (((path.len() as f64) * keep).round() as usize).clamp(2, path.len());
+    path[..n].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city_level;
+    use terrain::{CityId, SyntheticTerrain};
+
+    fn service() -> ElevationService<SyntheticTerrain> {
+        ElevationService::new(SyntheticTerrain::new(5))
+    }
+
+    #[test]
+    fn grows_classes_by_fraction() {
+        let ds = city_level::build_with_counts(5, &[(CityId::Miami, 40), (CityId::Tampa, 20)]);
+        let injected = inject(&ds, 0.30, 11, &service());
+        assert_eq!(injected.class_counts(), vec![52, 26]);
+    }
+
+    #[test]
+    fn raises_overlapped_fraction_to_target() {
+        let ds = city_level::build_with_counts(5, &[(CityId::Miami, 40)]);
+        let before = ds.overlapped_fraction(0.5);
+        let injected = inject(&ds, 0.35, 11, &service());
+        let after = injected.overlapped_fraction(0.5);
+        assert!(before < 0.1, "mined dataset unexpectedly overlapped: {before}");
+        // 0.35 injected replays => donor + replay both overlap; the
+        // fraction lands near 2*0.35/1.35 ≈ 0.52, certainly above 0.3.
+        assert!(after > 0.3, "after {after}");
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let ds = city_level::build_with_counts(5, &[(CityId::Tampa, 15)]);
+        assert_eq!(inject(&ds, 0.0, 1, &service()), ds);
+    }
+
+    #[test]
+    fn pathless_classes_are_left_alone() {
+        let ds = city_level::build_with_counts(5, &[(CityId::Tampa, 10)]).stripped();
+        let injected = inject(&ds, 0.5, 1, &service());
+        assert_eq!(injected.len(), ds.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = city_level::build_with_counts(5, &[(CityId::Miami, 20)]);
+        let a = inject(&ds, 0.3, 42, &service());
+        let b = inject(&ds, 0.3, 42, &service());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_fraction() {
+        let ds = Dataset::new(vec!["x".into()]);
+        inject(&ds, -0.1, 1, &service());
+    }
+}

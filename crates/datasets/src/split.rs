@@ -1,0 +1,278 @@
+//! Splitting utilities: stratified k-fold, balanced downsampling, and
+//! the inverse-proportional test split of the image-side evaluations.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Stratified k-fold cross-validation indices.
+///
+/// Per-class sample indices are shuffled deterministically and dealt
+/// round-robin into `k` folds, so every fold preserves the class mix.
+/// Returns `k` `(train, test)` pairs.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `labels` has fewer than `k` samples.
+///
+/// # Examples
+///
+/// ```
+/// let labels = vec![0u32, 0, 0, 1, 1, 1];
+/// let folds = datasets::split::stratified_k_fold(&labels, 3, 7);
+/// assert_eq!(folds.len(), 3);
+/// for (train, test) in &folds {
+///     assert_eq!(train.len() + test.len(), labels.len());
+/// }
+/// ```
+pub fn stratified_k_fold(labels: &[u32], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    assert!(labels.len() >= k, "need at least k samples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+
+    // fold_of[i] = fold index of sample i.
+    let mut fold_of = vec![0usize; labels.len()];
+    for class in 0..n_classes as u32 {
+        let mut idx: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        idx.shuffle(&mut rng);
+        for (j, i) in idx.into_iter().enumerate() {
+            fold_of[i] = j % k;
+        }
+    }
+
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &f) in fold_of.iter().enumerate() {
+                if f == fold {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+/// Stratified train/test split with the given test fraction.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1`.
+pub fn stratified_train_test(
+    labels: &[u32],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in 0..n_classes as u32 {
+        let mut idx: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        idx.shuffle(&mut rng);
+        let n_test = ((idx.len() as f64) * test_fraction).round() as usize;
+        // At least one test sample when the class has >= 2 members.
+        let n_test = if idx.len() >= 2 { n_test.clamp(1, idx.len() - 1) } else { 0 };
+        test.extend_from_slice(&idx[..n_test]);
+        train.extend_from_slice(&idx[n_test..]);
+    }
+    (train, test)
+}
+
+/// Balanced downsampling: `per_class` random samples from each class.
+///
+/// This is the paper's remedy for unbalanced classes in the TM-1 and
+/// TM-3 text evaluations ("a fixed number of samples was randomly
+/// selected from each class"); `per_class` is the size of the smallest
+/// class kept (the `S` column of Tables IV and V).
+///
+/// # Panics
+///
+/// Panics if any class has fewer than `per_class` samples.
+pub fn balanced_downsample(ds: &Dataset, per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = ds.labels();
+    let mut keep = Vec::new();
+    for class in 0..ds.n_classes() as u32 {
+        let mut idx: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        assert!(
+            idx.len() >= per_class,
+            "class {class} has {} < {per_class} samples",
+            idx.len()
+        );
+        idx.shuffle(&mut rng);
+        keep.extend_from_slice(&idx[..per_class]);
+    }
+    keep.sort_unstable();
+    ds.subset(&keep)
+}
+
+/// Test-set selection with probability inversely proportional to class
+/// size (paper §IV, image-like evaluations: "we assigned probabilities
+/// for each class considering the inverse proportion to its size and
+/// then randomly select test data with the associated probabilities").
+///
+/// Selects `test_count` indices by weighted sampling without
+/// replacement (Efraimidis–Spirakis keys), weight `1 / class_size`;
+/// returns `(train, test)`.
+///
+/// # Panics
+///
+/// Panics if `test_count >= labels.len()`.
+pub fn inverse_proportional_test_split(
+    labels: &[u32],
+    test_count: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_count < labels.len(),
+        "test_count {test_count} must be < population {}",
+        labels.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut counts = vec![0usize; n_classes];
+    for &l in labels {
+        counts[l as usize] += 1;
+    }
+    // key_i = u^(1/w_i); the test_count largest keys win.
+    let mut keyed: Vec<(f64, usize)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let w = 1.0 / counts[l as usize] as f64;
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            (u.powf(1.0 / w), i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut test: Vec<usize> = keyed[..test_count].iter().map(|&(_, i)| i).collect();
+    let mut train: Vec<usize> = keyed[test_count..].iter().map(|&(_, i)| i).collect();
+    test.sort_unstable();
+    train.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    fn labels(counts: &[usize]) -> Vec<u32> {
+        counts
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat(c as u32).take(n))
+            .collect()
+    }
+
+    #[test]
+    fn k_fold_partitions_cover_everything() {
+        let l = labels(&[20, 10, 5]);
+        let folds = stratified_k_fold(&l, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; l.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), l.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // Disjoint within a fold.
+            let mut all: Vec<usize> = train.iter().chain(test).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), l.len());
+        }
+        // Every sample is tested exactly once across folds.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn k_fold_is_stratified() {
+        let l = labels(&[50, 25]);
+        for (_, test) in stratified_k_fold(&l, 5, 1) {
+            let c0 = test.iter().filter(|&&i| l[i] == 0).count();
+            let c1 = test.iter().filter(|&&i| l[i] == 1).count();
+            assert_eq!(c0, 10);
+            assert_eq!(c1, 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_fold_rejects_k1() {
+        stratified_k_fold(&labels(&[4]), 1, 0);
+    }
+
+    #[test]
+    fn train_test_is_stratified() {
+        let l = labels(&[40, 20]);
+        let (train, test) = stratified_train_test(&l, 0.25, 9);
+        assert_eq!(test.iter().filter(|&&i| l[i] == 0).count(), 10);
+        assert_eq!(test.iter().filter(|&&i| l[i] == 1).count(), 5);
+        assert_eq!(train.len(), 45);
+    }
+
+    #[test]
+    fn balanced_downsample_equalizes() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        for (label, n) in [(0u32, 30usize), (1, 8)] {
+            for _ in 0..n {
+                ds.push(Sample { elevation: vec![0.0], label, path: None }).unwrap();
+            }
+        }
+        let bal = balanced_downsample(&ds, 8, 3);
+        assert_eq!(bal.class_counts(), vec![8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has")]
+    fn balanced_downsample_rejects_small_class() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        ds.push(Sample { elevation: vec![0.0], label: 0, path: None }).unwrap();
+        balanced_downsample(&ds, 5, 0);
+    }
+
+    #[test]
+    fn inverse_proportional_prefers_small_classes() {
+        // 90-vs-10 imbalance: with inverse weights the small class is
+        // heavily over-represented in the test set relative to 10%.
+        let l = labels(&[900, 100]);
+        let (_, test) = inverse_proportional_test_split(&l, 200, 7);
+        let small = test.iter().filter(|&&i| l[i] == 1).count();
+        assert!(small > 60, "small-class test count {small}");
+    }
+
+    #[test]
+    fn inverse_proportional_partitions() {
+        let l = labels(&[30, 10]);
+        let (train, test) = inverse_proportional_test_split(&l, 10, 1);
+        assert_eq!(train.len() + test.len(), 40);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 40);
+    }
+
+    #[test]
+    fn splits_are_deterministic() {
+        let l = labels(&[25, 25]);
+        assert_eq!(stratified_k_fold(&l, 5, 42), stratified_k_fold(&l, 5, 42));
+        assert_eq!(
+            inverse_proportional_test_split(&l, 10, 42),
+            inverse_proportional_test_split(&l, 10, 42)
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Descriptive statistics over datasets.
+//!
+//! The mined and user-specific corpora differ in exactly the ways the
+//! paper's preprocessing decisions depend on (sampling density,
+//! elevation ranges, class balance); [`DatasetStats`] quantifies them
+//! so experiment logs and EXPERIMENTS.md can show *what kind* of data a
+//! run saw, not just how much.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary of a scalar sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let t = idx - lo as f64;
+            v[lo] * (1.0 - t) + v[hi] * t
+        };
+        Self {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().expect("non-empty"),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.1} / q1 {:.1} / med {:.1} / q3 {:.1} / max {:.1} (mean {:.1})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Corpus-level statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Largest class size divided by smallest (1 = balanced).
+    pub imbalance_ratio: f64,
+    /// Summary of per-sample profile lengths (sampling density proxy).
+    pub profile_length: Summary,
+    /// Summary of per-sample mean elevations.
+    pub mean_elevation: Summary,
+    /// Summary of per-sample elevation spans (max − min).
+    pub elevation_span: Summary,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a non-empty dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or if any sample has an empty profile.
+    pub fn of(ds: &Dataset) -> Self {
+        assert!(!ds.is_empty(), "cannot profile an empty dataset");
+        let lengths: Vec<f64> =
+            ds.samples().iter().map(|s| s.elevation.len() as f64).collect();
+        let means: Vec<f64> = ds
+            .samples()
+            .iter()
+            .map(|s| {
+                assert!(!s.elevation.is_empty(), "sample has an empty profile");
+                s.elevation.iter().sum::<f64>() / s.elevation.len() as f64
+            })
+            .collect();
+        let spans: Vec<f64> = ds
+            .samples()
+            .iter()
+            .map(|s| {
+                let lo = s.elevation.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = s.elevation.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            })
+            .collect();
+        let counts = ds.class_counts();
+        let max = counts.iter().copied().max().unwrap_or(1) as f64;
+        let min = counts.iter().copied().filter(|&c| c > 0).min().unwrap_or(1) as f64;
+        Self {
+            n_samples: ds.len(),
+            n_classes: ds.n_classes(),
+            imbalance_ratio: max / min,
+            profile_length: Summary::of(&lengths),
+            mean_elevation: Summary::of(&means),
+            elevation_span: Summary::of(&spans),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} samples, {} classes (imbalance {:.1}x)",
+            self.n_samples, self.n_classes, self.imbalance_ratio
+        )?;
+        writeln!(f, "  profile length: {}", self.profile_length)?;
+        writeln!(f, "  mean elevation: {}", self.mean_elevation)?;
+        writeln!(f, "  elevation span: {}", self.elevation_span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..6 {
+            ds.push(Sample {
+                elevation: vec![10.0, 20.0, 30.0 + i as f64],
+                label: 0,
+                path: None,
+            })
+            .unwrap();
+        }
+        ds.push(Sample { elevation: vec![500.0, 520.0], label: 1, path: None }).unwrap();
+        ds
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn summary_interpolates_quartiles() {
+        let s = Summary::of(&[0.0, 10.0]);
+        assert_eq!(s.q1, 2.5);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.q3, 7.5);
+    }
+
+    #[test]
+    fn stats_capture_imbalance_and_ranges() {
+        let stats = DatasetStats::of(&toy());
+        assert_eq!(stats.n_samples, 7);
+        assert_eq!(stats.n_classes, 2);
+        assert_eq!(stats.imbalance_ratio, 6.0);
+        assert_eq!(stats.profile_length.max, 3.0);
+        assert_eq!(stats.profile_length.min, 2.0);
+        assert!(stats.mean_elevation.max > 400.0);
+        assert_eq!(stats.elevation_span.min, 20.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = DatasetStats::of(&toy()).to_string();
+        assert!(text.contains("7 samples"));
+        assert!(text.contains("elevation span"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_dataset() {
+        DatasetStats::of(&Dataset::new(vec!["a".into()]));
+    }
+}

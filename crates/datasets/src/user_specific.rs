@@ -1,0 +1,161 @@
+//! The user-specific dataset of Table I.
+
+use crate::dataset::{Dataset, Sample};
+use geoprim::{BoundingBox, RegionIndex};
+use routegen::AthleteSimulator;
+use terrain::{CityId, SyntheticTerrain};
+
+/// Table I: per-region sample sizes of the user-specific dataset.
+pub const TABLE_I: [(CityId, usize); 4] = [
+    (CityId::WashingtonDc, 366),
+    (CityId::Orlando, 232),
+    (CityId::NewYorkCity, 120),
+    (CityId::SanDiego, 18),
+];
+
+/// Region-clustering threshold in degrees. Metros are hundreds of
+/// kilometres apart while one athlete's routes span a few kilometres,
+/// so any threshold between ~0.2° and ~2° yields the same 4 regions.
+pub const REGION_THRESHOLD_DEG: f64 = 1.0;
+
+/// Builds the user-specific dataset with the paper's Table I counts.
+///
+/// Follows the paper's labelling procedure literally: each activity's
+/// trajectory is wrapped in a tight rectangle (Fig. 3) and assigned to a
+/// region by centre distance ([`RegionIndex`]); region identities become
+/// the class labels. Class names are resolved afterwards from the metro
+/// of the region's first member.
+///
+/// # Examples
+///
+/// ```no_run
+/// let ds = datasets::user_specific::build(42);
+/// assert_eq!(ds.class_counts(), vec![366, 232, 120, 18]);
+/// ```
+pub fn build(seed: u64) -> Dataset {
+    build_with_counts(seed, &TABLE_I)
+}
+
+/// Builds a user-specific-style dataset with custom per-metro counts
+/// (smaller configurations keep tests fast).
+///
+/// # Panics
+///
+/// Panics if `counts` is empty or region clustering does not separate
+/// the metros (impossible with the standard catalog and
+/// [`REGION_THRESHOLD_DEG`]).
+pub fn build_with_counts(seed: u64, counts: &[(CityId, usize)]) -> Dataset {
+    build_with_simulator(seed, counts).0
+}
+
+/// Like [`build_with_counts`], but also returns the athlete simulator in
+/// its post-build state, so callers can generate the target's *future*
+/// activities (same home anchors, same favourite routes) — exactly the
+/// TM-1 scenario of deanonymizing a freshly shared profile.
+pub fn build_with_simulator(
+    seed: u64,
+    counts: &[(CityId, usize)],
+) -> (Dataset, AthleteSimulator) {
+    assert!(!counts.is_empty(), "need at least one metro");
+    let terrain = SyntheticTerrain::new(seed);
+    let mut sim = AthleteSimulator::new(terrain, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+
+    // Generate all activities first (the "archive").
+    let mut activities = Vec::new();
+    for &(metro, n) in counts {
+        activities.extend(sim.generate(metro, n));
+    }
+
+    // Label by tight-rectangle region clustering, as in the paper.
+    let mut index = RegionIndex::new(REGION_THRESHOLD_DEG);
+    let mut labelled = Vec::with_capacity(activities.len());
+    for act in &activities {
+        let rect = BoundingBox::tight(act.trajectory())
+            .expect("activities are never empty");
+        let region = index.assign(&rect);
+        labelled.push((act, region));
+    }
+    let n_regions = index.regions().len();
+    assert_eq!(
+        n_regions,
+        counts.len(),
+        "region clustering must rediscover the metros"
+    );
+
+    // Name each region after the metro of its first member.
+    let mut names: Vec<Option<String>> = vec![None; n_regions];
+    for (act, region) in &labelled {
+        let slot = &mut names[region.0 as usize];
+        if slot.is_none() {
+            *slot = Some(act.metro.name().to_owned());
+        }
+    }
+    let label_names: Vec<String> =
+        names.into_iter().map(|n| n.expect("every region has a member")).collect();
+
+    let mut ds = Dataset::new(label_names);
+    for (act, region) in labelled {
+        ds.push(Sample {
+            elevation: act.elevation_profile(),
+            label: region.0,
+            path: Some(act.trajectory()),
+        })
+        .expect("region labels are dense");
+    }
+    (ds, sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_counts() -> [(CityId, usize); 4] {
+        [
+            (CityId::WashingtonDc, 30),
+            (CityId::Orlando, 20),
+            (CityId::NewYorkCity, 10),
+            (CityId::SanDiego, 5),
+        ]
+    }
+
+    #[test]
+    fn counts_match_request() {
+        let ds = build_with_counts(3, &small_counts());
+        assert_eq!(ds.class_counts(), vec![30, 20, 10, 5]);
+        assert_eq!(ds.n_classes(), 4);
+    }
+
+    #[test]
+    fn labels_carry_metro_names() {
+        let ds = build_with_counts(3, &small_counts());
+        assert_eq!(
+            ds.label_names(),
+            &["Washington DC", "Orlando", "New York City", "San Diego"]
+        );
+    }
+
+    #[test]
+    fn overlap_is_paper_like() {
+        let ds = build_with_counts(3, &[(CityId::WashingtonDc, 60), (CityId::Orlando, 40)]);
+        let overlap = ds.mean_overlap_ratio();
+        assert!(
+            (0.2..=0.55).contains(&overlap),
+            "overlap {overlap} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_with_counts(9, &small_counts());
+        let b = build_with_counts(9, &small_counts());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_are_dense() {
+        let ds = build_with_counts(4, &[(CityId::Miami, 5)]);
+        for s in ds.samples() {
+            assert!(s.elevation.len() > 100, "profile of {}", s.elevation.len());
+        }
+    }
+}

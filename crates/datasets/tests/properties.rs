@@ -1,0 +1,138 @@
+//! Property-based tests for dataset mechanics (splits, balancing,
+//! serialization) on synthetic label configurations.
+
+use datasets::split::{
+    balanced_downsample, inverse_proportional_test_split, stratified_k_fold,
+    stratified_train_test,
+};
+use datasets::{Dataset, Sample};
+use proptest::prelude::*;
+
+fn arb_class_counts() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(4usize..40, 2..6)
+}
+
+fn labels_from(counts: &[usize]) -> Vec<u32> {
+    counts
+        .iter()
+        .enumerate()
+        .flat_map(|(c, &n)| std::iter::repeat(c as u32).take(n))
+        .collect()
+}
+
+fn dataset_from(counts: &[usize]) -> Dataset {
+    let names = (0..counts.len()).map(|i| format!("class-{i}")).collect();
+    let mut ds = Dataset::new(names);
+    for (c, &n) in counts.iter().enumerate() {
+        for k in 0..n {
+            ds.push(Sample {
+                elevation: vec![c as f64, k as f64],
+                label: c as u32,
+                path: None,
+            })
+            .unwrap();
+        }
+    }
+    ds
+}
+
+proptest! {
+    #[test]
+    fn k_fold_tests_every_sample_exactly_once(
+        counts in arb_class_counts(),
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let labels = labels_from(&counts);
+        let folds = stratified_k_fold(&labels, k, seed);
+        let mut tested = vec![0usize; labels.len()];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), labels.len());
+            for &i in test {
+                tested[i] += 1;
+            }
+        }
+        prop_assert!(tested.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn k_fold_class_mix_is_balanced(counts in arb_class_counts(), seed in 0u64..1000) {
+        let labels = labels_from(&counts);
+        for (_, test) in stratified_k_fold(&labels, 4, seed) {
+            for (c, &n) in counts.iter().enumerate() {
+                let in_test = test.iter().filter(|&&i| labels[i] == c as u32).count();
+                // Each fold holds n/k ± 1 samples of each class.
+                let expect = n / 4;
+                prop_assert!(in_test >= expect.saturating_sub(1) && in_test <= expect + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn train_test_split_partitions(counts in arb_class_counts(),
+                                   frac in 0.1f64..0.5, seed in 0u64..1000) {
+        let labels = labels_from(&counts);
+        let (train, test) = stratified_train_test(&labels, frac, seed);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), labels.len());
+        prop_assert!(!test.is_empty());
+        prop_assert!(!train.is_empty());
+    }
+
+    #[test]
+    fn balanced_downsample_yields_equal_classes(
+        counts in arb_class_counts(),
+        seed in 0u64..1000,
+    ) {
+        let ds = dataset_from(&counts);
+        let s = *counts.iter().min().unwrap();
+        let bal = balanced_downsample(&ds, s, seed);
+        prop_assert!(bal.class_counts().iter().all(|&c| c == s));
+        prop_assert_eq!(bal.len(), s * counts.len());
+    }
+
+    #[test]
+    fn inverse_split_partitions_and_prefers_minorities(seed in 0u64..500) {
+        let counts = vec![60usize, 12];
+        let labels = labels_from(&counts);
+        let (train, test) = inverse_proportional_test_split(&labels, 24, seed);
+        prop_assert_eq!(train.len() + test.len(), 72);
+        let minority_in_test = test.iter().filter(|&&i| labels[i] == 1).count();
+        // Proportional sampling would put ~4 minority samples in test;
+        // inverse weighting must never fall below that, and on average
+        // lands far above (see the deterministic unit test in split.rs).
+        prop_assert!(minority_in_test >= 4, "minority {minority_in_test}");
+    }
+
+    #[test]
+    fn filter_classes_preserves_sample_content(counts in arb_class_counts()) {
+        let ds = dataset_from(&counts);
+        let keep: Vec<u32> = vec![1, 0];
+        let filtered = ds.filter_classes(&keep);
+        prop_assert_eq!(filtered.n_classes(), 2);
+        prop_assert_eq!(filtered.len(), counts[0] + counts[1]);
+        for s in filtered.samples() {
+            // New label 0 = old class 1: elevation[0] encodes old class.
+            let old = s.elevation[0] as usize;
+            let new = s.label as usize;
+            prop_assert_eq!(keep[new] as usize, old);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_any_dataset(counts in arb_class_counts()) {
+        let ds = dataset_from(&counts);
+        let back = Dataset::from_json(&ds.to_json().unwrap()).unwrap();
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation(counts in arb_class_counts(), seed in 0u64..1000) {
+        let ds = dataset_from(&counts);
+        let sh = ds.shuffled(seed);
+        prop_assert_eq!(sh.len(), ds.len());
+        prop_assert_eq!(sh.class_counts(), ds.class_counts());
+    }
+}

@@ -1,0 +1,348 @@
+//! Confusion matrices and derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A `C × C` confusion matrix; `m[true][pred]` counts samples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, inputs are empty, `n_classes` is zero,
+    /// or any label/prediction is out of range.
+    pub fn from_predictions(y_true: &[u32], y_pred: &[u32], n_classes: usize) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "one prediction per truth");
+        assert!(!y_true.is_empty(), "cannot score zero samples");
+        assert!(n_classes > 0, "need at least one class");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            assert!((t as usize) < n_classes, "true label {t} out of range");
+            assert!((p as usize) < n_classes, "prediction {p} out of range");
+            counts[t as usize][p as usize] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of scored samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Raw count `m[true][pred]`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth][pred]
+    }
+
+    /// Multiclass accuracy: fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / self.total() as f64
+    }
+
+    fn binary_counts(&self, class: usize) -> (usize, usize, usize, usize) {
+        // (tp, fp, fn, tn) treating `class` as positive.
+        let tp = self.counts[class][class];
+        let fp: usize =
+            (0..self.n_classes()).filter(|&t| t != class).map(|t| self.counts[t][class]).sum();
+        let fn_: usize =
+            (0..self.n_classes()).filter(|&p| p != class).map(|p| self.counts[class][p]).sum();
+        let tn = self.total() - tp - fp - fn_;
+        (tp, fp, fn_, tn)
+    }
+
+    /// One-vs-rest binary accuracy `(TP + TN) / N`, macro-averaged —
+    /// the paper's reported "accuracy" (see crate docs).
+    pub fn ovr_accuracy(&self) -> f64 {
+        let n = self.total() as f64;
+        let mut sum = 0.0;
+        for c in 0..self.n_classes() {
+            let (tp, _, _, tn) = self.binary_counts(c);
+            sum += (tp + tn) as f64 / n;
+        }
+        sum / self.n_classes() as f64
+    }
+
+    /// Per-class precision `TP / (TP + FP)`; 0 when undefined.
+    pub fn precision(&self, class: usize) -> f64 {
+        let (tp, fp, _, _) = self.binary_counts(class);
+        ratio(tp, tp + fp)
+    }
+
+    /// Per-class recall `TP / (TP + FN)`; 0 when undefined.
+    pub fn recall(&self, class: usize) -> f64 {
+        let (tp, _, fn_, _) = self.binary_counts(class);
+        ratio(tp, tp + fn_)
+    }
+
+    /// Per-class specificity `TN / (TN + FP)`. When the class has no
+    /// negative examples at all (`TN + FP = 0`), specificity is
+    /// vacuously satisfied and reported as 1.
+    pub fn specificity(&self, class: usize) -> f64 {
+        let (_, fp, _, tn) = self.binary_counts(class);
+        if tn + fp == 0 {
+            1.0
+        } else {
+            ratio(tn, tn + fp)
+        }
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged precision.
+    pub fn macro_precision(&self) -> f64 {
+        self.macro_over(Self::precision)
+    }
+
+    /// Macro-averaged recall.
+    pub fn macro_recall(&self) -> f64 {
+        self.macro_over(Self::recall)
+    }
+
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f64 {
+        self.macro_over(Self::f1)
+    }
+
+    /// Macro-averaged specificity.
+    pub fn macro_specificity(&self) -> f64 {
+        self.macro_over(Self::specificity)
+    }
+
+    fn macro_over(&self, f: impl Fn(&Self, usize) -> f64) -> f64 {
+        let c = self.n_classes();
+        (0..c).map(|i| f(self, i)).sum::<f64>() / c as f64
+    }
+
+    /// Cohen's kappa: agreement corrected for chance. 1 is perfect,
+    /// 0 is chance-level, negative is worse than chance.
+    pub fn cohens_kappa(&self) -> f64 {
+        let n = self.total() as f64;
+        let po = self.accuracy();
+        let mut pe = 0.0;
+        for c in 0..self.n_classes() {
+            let row: usize = self.counts[c].iter().sum();
+            let col: usize = (0..self.n_classes()).map(|t| self.counts[t][c]).sum();
+            pe += (row as f64 / n) * (col as f64 / n);
+        }
+        if (1.0 - pe).abs() < 1e-15 {
+            0.0
+        } else {
+            (po - pe) / (1.0 - pe)
+        }
+    }
+
+    /// Matthews correlation coefficient, multiclass (Gorodkin's R_K).
+    /// 1 is perfect, 0 is chance-level.
+    pub fn matthews_corrcoef(&self) -> f64 {
+        let k = self.n_classes();
+        let n = self.total() as f64;
+        let c: f64 = (0..k).map(|i| self.counts[i][i] as f64).sum();
+        let rows: Vec<f64> =
+            (0..k).map(|t| self.counts[t].iter().sum::<usize>() as f64).collect();
+        let cols: Vec<f64> = (0..k)
+            .map(|p| (0..k).map(|t| self.counts[t][p]).sum::<usize>() as f64)
+            .collect();
+        let sum_rc: f64 = rows.iter().zip(&cols).map(|(r, q)| r * q).sum();
+        let sum_r2: f64 = rows.iter().map(|r| r * r).sum();
+        let sum_c2: f64 = cols.iter().map(|q| q * q).sum();
+        let denom = ((n * n - sum_r2) * (n * n - sum_c2)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (c * n - sum_rc) / denom
+        }
+    }
+
+    /// Element-wise sum of two matrices (for fold aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on class-count mismatch.
+    pub fn merged(&self, other: &ConfusionMatrix) -> ConfusionMatrix {
+        assert_eq!(self.n_classes(), other.n_classes(), "class count mismatch");
+        let counts = self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x + y).collect())
+            .collect();
+        ConfusionMatrix { counts }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "confusion matrix ({} classes):", self.n_classes())?;
+        for row in &self.counts {
+            for v in row {
+                write!(f, "{v:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked 2-class example: 8 TP(0), 1 0→1, 2 1→0, 9 TP(1).
+    fn cm() -> ConfusionMatrix {
+        let mut y_true = Vec::new();
+        let mut y_pred = Vec::new();
+        for _ in 0..8 {
+            y_true.push(0);
+            y_pred.push(0);
+        }
+        y_true.push(0);
+        y_pred.push(1);
+        for _ in 0..2 {
+            y_true.push(1);
+            y_pred.push(0);
+        }
+        for _ in 0..9 {
+            y_true.push(1);
+            y_pred.push(1);
+        }
+        ConfusionMatrix::from_predictions(&y_true, &y_pred, 2)
+    }
+
+    #[test]
+    fn accuracy_fraction_correct() {
+        assert!((cm().accuracy() - 17.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_class_ovr_accuracy_equals_accuracy() {
+        let m = cm();
+        assert!((m.ovr_accuracy() - m.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1_by_hand() {
+        let m = cm();
+        // Class 0: tp=8, fp=2, fn=1.
+        assert!((m.precision(0) - 0.8).abs() < 1e-12);
+        assert!((m.recall(0) - 8.0 / 9.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 9.0) / (0.8 + 8.0 / 9.0);
+        assert!((m.f1(0) - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specificity_by_hand() {
+        // Class 0: tn = 9, fp = 2 → 9/11.
+        assert!((cm().specificity(0) - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ovr_accuracy_exceeds_accuracy_for_many_classes() {
+        // 4 classes, uniformly wrong half the time: plain accuracy 0.5,
+        // but each binary view earns TN credit.
+        let y_true = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let y_pred = vec![0u32, 1, 2, 3, 1, 2, 3, 0];
+        let m = ConfusionMatrix::from_predictions(&y_true, &y_pred, 4);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert!(m.ovr_accuracy() > 0.7);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![0u32, 1, 2, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&y, &y, 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.macro_specificity(), 1.0);
+    }
+
+    #[test]
+    fn absent_class_metrics_are_zero_not_nan() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+        assert!(m.macro_f1().is_finite());
+    }
+
+    #[test]
+    fn merged_adds_counts() {
+        let a = cm();
+        let b = cm();
+        let m = a.merged(&b);
+        assert_eq!(m.total(), 40);
+        assert!((m.accuracy() - a.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_labels() {
+        ConfusionMatrix::from_predictions(&[5], &[0], 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", cm()).is_empty());
+    }
+
+    #[test]
+    fn kappa_and_mcc_are_one_for_perfect_and_zero_for_constant() {
+        let y = vec![0u32, 1, 2, 1, 0, 2];
+        let perfect = ConfusionMatrix::from_predictions(&y, &y, 3);
+        assert!((perfect.cohens_kappa() - 1.0).abs() < 1e-12);
+        assert!((perfect.matthews_corrcoef() - 1.0).abs() < 1e-12);
+        // Constant predictor: chance-level agreement.
+        let constant = vec![0u32; 6];
+        let m = ConfusionMatrix::from_predictions(&y, &constant, 3);
+        assert!(m.cohens_kappa().abs() < 1e-12);
+        assert!(m.matthews_corrcoef().abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_mcc_matches_textbook_formula() {
+        // tp=8, fn=1, fp=2, tn=9 (class 0 as positive).
+        let m = cm();
+        let (tp, fp, fn_, tn) = (8.0f64, 2.0, 1.0, 9.0);
+        let expect = (tp * tn - fp * fn_)
+            / ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        assert!((m.matthews_corrcoef() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_penalizes_imbalanced_luck() {
+        // 90% majority class, predictor always says majority: high
+        // accuracy, zero kappa.
+        let mut t = vec![0u32; 90];
+        t.extend(vec![1u32; 10]);
+        let p = vec![0u32; 100];
+        let m = ConfusionMatrix::from_predictions(&t, &p, 2);
+        assert!(m.accuracy() > 0.89);
+        assert!(m.cohens_kappa().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-class classification reports (scikit-learn style).
+
+use crate::confusion::ConfusionMatrix;
+
+/// A formatted per-class metric breakdown over a confusion matrix.
+///
+/// # Examples
+///
+/// ```
+/// use evalkit::{ClassificationReport, ConfusionMatrix};
+///
+/// let m = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+/// let report = ClassificationReport::new(&m, &["Miami".into(), "Tampa".into()]);
+/// let text = report.render();
+/// assert!(text.contains("Miami"));
+/// assert!(text.contains("macro avg"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassificationReport {
+    rows: Vec<ReportRow>,
+    accuracy: f64,
+    ovr_accuracy: f64,
+    kappa: f64,
+    mcc: f64,
+    total: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ReportRow {
+    name: String,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    specificity: f64,
+    support: usize,
+}
+
+impl ClassificationReport {
+    /// Builds a report; class names default to indices when `names` is
+    /// shorter than the class count.
+    pub fn new(matrix: &ConfusionMatrix, names: &[String]) -> Self {
+        let c = matrix.n_classes();
+        let rows = (0..c)
+            .map(|class| {
+                let support: usize = (0..c).map(|p| matrix.count(class, p)).sum();
+                ReportRow {
+                    name: names
+                        .get(class)
+                        .cloned()
+                        .unwrap_or_else(|| format!("class-{class}")),
+                    precision: matrix.precision(class),
+                    recall: matrix.recall(class),
+                    f1: matrix.f1(class),
+                    specificity: matrix.specificity(class),
+                    support,
+                }
+            })
+            .collect();
+        Self {
+            rows,
+            accuracy: matrix.accuracy(),
+            ovr_accuracy: matrix.ovr_accuracy(),
+            kappa: matrix.cohens_kappa(),
+            mcc: matrix.matthews_corrcoef(),
+            total: matrix.total(),
+        }
+    }
+
+    /// Renders a fixed-width text report.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(["macro avg".len()])
+            .max()
+            .unwrap_or(8);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>name_w$}  {:>9}  {:>9}  {:>9}  {:>11}  {:>7}\n",
+            "", "precision", "recall", "f1", "specificity", "support"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>name_w$}  {:>9.3}  {:>9.3}  {:>9.3}  {:>11.3}  {:>7}\n",
+                r.name, r.precision, r.recall, r.f1, r.specificity, r.support
+            ));
+        }
+        let n = self.rows.len() as f64;
+        out.push_str(&format!(
+            "{:>name_w$}  {:>9.3}  {:>9.3}  {:>9.3}  {:>11.3}  {:>7}\n",
+            "macro avg",
+            self.rows.iter().map(|r| r.precision).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.recall).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.f1).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.specificity).sum::<f64>() / n,
+            self.total,
+        ));
+        out.push_str(&format!(
+            "\naccuracy {:.3} | ovr accuracy {:.3} | kappa {:.3} | mcc {:.3}\n",
+            self.accuracy, self.ovr_accuracy, self.kappa, self.mcc
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lists_every_class_and_summary() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 2, 0, 1, 2], &[0, 1, 2, 1, 1, 0], 3);
+        let names = vec!["a".into(), "b".into(), "c".into()];
+        let text = ClassificationReport::new(&m, &names).render();
+        for n in ["a", "b", "c", "macro avg", "kappa", "support"] {
+            assert!(text.contains(n), "missing {n} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn missing_names_fall_back_to_indices() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1], &[0, 1], 2);
+        let text = ClassificationReport::new(&m, &[]).render();
+        assert!(text.contains("class-0"));
+        assert!(text.contains("class-1"));
+    }
+
+    #[test]
+    fn support_counts_true_labels() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0, 0, 1], &[1, 1, 1, 0], 2);
+        let report = ClassificationReport::new(&m, &["x".into(), "y".into()]);
+        assert_eq!(report.rows[0].support, 3);
+        assert_eq!(report.rows[1].support, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for metric identities.
+
+use evalkit::ConfusionMatrix;
+use proptest::prelude::*;
+
+fn arb_predictions() -> impl Strategy<Value = (Vec<u32>, Vec<u32>, usize)> {
+    (2usize..6).prop_flat_map(|c| {
+        prop::collection::vec((0u32..c as u32, 0u32..c as u32), 1..120)
+            .prop_map(move |pairs| {
+                let (t, p): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
+                (t, p, c)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_metrics_are_in_unit_interval((t, p, c) in arb_predictions()) {
+        let m = ConfusionMatrix::from_predictions(&t, &p, c);
+        for v in [
+            m.accuracy(),
+            m.ovr_accuracy(),
+            m.macro_precision(),
+            m.macro_recall(),
+            m.macro_f1(),
+            m.macro_specificity(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v}");
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_maximize_everything((t, _, c) in arb_predictions()) {
+        let m = ConfusionMatrix::from_predictions(&t, &t, c);
+        prop_assert_eq!(m.accuracy(), 1.0);
+        prop_assert_eq!(m.ovr_accuracy(), 1.0);
+        prop_assert_eq!(m.macro_specificity(), 1.0);
+    }
+
+    #[test]
+    fn ovr_accuracy_dominates_accuracy((t, p, c) in arb_predictions()) {
+        // Binary OvR accuracy earns true-negative credit, so it never
+        // falls below the multiclass fraction-correct.
+        let m = ConfusionMatrix::from_predictions(&t, &p, c);
+        prop_assert!(m.ovr_accuracy() >= m.accuracy() - 1e-12);
+    }
+
+    #[test]
+    fn f1_is_between_min_and_max_of_p_and_r((t, p, c) in arb_predictions()) {
+        let m = ConfusionMatrix::from_predictions(&t, &p, c);
+        for class in 0..c {
+            let (pr, rc, f1) = (m.precision(class), m.recall(class), m.f1(class));
+            if pr + rc > 0.0 {
+                prop_assert!(f1 <= pr.max(rc) + 1e-12);
+                prop_assert!(f1 >= pr.min(rc) - 1e-12 || f1 >= 0.0);
+            } else {
+                prop_assert_eq!(f1, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_count_preserving(
+        (t1, p1, _) in arb_predictions(),
+        (t2, p2, _) in arb_predictions(),
+    ) {
+        let c = 6; // superset class count
+        let a = ConfusionMatrix::from_predictions(&t1, &p1, c);
+        let b = ConfusionMatrix::from_predictions(&t2, &p2, c);
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn accuracy_equals_diagonal_mass((t, p, c) in arb_predictions()) {
+        let m = ConfusionMatrix::from_predictions(&t, &p, c);
+        let diag: usize = (0..c).map(|i| m.count(i, i)).sum();
+        prop_assert!((m.accuracy() - diag as f64 / t.len() as f64).abs() < 1e-12);
+    }
+}

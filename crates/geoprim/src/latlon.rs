@@ -1,0 +1,221 @@
+//! Coordinates, distances, and the local metre projection.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in metres, as used by the haversine formula.
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A WGS-84 latitude/longitude pair in degrees.
+///
+/// The type is a plain value object: construction does not validate the
+/// domain (use [`LatLon::validated`] when ingesting untrusted data, e.g.
+/// GPX files), and all arithmetic helpers treat the pair as immutable.
+///
+/// # Examples
+///
+/// ```
+/// use geoprim::LatLon;
+///
+/// let white_house = LatLon::new(38.8977, -77.0365);
+/// let capitol = LatLon::new(38.8899, -77.0091);
+/// let d = white_house.haversine_m(capitol);
+/// assert!((d - 2560.0).abs() < 100.0, "distance was {d}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate from degrees without validating the domain.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Creates a coordinate, returning an error outside the valid domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GeoError::InvalidCoordinate`] when `lat` is outside
+    /// `[-90, 90]`, `lon` is outside `[-180, 180]`, or either is not finite.
+    pub fn validated(lat: f64, lon: f64) -> Result<Self, crate::GeoError> {
+        let ok = lat.is_finite() && lon.is_finite() && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon);
+        if ok {
+            Ok(Self { lat, lon })
+        } else {
+            Err(crate::GeoError::InvalidCoordinate {
+                lat: format!("{lat}"),
+                lon: format!("{lon}"),
+            })
+        }
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    pub fn haversine_m(self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Euclidean distance in *degrees* between two coordinates.
+    ///
+    /// The paper's region-labelling step compares rectangle centres with a
+    /// "predetermined threshold" in coordinate space; this is that metric.
+    pub fn degree_distance(self, other: LatLon) -> f64 {
+        let dlat = self.lat - other.lat;
+        let dlon = self.lon - other.lon;
+        (dlat * dlat + dlon * dlon).sqrt()
+    }
+
+    /// Returns the midpoint (arithmetic mean in degree space).
+    pub fn midpoint(self, other: LatLon) -> LatLon {
+        LatLon::new((self.lat + other.lat) / 2.0, (self.lon + other.lon) / 2.0)
+    }
+
+    /// Offsets this coordinate by metres east (`dx`) and north (`dy`).
+    ///
+    /// Uses a local equirectangular approximation, accurate over the
+    /// route-sized distances (kilometres) this library works with.
+    pub fn offset_m(self, dx_east: f64, dy_north: f64) -> LatLon {
+        let dlat = dy_north / EARTH_RADIUS_M;
+        let dlon = dx_east / (EARTH_RADIUS_M * self.lat.to_radians().cos());
+        LatLon::new(self.lat + dlat.to_degrees(), self.lon + dlon.to_degrees())
+    }
+}
+
+impl std::fmt::Display for LatLon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat, self.lon)
+    }
+}
+
+impl From<(f64, f64)> for LatLon {
+    fn from((lat, lon): (f64, f64)) -> Self {
+        LatLon::new(lat, lon)
+    }
+}
+
+/// A local equirectangular projection anchored at an origin coordinate.
+///
+/// Maps [`LatLon`] to `(x east, y north)` metres relative to the origin and
+/// back. Route generators work in metres and project back to coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use geoprim::{LatLon, LocalProjection};
+///
+/// let proj = LocalProjection::new(LatLon::new(40.0, -74.0));
+/// let p = proj.to_meters(LatLon::new(40.001, -74.0));
+/// assert!((p.1 - 111.0).abs() < 1.0); // ~111 m per millidegree of latitude
+/// let roundtrip = proj.to_latlon(p.0, p.1);
+/// assert!(roundtrip.degree_distance(LatLon::new(40.001, -74.0)) < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    origin: LatLon,
+    cos_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection anchored at `origin`.
+    pub fn new(origin: LatLon) -> Self {
+        Self { origin, cos_lat: origin.lat.to_radians().cos() }
+    }
+
+    /// The anchor coordinate of this projection.
+    pub fn origin(&self) -> LatLon {
+        self.origin
+    }
+
+    /// Projects a coordinate to `(x east, y north)` metres from the origin.
+    pub fn to_meters(&self, p: LatLon) -> (f64, f64) {
+        let y = (p.lat - self.origin.lat).to_radians() * EARTH_RADIUS_M;
+        let x = (p.lon - self.origin.lon).to_radians() * EARTH_RADIUS_M * self.cos_lat;
+        (x, y)
+    }
+
+    /// Inverse of [`LocalProjection::to_meters`].
+    pub fn to_latlon(&self, x_east: f64, y_north: f64) -> LatLon {
+        let lat = self.origin.lat + (y_north / EARTH_RADIUS_M).to_degrees();
+        let lon = self.origin.lon + (x_east / (EARTH_RADIUS_M * self.cos_lat)).to_degrees();
+        LatLon::new(lat, lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        let p = LatLon::new(28.5, -81.4);
+        assert_eq!(p.haversine_m(p), 0.0);
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = LatLon::new(40.7, -74.0);
+        let b = LatLon::new(34.05, -118.24);
+        assert!((a.haversine_m(b) - b.haversine_m(a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_nyc_to_la_is_about_3940_km() {
+        let nyc = LatLon::new(40.7128, -74.0060);
+        let la = LatLon::new(34.0522, -118.2437);
+        let d = nyc.haversine_m(la);
+        assert!((d - 3_935_000.0).abs() < 20_000.0, "distance was {d}");
+    }
+
+    #[test]
+    fn validated_rejects_out_of_domain() {
+        assert!(LatLon::validated(91.0, 0.0).is_err());
+        assert!(LatLon::validated(0.0, 181.0).is_err());
+        assert!(LatLon::validated(f64::NAN, 0.0).is_err());
+        assert!(LatLon::validated(45.0, -120.0).is_ok());
+    }
+
+    #[test]
+    fn offset_m_moves_north_and_east() {
+        let p = LatLon::new(40.0, -74.0);
+        let q = p.offset_m(1000.0, 2000.0);
+        assert!(q.lat > p.lat);
+        assert!(q.lon > p.lon);
+        let d = p.haversine_m(q);
+        let expect = (1000.0f64.powi(2) + 2000.0f64.powi(2)).sqrt();
+        assert!((d - expect).abs() < 5.0, "distance was {d}, expected {expect}");
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = LocalProjection::new(LatLon::new(37.77, -122.42));
+        let p = LatLon::new(37.79, -122.40);
+        let (x, y) = proj.to_meters(p);
+        let back = proj.to_latlon(x, y);
+        assert!(back.degree_distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn degree_distance_matches_pythagoras() {
+        let a = LatLon::new(1.0, 2.0);
+        let b = LatLon::new(4.0, 6.0);
+        assert!((a.degree_distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = LatLon::new(10.0, 20.0);
+        let b = LatLon::new(20.0, 40.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, LatLon::new(15.0, 30.0));
+    }
+}

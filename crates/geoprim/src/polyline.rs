@@ -1,0 +1,205 @@
+//! Google encoded polyline codec.
+//!
+//! The paper's mining pipeline receives route segments as "geolocation
+//! polyline paths" (Fig. 4) — the de-facto wire format is Google's
+//! [encoded polyline algorithm]. This module implements the codec from
+//! scratch: 1e-5 degree quantization, delta encoding, zig-zag signing,
+//! and base-63 ASCII chunking.
+//!
+//! [encoded polyline algorithm]:
+//!     https://developers.google.com/maps/documentation/utilities/polylinealgorithm
+//!
+//! # Examples
+//!
+//! ```
+//! use geoprim::{polyline, LatLon};
+//!
+//! let path = vec![
+//!     LatLon::new(38.5, -120.2),
+//!     LatLon::new(40.7, -120.95),
+//!     LatLon::new(43.252, -126.453),
+//! ];
+//! let encoded = polyline::encode(&path);
+//! assert_eq!(encoded, "_p~iF~ps|U_ulLnnqC_mqNvxq`@");
+//! let decoded = polyline::decode(&encoded)?;
+//! assert_eq!(decoded.len(), 3);
+//! # Ok::<(), geoprim::GeoError>(())
+//! ```
+
+use crate::{GeoError, LatLon};
+
+const PRECISION: f64 = 1e5;
+
+/// Encodes a sequence of coordinates as a polyline string.
+///
+/// Coordinates are quantized to 5 decimal places (~1.1 m), so
+/// `decode(encode(p))` equals `p` only up to that quantization.
+pub fn encode(points: &[LatLon]) -> String {
+    let mut out = String::with_capacity(points.len() * 10);
+    let mut prev_lat = 0i64;
+    let mut prev_lon = 0i64;
+    for p in points {
+        let lat = (p.lat * PRECISION).round() as i64;
+        let lon = (p.lon * PRECISION).round() as i64;
+        encode_value(lat - prev_lat, &mut out);
+        encode_value(lon - prev_lon, &mut out);
+        prev_lat = lat;
+        prev_lon = lon;
+    }
+    out
+}
+
+fn encode_value(value: i64, out: &mut String) {
+    // Zig-zag: left-shift and invert negatives so the sign lives in bit 0.
+    let mut v = (value << 1) as u64;
+    if value < 0 {
+        v = !v;
+    }
+    while v >= 0x20 {
+        out.push((((v & 0x1f) as u8 | 0x20) + 63) as char);
+        v >>= 5;
+    }
+    out.push((v as u8 + 63) as char);
+}
+
+/// Decodes a polyline string into coordinates.
+///
+/// # Errors
+///
+/// Returns [`GeoError::MalformedPolyline`] when the string ends in the
+/// middle of a chunk sequence, contains bytes outside the valid alphabet
+/// (`'?'..='~'`), or encodes only half of a coordinate pair.
+pub fn decode(encoded: &str) -> Result<Vec<LatLon>, GeoError> {
+    let bytes = encoded.as_bytes();
+    let mut points = Vec::new();
+    let mut idx = 0usize;
+    let mut lat = 0i64;
+    let mut lon = 0i64;
+    while idx < bytes.len() {
+        let (dlat, next) = decode_value(bytes, idx)?;
+        if next >= bytes.len() {
+            // dlat consumed everything: a lone half-pair is malformed.
+            return Err(GeoError::MalformedPolyline { offset: next });
+        }
+        let (dlon, next2) = decode_value(bytes, next)?;
+        lat += dlat;
+        lon += dlon;
+        points.push(LatLon::new(lat as f64 / PRECISION, lon as f64 / PRECISION));
+        idx = next2;
+    }
+    Ok(points)
+}
+
+fn decode_value(bytes: &[u8], mut idx: usize) -> Result<(i64, usize), GeoError> {
+    let start = idx;
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = bytes.get(idx) else {
+            return Err(GeoError::MalformedPolyline { offset: start });
+        };
+        if !(63..=126).contains(&b) {
+            return Err(GeoError::MalformedPolyline { offset: idx });
+        }
+        let chunk = (b - 63) as u64;
+        result |= (chunk & 0x1f) << shift;
+        idx += 1;
+        if chunk & 0x20 == 0 {
+            break;
+        }
+        shift += 5;
+        if shift > 60 {
+            return Err(GeoError::MalformedPolyline { offset: idx });
+        }
+    }
+    // Undo zig-zag.
+    let value = if result & 1 != 0 {
+        !(result >> 1) as i64
+    } else {
+        (result >> 1) as i64
+    };
+    Ok((value, idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn google_reference_vector() {
+        // The worked example from Google's documentation.
+        let pts = vec![
+            LatLon::new(38.5, -120.2),
+            LatLon::new(40.7, -120.95),
+            LatLon::new(43.252, -126.453),
+        ];
+        assert_eq!(encode(&pts), "_p~iF~ps|U_ulLnnqC_mqNvxq`@");
+    }
+
+    #[test]
+    fn roundtrip_within_quantization() {
+        let pts = vec![
+            LatLon::new(40.712812, -74.006012),
+            LatLon::new(40.713003, -74.005488),
+            LatLon::new(40.714999, -74.002340),
+        ];
+        let decoded = decode(&encode(&pts)).unwrap();
+        assert_eq!(decoded.len(), pts.len());
+        for (a, b) in pts.iter().zip(&decoded) {
+            assert!((a.lat - b.lat).abs() <= 0.5 / PRECISION + 1e-12);
+            assert!((a.lon - b.lon).abs() <= 0.5 / PRECISION + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_chunk() {
+        // '_' (0x5f) has the continuation bit set, so a lone '_' is truncated.
+        assert!(matches!(
+            decode("_"),
+            Err(GeoError::MalformedPolyline { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_half_pair() {
+        // A single complete value (latitude) with no longitude.
+        let mut s = String::new();
+        encode_value(12345, &mut s);
+        assert!(matches!(
+            decode(&s),
+            Err(GeoError::MalformedPolyline { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_alphabet() {
+        assert!(matches!(
+            decode("ab\u{7f}cd"),
+            Err(GeoError::MalformedPolyline { .. })
+        ));
+        assert!(matches!(
+            decode("ab cd"),
+            Err(GeoError::MalformedPolyline { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_deltas_roundtrip() {
+        let pts = vec![
+            LatLon::new(-33.86, 151.20),
+            LatLon::new(-33.87, 151.19),
+            LatLon::new(-33.90, 151.15),
+        ];
+        let decoded = decode(&encode(&pts)).unwrap();
+        for (a, b) in pts.iter().zip(&decoded) {
+            assert!((a.lat - b.lat).abs() < 1e-5);
+            assert!((a.lon - b.lon).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Tight rectangles encapsulating trajectories (paper Fig. 3).
+
+use crate::{GeoError, LatLon};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned latitude/longitude rectangle.
+///
+/// The paper encapsulates every sample trajectory in a *tight rectangle*
+/// whose north-east and south-west corners come from the trajectory's
+/// coordinate extremes (Fig. 3). Rectangles drive two mechanisms:
+///
+/// 1. **Region labelling** of the user-specific dataset: a trajectory is
+///    assigned to an existing region if the distance between rectangle
+///    centres is below a threshold (see [`crate::RegionIndex`]).
+/// 2. **Overlap measurement**: the average intersection-over-union of
+///    same-class rectangles quantifies route repetition (the paper
+///    reports 35% for the user-specific dataset).
+///
+/// # Examples
+///
+/// ```
+/// use geoprim::{BoundingBox, LatLon};
+///
+/// let a = BoundingBox::new(LatLon::new(0.0, 0.0), LatLon::new(2.0, 2.0));
+/// let b = BoundingBox::new(LatLon::new(1.0, 1.0), LatLon::new(3.0, 3.0));
+/// assert!((a.iou(&b) - 1.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    south_west: LatLon,
+    north_east: LatLon,
+}
+
+impl BoundingBox {
+    /// Creates a rectangle from its south-west and north-east corners.
+    ///
+    /// Corners are normalized: if the arguments are swapped on either
+    /// axis, they are reordered so the rectangle is well-formed.
+    pub fn new(a: LatLon, b: LatLon) -> Self {
+        let south_west = LatLon::new(a.lat.min(b.lat), a.lon.min(b.lon));
+        let north_east = LatLon::new(a.lat.max(b.lat), a.lon.max(b.lon));
+        Self { south_west, north_east }
+    }
+
+    /// Computes the tight rectangle around a trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyTrajectory`] for an empty iterator.
+    pub fn tight<I: IntoIterator<Item = LatLon>>(points: I) -> Result<Self, GeoError> {
+        let mut iter = points.into_iter();
+        let first = iter.next().ok_or(GeoError::EmptyTrajectory)?;
+        let (mut min_lat, mut max_lat) = (first.lat, first.lat);
+        let (mut min_lon, mut max_lon) = (first.lon, first.lon);
+        for p in iter {
+            min_lat = min_lat.min(p.lat);
+            max_lat = max_lat.max(p.lat);
+            min_lon = min_lon.min(p.lon);
+            max_lon = max_lon.max(p.lon);
+        }
+        Ok(Self {
+            south_west: LatLon::new(min_lat, min_lon),
+            north_east: LatLon::new(max_lat, max_lon),
+        })
+    }
+
+    /// The south-west (bottom-left) corner.
+    pub fn south_west(&self) -> LatLon {
+        self.south_west
+    }
+
+    /// The north-east (top-right) corner.
+    pub fn north_east(&self) -> LatLon {
+        self.north_east
+    }
+
+    /// The rectangle centre in degree space.
+    pub fn center(&self) -> LatLon {
+        self.south_west.midpoint(self.north_east)
+    }
+
+    /// Latitude extent in degrees (always non-negative).
+    pub fn lat_span(&self) -> f64 {
+        self.north_east.lat - self.south_west.lat
+    }
+
+    /// Longitude extent in degrees (always non-negative).
+    pub fn lon_span(&self) -> f64 {
+        self.north_east.lon - self.south_west.lon
+    }
+
+    /// Area in squared degrees. Degenerate rectangles have zero area.
+    pub fn area_deg2(&self) -> f64 {
+        self.lat_span() * self.lon_span()
+    }
+
+    /// Whether `p` lies inside (or on the border of) the rectangle.
+    pub fn contains(&self, p: LatLon) -> bool {
+        p.lat >= self.south_west.lat
+            && p.lat <= self.north_east.lat
+            && p.lon >= self.south_west.lon
+            && p.lon <= self.north_east.lon
+    }
+
+    /// Whether `other` is entirely inside this rectangle.
+    ///
+    /// The paper's `EXPLORESEGMENTS()` only returns segments *encapsulated*
+    /// by the query boundary; the mining simulator uses this predicate.
+    pub fn encloses(&self, other: &BoundingBox) -> bool {
+        self.contains(other.south_west) && self.contains(other.north_east)
+    }
+
+    /// The intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &BoundingBox) -> Option<BoundingBox> {
+        let sw = LatLon::new(
+            self.south_west.lat.max(other.south_west.lat),
+            self.south_west.lon.max(other.south_west.lon),
+        );
+        let ne = LatLon::new(
+            self.north_east.lat.min(other.north_east.lat),
+            self.north_east.lon.min(other.north_east.lon),
+        );
+        if sw.lat <= ne.lat && sw.lon <= ne.lon {
+            Some(BoundingBox { south_west: sw, north_east: ne })
+        } else {
+            None
+        }
+    }
+
+    /// Intersection-over-union of two rectangles, in `[0, 1]`.
+    ///
+    /// Returns 0 for disjoint rectangles and for pairs of degenerate
+    /// (zero-area) rectangles, and 1 only for identical non-degenerate
+    /// rectangles.
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let inter = match self.intersection(other) {
+            Some(r) => r.area_deg2(),
+            None => return 0.0,
+        };
+        let union = self.area_deg2() + other.area_deg2() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Expands the rectangle by `margin` degrees on every side.
+    pub fn expanded(&self, margin: f64) -> BoundingBox {
+        BoundingBox::new(
+            LatLon::new(self.south_west.lat - margin, self.south_west.lon - margin),
+            LatLon::new(self.north_east.lat + margin, self.north_east.lon + margin),
+        )
+    }
+
+    /// Splits the rectangle into a `rows x cols` grid of sub-rectangles,
+    /// row-major from the south-west corner.
+    ///
+    /// This is the grid decomposition of the paper's mining pipeline
+    /// (Fig. 4): a large city boundary is divided into smaller regions
+    /// `r_i`, each queried independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn grid(&self, rows: usize, cols: usize) -> Vec<BoundingBox> {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be nonzero");
+        let dlat = self.lat_span() / rows as f64;
+        let dlon = self.lon_span() / cols as f64;
+        let mut cells = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let sw = LatLon::new(
+                    self.south_west.lat + dlat * r as f64,
+                    self.south_west.lon + dlon * c as f64,
+                );
+                let ne = LatLon::new(sw.lat + dlat, sw.lon + dlon);
+                cells.push(BoundingBox { south_west: sw, north_east: ne });
+            }
+        }
+        cells
+    }
+}
+
+impl std::fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.south_west, self.north_east)
+    }
+}
+
+/// Average pairwise IoU among a set of rectangles.
+///
+/// The paper reports the *average overlap ratio* of same-class routes
+/// computed as "the intersection over union of the tight rectangles
+/// encapsulating the sample routes", averaged over each sample pair with
+/// the same class label. Returns 0 for fewer than two rectangles.
+pub fn average_pairwise_iou(rects: &[BoundingBox]) -> f64 {
+    if rects.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            sum += rects[i].iou(&rects[j]);
+            n += 1;
+        }
+    }
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(sw: (f64, f64), ne: (f64, f64)) -> BoundingBox {
+        BoundingBox::new(LatLon::new(sw.0, sw.1), LatLon::new(ne.0, ne.1))
+    }
+
+    #[test]
+    fn tight_rejects_empty() {
+        assert_eq!(
+            BoundingBox::tight(std::iter::empty()),
+            Err(GeoError::EmptyTrajectory)
+        );
+    }
+
+    #[test]
+    fn tight_matches_extremes() {
+        let pts = [
+            LatLon::new(1.0, 5.0),
+            LatLon::new(-2.0, 7.0),
+            LatLon::new(0.5, 4.0),
+        ];
+        let r = BoundingBox::tight(pts).unwrap();
+        assert_eq!(r.south_west(), LatLon::new(-2.0, 4.0));
+        assert_eq!(r.north_east(), LatLon::new(1.0, 7.0));
+    }
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let r = bb((5.0, 9.0), (1.0, 2.0));
+        assert_eq!(r.south_west(), LatLon::new(1.0, 2.0));
+        assert_eq!(r.north_east(), LatLon::new(5.0, 9.0));
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let r = bb((0.0, 0.0), (1.0, 1.0));
+        assert!((r.iou(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = bb((0.0, 0.0), (1.0, 1.0));
+        let b = bb((2.0, 2.0), (3.0, 3.0));
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_degenerate_is_zero() {
+        let a = bb((0.0, 0.0), (0.0, 0.0));
+        assert_eq!(a.iou(&a), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // Two unit squares sharing half their area: inter 0.5, union 1.5.
+        let a = bb((0.0, 0.0), (1.0, 1.0));
+        let b = bb((0.0, 0.5), (1.0, 1.5));
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encloses_requires_full_containment() {
+        let outer = bb((0.0, 0.0), (10.0, 10.0));
+        let inner = bb((1.0, 1.0), (2.0, 2.0));
+        let straddle = bb((9.0, 9.0), (11.0, 11.0));
+        assert!(outer.encloses(&inner));
+        assert!(!outer.encloses(&straddle));
+        assert!(!inner.encloses(&outer));
+    }
+
+    #[test]
+    fn grid_partitions_area() {
+        let r = bb((0.0, 0.0), (4.0, 6.0));
+        let cells = r.grid(2, 3);
+        assert_eq!(cells.len(), 6);
+        let total: f64 = cells.iter().map(|c| c.area_deg2()).sum();
+        assert!((total - r.area_deg2()).abs() < 1e-9);
+        // Cells are pairwise non-overlapping (zero-area intersections).
+        for i in 0..cells.len() {
+            for j in (i + 1)..cells.len() {
+                if let Some(inter) = cells[i].intersection(&cells[j]) {
+                    assert!(inter.area_deg2() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be nonzero")]
+    fn grid_panics_on_zero() {
+        bb((0.0, 0.0), (1.0, 1.0)).grid(0, 3);
+    }
+
+    #[test]
+    fn average_pairwise_iou_basics() {
+        assert_eq!(average_pairwise_iou(&[]), 0.0);
+        let a = bb((0.0, 0.0), (1.0, 1.0));
+        assert_eq!(average_pairwise_iou(&[a]), 0.0);
+        assert!((average_pairwise_iou(&[a, a]) - 1.0).abs() < 1e-12);
+        let b = bb((5.0, 5.0), (6.0, 6.0));
+        // Pairs: (a,a)=1, (a,b)=0, (a,b)=0 -> 1/3.
+        assert!((average_pairwise_iou(&[a, a, b]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let r = bb((0.0, 0.0), (1.0, 1.0)).expanded(0.5);
+        assert_eq!(r.south_west(), LatLon::new(-0.5, -0.5));
+        assert_eq!(r.north_east(), LatLon::new(1.5, 1.5));
+    }
+}

@@ -1,0 +1,219 @@
+//! Region clustering for user-specific dataset labelling.
+//!
+//! The paper labels each activity of the user-specific dataset by
+//! encapsulating its trajectory in a tight rectangle and comparing the
+//! rectangle centre against previously created regions: "If the Euclidean
+//! distance between the center of the rectangle and the center of the
+//! existing region does not exceed a predetermined threshold, the
+//! rectangle and its corresponding sample are labeled with a unique
+//! identity of the region. If there is no region that includes the
+//! trajectory, a new region is created."
+//!
+//! [`RegionIndex`] implements exactly that incremental online clustering.
+
+use crate::{BoundingBox, LatLon};
+use serde::{Deserialize, Serialize};
+
+/// A unique identity assigned to a discovered region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "region-{}", self.0)
+    }
+}
+
+/// A discovered region: the first rectangle that seeded it plus running
+/// statistics over the rectangles assigned to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    id: RegionId,
+    center: LatLon,
+    members: usize,
+    hull: BoundingBox,
+}
+
+impl Region {
+    /// The region's unique identity.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// The centre of the seeding rectangle (regions do not drift; the
+    /// paper compares against "the center of the existing region").
+    pub fn center(&self) -> LatLon {
+        self.center
+    }
+
+    /// How many rectangles have been assigned to this region.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// The union hull of all member rectangles.
+    pub fn hull(&self) -> BoundingBox {
+        self.hull
+    }
+}
+
+/// Online region clustering by rectangle-centre distance.
+///
+/// # Examples
+///
+/// ```
+/// use geoprim::{BoundingBox, LatLon, RegionIndex};
+///
+/// let mut index = RegionIndex::new(0.5);
+/// let dc = BoundingBox::new(LatLon::new(38.8, -77.1), LatLon::new(38.9, -77.0));
+/// let orlando = BoundingBox::new(LatLon::new(28.4, -81.5), LatLon::new(28.6, -81.3));
+/// let a = index.assign(&dc);
+/// let b = index.assign(&orlando);
+/// let c = index.assign(&dc);
+/// assert_ne!(a, b);
+/// assert_eq!(a, c);
+/// assert_eq!(index.regions().len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionIndex {
+    threshold_deg: f64,
+    regions: Vec<Region>,
+}
+
+impl RegionIndex {
+    /// Creates an index with the given centre-distance threshold in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_deg` is not finite or is negative.
+    pub fn new(threshold_deg: f64) -> Self {
+        assert!(
+            threshold_deg.is_finite() && threshold_deg >= 0.0,
+            "threshold must be a non-negative finite number of degrees"
+        );
+        Self { threshold_deg, regions: Vec::new() }
+    }
+
+    /// The configured centre-distance threshold in degrees.
+    pub fn threshold_deg(&self) -> f64 {
+        self.threshold_deg
+    }
+
+    /// Assigns `rect` to the nearest existing region within the threshold,
+    /// creating a new region when none qualifies. Returns the label.
+    pub fn assign(&mut self, rect: &BoundingBox) -> RegionId {
+        let center = rect.center();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, region) in self.regions.iter().enumerate() {
+            let d = center.degree_distance(region.center);
+            if d <= self.threshold_deg && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let region = &mut self.regions[i];
+                region.members += 1;
+                region.hull = BoundingBox::new(
+                    LatLon::new(
+                        region.hull.south_west().lat.min(rect.south_west().lat),
+                        region.hull.south_west().lon.min(rect.south_west().lon),
+                    ),
+                    LatLon::new(
+                        region.hull.north_east().lat.max(rect.north_east().lat),
+                        region.hull.north_east().lon.max(rect.north_east().lon),
+                    ),
+                );
+                region.id
+            }
+            None => {
+                let id = RegionId(self.regions.len() as u32);
+                self.regions.push(Region { id, center, members: 1, hull: *rect });
+                id
+            }
+        }
+    }
+
+    /// Classifies without mutating: the nearest region within threshold.
+    pub fn classify(&self, rect: &BoundingBox) -> Option<RegionId> {
+        let center = rect.center();
+        self.regions
+            .iter()
+            .map(|r| (r.id, center.degree_distance(r.center)))
+            .filter(|(_, d)| *d <= self.threshold_deg)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(id, _)| id)
+    }
+
+    /// All discovered regions, ordered by creation.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(sw: (f64, f64), ne: (f64, f64)) -> BoundingBox {
+        BoundingBox::new(LatLon::new(sw.0, sw.1), LatLon::new(ne.0, ne.1))
+    }
+
+    #[test]
+    fn first_assignment_creates_region_zero() {
+        let mut idx = RegionIndex::new(1.0);
+        assert_eq!(idx.assign(&bb((0.0, 0.0), (1.0, 1.0))), RegionId(0));
+    }
+
+    #[test]
+    fn nearby_rectangles_share_region() {
+        let mut idx = RegionIndex::new(0.5);
+        let a = idx.assign(&bb((0.0, 0.0), (1.0, 1.0)));
+        let b = idx.assign(&bb((0.1, 0.1), (1.1, 1.1)));
+        assert_eq!(a, b);
+        assert_eq!(idx.regions()[0].members(), 2);
+    }
+
+    #[test]
+    fn distant_rectangle_creates_new_region() {
+        let mut idx = RegionIndex::new(0.5);
+        let a = idx.assign(&bb((0.0, 0.0), (1.0, 1.0)));
+        let b = idx.assign(&bb((10.0, 10.0), (11.0, 11.0)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assign_picks_nearest_of_multiple_candidates() {
+        let mut idx = RegionIndex::new(5.0);
+        let r0 = idx.assign(&bb((0.0, 0.0), (0.0, 0.0))); // centre (0,0)
+        // Centre (4,0): within 5.0 of region 0, becomes member of r0.
+        let r1 = idx.assign(&bb((4.0, 0.0), (4.0, 0.0)));
+        assert_eq!(r0, r1);
+    }
+
+    #[test]
+    fn classify_does_not_mutate() {
+        let mut idx = RegionIndex::new(0.5);
+        idx.assign(&bb((0.0, 0.0), (1.0, 1.0)));
+        let n = idx.regions().len();
+        assert_eq!(idx.classify(&bb((0.05, 0.05), (1.0, 1.0))), Some(RegionId(0)));
+        assert_eq!(idx.classify(&bb((40.0, 40.0), (41.0, 41.0))), None);
+        assert_eq!(idx.regions().len(), n);
+    }
+
+    #[test]
+    fn hull_grows_with_members() {
+        let mut idx = RegionIndex::new(1.0);
+        idx.assign(&bb((0.0, 0.0), (1.0, 1.0)));
+        idx.assign(&bb((-0.2, -0.3), (0.8, 0.9)));
+        let hull = idx.regions()[0].hull();
+        assert_eq!(hull.south_west(), LatLon::new(-0.2, -0.3));
+        assert_eq!(hull.north_east(), LatLon::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative finite")]
+    fn new_rejects_negative_threshold() {
+        RegionIndex::new(-1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Douglas–Peucker trajectory simplification.
+//!
+//! Fitness platforms simplify recorded tracks before rendering and
+//! before polyline encoding (a raw 1 Hz recording is ~10× larger than
+//! its visual information). The mining side of the paper therefore sees
+//! *simplified* polylines; this module provides the standard
+//! Douglas–Peucker algorithm so downstream users can reproduce that
+//! wire-format reality, plus the auxiliary path measures (length,
+//! bearing) route tooling needs.
+
+use crate::{LatLon, LocalProjection};
+
+/// Total path length in metres (sum of haversine leg lengths).
+pub fn path_length_m(path: &[LatLon]) -> f64 {
+    path.windows(2).map(|w| w[0].haversine_m(w[1])).sum()
+}
+
+/// Initial bearing from `a` to `b` in radians, east of north, in
+/// `(-π, π]`. Returns 0 for coincident points.
+pub fn bearing_rad(a: LatLon, b: LatLon) -> f64 {
+    let proj = LocalProjection::new(a);
+    let (x, y) = proj.to_meters(b);
+    if x == 0.0 && y == 0.0 {
+        0.0
+    } else {
+        x.atan2(y)
+    }
+}
+
+/// Simplifies a trajectory with Douglas–Peucker at the given tolerance
+/// in metres.
+///
+/// Endpoints are always kept; any interior point farther than
+/// `tolerance_m` from the chord of its segment survives. Paths with
+/// fewer than three points are returned unchanged.
+///
+/// # Panics
+///
+/// Panics if `tolerance_m` is negative or not finite.
+pub fn douglas_peucker(path: &[LatLon], tolerance_m: f64) -> Vec<LatLon> {
+    assert!(
+        tolerance_m.is_finite() && tolerance_m >= 0.0,
+        "tolerance must be non-negative"
+    );
+    if path.len() < 3 {
+        return path.to_vec();
+    }
+    // Work in a local metre frame anchored at the path start.
+    let proj = LocalProjection::new(path[0]);
+    let pts: Vec<(f64, f64)> = path.iter().map(|p| proj.to_meters(*p)).collect();
+    let mut keep = vec![false; path.len()];
+    keep[0] = true;
+    keep[path.len() - 1] = true;
+    let mut stack = vec![(0usize, path.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut best, mut best_d) = (lo + 1, -1.0f64);
+        for i in (lo + 1)..hi {
+            let d = point_segment_distance(pts[i], pts[lo], pts[hi]);
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        if best_d > tolerance_m {
+            keep[best] = true;
+            stack.push((lo, best));
+            stack.push((best, hi));
+        }
+    }
+    path.iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect()
+}
+
+/// Euclidean distance from `p` to segment `a..b` in the local frame.
+fn point_segment_distance(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (px, py) = (p.0 - a.0, p.1 - a.1);
+    let (bx, by) = (b.0 - a.0, b.1 - a.1);
+    let len2 = bx * bx + by * by;
+    let t = if len2 > 0.0 { ((px * bx + py * by) / len2).clamp(0.0, 1.0) } else { 0.0 };
+    let (dx, dy) = (px - t * bx, py - t * by);
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<LatLon> {
+        (0..n).map(|i| LatLon::new(38.9, -77.0).offset_m(i as f64 * 10.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn collinear_points_collapse_to_endpoints() {
+        let path = line(50);
+        let s = douglas_peucker(&path, 1.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], path[0]);
+        assert_eq!(s[1], path[49]);
+    }
+
+    #[test]
+    fn corners_are_preserved() {
+        // An L-shape: the corner is essential at any tolerance below
+        // its offset from the chord.
+        let mut path = line(20);
+        let corner = *path.last().unwrap();
+        for i in 1..20 {
+            path.push(corner.offset_m(0.0, i as f64 * 10.0));
+        }
+        let s = douglas_peucker(&path, 5.0);
+        assert!(s.len() >= 3);
+        assert!(s.iter().any(|p| p.degree_distance(corner) < 1e-9));
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_noncollinear_points() {
+        let path = vec![
+            LatLon::new(0.0, 0.0),
+            LatLon::new(0.0001, 0.00005),
+            LatLon::new(0.0, 0.0001),
+        ];
+        let s = douglas_peucker(&path, 0.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn simplified_path_deviates_at_most_tolerance() {
+        // Wiggly path; every dropped point stays within tolerance of
+        // the simplified chord sequence.
+        let path: Vec<LatLon> = (0..200)
+            .map(|i| {
+                LatLon::new(38.9, -77.0)
+                    .offset_m(i as f64 * 10.0, (i as f64 * 0.4).sin() * 15.0)
+            })
+            .collect();
+        let tol = 8.0;
+        let s = douglas_peucker(&path, tol);
+        assert!(s.len() < path.len());
+        let proj = LocalProjection::new(path[0]);
+        let spts: Vec<(f64, f64)> = s.iter().map(|p| proj.to_meters(*p)).collect();
+        for p in &path {
+            let q = proj.to_meters(*p);
+            let d = spts
+                .windows(2)
+                .map(|w| point_segment_distance(q, w[0], w[1]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= tol + 0.5, "deviation {d}");
+        }
+    }
+
+    #[test]
+    fn short_paths_are_unchanged() {
+        for n in 0..3 {
+            let path = line(n);
+            assert_eq!(douglas_peucker(&path, 10.0), path);
+        }
+    }
+
+    #[test]
+    fn path_length_of_straight_line() {
+        let l = path_length_m(&line(11));
+        assert!((l - 100.0).abs() < 0.5, "length {l}");
+    }
+
+    #[test]
+    fn bearings_point_the_right_way() {
+        let a = LatLon::new(38.9, -77.0);
+        assert!((bearing_rad(a, a.offset_m(0.0, 100.0)) - 0.0).abs() < 1e-6); // north
+        assert!(
+            (bearing_rad(a, a.offset_m(100.0, 0.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-6
+        ); // east
+        assert_eq!(bearing_rad(a, a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_tolerance() {
+        douglas_peucker(&line(5), -1.0);
+    }
+}

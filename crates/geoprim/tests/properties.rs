@@ -1,0 +1,103 @@
+//! Property-based tests for geographic primitives.
+
+use geoprim::{polyline, BoundingBox, LatLon, LocalProjection, RegionIndex};
+use proptest::prelude::*;
+
+fn arb_latlon() -> impl Strategy<Value = LatLon> {
+    (-85.0f64..85.0, -179.0f64..179.0).prop_map(|(lat, lon)| LatLon::new(lat, lon))
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<LatLon>> {
+    prop::collection::vec(arb_latlon(), 0..64)
+}
+
+proptest! {
+    #[test]
+    fn polyline_roundtrip_within_quantization(path in arb_path()) {
+        let encoded = polyline::encode(&path);
+        let decoded = polyline::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded.len(), path.len());
+        for (a, b) in path.iter().zip(&decoded) {
+            prop_assert!((a.lat - b.lat).abs() <= 6e-6);
+            prop_assert!((a.lon - b.lon).abs() <= 6e-6);
+        }
+    }
+
+    #[test]
+    fn polyline_encoding_is_ascii(path in arb_path()) {
+        let encoded = polyline::encode(&path);
+        prop_assert!(encoded.bytes().all(|b| (63..=126).contains(&b)));
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_latlon(), b in arb_latlon(),
+                                    c in arb_latlon(), d in arb_latlon()) {
+        let r1 = BoundingBox::new(a, b);
+        let r2 = BoundingBox::new(c, d);
+        let x = r1.iou(&r2);
+        let y = r2.iou(&r1);
+        prop_assert!((x - y).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&x));
+    }
+
+    #[test]
+    fn tight_rectangle_contains_all_points(path in prop::collection::vec(arb_latlon(), 1..64)) {
+        let rect = BoundingBox::tight(path.iter().copied()).unwrap();
+        for p in &path {
+            prop_assert!(rect.contains(*p));
+        }
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_latlon(), b in arb_latlon(), c in arb_latlon()) {
+        let ab = a.haversine_m(b);
+        let bc = b.haversine_m(c);
+        let ac = a.haversine_m(c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn projection_roundtrip(origin in arb_latlon(), dx in -20_000.0f64..20_000.0,
+                            dy in -20_000.0f64..20_000.0) {
+        let proj = LocalProjection::new(origin);
+        let p = proj.to_latlon(dx, dy);
+        let (x, y) = proj.to_meters(p);
+        prop_assert!((x - dx).abs() < 1e-6);
+        prop_assert!((y - dy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_cells_cover_parent(a in arb_latlon(), b in arb_latlon(),
+                               rows in 1usize..6, cols in 1usize..6,
+                               probe in arb_latlon()) {
+        let rect = BoundingBox::new(a, b);
+        let cells = rect.grid(rows, cols);
+        prop_assert_eq!(cells.len(), rows * cols);
+        if rect.contains(probe) {
+            prop_assert!(cells.iter().any(|c| c.contains(probe)));
+        }
+    }
+
+    #[test]
+    fn region_assignment_is_stable(rects in prop::collection::vec(
+        (arb_latlon(), arb_latlon()), 1..32)) {
+        let mut idx = RegionIndex::new(0.5);
+        let rects: Vec<BoundingBox> =
+            rects.into_iter().map(|(a, b)| BoundingBox::new(a, b)).collect();
+        let labels: Vec<_> = rects.iter().map(|r| idx.assign(r)).collect();
+        // Re-classifying after the fact returns a region within threshold
+        // (not necessarily the same label: a later-created region may sit
+        // closer) for every previously assigned rectangle.
+        for r in &rects {
+            prop_assert!(idx.classify(r).is_some());
+        }
+        // Labels are dense: 0..n_regions.
+        let max = labels.iter().map(|l| l.0).max().unwrap();
+        prop_assert_eq!(max as usize + 1, idx.regions().len());
+    }
+
+    #[test]
+    fn polyline_decode_never_panics(s in "[ -~]{0,64}") {
+        let _ = polyline::decode(&s);
+    }
+}

@@ -1,0 +1,148 @@
+//! The GPX document model and derived views.
+
+use geoprim::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// A track point: coordinate, optional elevation, optional timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackPoint {
+    /// The WGS-84 coordinate.
+    pub coord: LatLon,
+    /// Elevation in metres (`<ele>`), if recorded.
+    pub elevation_m: Option<f64>,
+    /// Timestamp (`<time>`), kept verbatim as ISO-8601 text.
+    pub time: Option<String>,
+}
+
+impl TrackPoint {
+    /// A point with no elevation or time.
+    pub fn new(coord: LatLon) -> Self {
+        Self { coord, elevation_m: None, time: None }
+    }
+
+    /// A point with an elevation.
+    pub fn with_elevation(coord: LatLon, elevation_m: f64) -> Self {
+        Self { coord, elevation_m: Some(elevation_m), time: None }
+    }
+}
+
+/// A contiguous run of track points (`<trkseg>`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrackSegment {
+    /// Points in recording order.
+    pub points: Vec<TrackPoint>,
+}
+
+/// A named track (`<trk>`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Track {
+    /// Optional `<name>`.
+    pub name: Option<String>,
+    /// The track's segments.
+    pub segments: Vec<TrackSegment>,
+}
+
+/// A GPX document (`<gpx>` root).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gpx {
+    /// The `creator` attribute.
+    pub creator: String,
+    /// All tracks in the document.
+    pub tracks: Vec<Track>,
+}
+
+impl Gpx {
+    /// An empty document with the given creator.
+    pub fn new(creator: impl Into<String>) -> Self {
+        Self { creator: creator.into(), tracks: Vec::new() }
+    }
+
+    /// All coordinates across all tracks/segments, in document order.
+    ///
+    /// This is the *location trajectory* the paper encapsulates in a
+    /// tight rectangle for labelling.
+    pub fn trajectory(&self) -> Vec<LatLon> {
+        self.tracks
+            .iter()
+            .flat_map(|t| &t.segments)
+            .flat_map(|s| &s.points)
+            .map(|p| p.coord)
+            .collect()
+    }
+
+    /// All recorded elevations, in document order, skipping points
+    /// without an `<ele>` element.
+    ///
+    /// This is the *elevation profile* — the only signal the paper's
+    /// adversary observes.
+    pub fn elevation_profile(&self) -> Vec<f64> {
+        self.tracks
+            .iter()
+            .flat_map(|t| &t.segments)
+            .flat_map(|s| &s.points)
+            .filter_map(|p| p.elevation_m)
+            .collect()
+    }
+
+    /// Total number of track points.
+    pub fn point_count(&self) -> usize {
+        self.tracks.iter().flat_map(|t| &t.segments).map(|s| s.points.len()).sum()
+    }
+}
+
+impl Default for Gpx {
+    fn default() -> Self {
+        Self::new("elevation-privacy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Gpx {
+        let mut g = Gpx::new("test");
+        g.tracks.push(Track {
+            name: Some("t1".into()),
+            segments: vec![
+                TrackSegment {
+                    points: vec![
+                        TrackPoint::with_elevation(LatLon::new(1.0, 2.0), 10.0),
+                        TrackPoint::new(LatLon::new(1.1, 2.1)),
+                    ],
+                },
+                TrackSegment {
+                    points: vec![TrackPoint::with_elevation(LatLon::new(1.2, 2.2), 12.0)],
+                },
+            ],
+        });
+        g
+    }
+
+    #[test]
+    fn trajectory_flattens_in_order() {
+        let g = sample();
+        let t = g.trajectory();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], LatLon::new(1.0, 2.0));
+        assert_eq!(t[2], LatLon::new(1.2, 2.2));
+    }
+
+    #[test]
+    fn elevation_profile_skips_missing() {
+        assert_eq!(sample().elevation_profile(), vec![10.0, 12.0]);
+    }
+
+    #[test]
+    fn point_count_counts_all() {
+        assert_eq!(sample().point_count(), 3);
+    }
+
+    #[test]
+    fn empty_document() {
+        let g = Gpx::default();
+        assert!(g.trajectory().is_empty());
+        assert!(g.elevation_profile().is_empty());
+        assert_eq!(g.point_count(), 0);
+    }
+}

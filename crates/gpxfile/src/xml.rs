@@ -1,0 +1,426 @@
+//! A minimal, dependency-free XML pull parser.
+//!
+//! Supports the subset of XML that GPX documents use: the XML
+//! declaration, comments, elements with attributes, self-closing tags,
+//! character data, and the five predefined entities. It does **not**
+//! support DTDs, CDATA sections, processing instructions beyond the
+//! declaration, or namespaces beyond treating prefixed names opaquely —
+//! none of which occur in fitness-tracker GPX exports.
+
+/// One parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" ...>` — for self-closing tags, an [`XmlEvent::End`]
+    /// with the same name is synthesized immediately after.
+    Start {
+        /// The element name (namespace prefixes are kept verbatim).
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+    },
+    /// `</name>`.
+    End {
+        /// The element name.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded. Whitespace-only text
+    /// is *not* suppressed; callers decide.
+    Text(String),
+}
+
+/// Errors from the XML tokenizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlError {
+    /// Document ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of.
+        context: &'static str,
+    },
+    /// A malformed construct at the given byte offset.
+    Malformed {
+        /// Byte offset in the source.
+        offset: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// An unknown `&entity;` reference.
+    UnknownEntity {
+        /// The entity name (without `&`/`;`).
+        entity: String,
+    },
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// Name that was open.
+        expected: String,
+        /// Name that was found.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => write!(f, "unexpected eof in {context}"),
+            XmlError::Malformed { offset, reason } => {
+                write!(f, "{reason} at byte {offset}")
+            }
+            XmlError::UnknownEntity { entity } => write!(f, "unknown entity &{entity};"),
+            XmlError::MismatchedTag { expected, found } => {
+                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A pull parser yielding [`XmlEvent`]s over a `&str`.
+///
+/// # Examples
+///
+/// ```
+/// use gpxfile::xml::{XmlEvent, XmlReader};
+///
+/// let mut r = XmlReader::new("<a x=\"1\"><b/>hi &amp; bye</a>");
+/// let mut names = Vec::new();
+/// while let Some(event) = r.next_event()? {
+///     if let XmlEvent::Start { name, .. } = event {
+///         names.push(name);
+///     }
+/// }
+/// assert_eq!(names, ["a", "b"]);
+/// # Ok::<(), gpxfile::xml::XmlError>(())
+/// ```
+#[derive(Debug)]
+pub struct XmlReader<'a> {
+    src: &'a [u8],
+    pos: usize,
+    /// Stack of open element names (for well-formedness checking).
+    stack: Vec<String>,
+    /// Synthesized `End` event pending after a self-closing tag.
+    pending_end: Option<String>,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Creates a reader over an XML document.
+    pub fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, stack: Vec::new(), pending_end: None }
+    }
+
+    /// Current byte offset (for diagnostics).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Returns the next event, or `None` at end of a well-formed document.
+    ///
+    /// # Errors
+    ///
+    /// Any [`XmlError`]; after an error, the reader state is unspecified.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Some(XmlEvent::End { name }));
+        }
+        loop {
+            if self.pos >= self.src.len() {
+                if self.stack.pop().is_some() {
+                    return Err(XmlError::UnexpectedEof { context: "unclosed element" });
+                }
+                return Ok(None);
+            }
+            if self.src[self.pos] == b'<' {
+                if self.starts_with("<?") {
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                if self.starts_with("<!--") {
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                if self.starts_with("<!") {
+                    // DOCTYPE etc. — skip to the matching '>'.
+                    self.skip_until(">")?;
+                    continue;
+                }
+                if self.starts_with("</") {
+                    return self.parse_end_tag().map(Some);
+                }
+                return self.parse_start_tag().map(Some);
+            }
+            // Text node.
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            let raw = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| XmlError::Malformed { offset: start, reason: "invalid utf-8" })?;
+            if self.stack.is_empty() && raw.trim().is_empty() {
+                continue; // whitespace between prolog and root
+            }
+            return Ok(Some(XmlEvent::Text(decode_entities(raw)?)));
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        let hay = &self.src[self.pos..];
+        match find_sub(hay, end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(XmlError::UnexpectedEof { context: "markup" }),
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        self.pos += 2; // consume "</"
+        let name = self.read_name()?;
+        self.skip_ws();
+        if self.pos >= self.src.len() || self.src[self.pos] != b'>' {
+            return Err(XmlError::Malformed { offset: self.pos, reason: "expected '>'" });
+        }
+        self.pos += 1;
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(XmlEvent::End { name }),
+            Some(open) => Err(XmlError::MismatchedTag { expected: open, found: name }),
+            None => Err(XmlError::Malformed {
+                offset: self.pos,
+                reason: "closing tag with no open element",
+            }),
+        }
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        self.pos += 1; // consume '<'
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            let Some(&b) = self.src.get(self.pos) else {
+                return Err(XmlError::UnexpectedEof { context: "start tag" });
+            };
+            match b {
+                b'>' => {
+                    self.pos += 1;
+                    self.stack.push(name.clone());
+                    return Ok(XmlEvent::Start { name, attributes });
+                }
+                b'/' => {
+                    if !self.starts_with("/>") {
+                        return Err(XmlError::Malformed {
+                            offset: self.pos,
+                            reason: "expected '/>'",
+                        });
+                    }
+                    self.pos += 2;
+                    self.stack.push(name.clone());
+                    self.pending_end = Some(name.clone());
+                    return Ok(XmlEvent::Start { name, attributes });
+                }
+                _ => {
+                    let key = self.read_name()?;
+                    self.skip_ws();
+                    if self.src.get(self.pos) != Some(&b'=') {
+                        return Err(XmlError::Malformed {
+                            offset: self.pos,
+                            reason: "expected '=' in attribute",
+                        });
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.src.get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        None => {
+                            return Err(XmlError::UnexpectedEof { context: "attribute value" })
+                        }
+                        _ => {
+                            return Err(XmlError::Malformed {
+                                offset: self.pos,
+                                reason: "expected quoted attribute value",
+                            })
+                        }
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(XmlError::UnexpectedEof { context: "attribute value" });
+                    }
+                    let raw = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| {
+                        XmlError::Malformed { offset: start, reason: "invalid utf-8" }
+                    })?;
+                    self.pos += 1; // closing quote
+                    attributes.push((key, decode_entities(raw)?));
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_name_byte(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Malformed { offset: start, reason: "expected a name" });
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| XmlError::Malformed { offset: start, reason: "invalid utf-8" })?
+            .to_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.')
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decodes the five predefined entities plus decimal/hex character refs.
+pub fn decode_entities(s: &str) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i + 1..];
+        let Some(j) = rest.find(';') else {
+            return Err(XmlError::UnknownEntity { entity: rest.chars().take(8).collect() });
+        };
+        let entity = &rest[..j];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| XmlError::UnknownEntity { entity: entity.to_owned() })?;
+                out.push(cp);
+            }
+            _ if entity.starts_with('#') => {
+                let cp = entity[1..]
+                    .parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| XmlError::UnknownEntity { entity: entity.to_owned() })?;
+                out.push(cp);
+            }
+            _ => return Err(XmlError::UnknownEntity { entity: entity.to_owned() }),
+        }
+        rest = &rest[j + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Encodes text content for embedding in XML.
+pub fn encode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut r = XmlReader::new(src);
+        let mut out = Vec::new();
+        while let Some(e) = r.next_event()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_simple_document() {
+        let ev = events(r#"<?xml version="1.0"?><a x="1"><b/>text</a>"#).unwrap();
+        assert_eq!(ev.len(), 5);
+        assert!(matches!(&ev[0], XmlEvent::Start { name, attributes }
+            if name == "a" && attributes == &[("x".to_owned(), "1".to_owned())]));
+        assert!(matches!(&ev[1], XmlEvent::Start { name, .. } if name == "b"));
+        assert!(matches!(&ev[2], XmlEvent::End { name } if name == "b"));
+        assert!(matches!(&ev[3], XmlEvent::Text(t) if t == "text"));
+        assert!(matches!(&ev[4], XmlEvent::End { name } if name == "a"));
+    }
+
+    #[test]
+    fn skips_comments_and_doctype() {
+        let ev = events("<!DOCTYPE gpx><!-- hi --><a></a>").unwrap();
+        assert_eq!(ev.len(), 2);
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attrs() {
+        let ev = events(r#"<a t="&lt;&amp;&gt;">x &#65;&#x42; y</a>"#).unwrap();
+        assert!(matches!(&ev[0], XmlEvent::Start { attributes, .. }
+            if attributes[0].1 == "<&>"));
+        assert!(matches!(&ev[1], XmlEvent::Text(t) if t == "x AB y"));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(matches!(events("<a><b></a></b>"), Err(XmlError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated_document() {
+        assert!(matches!(events("<a><b>"), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(events("<a x="), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(matches!(events("<a>&nope;</a>"), Err(XmlError::UnknownEntity { .. })));
+    }
+
+    #[test]
+    fn rejects_stray_close() {
+        assert!(events("</a>").is_err());
+    }
+
+    #[test]
+    fn entity_roundtrip() {
+        let original = r#"5 < 6 & "quotes" 'apos' > 4"#;
+        assert_eq!(decode_entities(&encode_entities(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn attributes_allow_single_quotes() {
+        let ev = events("<a x='1 2'/>").unwrap();
+        assert!(matches!(&ev[0], XmlEvent::Start { attributes, .. }
+            if attributes[0].1 == "1 2"));
+    }
+}

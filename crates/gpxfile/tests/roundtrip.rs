@@ -1,0 +1,74 @@
+//! Property-based round-trip tests for the GPX codec.
+
+use geoprim::LatLon;
+use gpxfile::{Gpx, Track, TrackPoint, TrackSegment};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = TrackPoint> {
+    (
+        -85.0f64..85.0,
+        -179.0f64..179.0,
+        prop::option::of(-100.0f64..4000.0),
+        prop::option::of("[ -~&&[^<>&\"']]{0,20}"),
+    )
+        .prop_map(|(lat, lon, ele, time)| TrackPoint {
+            coord: LatLon::new(lat, lon),
+            elevation_m: ele,
+            time,
+        })
+}
+
+fn arb_gpx() -> impl Strategy<Value = Gpx> {
+    (
+        "[ -~]{0,24}",
+        prop::collection::vec(
+            (
+                prop::option::of("[ -~]{0,24}"),
+                prop::collection::vec(
+                    prop::collection::vec(arb_point(), 0..16).prop_map(|points| TrackSegment {
+                        points,
+                    }),
+                    0..3,
+                ),
+            )
+                .prop_map(|(name, segments)| Track { name, segments }),
+            0..3,
+        ),
+    )
+        .prop_map(|(creator, tracks)| Gpx { creator, tracks })
+}
+
+proptest! {
+    #[test]
+    fn write_parse_roundtrip(gpx in arb_gpx()) {
+        let xml = gpx.to_xml();
+        let parsed = Gpx::parse(&xml).unwrap();
+        prop_assert_eq!(&parsed.creator, &gpx.creator);
+        prop_assert_eq!(parsed.point_count(), gpx.point_count());
+        // Elevations survive to 1e-4 precision.
+        let e1 = gpx.elevation_profile();
+        let e2 = parsed.elevation_profile();
+        prop_assert_eq!(e1.len(), e2.len());
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+        // Coordinates survive to 1e-7 precision.
+        for (a, b) in gpx.trajectory().iter().zip(parsed.trajectory()) {
+            prop_assert!((a.lat - b.lat).abs() < 1e-6);
+            prop_assert!((a.lon - b.lon).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(src in "[ -~<>&\"']{0,200}") {
+        let _ = Gpx::parse(&src);
+    }
+
+    #[test]
+    fn track_names_roundtrip(name in "[a-zA-Z0-9 <>&\"']{1,30}") {
+        let mut g = Gpx::new("t");
+        g.tracks.push(Track { name: Some(name.trim().to_owned()), segments: vec![] });
+        let parsed = Gpx::parse(&g.to_xml()).unwrap();
+        prop_assert_eq!(parsed.tracks[0].name.as_deref(), Some(name.trim()));
+    }
+}

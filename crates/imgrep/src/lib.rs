@@ -1,0 +1,36 @@
+//! Image-like representation of elevation profiles (paper §III-B2).
+//!
+//! "In image-like transformation, the elevation signals are drawn as
+//! line graphs. To draw a line graph, the maximum and minimum values for
+//! y-axis are set to be the extremes of each elevation signal, and the
+//! lines are colored to encode the value interval in which elevation
+//! signal ranges. ... We use 200 elevation values for each, obtained by
+//! dividing the elevation signal into equal-sized parts."
+//!
+//! The design packs two signals into one image: the *shape* of the
+//! profile (normalized to the image height, so small fluctuations stay
+//! visible) and its *absolute elevation band* (the line colour), which
+//! is what lets a CNN separate flat-but-high Minneapolis from
+//! flat-and-low Miami.
+//!
+//! # Examples
+//!
+//! ```
+//! use imgrep::{ImageConfig, render};
+//!
+//! let profile: Vec<f64> = (0..500).map(|i| 20.0 + (i as f64 * 0.05).sin() * 5.0).collect();
+//! let img = render(&profile, &ImageConfig::default());
+//! assert_eq!(img.pixels.len(), 3 * 32 * 32);
+//! assert!(img.pixels.iter().any(|&p| p > 0.0)); // something was drawn
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod palette;
+mod raster;
+mod resample;
+
+pub use palette::{color_for_band, elevation_band, Rgb, ELEVATION_BANDS};
+pub use raster::{render, ElevationImage, ImageConfig};
+pub use resample::resample_mean;

@@ -1,0 +1,99 @@
+//! Elevation-band colour encoding.
+
+/// An RGB colour with channels in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: f32,
+    /// Green channel.
+    pub g: f32,
+    /// Blue channel.
+    pub b: f32,
+}
+
+/// Upper edges (metres) of the elevation bands used for line colouring.
+///
+/// The bands are roughly logarithmic: coastal cities live in the first
+/// few, mountain cities in the last. A signal's band is decided by its
+/// mean elevation ("the elevation interval in which the elevation
+/// profiles range").
+pub const ELEVATION_BANDS: [f64; 9] =
+    [5.0, 15.0, 40.0, 90.0, 180.0, 350.0, 700.0, 1_400.0, 2_800.0];
+
+/// Distinct, well-separated colours per band (bands.len() + 1 entries).
+const PALETTE: [Rgb; 10] = [
+    Rgb { r: 0.12, g: 0.47, b: 0.71 }, // deep blue      (0–5 m)
+    Rgb { r: 0.17, g: 0.63, b: 0.17 }, // green          (5–15 m)
+    Rgb { r: 0.84, g: 0.15, b: 0.16 }, // red            (15–40 m)
+    Rgb { r: 0.58, g: 0.40, b: 0.74 }, // purple         (40–90 m)
+    Rgb { r: 1.00, g: 0.50, b: 0.05 }, // orange         (90–180 m)
+    Rgb { r: 0.55, g: 0.34, b: 0.29 }, // brown          (180–350 m)
+    Rgb { r: 0.89, g: 0.47, b: 0.76 }, // pink           (350–700 m)
+    Rgb { r: 0.50, g: 0.50, b: 0.50 }, // grey           (700–1400 m)
+    Rgb { r: 0.74, g: 0.74, b: 0.13 }, // olive          (1400–2800 m)
+    Rgb { r: 0.09, g: 0.75, b: 0.81 }, // cyan           (2800+ m)
+];
+
+/// The band index for a signal whose mean elevation is `mean_elevation_m`.
+///
+/// Non-finite means are treated as 0 m (band 0).
+pub fn elevation_band(mean_elevation_m: f64) -> usize {
+    let e = if mean_elevation_m.is_finite() { mean_elevation_m } else { 0.0 };
+    ELEVATION_BANDS.iter().position(|&edge| e < edge).unwrap_or(ELEVATION_BANDS.len())
+}
+
+/// The line colour for a band index.
+///
+/// # Panics
+///
+/// Never panics: indices beyond the last band clamp to the last colour.
+pub fn color_for_band(band: usize) -> Rgb {
+    PALETTE[band.min(PALETTE.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_boundaries() {
+        assert_eq!(elevation_band(0.0), 0);
+        assert_eq!(elevation_band(4.99), 0);
+        assert_eq!(elevation_band(5.0), 1);
+        assert_eq!(elevation_band(100.0), 4);
+        assert_eq!(elevation_band(1_900.0), 8);
+        assert_eq!(elevation_band(5_000.0), 9);
+    }
+
+    #[test]
+    fn paper_cities_get_distinct_bands() {
+        // Miami ~2 m, NYC ~15–25 m, Minneapolis ~255 m, Springs ~1840 m.
+        let miami = elevation_band(2.5);
+        let nyc = elevation_band(20.0);
+        let minneapolis = elevation_band(255.0);
+        let springs = elevation_band(1_840.0);
+        let all = [miami, nyc, minneapolis, springs];
+        let mut dedup = all.to_vec();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "bands {all:?}");
+    }
+
+    #[test]
+    fn colors_are_distinct_per_band() {
+        for i in 0..PALETTE.len() {
+            for j in (i + 1)..PALETTE.len() {
+                assert_ne!(PALETTE[i], PALETTE[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_mean_maps_to_band_zero() {
+        assert_eq!(elevation_band(f64::NAN), 0);
+    }
+
+    #[test]
+    fn color_for_band_clamps() {
+        assert_eq!(color_for_band(999), PALETTE[PALETTE.len() - 1]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Line-graph rasterization into CNN-ready images.
+
+use crate::palette::{color_for_band, elevation_band, Rgb};
+use crate::resample::resample_mean;
+use serde::{Deserialize, Serialize};
+
+/// Rendering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImageConfig {
+    /// Number of resampled elevation values (the paper uses 200).
+    pub resample_points: usize,
+    /// Image width in pixels (the paper's CNN consumes 32×32).
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// When `true` (the paper's choice), the y-axis extremes are the
+    /// *signal's own* min/max; the absolute band is carried by colour.
+    /// `false` uses a fixed global range — the alternative examined in
+    /// the `ablation_image_scale` bench.
+    pub per_signal_scale: bool,
+    /// Fixed global y-range used when `per_signal_scale` is `false`.
+    pub global_range: (f64, f64),
+    /// When `true` (the paper's choice), the line colour encodes the
+    /// elevation band; `false` draws monochrome white lines — the
+    /// alternative the paper examined and rejected ("the lines ... are
+    /// colored to represent the elevation interval"), compared in the
+    /// `ablation_image_style` bench.
+    pub colored: bool,
+}
+
+impl Default for ImageConfig {
+    fn default() -> Self {
+        Self {
+            resample_points: 200,
+            width: 32,
+            height: 32,
+            per_signal_scale: true,
+            global_range: (0.0, 3_000.0),
+            colored: true,
+        }
+    }
+}
+
+impl ImageConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint (zero dimensions or an
+    /// inverted global range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.height == 0 {
+            return Err("image dimensions must be nonzero".into());
+        }
+        if self.resample_points < 2 {
+            return Err("need at least two resample points".into());
+        }
+        if self.global_range.0 >= self.global_range.1 {
+            return Err("global range must be ordered".into());
+        }
+        Ok(())
+    }
+}
+
+/// A rendered elevation image in CHW layout (3 × height × width), values
+/// in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElevationImage {
+    /// Pixel data, `pixels[c * H * W + y * W + x]`.
+    pub pixels: Vec<f32>,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// The elevation band that chose the line colour.
+    pub band: usize,
+}
+
+impl ElevationImage {
+    /// The pixel at `(x, y)` as RGB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= width` or `y >= height`.
+    pub fn pixel(&self, x: usize, y: usize) -> Rgb {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let hw = self.height * self.width;
+        let i = y * self.width + x;
+        Rgb { r: self.pixels[i], g: self.pixels[hw + i], b: self.pixels[2 * hw + i] }
+    }
+
+    /// Fraction of pixels that are not background.
+    pub fn coverage(&self) -> f64 {
+        let hw = self.height * self.width;
+        let lit = (0..hw)
+            .filter(|&i| {
+                self.pixels[i] > 0.0 || self.pixels[hw + i] > 0.0 || self.pixels[2 * hw + i] > 0.0
+            })
+            .count();
+        lit as f64 / hw as f64
+    }
+}
+
+/// Renders an elevation profile as a coloured line graph.
+///
+/// The signal is resampled to `config.resample_points` values, scaled to
+/// the image height (per-signal extremes by default), and drawn as a
+/// connected line whose colour encodes the signal's elevation band.
+/// Empty signals render as an all-background image with band 0.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ImageConfig::validate`].
+pub fn render(signal: &[f64], config: &ImageConfig) -> ElevationImage {
+    if let Err(e) = config.validate() {
+        panic!("invalid image config: {e}");
+    }
+    let (w, h) = (config.width, config.height);
+    let mut img = ElevationImage { pixels: vec![0.0; 3 * w * h], width: w, height: h, band: 0 };
+    if signal.is_empty() {
+        return img;
+    }
+    let values = resample_mean(signal, config.resample_points);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    img.band = elevation_band(mean);
+    let color = if config.colored {
+        color_for_band(img.band)
+    } else {
+        Rgb { r: 1.0, g: 1.0, b: 1.0 }
+    };
+
+    let (lo, hi) = if config.per_signal_scale {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if (hi - lo).abs() < 1e-9 {
+            (lo - 0.5, hi + 0.5) // flat signal: centre line
+        } else {
+            (lo, hi)
+        }
+    } else {
+        config.global_range
+    };
+
+    // Map each resampled value to pixel coordinates.
+    let to_xy = |k: usize, v: f64| -> (i64, i64) {
+        let x = if values.len() == 1 {
+            0.0
+        } else {
+            k as f64 * (w - 1) as f64 / (values.len() - 1) as f64
+        };
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let y = (1.0 - t) * (h - 1) as f64; // y grows downward
+        (x.round() as i64, y.round() as i64)
+    };
+
+    let mut prev = to_xy(0, values[0]);
+    set_pixel(&mut img, prev.0, prev.1, color);
+    for (k, &v) in values.iter().enumerate().skip(1) {
+        let cur = to_xy(k, v);
+        draw_line(&mut img, prev, cur, color);
+        prev = cur;
+    }
+    img
+}
+
+fn set_pixel(img: &mut ElevationImage, x: i64, y: i64, c: Rgb) {
+    if x < 0 || y < 0 || x >= img.width as i64 || y >= img.height as i64 {
+        return;
+    }
+    let hw = img.height * img.width;
+    let i = y as usize * img.width + x as usize;
+    img.pixels[i] = c.r;
+    img.pixels[hw + i] = c.g;
+    img.pixels[2 * hw + i] = c.b;
+}
+
+/// Bresenham line drawing.
+fn draw_line(img: &mut ElevationImage, from: (i64, i64), to: (i64, i64), c: Rgb) {
+    let (mut x0, mut y0) = from;
+    let (x1, y1) = to;
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        set_pixel(img, x0, y0, c);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, base: f64, step: f64) -> Vec<f64> {
+        (0..n).map(|i| base + i as f64 * step).collect()
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let s = ramp(300, 10.0, 0.1);
+        let cfg = ImageConfig::default();
+        assert_eq!(render(&s, &cfg), render(&s, &cfg));
+    }
+
+    #[test]
+    fn line_spans_full_width() {
+        let img = render(&ramp(200, 5.0, 0.2), &ImageConfig::default());
+        // Every column contains at least one lit pixel.
+        for x in 0..img.width {
+            let lit = (0..img.height).any(|y| {
+                let p = img.pixel(x, y);
+                p.r > 0.0 || p.g > 0.0 || p.b > 0.0
+            });
+            assert!(lit, "column {x} empty");
+        }
+    }
+
+    #[test]
+    fn monotone_ramp_draws_descending_y() {
+        // Rising elevation => line goes from bottom-left to top-right.
+        let img = render(&ramp(200, 0.0, 1.0), &ImageConfig::default());
+        let first_col_y: Vec<usize> =
+            (0..img.height).filter(|&y| img.pixel(0, y).r > 0.0 || img.pixel(0, y).g > 0.0 || img.pixel(0, y).b > 0.0).collect();
+        let last_col_y: Vec<usize> =
+            (0..img.height).filter(|&y| { let p = img.pixel(img.width - 1, y); p.r > 0.0 || p.g > 0.0 || p.b > 0.0 }).collect();
+        assert!(first_col_y.iter().min() > last_col_y.iter().min());
+    }
+
+    #[test]
+    fn flat_signal_draws_a_horizontal_line() {
+        let img = render(&vec![42.0; 100], &ImageConfig::default());
+        assert!(img.coverage() > 0.0);
+        // All lit pixels share one row.
+        let mut rows = std::collections::HashSet::new();
+        for y in 0..img.height {
+            for x in 0..img.width {
+                let p = img.pixel(x, y);
+                if p.r > 0.0 || p.g > 0.0 || p.b > 0.0 {
+                    rows.insert(y);
+                }
+            }
+        }
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn color_encodes_elevation_band() {
+        let low = render(&ramp(100, 1.0, 0.01), &ImageConfig::default());
+        let high = render(&ramp(100, 1_800.0, 0.01), &ImageConfig::default());
+        assert_ne!(low.band, high.band);
+        // Find a lit pixel in each and compare colours.
+        let lit_color = |img: &ElevationImage| -> Rgb {
+            for y in 0..img.height {
+                for x in 0..img.width {
+                    let p = img.pixel(x, y);
+                    if p.r > 0.0 || p.g > 0.0 || p.b > 0.0 {
+                        return p;
+                    }
+                }
+            }
+            panic!("no lit pixel");
+        };
+        assert_ne!(lit_color(&low), lit_color(&high));
+    }
+
+    #[test]
+    fn per_signal_scale_uses_full_height() {
+        // A tiny 1 m wiggle still spans the whole image height.
+        let s: Vec<f64> = (0..200).map(|i| 20.0 + (i as f64 * 0.1).sin() * 0.5).collect();
+        let img = render(&s, &ImageConfig::default());
+        let yc: Vec<usize> = (0..img.height)
+            .filter(|&y| (0..img.width).any(|x| { let p = img.pixel(x, y); p.r > 0.0 || p.g > 0.0 || p.b > 0.0 }))
+            .collect();
+        assert!(*yc.iter().min().unwrap() <= 1);
+        assert!(*yc.iter().max().unwrap() >= img.height - 2);
+    }
+
+    #[test]
+    fn global_scale_compresses_small_signals() {
+        let s: Vec<f64> = (0..200).map(|i| 20.0 + (i as f64 * 0.1).sin() * 0.5).collect();
+        let cfg = ImageConfig { per_signal_scale: false, ..Default::default() };
+        let img = render(&s, &cfg);
+        let yc: Vec<usize> = (0..img.height)
+            .filter(|&y| (0..img.width).any(|x| { let p = img.pixel(x, y); p.r > 0.0 || p.g > 0.0 || p.b > 0.0 }))
+            .collect();
+        assert_eq!(yc.len(), 1, "20 m of 3000 m collapses to one row");
+    }
+
+    #[test]
+    fn empty_signal_renders_background() {
+        let img = render(&[], &ImageConfig::default());
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid image config")]
+    fn rejects_zero_dimensions() {
+        render(&[1.0], &ImageConfig { width: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn monochrome_lines_are_white_regardless_of_band() {
+        let cfg = ImageConfig { colored: false, ..Default::default() };
+        for base in [1.0f64, 1_800.0] {
+            let img = render(&ramp(100, base, 0.01), &cfg);
+            let mut found = false;
+            for y in 0..img.height {
+                for x in 0..img.width {
+                    let p = img.pixel(x, y);
+                    if p.r > 0.0 {
+                        assert_eq!((p.r, p.g, p.b), (1.0, 1.0, 1.0));
+                        found = true;
+                    }
+                }
+            }
+            assert!(found);
+        }
+    }
+}

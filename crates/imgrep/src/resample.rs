@@ -1,0 +1,91 @@
+//! Signal resampling by equal-sized parts.
+
+/// Resamples `signal` to exactly `n` values by "dividing the elevation
+/// signal into equal-sized parts" and averaging each part.
+///
+/// Signals shorter than `n` are linearly interpolated instead, so mined
+/// profiles (80 points) still produce the paper's 200 values.
+///
+/// Returns an empty vector when `signal` is empty or `n == 0`.
+pub fn resample_mean(signal: &[f64], n: usize) -> Vec<f64> {
+    if n == 0 || signal.is_empty() {
+        return Vec::new();
+    }
+    if signal.len() == 1 {
+        return vec![signal[0]; n];
+    }
+    if signal.len() >= n {
+        // Mean of each equal-sized part.
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let lo = k * signal.len() / n;
+            let hi = ((k + 1) * signal.len() / n).max(lo + 1);
+            let part = &signal[lo..hi];
+            out.push(part.iter().sum::<f64>() / part.len() as f64);
+        }
+        out
+    } else {
+        // Linear interpolation up to n points.
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let t = if n == 1 { 0.0 } else { k as f64 * (signal.len() - 1) as f64 / (n - 1) as f64 };
+            let i = (t.floor() as usize).min(signal.len() - 2);
+            let frac = t - i as f64;
+            out.push(signal[i] * (1.0 - frac) + signal[i + 1] * frac);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsampling_averages_parts() {
+        let signal = vec![1.0, 1.0, 3.0, 3.0];
+        assert_eq!(resample_mean(&signal, 2), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn exact_length_is_identity() {
+        let signal = vec![1.0, 2.0, 3.0];
+        assert_eq!(resample_mean(&signal, 3), signal);
+    }
+
+    #[test]
+    fn upsampling_interpolates_and_keeps_endpoints() {
+        let signal = vec![0.0, 10.0];
+        let out = resample_mean(&signal, 5);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[4], 10.0);
+        assert!((out[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preserves_mean_when_downsampling_evenly() {
+        let signal: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let out = resample_mean(&signal, 50);
+        let m1 = signal.iter().sum::<f64>() / 200.0;
+        let m2 = out.iter().sum::<f64>() / 50.0;
+        assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(resample_mean(&[], 10).is_empty());
+        assert!(resample_mean(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(resample_mean(&[7.0], 3), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn output_length_is_always_n() {
+        for len in [1usize, 2, 7, 80, 200, 555] {
+            let signal: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            for n in [1usize, 2, 32, 200] {
+                assert_eq!(resample_mean(&signal, n).len(), n, "len {len} n {n}");
+            }
+        }
+    }
+}

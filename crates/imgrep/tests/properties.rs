@@ -1,0 +1,79 @@
+//! Property-based tests for the image-like representation.
+
+use imgrep::{elevation_band, render, resample_mean, ImageConfig};
+use proptest::prelude::*;
+
+fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..3000.0, 0..400)
+}
+
+proptest! {
+    #[test]
+    fn resample_always_returns_n(signal in arb_signal(), n in 1usize..256) {
+        if signal.is_empty() {
+            prop_assert!(resample_mean(&signal, n).is_empty());
+        } else {
+            prop_assert_eq!(resample_mean(&signal, n).len(), n);
+        }
+    }
+
+    #[test]
+    fn resample_stays_within_signal_range(
+        signal in prop::collection::vec(0.0f64..3000.0, 1..400),
+        n in 1usize..256,
+    ) {
+        let lo = signal.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = signal.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in resample_mean(&signal, n) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_pixels_are_normalized(signal in arb_signal()) {
+        let img = render(&signal, &ImageConfig::default());
+        prop_assert_eq!(img.pixels.len(), 3 * 32 * 32);
+        prop_assert!(img.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn nonempty_signals_draw_something(signal in prop::collection::vec(0.0f64..3000.0, 1..400)) {
+        let img = render(&signal, &ImageConfig::default());
+        prop_assert!(img.coverage() > 0.0);
+    }
+
+    #[test]
+    fn bands_are_monotone_in_elevation(a in 0.0f64..5000.0, b in 0.0f64..5000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(elevation_band(lo) <= elevation_band(hi));
+    }
+
+    #[test]
+    fn rendering_is_translation_sensitive_only_via_band(
+        signal in prop::collection::vec(0.0f64..50.0, 10..200),
+        shift in 0.0f64..2.0,
+    ) {
+        // Per-signal scaling: shifting the whole signal by a small amount
+        // that stays within the same band must not change the geometry.
+        let cfg = ImageConfig::default();
+        let base = render(&signal, &cfg);
+        let shifted: Vec<f64> = signal.iter().map(|v| v + shift).collect();
+        let moved = render(&shifted, &cfg);
+        if base.band == moved.band {
+            prop_assert_eq!(base.pixels, moved.pixels);
+        }
+    }
+
+    #[test]
+    fn custom_dimensions_are_respected(
+        signal in prop::collection::vec(0.0f64..100.0, 1..100),
+        w in 4usize..64,
+        h in 4usize..64,
+    ) {
+        let cfg = ImageConfig { width: w, height: h, ..Default::default() };
+        let img = render(&signal, &cfg);
+        prop_assert_eq!(img.width, w);
+        prop_assert_eq!(img.height, h);
+        prop_assert_eq!(img.pixels.len(), 3 * w * h);
+    }
+}

@@ -1,0 +1,192 @@
+//! Softmax cross-entropy, optionally class-weighted.
+
+use tensorlite::Tensor;
+
+/// Numerically stable softmax over the last axis of `[N, C]` logits.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax expects [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = logits.clone();
+    for r in 0..n {
+        let row = &mut out.data_mut()[r * c..(r + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Cross-entropy loss with optional per-class weights.
+///
+/// With weights `w`, the loss is `Σᵢ w[yᵢ]·(−log pᵢ[yᵢ]) / Σᵢ w[yᵢ]`
+/// (PyTorch's `CrossEntropyLoss(weight=...)` semantics); without
+/// weights it is the plain batch mean. The paper assigns "a class
+/// weight that is inversely proportional to the sample size of the
+/// class" to keep minority classes from washing out.
+///
+/// Returns `(loss, grad_logits)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree, a label is out of range, or a weight
+/// vector of the wrong length is supplied.
+pub fn cross_entropy(
+    logits: &Tensor,
+    labels: &[u32],
+    class_weights: Option<&[f32]>,
+) -> (f32, Tensor) {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    if let Some(w) = class_weights {
+        assert_eq!(w.len(), c, "one weight per class");
+    }
+    let probs = softmax(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    let mut weight_sum = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!((label as usize) < c, "label {label} out of range for {c} classes");
+        let w = class_weights.map_or(1.0, |cw| cw[label as usize]);
+        weight_sum += w;
+        let p = probs.data()[r * c + label as usize].max(1e-12);
+        loss += -p.ln() * w;
+        // grad row = w * (softmax - onehot); normalized below.
+        let row = &mut grad.data_mut()[r * c..(r + 1) * c];
+        row[label as usize] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= w;
+        }
+    }
+    let norm = if weight_sum > 0.0 { weight_sum } else { 1.0 };
+    grad.scale(1.0 / norm);
+    (loss / norm, grad)
+}
+
+/// Inverse-frequency class weights: `w_c = N / (C · count_c)`.
+///
+/// Classes absent from `labels` get weight 0 (they can never appear in
+/// the loss anyway).
+pub fn inverse_frequency_weights(labels: &[u32], n_classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; n_classes];
+    for &l in labels {
+        counts[l as usize] += 1;
+    }
+    let n = labels.len() as f32;
+    counts
+        .iter()
+        .map(|&cnt| {
+            if cnt == 0 {
+                0.0
+            } else {
+                n / (n_classes as f32 * cnt as f32)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Tensor::from_rows(&[vec![1.0, 2.0, 3.0]]));
+        let b = softmax(&Tensor::from_rows(&[vec![101.0, 102.0, 103.0]]));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[4, 3]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 0], None);
+        assert!((loss - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_has_tiny_loss() {
+        let logits = Tensor::from_rows(&[vec![20.0, 0.0], vec![0.0, 20.0]]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1], None);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_rows(&[vec![0.3, -0.2, 0.9], vec![1.5, 0.1, -0.4]]);
+        let labels = [2u32, 0];
+        let weights = [0.5f32, 1.0, 2.0];
+        let (_, grad) = cross_entropy(&logits, &labels, Some(&weights));
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = cross_entropy(&lp, &labels, Some(&weights));
+            let (fm, _) = cross_entropy(&lm, &labels, Some(&weights));
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((grad.data()[i] - num).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn weights_emphasize_minority_class() {
+        // Same wrong prediction on both rows; weighting class 1 higher
+        // makes the class-1 mistake dominate the loss.
+        let logits = Tensor::from_rows(&[vec![2.0, 0.0], vec![2.0, 0.0]]);
+        let (unweighted, _) = cross_entropy(&logits, &[1, 1], None);
+        let (weighted, _) = cross_entropy(&logits, &[1, 1], Some(&[1.0, 10.0]));
+        // Normalized by weight sum, per-sample loss is identical here;
+        // check instead mixed batches:
+        let logits2 = Tensor::from_rows(&[vec![2.0, 0.0], vec![0.0, 2.0]]);
+        // Row 0: correct class 0. Row 1: correct class 1. Both confident.
+        let (l_a, _) = cross_entropy(&logits2, &[0, 0], Some(&[1.0, 10.0]));
+        let (l_b, _) = cross_entropy(&logits2, &[1, 1], Some(&[1.0, 10.0]));
+        // Class-1 labels weigh 10x but normalization keeps scale; the
+        // *gradient* allocation is what shifts:
+        let (_, g) = cross_entropy(&logits2, &[0, 1], Some(&[1.0, 10.0]));
+        let row0_mag: f32 = g.row(0).iter().map(|v| v.abs()).sum();
+        let row1_mag: f32 = g.row(1).iter().map(|v| v.abs()).sum();
+        assert!(row1_mag > row0_mag * 5.0);
+        let _ = (unweighted, weighted, l_a, l_b);
+    }
+
+    #[test]
+    fn inverse_frequency_weights_balance() {
+        let labels = [0u32, 0, 0, 0, 1];
+        let w = inverse_frequency_weights(&labels, 2);
+        // 4·w0 == 1·w1: each class contributes equally in aggregate.
+        assert!((4.0 * w[0] - w[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absent_classes_get_zero_weight() {
+        let w = inverse_frequency_weights(&[0u32, 0], 3);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        cross_entropy(&Tensor::zeros(&[1, 2]), &[5], None);
+    }
+}

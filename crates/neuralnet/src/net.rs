@@ -1,0 +1,277 @@
+//! Sequential networks and the mini-batch training loop.
+
+use crate::layer::Layer;
+use crate::loss::cross_entropy;
+use crate::optim::Adam;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tensorlite::Tensor;
+
+/// A stack of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Builds a network from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn n_params(&mut self) -> usize {
+        let mut n = 0usize;
+        self.visit_params(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Class predictions (argmax of logits). Takes `&mut self` because
+    /// layer forward passes reuse internal buffers.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<u32> {
+        let logits = self.forward(x, false);
+        let c = logits.shape()[1];
+        (0..logits.shape()[0])
+            .map(|r| {
+                let row = logits.row(r);
+                let mut best = 0usize;
+                for j in 1..c {
+                    if row[j] > row[best] {
+                        best = j;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
+
+    /// Raw logits for a batch.
+    pub fn logits(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, false)
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut cur = input.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Optional per-class loss weights (the paper's weighted loss).
+    pub class_weights: Option<Vec<f32>>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 50, batch_size: 32, lr: 1e-3, seed: 0, class_weights: None }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    }
+}
+
+/// Trains `net` on `(x, y)` with softmax cross-entropy and Adam.
+///
+/// `x` is `[N, ...]` with one leading sample axis; `y` holds one label
+/// per sample.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` disagree on the sample count, the batch size
+/// is zero, or `x` is empty.
+pub fn train(net: &mut Sequential, x: &Tensor, y: &[u32], config: &TrainConfig) -> TrainReport {
+    train_with_optimizer(net, x, y, config, &mut Adam::new(config.lr))
+}
+
+/// [`train`] with an externally owned optimizer, so fine-tuning rounds
+/// can share Adam state across rounds while changing data and learning
+/// rate.
+pub fn train_with_optimizer(
+    net: &mut Sequential,
+    x: &Tensor,
+    y: &[u32],
+    config: &TrainConfig,
+    adam: &mut Adam,
+) -> TrainReport {
+    let n = x.shape()[0];
+    assert_eq!(n, y.len(), "one label per sample");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(n > 0, "cannot train on an empty dataset");
+    adam.set_lr(config.lr);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let xb = gather_samples(x, chunk);
+            let yb: Vec<u32> = chunk.iter().map(|&i| y[i]).collect();
+            net.zero_grad();
+            let logits = net.forward(&xb, true);
+            let (loss, grad) =
+                cross_entropy(&logits, &yb, config.class_weights.as_deref());
+            net.backward(&grad);
+            adam.step(net);
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    TrainReport { epoch_losses }
+}
+
+/// Gathers samples along the leading axis.
+pub fn gather_samples(x: &Tensor, indices: &[usize]) -> Tensor {
+    let n = x.shape()[0];
+    let sample_len = x.len() / n;
+    let mut data = Vec::with_capacity(indices.len() * sample_len);
+    for &i in indices {
+        assert!(i < n, "sample index out of range");
+        data.extend_from_slice(&x.data()[i * sample_len..(i + 1) * sample_len]);
+    }
+    let mut shape = x.shape().to_vec();
+    shape[0] = indices.len();
+    Tensor::from_vec(data, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+
+    fn two_blob_data(n_per: usize) -> (Tensor, Vec<u32>) {
+        // Two well-separated Gaussian-ish blobs on a line.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per {
+            let jitter = (i as f32 * 0.37).sin() * 0.3;
+            rows.push(vec![-2.0 + jitter, 1.0]);
+            labels.push(0u32);
+            rows.push(vec![2.0 - jitter, -1.0]);
+            labels.push(1u32);
+        }
+        (Tensor::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn trains_to_separate_blobs() {
+        let (x, y) = two_blob_data(30);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 8, 1)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 2, 2)),
+        ]);
+        let report =
+            train(&mut net, &x, &y, &TrainConfig { epochs: 60, lr: 0.01, ..Default::default() });
+        assert!(report.final_loss() < 0.1, "loss {}", report.final_loss());
+        assert_eq!(net.predict(&x), y);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (x, y) = two_blob_data(20);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 4, 5)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(4, 2, 6)),
+        ]);
+        let report = train(&mut net, &x, &y, &TrainConfig { epochs: 30, ..Default::default() });
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = two_blob_data(10);
+        let make = || {
+            Sequential::new(vec![
+                Box::new(Dense::new(2, 4, 7)) as Box<dyn Layer>,
+                Box::new(Relu::new()),
+                Box::new(Dense::new(4, 2, 8)),
+            ])
+        };
+        let mut a = make();
+        let mut b = make();
+        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let ra = train(&mut a, &x, &y, &cfg);
+        let rb = train(&mut b, &x, &y, &cfg);
+        assert_eq!(ra, rb);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn gather_samples_keeps_shape_tail() {
+        let x = Tensor::zeros(&[4, 3, 2, 2]);
+        let g = gather_samples(&x, &[1, 3]);
+        assert_eq!(g.shape(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn n_params_counts_weights_and_biases() {
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(10, 5, 1)) as Box<dyn Layer>,
+            Box::new(Dense::new(5, 3, 2)),
+        ]);
+        assert_eq!(net.n_params(), 10 * 5 + 5 + 5 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sample")]
+    fn rejects_label_mismatch() {
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, 1)) as Box<dyn Layer>]);
+        train(&mut net, &Tensor::zeros(&[3, 2]), &[0, 1], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,189 @@
+//! The Adam optimizer (Kingma & Ba, the paper's choice throughout).
+
+use crate::layer::Layer;
+use tensorlite::Tensor;
+
+/// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+///
+/// Per-parameter state is keyed by visit order, which every layer keeps
+/// stable; reusing one `Adam` across structurally different networks is
+/// a programming error and panics on a size mismatch.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    /// (first moment, second moment) per parameter tensor.
+    state: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not a positive finite number.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Changes the learning rate (fine-tuning reduces it for the last
+    /// round, per the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not a positive finite number.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step from the accumulated gradients of `net`.
+    pub fn step(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let state = &mut self.state;
+        let t_idx = std::cell::Cell::new(0usize);
+        net.visit_params(&mut |param: &mut Tensor, grad: &mut Tensor| {
+            let i = t_idx.get();
+            t_idx.set(i + 1);
+            if state.len() <= i {
+                state.push((vec![0.0; param.len()], vec![0.0; param.len()]));
+            }
+            let (m, v) = &mut state[i];
+            assert_eq!(m.len(), param.len(), "optimizer reused across different networks");
+            let pd = param.data_mut();
+            let gd = grad.data();
+            for j in 0..pd.len() {
+                let g = gd[j];
+                m[j] = b1 * m[j] + (1.0 - b1) * g;
+                v[j] = b2 * v[j] + (1.0 - b2) * g * g;
+                let m_hat = m[j] / bc1;
+                let v_hat = v[j] / bc2;
+                pd[j] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum — the
+/// reference optimizer Adam is compared against in the optimizer
+/// ablation tests.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive-finite or momentum is outside
+    /// `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one update step from the accumulated gradients of `net`.
+    pub fn step(&mut self, net: &mut dyn Layer) {
+        let (lr, mu) = (self.lr, self.momentum);
+        let velocity = &mut self.velocity;
+        let idx = std::cell::Cell::new(0usize);
+        net.visit_params(&mut |param: &mut Tensor, grad: &mut Tensor| {
+            let i = idx.get();
+            idx.set(i + 1);
+            if velocity.len() <= i {
+                velocity.push(vec![0.0; param.len()]);
+            }
+            let v = &mut velocity[i];
+            assert_eq!(v.len(), param.len(), "optimizer reused across different networks");
+            let pd = param.data_mut();
+            let gd = grad.data();
+            for j in 0..pd.len() {
+                v[j] = mu * v[j] - lr * gd[j];
+                pd[j] += v[j];
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Dense;
+
+    /// Adam minimizes a simple quadratic through a Dense layer.
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // Loss = ||W x||² for fixed x; optimum W = 0.
+        let mut layer = Dense::new(2, 2, 3);
+        let x = tensorlite::Tensor::from_rows(&[vec![1.0, -0.5]]);
+        let mut adam = Adam::new(0.05);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..200 {
+            layer.zero_grad();
+            let y = layer.forward(&x, true);
+            let loss: f32 = y.data().iter().map(|v| v * v).sum();
+            let grad = y.map(|v| 2.0 * v);
+            layer.backward(&grad);
+            adam.step(&mut layer);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.01, "loss {last_loss}");
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut layer = Dense::new(2, 2, 3);
+        let x = tensorlite::Tensor::from_rows(&[vec![1.0, -0.5]]);
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            layer.zero_grad();
+            let y = layer.forward(&x, true);
+            let loss: f32 = y.data().iter().map(|v| v * v).sum();
+            layer.backward(&y.map(|v| 2.0 * v));
+            sgd.step(&mut layer);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.01, "loss {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn sgd_rejects_bad_momentum() {
+        Sgd::new(0.1, 1.0);
+    }
+
+    #[test]
+    fn set_lr_updates() {
+        let mut adam = Adam::new(0.1);
+        adam.set_lr(0.001);
+        assert_eq!(adam.lr(), 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_nonpositive_lr() {
+        Adam::new(0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The athlete simulator backing the user-specific dataset (Table I).
+//!
+//! The paper's user-specific dataset comes from "a voluntary athlete who
+//! records activities frequently". Its two statistically load-bearing
+//! properties are:
+//!
+//! 1. **Dense sampling** — full GPS recordings, not sparse polylines, so
+//!    the paper discretizes with a plain `floor`;
+//! 2. **Route repetition** — "about 35% of the routes are overlapped"
+//!    (average IoU of same-class tight rectangles), because real people
+//!    leave from home, repeat favourite routes, and frequent the same
+//!    parks. This repetition is exactly what makes the TM-1 attack so
+//!    accurate.
+//!
+//! [`AthleteSimulator`] models those properties directly: each metro has
+//! a small set of *anchors* (home/work/park, matching the paper's survey
+//! where 90% of activities start at home/school/work) and a pool of
+//! *favourite routes*; every generated activity either replays a
+//! favourite with GPS jitter or wanders fresh from an anchor.
+
+use crate::walk::{gaussian, generate_route, RouteKind, RouteParams};
+use geoprim::LatLon;
+use gpxfile::{Gpx, Track, TrackPoint, TrackSegment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use terrain::{CityId, ElevationModel, SyntheticTerrain};
+
+/// A generated activity: the GPX recording plus its ground-truth metro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    /// The full recording (trajectory + per-point elevation).
+    pub gpx: Gpx,
+    /// Ground-truth metro area (the class label source for Table I).
+    pub metro: CityId,
+}
+
+impl Activity {
+    /// The activity's elevation profile (the adversary's observation).
+    pub fn elevation_profile(&self) -> Vec<f64> {
+        self.gpx.elevation_profile()
+    }
+
+    /// The activity's location trajectory (hidden from the adversary).
+    pub fn trajectory(&self) -> Vec<LatLon> {
+        self.gpx.trajectory()
+    }
+}
+
+/// Tunable behaviour of the [`AthleteSimulator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AthleteConfig {
+    /// Probability an activity replays a favourite route.
+    pub favorite_reuse_prob: f64,
+    /// Number of favourite routes maintained per metro.
+    pub favorites_per_metro: usize,
+    /// Number of anchor points (home/work/park) per metro.
+    pub anchors_per_metro: usize,
+    /// Activity length range in metres.
+    pub length_m_range: (f64, f64),
+    /// Standard deviation of per-point GPS jitter when replaying, metres.
+    pub replay_jitter_m: f64,
+}
+
+impl Default for AthleteConfig {
+    fn default() -> Self {
+        Self {
+            favorite_reuse_prob: 0.8,
+            favorites_per_metro: 2,
+            anchors_per_metro: 3,
+            length_m_range: (2_000.0, 8_000.0),
+            replay_jitter_m: 4.0,
+        }
+    }
+}
+
+/// Habit-driven activity generator for one simulated athlete.
+///
+/// # Examples
+///
+/// ```
+/// use routegen::AthleteSimulator;
+/// use terrain::{CityId, SyntheticTerrain};
+///
+/// let mut sim = AthleteSimulator::new(SyntheticTerrain::new(1), 7);
+/// let acts = sim.generate(CityId::Orlando, 5);
+/// assert_eq!(acts.len(), 5);
+/// assert!(acts[0].elevation_profile().len() > 100);
+/// ```
+#[derive(Debug)]
+pub struct AthleteSimulator {
+    terrain: SyntheticTerrain,
+    rng: StdRng,
+    config: AthleteConfig,
+    /// Per-metro state, created lazily.
+    metros: Vec<MetroState>,
+}
+
+#[derive(Debug)]
+struct MetroState {
+    metro: CityId,
+    anchors: Vec<LatLon>,
+    favorites: Vec<Vec<LatLon>>,
+    /// The athlete's habitual training direction in this metro (toward
+    /// the park, along the river); fresh routes scatter around it.
+    preferred_heading: f64,
+    /// The athlete's characteristic activity length in this metro.
+    typical_length_m: f64,
+}
+
+impl AthleteSimulator {
+    /// Creates a simulator with [`AthleteConfig::default`].
+    pub fn new(terrain: SyntheticTerrain, seed: u64) -> Self {
+        Self::with_config(terrain, seed, AthleteConfig::default())
+    }
+
+    /// Creates a simulator with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no anchors, no
+    /// favourites, an empty or inverted length range, or a reuse
+    /// probability outside `[0, 1]`).
+    pub fn with_config(terrain: SyntheticTerrain, seed: u64, config: AthleteConfig) -> Self {
+        assert!(config.anchors_per_metro > 0, "need at least one anchor");
+        assert!(config.favorites_per_metro > 0, "need at least one favourite route");
+        assert!(
+            config.length_m_range.0 > 0.0 && config.length_m_range.1 >= config.length_m_range.0,
+            "length range must be positive and ordered"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.favorite_reuse_prob),
+            "reuse probability must be in [0, 1]"
+        );
+        Self { terrain, rng: StdRng::seed_from_u64(seed), config, metros: Vec::new() }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &AthleteConfig {
+        &self.config
+    }
+
+    /// Generates `n` activities in the given metro.
+    pub fn generate(&mut self, metro: CityId, n: usize) -> Vec<Activity> {
+        (0..n).map(|_| self.generate_one(metro)).collect()
+    }
+
+    /// Generates a single activity in the given metro.
+    pub fn generate_one(&mut self, metro: CityId) -> Activity {
+        let state_idx = self.metro_state(metro);
+        let reuse = self.rng.gen_bool(self.config.favorite_reuse_prob);
+        let path = if reuse {
+            let idx = self.rng.gen_range(0..self.metros[state_idx].favorites.len());
+            let favorite = self.metros[state_idx].favorites[idx].clone();
+            self.replay(&favorite)
+        } else {
+            let anchor_idx = self.rng.gen_range(0..self.metros[state_idx].anchors.len());
+            let start = self.metros[state_idx].anchors[anchor_idx];
+            let preferred = self.metros[state_idx].preferred_heading;
+            let typical = self.metros[state_idx].typical_length_m;
+            self.fresh_route(metro, start, preferred, typical)
+        };
+        let elevations = self.terrain.elevations(&path);
+        let points = path
+            .iter()
+            .zip(&elevations)
+            .map(|(p, e)| TrackPoint::with_elevation(*p, *e))
+            .collect();
+        let gpx = Gpx {
+            creator: "elevation-privacy athlete simulator".to_owned(),
+            tracks: vec![Track {
+                name: Some(format!("{} training", metro.abbrev())),
+                segments: vec![TrackSegment { points }],
+            }],
+        };
+        Activity { gpx, metro }
+    }
+
+    /// Index of (lazily created) per-metro state.
+    fn metro_state(&mut self, metro: CityId) -> usize {
+        if let Some(i) = self.metros.iter().position(|m| m.metro == metro) {
+            return i;
+        }
+        let bbox = self.terrain.catalog().city(metro).bbox;
+        // Anchors cluster in a neighbourhood-sized patch of the metro —
+        // one athlete does not live everywhere in the city.
+        let home = LatLon::new(
+            self.rng.gen_range(
+                bbox.south_west().lat + bbox.lat_span() * 0.3
+                    ..bbox.south_west().lat + bbox.lat_span() * 0.7,
+            ),
+            self.rng.gen_range(
+                bbox.south_west().lon + bbox.lon_span() * 0.3
+                    ..bbox.south_west().lon + bbox.lon_span() * 0.7,
+            ),
+        );
+        let mut anchors = vec![home];
+        for _ in 1..self.config.anchors_per_metro {
+            anchors.push(home.offset_m(
+                gaussian(&mut self.rng) * 1_500.0,
+                gaussian(&mut self.rng) * 1_500.0,
+            ));
+        }
+        let preferred_heading = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        // Real athletes train near a characteristic distance; per-route
+        // lengths vary ±20% around this metro-typical value.
+        let typical_length_m =
+            self.rng.gen_range(self.config.length_m_range.0..=self.config.length_m_range.1);
+        self.metros.push(MetroState {
+            metro,
+            anchors,
+            favorites: Vec::new(),
+            preferred_heading,
+            typical_length_m,
+        });
+        let idx = self.metros.len() - 1;
+        // Favourite routes all start from anchors.
+        for i in 0..self.config.favorites_per_metro {
+            let start = self.metros[idx].anchors[i % self.metros[idx].anchors.len()];
+            let route = self.fresh_route(metro, start, preferred_heading, typical_length_m);
+            self.metros[idx].favorites.push(route);
+        }
+        idx
+    }
+
+    fn fresh_route(
+        &mut self,
+        metro: CityId,
+        start: LatLon,
+        preferred: f64,
+        typical_length_m: f64,
+    ) -> Vec<LatLon> {
+        let bbox = self.terrain.catalog().city(metro).bbox;
+        let length = typical_length_m * self.rng.gen_range(0.8..=1.2);
+        let kind = match self.rng.gen_range(0..3) {
+            0 => RouteKind::Loop,
+            1 => RouteKind::OutAndBack,
+            _ => RouteKind::Wander,
+        };
+        let heading = preferred + gaussian(&mut self.rng) * 0.35;
+        let params = RouteParams::activity(length, kind).with_heading(heading);
+        generate_route(&mut self.rng, start, &bbox, &params)
+    }
+
+    /// Replays a favourite route with GPS jitter and a random truncation
+    /// (people cut runs short) — same trajectory, not an identical copy.
+    fn replay(&mut self, favorite: &[LatLon]) -> Vec<LatLon> {
+        let keep = self.rng.gen_range(0.85..=1.0);
+        let n = ((favorite.len() as f64) * keep).round().max(2.0) as usize;
+        favorite[..n.min(favorite.len())]
+            .iter()
+            .map(|p| {
+                p.offset_m(
+                    gaussian(&mut self.rng) * self.config.replay_jitter_m,
+                    gaussian(&mut self.rng) * self.config.replay_jitter_m,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoprim::{average_pairwise_iou, BoundingBox};
+
+    #[test]
+    fn activities_stay_in_metro() {
+        let mut sim = AthleteSimulator::new(SyntheticTerrain::new(3), 10);
+        let acts = sim.generate(CityId::WashingtonDc, 10);
+        let bbox = SyntheticTerrain::new(3)
+            .catalog()
+            .city(CityId::WashingtonDc)
+            .bbox
+            .expanded(0.05);
+        for a in &acts {
+            let inside = a.trajectory().iter().filter(|p| bbox.contains(**p)).count();
+            assert!(inside * 10 >= a.trajectory().len() * 9, "route mostly escaped metro");
+        }
+    }
+
+    #[test]
+    fn activities_are_dense_recordings() {
+        let mut sim = AthleteSimulator::new(SyntheticTerrain::new(3), 11);
+        let act = sim.generate_one(CityId::Orlando);
+        assert!(act.gpx.point_count() >= 140, "got {}", act.gpx.point_count());
+        assert_eq!(act.gpx.point_count(), act.elevation_profile().len());
+    }
+
+    #[test]
+    fn overlap_ratio_is_paper_like() {
+        // The paper reports ~35% average same-class IoU; accept a band.
+        let mut sim = AthleteSimulator::new(SyntheticTerrain::new(3), 12);
+        let acts = sim.generate(CityId::WashingtonDc, 60);
+        let rects: Vec<BoundingBox> = acts
+            .iter()
+            .map(|a| BoundingBox::tight(a.trajectory().into_iter()).unwrap())
+            .collect();
+        let iou = average_pairwise_iou(&rects);
+        assert!(
+            (0.22..=0.52).contains(&iou),
+            "average overlap {iou} outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = AthleteSimulator::new(SyntheticTerrain::new(5), 77).generate_one(CityId::Miami);
+        let b = AthleteSimulator::new(SyntheticTerrain::new(5), 77).generate_one(CityId::Miami);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_metros_have_different_elevation_bands() {
+        let mut sim = AthleteSimulator::new(SyntheticTerrain::new(3), 13);
+        let orlando = sim.generate_one(CityId::Orlando);
+        let springs_sim = sim.generate_one(CityId::ColoradoSprings);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&orlando.elevation_profile()) < 100.0);
+        assert!(mean(&springs_sim.elevation_profile()) > 1_200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reuse probability")]
+    fn rejects_bad_config() {
+        let cfg = AthleteConfig { favorite_reuse_prob: 1.5, ..Default::default() };
+        AthleteSimulator::with_config(SyntheticTerrain::new(1), 1, cfg);
+    }
+}

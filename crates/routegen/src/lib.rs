@@ -1,0 +1,33 @@
+//! Synthetic route and training-segment generation.
+//!
+//! The paper's three datasets come from (1) a volunteer athlete's
+//! activity archive and (2–3) training-route segments mined from a
+//! popular fitness-tracking website via its `EXPLORESEGMENTS()` API.
+//! Neither source is available offline; this crate implements the
+//! closest synthetic equivalents:
+//!
+//! - [`walk`]: momentum random walks producing realistic loop /
+//!   out-and-back / wandering routes inside a bounding box,
+//! - [`athlete`]: the [`AthleteSimulator`] — a habit-driven mobility
+//!   model (home anchors, favourite-route reuse) whose GPX output has
+//!   the dense sampling and ~35% route-overlap the paper reports for
+//!   its user-specific dataset,
+//! - [`segments`]: a per-city [`SegmentDatabase`] of user-created
+//!   training segments with popularity scores and the top-10
+//!   [`SegmentDatabase::explore_segments`] query,
+//! - [`mining`]: the grid-decomposition mining pipeline of paper Fig. 4
+//!   (boundary → grid regions → top-10 per region → elevation profile
+//!   via the elevation service).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod athlete;
+pub mod mining;
+pub mod segments;
+pub mod walk;
+
+pub use athlete::{Activity, AthleteConfig, AthleteSimulator};
+pub use mining::{GridMiner, MinedSegment};
+pub use segments::{Segment, SegmentDatabase, SegmentParams, EXPLORE_TOP_K};
+pub use walk::{generate_route, gaussian, RouteKind, RouteParams};

@@ -1,0 +1,204 @@
+//! The training-segment database and `EXPLORESEGMENTS()` simulator.
+//!
+//! The paper mines "publicly available training route segments in a
+//! popular fitness tracking application using its `EXPLORESEGMENTS()`
+//! functionality", which "returns only the top-10 segments encapsulated
+//! by a given boundary". [`SegmentDatabase`] is the synthetic stand-in:
+//! a per-city population of user-created segments with popularity
+//! scores, and [`SegmentDatabase::explore_segments`] reproduces the
+//! query semantics (full encapsulation + top-10 by popularity) whose
+//! truncation biases shape the mined datasets.
+
+use crate::walk::{generate_route, RouteKind, RouteParams};
+use geoprim::{polyline, BoundingBox, LatLon};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// `EXPLORESEGMENTS()` returns at most this many segments per query.
+pub const EXPLORE_TOP_K: usize = 10;
+
+/// A user-created training route segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Stable identifier within its database.
+    pub id: u64,
+    /// The segment's vertices (sparse, runner-segment granularity).
+    pub path: Vec<LatLon>,
+    /// Popularity score (athlete completion count); the explore query
+    /// ranks by this.
+    pub popularity: u32,
+    /// The segment's tight bounding rectangle (cached).
+    pub bbox: BoundingBox,
+}
+
+impl Segment {
+    /// The segment encoded as a Google polyline, as the mining API
+    /// would deliver it.
+    pub fn to_polyline(&self) -> String {
+        polyline::encode(&self.path)
+    }
+}
+
+/// Parameters for populating a [`SegmentDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentParams {
+    /// Number of segments to create.
+    pub count: usize,
+    /// Segment length range in metres.
+    pub length_m_range: (f64, f64),
+    /// Maximum popularity score (scores are uniform in `1..=max`).
+    pub max_popularity: u32,
+}
+
+impl Default for SegmentParams {
+    fn default() -> Self {
+        Self { count: 500, length_m_range: (400.0, 3_000.0), max_popularity: 5_000 }
+    }
+}
+
+/// A population of training segments within one boundary.
+///
+/// # Examples
+///
+/// ```
+/// use geoprim::{BoundingBox, LatLon};
+/// use routegen::{SegmentDatabase, SegmentParams, EXPLORE_TOP_K};
+///
+/// let bbox = BoundingBox::new(LatLon::new(38.8, -77.1), LatLon::new(39.0, -76.9));
+/// let db = SegmentDatabase::generate(42, &bbox, &SegmentParams::default());
+/// let hits = db.explore_segments(&bbox);
+/// assert!(hits.len() <= EXPLORE_TOP_K);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentDatabase {
+    segments: Vec<Segment>,
+}
+
+impl SegmentDatabase {
+    /// Populates a database with `params.count` segments whose start
+    /// points are uniform in `boundary`.
+    pub fn generate(seed: u64, boundary: &BoundingBox, params: &SegmentParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut segments = Vec::with_capacity(params.count);
+        for id in 0..params.count {
+            let start = LatLon::new(
+                rng.gen_range(boundary.south_west().lat..=boundary.north_east().lat),
+                rng.gen_range(boundary.south_west().lon..=boundary.north_east().lon),
+            );
+            let length = rng.gen_range(params.length_m_range.0..=params.length_m_range.1);
+            let kind = if rng.gen_bool(0.5) { RouteKind::Wander } else { RouteKind::Loop };
+            let route_params = RouteParams::segment(length, kind);
+            let path = generate_route(&mut rng, start, boundary, &route_params);
+            let bbox = BoundingBox::tight(path.iter().copied())
+                .expect("generated routes are non-empty");
+            segments.push(Segment {
+                id: id as u64,
+                path,
+                popularity: rng.gen_range(1..=params.max_popularity),
+                bbox,
+            });
+        }
+        Self { segments }
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The `EXPLORESEGMENTS()` query: the top-[`EXPLORE_TOP_K`] segments
+    /// *fully encapsulated* by `bounds`, by descending popularity.
+    ///
+    /// Matching the real API (and the paper's observation that "a
+    /// segment route that is included by more than one neighbour region
+    /// (is) not considered"), a segment straddling the boundary is never
+    /// returned.
+    pub fn explore_segments(&self, bounds: &BoundingBox) -> Vec<&Segment> {
+        let mut hits: Vec<&Segment> =
+            self.segments.iter().filter(|s| bounds.encloses(&s.bbox)).collect();
+        hits.sort_by(|a, b| b.popularity.cmp(&a.popularity).then(a.id.cmp(&b.id)));
+        hits.truncate(EXPLORE_TOP_K);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc_box() -> BoundingBox {
+        BoundingBox::new(LatLon::new(38.80, -77.12), LatLon::new(39.00, -76.91))
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let p = SegmentParams { count: 20, ..Default::default() };
+        let a = SegmentDatabase::generate(7, &dc_box(), &p);
+        let b = SegmentDatabase::generate(7, &dc_box(), &p);
+        assert_eq!(a.segments(), b.segments());
+    }
+
+    #[test]
+    fn explore_returns_at_most_top_k() {
+        let p = SegmentParams { count: 300, ..Default::default() };
+        let db = SegmentDatabase::generate(1, &dc_box(), &p);
+        let hits = db.explore_segments(&dc_box());
+        assert_eq!(hits.len(), EXPLORE_TOP_K);
+    }
+
+    #[test]
+    fn explore_ranks_by_popularity() {
+        let p = SegmentParams { count: 300, ..Default::default() };
+        let db = SegmentDatabase::generate(2, &dc_box(), &p);
+        let hits = db.explore_segments(&dc_box());
+        for w in hits.windows(2) {
+            assert!(w[0].popularity >= w[1].popularity);
+        }
+    }
+
+    #[test]
+    fn explore_requires_full_encapsulation() {
+        let p = SegmentParams { count: 200, ..Default::default() };
+        let db = SegmentDatabase::generate(3, &dc_box(), &p);
+        // Query a quarter of the box: every hit's bbox must be enclosed.
+        let cells = dc_box().grid(2, 2);
+        for cell in &cells {
+            for hit in db.explore_segments(cell) {
+                assert!(cell.encloses(&hit.bbox));
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let p = SegmentParams { count: 50, ..Default::default() };
+        let db = SegmentDatabase::generate(4, &dc_box(), &p);
+        let far = BoundingBox::new(LatLon::new(0.0, 0.0), LatLon::new(1.0, 1.0));
+        assert!(db.explore_segments(&far).is_empty());
+    }
+
+    #[test]
+    fn polyline_roundtrips() {
+        let p = SegmentParams { count: 5, ..Default::default() };
+        let db = SegmentDatabase::generate(5, &dc_box(), &p);
+        for s in db.segments() {
+            let decoded = geoprim::polyline::decode(&s.to_polyline()).unwrap();
+            assert_eq!(decoded.len(), s.path.len());
+        }
+    }
+
+    #[test]
+    fn segment_lengths_respect_range() {
+        let p = SegmentParams {
+            count: 30,
+            length_m_range: (500.0, 1_000.0),
+            max_popularity: 10,
+        };
+        let db = SegmentDatabase::generate(6, &dc_box(), &p);
+        for s in db.segments() {
+            let len: f64 = s.path.windows(2).map(|w| w[0].haversine_m(w[1])).sum();
+            assert!(len > 300.0 && len < 1_600.0, "length {len}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Momentum random-walk route generation.
+
+use geoprim::{BoundingBox, LatLon, LocalProjection};
+use rand::Rng;
+
+/// Samples a standard-normal value via Box–Muller.
+///
+/// `rand` (sanctioned) ships only uniform distributions; the polar
+/// Box–Muller transform supplies the Gaussian turning noise routes need.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// The overall shape of a generated route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// A free wandering walk.
+    Wander,
+    /// A route biased to return to its start (closed training loop).
+    Loop,
+    /// Goes out, turns around, and retraces itself with jitter.
+    OutAndBack,
+}
+
+/// Parameters for [`generate_route`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteParams {
+    /// Distance between consecutive points, metres.
+    pub step_m: f64,
+    /// Standard deviation of per-step heading change, radians.
+    pub turn_sigma_rad: f64,
+    /// Total route length, metres.
+    pub length_m: f64,
+    /// Route shape.
+    pub kind: RouteKind,
+    /// Initial heading in radians; `None` draws uniformly. Habitual
+    /// athletes train along preferred corridors, which is one source of
+    /// the user-specific dataset's route overlap.
+    pub initial_heading_rad: Option<f64>,
+}
+
+impl RouteParams {
+    /// Typical runner's training segment: sparse vertices, ~20 m steps.
+    pub fn segment(length_m: f64, kind: RouteKind) -> Self {
+        Self { step_m: 20.0, turn_sigma_rad: 0.25, length_m, kind, initial_heading_rad: None }
+    }
+
+    /// Dense recorded activity: GPS fix every ~10 m.
+    pub fn activity(length_m: f64, kind: RouteKind) -> Self {
+        Self { step_m: 10.0, turn_sigma_rad: 0.18, length_m, kind, initial_heading_rad: None }
+    }
+
+    /// Sets the initial heading (builder-style).
+    pub fn with_heading(mut self, heading_rad: f64) -> Self {
+        self.initial_heading_rad = Some(heading_rad);
+        self
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint (non-positive step or
+    /// length, non-finite or negative turning noise).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.step_m.is_finite() && self.step_m > 0.0) {
+            return Err(format!("step_m must be positive, got {}", self.step_m));
+        }
+        if !(self.length_m.is_finite() && self.length_m >= self.step_m) {
+            return Err(format!("length_m must be >= step_m, got {}", self.length_m));
+        }
+        if !(self.turn_sigma_rad.is_finite() && self.turn_sigma_rad >= 0.0) {
+            return Err(format!("turn_sigma_rad must be >= 0, got {}", self.turn_sigma_rad));
+        }
+        Ok(())
+    }
+}
+
+/// Generates a route of `params.length_m / params.step_m` steps starting
+/// at `start`, soft-bounded by `bounds` (the walk is steered back toward
+/// the box centre when it strays outside).
+///
+/// # Panics
+///
+/// Panics if `params` fails [`RouteParams::validate`] — generator
+/// parameters are programmer input, not untrusted data.
+pub fn generate_route<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: LatLon,
+    bounds: &BoundingBox,
+    params: &RouteParams,
+) -> Vec<LatLon> {
+    if let Err(e) = params.validate() {
+        panic!("invalid route parameters: {e}");
+    }
+    let proj = LocalProjection::new(start);
+    let n_steps = (params.length_m / params.step_m).round().max(1.0) as usize;
+    match params.kind {
+        RouteKind::Wander => wander(rng, &proj, bounds, params, n_steps, None),
+        RouteKind::Loop => wander(rng, &proj, bounds, params, n_steps, Some((0.0, 0.0))),
+        RouteKind::OutAndBack => {
+            let half = wander(rng, &proj, bounds, params, n_steps / 2 + 1, None);
+            let mut route = half.clone();
+            // Retrace with ~2 m of GPS jitter.
+            for p in half.iter().rev().skip(1) {
+                let (x, y) = proj.to_meters(*p);
+                route.push(proj.to_latlon(x + gaussian(rng) * 2.0, y + gaussian(rng) * 2.0));
+            }
+            route
+        }
+    }
+}
+
+/// Core walk in local metre space. When `return_to` is set, the second
+/// half of the walk blends in a pull toward that point, closing a loop.
+fn wander<R: Rng + ?Sized>(
+    rng: &mut R,
+    proj: &LocalProjection,
+    bounds: &BoundingBox,
+    params: &RouteParams,
+    n_steps: usize,
+    return_to: Option<(f64, f64)>,
+) -> Vec<LatLon> {
+    let mut heading: f64 = params
+        .initial_heading_rad
+        .unwrap_or_else(|| rng.gen_range(0.0..std::f64::consts::TAU));
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    let mut route = Vec::with_capacity(n_steps + 1);
+    route.push(proj.to_latlon(x, y));
+    for i in 0..n_steps {
+        heading += gaussian(rng) * params.turn_sigma_rad;
+
+        // Soft boundary: steer toward the bbox centre when outside.
+        let here = proj.to_latlon(x, y);
+        if !bounds.contains(here) {
+            let (cx, cy) = proj.to_meters(bounds.center());
+            let target = (cy - y).atan2(cx - x);
+            heading = blend_heading(heading, target, 0.5);
+        }
+        // Loop closure: pull toward the return point in the second half.
+        if let Some((rx, ry)) = return_to {
+            let progress = i as f64 / n_steps as f64;
+            if progress > 0.5 {
+                let remaining = ((n_steps - i) as f64) * params.step_m;
+                let dist_home = ((rx - x).powi(2) + (ry - y).powi(2)).sqrt();
+                let urgency = (dist_home / remaining.max(1.0)).min(1.0);
+                let target = (ry - y).atan2(rx - x);
+                heading = blend_heading(heading, target, urgency * 0.8);
+            }
+        }
+        x += heading.cos() * params.step_m;
+        y += heading.sin() * params.step_m;
+        route.push(proj.to_latlon(x, y));
+    }
+    route
+}
+
+/// Circular interpolation between two headings.
+fn blend_heading(from: f64, to: f64, t: f64) -> f64 {
+    let mut diff = to - from;
+    while diff > std::f64::consts::PI {
+        diff -= std::f64::consts::TAU;
+    }
+    while diff < -std::f64::consts::PI {
+        diff += std::f64::consts::TAU;
+    }
+    from + diff * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_bounds() -> BoundingBox {
+        BoundingBox::new(LatLon::new(38.7, -77.3), LatLon::new(39.1, -76.8))
+    }
+
+    #[test]
+    fn route_has_expected_step_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RouteParams::activity(3000.0, RouteKind::Wander);
+        let route = generate_route(&mut rng, LatLon::new(38.9, -77.0), &test_bounds(), &p);
+        assert_eq!(route.len(), 301);
+    }
+
+    #[test]
+    fn consecutive_points_are_step_m_apart() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = RouteParams::segment(2000.0, RouteKind::Wander);
+        let route = generate_route(&mut rng, LatLon::new(38.9, -77.0), &test_bounds(), &p);
+        for w in route.windows(2) {
+            let d = w[0].haversine_m(w[1]);
+            assert!((d - 20.0).abs() < 1.0, "step of {d} m");
+        }
+    }
+
+    #[test]
+    fn loop_returns_near_start() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = RouteParams::activity(4000.0, RouteKind::Loop);
+        for _ in 0..5 {
+            let start = LatLon::new(38.9, -77.0);
+            let route = generate_route(&mut rng, start, &test_bounds(), &p);
+            let end = *route.last().unwrap();
+            assert!(start.haversine_m(end) < 400.0, "loop ended {} m away", start.haversine_m(end));
+        }
+    }
+
+    #[test]
+    fn out_and_back_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = RouteParams::activity(2000.0, RouteKind::OutAndBack);
+        let start = LatLon::new(38.9, -77.0);
+        let route = generate_route(&mut rng, start, &test_bounds(), &p);
+        let end = *route.last().unwrap();
+        assert!(start.haversine_m(end) < 30.0);
+        // The turnaround point is roughly half the length out.
+        let far = route
+            .iter()
+            .map(|q| start.haversine_m(*q))
+            .fold(0.0f64, f64::max);
+        assert!(far > 300.0, "never went far: {far} m");
+    }
+
+    #[test]
+    fn walk_stays_near_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Tiny box, long walk: soft bounds must keep it within ~1 km.
+        let bounds =
+            BoundingBox::new(LatLon::new(38.89, -77.01), LatLon::new(38.91, -76.99));
+        let p = RouteParams::activity(10_000.0, RouteKind::Wander);
+        let route = generate_route(&mut rng, LatLon::new(38.90, -77.0), &bounds, &p);
+        let c = bounds.center();
+        for q in route {
+            assert!(c.haversine_m(q) < 4_000.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = RouteParams::activity(1000.0, RouteKind::Loop);
+        let a = generate_route(
+            &mut StdRng::seed_from_u64(9),
+            LatLon::new(38.9, -77.0),
+            &test_bounds(),
+            &p,
+        );
+        let b = generate_route(
+            &mut StdRng::seed_from_u64(9),
+            LatLon::new(38.9, -77.0),
+            &test_bounds(),
+            &p,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid route parameters")]
+    fn rejects_zero_step() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RouteParams {
+            step_m: 0.0,
+            turn_sigma_rad: 0.1,
+            length_m: 100.0,
+            kind: RouteKind::Wander,
+            initial_heading_rad: None,
+        };
+        generate_route(&mut rng, LatLon::new(0.0, 0.0), &test_bounds(), &p);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn blend_heading_wraps_correctly() {
+        use std::f64::consts::PI;
+        // Blending across the ±π seam takes the short way.
+        let h = blend_heading(PI - 0.1, -PI + 0.1, 0.5);
+        assert!((h - PI).abs() < 0.2 || (h + PI).abs() < 0.2);
+    }
+}

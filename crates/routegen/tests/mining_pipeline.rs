@@ -1,0 +1,116 @@
+//! Deeper invariants of the Fig. 4 mining pipeline: popularity bias,
+//! regional coverage, and wire-format fidelity.
+
+use geoprim::{polyline, BoundingBox, LatLon};
+use routegen::{GridMiner, SegmentDatabase, SegmentParams, EXPLORE_TOP_K};
+use terrain::{ElevationService, SyntheticTerrain};
+
+fn dc_box() -> BoundingBox {
+    BoundingBox::new(LatLon::new(38.78, -77.15), LatLon::new(39.02, -76.88))
+}
+
+fn db(count: usize, seed: u64) -> SegmentDatabase {
+    SegmentDatabase::generate(
+        seed,
+        &dc_box(),
+        &SegmentParams { count, length_m_range: (400.0, 1_200.0), max_popularity: 10_000 },
+    )
+}
+
+#[test]
+fn mining_is_biased_toward_popular_segments() {
+    // Top-10 truncation per region is a *popularity* filter; the mined
+    // sample must be more popular than the platform average. This is
+    // the sampling bias the paper's datasets inherit from the real API.
+    let database = db(1_500, 3);
+    let service = ElevationService::new(SyntheticTerrain::new(3));
+    let mined = GridMiner::new(5, 5).mine(&database, &dc_box(), &service);
+    assert!(!mined.is_empty());
+
+    let platform_mean: f64 = database
+        .segments()
+        .iter()
+        .map(|s| s.popularity as f64)
+        .sum::<f64>()
+        / database.segments().len() as f64;
+    let mined_mean: f64 = mined
+        .iter()
+        .map(|m| {
+            database
+                .segments()
+                .iter()
+                .find(|s| s.id == m.segment_id)
+                .expect("mined ids exist")
+                .popularity as f64
+        })
+        .sum::<f64>()
+        / mined.len() as f64;
+    assert!(
+        mined_mean > platform_mean * 1.1,
+        "mined mean popularity {mined_mean} vs platform {platform_mean}"
+    );
+}
+
+#[test]
+fn dense_platforms_fill_most_regions() {
+    let database = db(2_000, 5);
+    let service = ElevationService::new(SyntheticTerrain::new(5));
+    let rows = 4;
+    let mined = GridMiner::new(rows, rows).mine(&database, &dc_box(), &service);
+    let mut regions: Vec<usize> = mined.iter().map(|m| m.region_index).collect();
+    regions.sort_unstable();
+    regions.dedup();
+    assert!(
+        regions.len() * 10 >= rows * rows * 8,
+        "only {}/{} regions produced segments",
+        regions.len(),
+        rows * rows
+    );
+    // And busy regions saturate the top-10 cap.
+    let saturated = (0..rows * rows)
+        .filter(|r| mined.iter().filter(|m| m.region_index == *r).count() == EXPLORE_TOP_K)
+        .count();
+    assert!(saturated > 0, "no region saturated the explore cap");
+}
+
+#[test]
+fn mined_paths_survive_polyline_wire_format() {
+    // The miner consumes polyline-encoded paths; decoded coordinates
+    // must stay within the codec's 1e-5-degree quantization of the
+    // original segment geometry.
+    let database = db(300, 7);
+    let service = ElevationService::new(SyntheticTerrain::new(7));
+    let mined = GridMiner::new(3, 3).mine(&database, &dc_box(), &service);
+    for m in &mined {
+        let original = &database
+            .segments()
+            .iter()
+            .find(|s| s.id == m.segment_id)
+            .expect("mined ids exist")
+            .path;
+        assert_eq!(m.path.len(), original.len());
+        for (a, b) in m.path.iter().zip(original) {
+            assert!((a.lat - b.lat).abs() < 1e-5 + 1e-9);
+            assert!((a.lon - b.lon).abs() < 1e-5 + 1e-9);
+        }
+        // Re-encoding the decoded path is a fixed point of the codec.
+        let re = polyline::decode(&polyline::encode(&m.path)).unwrap();
+        assert_eq!(re, m.path);
+    }
+}
+
+#[test]
+fn elevation_profiles_are_pointwise_queries() {
+    // Per-vertex profiles: the elevation at index i is the model's
+    // value at path vertex i (not an arc-length resample).
+    let database = db(150, 9);
+    let terrain = SyntheticTerrain::new(9);
+    let service = ElevationService::new(SyntheticTerrain::new(9));
+    let mined = GridMiner::new(3, 3).mine(&database, &dc_box(), &service);
+    use terrain::ElevationModel;
+    for m in mined.iter().take(10) {
+        for (p, &e) in m.path.iter().zip(&m.elevation) {
+            assert_eq!(terrain.elevation_at(*p), e);
+        }
+    }
+}

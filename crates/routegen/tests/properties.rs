@@ -1,0 +1,80 @@
+//! Property-based tests for route generation and the segment platform.
+
+use geoprim::{BoundingBox, LatLon};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routegen::{
+    generate_route, AthleteSimulator, RouteKind, RouteParams, SegmentDatabase, SegmentParams,
+    EXPLORE_TOP_K,
+};
+use terrain::{CityId, SyntheticTerrain};
+
+fn dc_box() -> BoundingBox {
+    BoundingBox::new(LatLon::new(38.75, -77.2), LatLon::new(39.05, -76.85))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn routes_have_constant_step_length(
+        seed in 0u64..500,
+        length in 500.0f64..4000.0,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [RouteKind::Wander, RouteKind::Loop, RouteKind::OutAndBack][kind_idx];
+        let params = RouteParams::activity(length, kind);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let route = generate_route(&mut rng, LatLon::new(38.9, -77.0), &dc_box(), &params);
+        prop_assert!(route.len() >= 2);
+        for w in route.windows(2) {
+            let d = w[0].haversine_m(w[1]);
+            // Steps are ~step_m except the OutAndBack jittered retrace.
+            prop_assert!(d < params.step_m * 2.5 + 10.0, "step {d}");
+        }
+    }
+
+    #[test]
+    fn loops_close(seed in 0u64..200, length in 2000.0f64..6000.0) {
+        let params = RouteParams::activity(length, RouteKind::Loop);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = LatLon::new(38.9, -77.0);
+        let route = generate_route(&mut rng, start, &dc_box(), &params);
+        let end = *route.last().unwrap();
+        prop_assert!(start.haversine_m(end) < length * 0.15,
+            "loop of {length} m ended {:.0} m away", start.haversine_m(end));
+    }
+
+    #[test]
+    fn explore_is_a_filter_of_the_database(seed in 0u64..100, count in 10usize..120) {
+        let params = SegmentParams { count, ..Default::default() };
+        let db = SegmentDatabase::generate(seed, &dc_box(), &params);
+        prop_assert_eq!(db.segments().len(), count);
+        for cell in dc_box().grid(3, 3) {
+            let hits = db.explore_segments(&cell);
+            prop_assert!(hits.len() <= EXPLORE_TOP_K);
+            for h in hits {
+                prop_assert!(cell.encloses(&h.bbox));
+                // Every hit is actually in the database.
+                prop_assert!(db.segments().iter().any(|s| s.id == h.id));
+            }
+        }
+    }
+
+    #[test]
+    fn athlete_profiles_match_trajectories(seed in 0u64..100) {
+        let mut sim = AthleteSimulator::new(SyntheticTerrain::new(seed), seed);
+        let act = sim.generate_one(CityId::Tampa);
+        prop_assert_eq!(act.elevation_profile().len(), act.trajectory().len());
+        prop_assert!(act.gpx.point_count() >= 2);
+    }
+
+    #[test]
+    fn gpx_export_of_activities_always_parses(seed in 0u64..100) {
+        let mut sim = AthleteSimulator::new(SyntheticTerrain::new(seed), seed ^ 0xF00D);
+        let act = sim.generate_one(CityId::Miami);
+        let parsed = gpxfile::Gpx::parse(&act.gpx.to_xml()).unwrap();
+        prop_assert_eq!(parsed.point_count(), act.gpx.point_count());
+    }
+}

@@ -1,0 +1,328 @@
+//! Survey population simulation (paper Fig. 1 and §I).
+//!
+//! The paper motivates the attack with an online survey of 60 fitness-
+//! application users. The raw responses are not published, so this
+//! crate models the population from the reported marginals and
+//! regenerates the Fig. 1 tabulations from seeded samples:
+//!
+//! - **(a) starting point**: 51% home, 36% school, 3% work, 10% other
+//!   ("90% of the participants indicated their start of activity is
+//!   either home, school, or work");
+//! - **(b) end point**: 76% home, and the remaining mass on
+//!   school/work/other such that 98% end at home/school/work;
+//! - **(c) privacy belief**: 42% think not sharing location implies
+//!   privacy, 30% uncertain, 28% disagree;
+//! - **map-hiding belief** (§I): 25 yes / 18 maybe / 17 no of 60 on
+//!   whether hiding the map but sharing statistics protects privacy.
+//!
+//! # Examples
+//!
+//! ```
+//! use surveysim::{Survey, PAPER_N};
+//!
+//! let survey = Survey::sample(PAPER_N, 42);
+//! let fig1a = survey.start_point_percentages();
+//! assert!((fig1a.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The paper's number of survey participants.
+pub const PAPER_N: usize = 60;
+
+/// Where an activity starts or ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Place {
+    Home,
+    School,
+    Work,
+    Other,
+}
+
+impl Place {
+    /// All places in Fig. 1 order.
+    pub const ALL: [Place; 4] = [Place::Home, Place::School, Place::Work, Place::Other];
+}
+
+/// Three-way belief answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Belief {
+    Yes,
+    Maybe,
+    No,
+}
+
+impl Belief {
+    /// All beliefs in reporting order.
+    pub const ALL: [Belief; 3] = [Belief::Yes, Belief::Maybe, Belief::No];
+}
+
+/// One simulated participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Participant {
+    /// Usual starting point of outdoor activities.
+    pub start: Place,
+    /// Usual end point.
+    pub end: Place,
+    /// "Does not sharing location information imply privacy?"
+    pub privacy_belief: Belief,
+    /// "Is hiding the map and sharing only statistics enough?"
+    pub map_hiding_belief: Belief,
+}
+
+/// The population marginals reported in the paper.
+mod marginals {
+    use super::{Belief, Place};
+
+    pub const START: [(Place, f64); 4] = [
+        (Place::Home, 0.51),
+        (Place::School, 0.36),
+        (Place::Work, 0.03),
+        (Place::Other, 0.10),
+    ];
+    /// 76% home; school/work split to make home+school+work = 98%.
+    pub const END: [(Place, f64); 4] = [
+        (Place::Home, 0.76),
+        (Place::School, 0.17),
+        (Place::Work, 0.05),
+        (Place::Other, 0.02),
+    ];
+    pub const PRIVACY: [(Belief, f64); 3] =
+        [(Belief::Yes, 0.42), (Belief::Maybe, 0.30), (Belief::No, 0.28)];
+    /// 25 / 18 / 17 of 60.
+    pub const MAP_HIDING: [(Belief, f64); 3] = [
+        (Belief::Yes, 25.0 / 60.0),
+        (Belief::Maybe, 18.0 / 60.0),
+        (Belief::No, 17.0 / 60.0),
+    ];
+}
+
+fn draw<T: Copy, R: Rng + ?Sized>(rng: &mut R, dist: &[(T, f64)]) -> T {
+    let total: f64 = dist.iter().map(|(_, p)| p).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for &(v, p) in dist {
+        if u < p {
+            return v;
+        }
+        u -= p;
+    }
+    dist.last().expect("non-empty distribution").0
+}
+
+/// A sampled survey.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Survey {
+    participants: Vec<Participant>,
+}
+
+impl Survey {
+    /// Samples `n` participants from the paper's marginals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "need at least one participant");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let participants = (0..n)
+            .map(|_| Participant {
+                start: draw(&mut rng, &marginals::START),
+                end: draw(&mut rng, &marginals::END),
+                privacy_belief: draw(&mut rng, &marginals::PRIVACY),
+                map_hiding_belief: draw(&mut rng, &marginals::MAP_HIDING),
+            })
+            .collect();
+        Self { participants }
+    }
+
+    /// Wraps an explicit participant list (e.g. real survey responses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty.
+    pub fn from_participants(participants: Vec<Participant>) -> Self {
+        assert!(!participants.is_empty(), "need at least one participant");
+        Self { participants }
+    }
+
+    /// The participants.
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Whether the survey is empty (never true for valid samples).
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+
+    fn place_percentages(&self, get: impl Fn(&Participant) -> Place) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        for p in &self.participants {
+            let idx = Place::ALL.iter().position(|&q| q == get(p)).expect("known place");
+            counts[idx] += 1;
+        }
+        counts.map(|c| c as f64 * 100.0 / self.participants.len() as f64)
+    }
+
+    fn belief_percentages(&self, get: impl Fn(&Participant) -> Belief) -> [f64; 3] {
+        let mut counts = [0usize; 3];
+        for p in &self.participants {
+            let idx = Belief::ALL.iter().position(|&q| q == get(p)).expect("known belief");
+            counts[idx] += 1;
+        }
+        counts.map(|c| c as f64 * 100.0 / self.participants.len() as f64)
+    }
+
+    /// Fig. 1(a): starting-point percentages `[home, school, work, other]`.
+    pub fn start_point_percentages(&self) -> [f64; 4] {
+        self.place_percentages(|p| p.start)
+    }
+
+    /// Fig. 1(b): end-point percentages `[home, school, work, other]`.
+    pub fn end_point_percentages(&self) -> [f64; 4] {
+        self.place_percentages(|p| p.end)
+    }
+
+    /// Fig. 1(c): privacy-belief percentages `[yes, maybe, no]`.
+    pub fn privacy_belief_percentages(&self) -> [f64; 3] {
+        self.belief_percentages(|p| p.privacy_belief)
+    }
+
+    /// §I: map-hiding-belief percentages `[yes, maybe, no]`.
+    pub fn map_hiding_percentages(&self) -> [f64; 3] {
+        self.belief_percentages(|p| p.map_hiding_belief)
+    }
+
+    /// Chi-square goodness-of-fit statistic of this sample's
+    /// starting-point counts against the paper's reported marginals
+    /// (3 degrees of freedom).
+    ///
+    /// A resample from the paper's own distribution should rarely exceed
+    /// the 99% critical value (≈ 11.34) — the statistical check that the
+    /// simulated population *is* the published one.
+    pub fn start_point_chi_square(&self) -> f64 {
+        let expected = [0.51, 0.36, 0.03, 0.10];
+        let n = self.participants.len() as f64;
+        let mut counts = [0.0f64; 4];
+        for p in &self.participants {
+            let idx = Place::ALL.iter().position(|&q| q == p.start).expect("known place");
+            counts[idx] += 1.0;
+        }
+        counts
+            .iter()
+            .zip(expected)
+            .map(|(&obs, frac)| {
+                let exp = frac * n;
+                (obs - exp) * (obs - exp) / exp
+            })
+            .sum()
+    }
+
+    /// The 99% critical value of χ² with 3 degrees of freedom, for use
+    /// with [`Survey::start_point_chi_square`].
+    pub const CHI2_3DF_99: f64 = 11.345;
+
+    /// The paper's headline: fraction of activities anchored at
+    /// home/school/work (start, end).
+    pub fn anchored_fractions(&self) -> (f64, f64) {
+        let anchored = |get: &dyn Fn(&Participant) -> Place| {
+            self.participants
+                .iter()
+                .filter(|p| get(p) != Place::Other)
+                .count() as f64
+                / self.participants.len() as f64
+        };
+        (anchored(&|p| p.start), anchored(&|p| p.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(Survey::sample(60, 5), Survey::sample(60, 5));
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let s = Survey::sample(60, 1);
+        for sums in [
+            s.start_point_percentages().iter().sum::<f64>(),
+            s.end_point_percentages().iter().sum::<f64>(),
+        ] {
+            assert!((sums - 100.0).abs() < 1e-9);
+        }
+        assert!((s.privacy_belief_percentages().iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((s.map_hiding_percentages().iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_samples_converge_to_paper_marginals() {
+        let s = Survey::sample(60_000, 7);
+        let start = s.start_point_percentages();
+        assert!((start[0] - 51.0).abs() < 1.5, "home start {}", start[0]);
+        assert!((start[1] - 36.0).abs() < 1.5, "school start {}", start[1]);
+        let end = s.end_point_percentages();
+        assert!((end[0] - 76.0).abs() < 1.5, "home end {}", end[0]);
+        let privacy = s.privacy_belief_percentages();
+        assert!((privacy[0] - 42.0).abs() < 1.5);
+        let (a_start, a_end) = s.anchored_fractions();
+        assert!((a_start - 0.90).abs() < 0.02);
+        assert!((a_end - 0.98).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_sized_sample_is_plausible() {
+        let s = Survey::sample(PAPER_N, 3);
+        assert_eq!(s.len(), 60);
+        let start = s.start_point_percentages();
+        // Small-sample noise, but home should dominate.
+        assert!(start[0] > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn rejects_empty_survey() {
+        Survey::sample(0, 0);
+    }
+
+    #[test]
+    fn chi_square_accepts_own_distribution() {
+        // Resamples from the paper's marginals pass the 99% GOF test in
+        // the overwhelming majority of seeds.
+        let passes = (0..40)
+            .filter(|&seed| {
+                Survey::sample(PAPER_N, seed).start_point_chi_square() < Survey::CHI2_3DF_99
+            })
+            .count();
+        assert!(passes >= 38, "only {passes}/40 passed");
+    }
+
+    #[test]
+    fn chi_square_rejects_a_wrong_population() {
+        // A survey where everyone starts at work is not the paper's
+        // population.
+        let base = Survey::sample(PAPER_N, 1);
+        let everyone_at_work: Vec<Participant> = base
+            .participants()
+            .iter()
+            .map(|p| Participant { start: Place::Work, ..*p })
+            .collect();
+        let s = Survey::from_participants(everyone_at_work);
+        assert!(s.start_point_chi_square() > Survey::CHI2_3DF_99 * 10.0);
+    }
+}

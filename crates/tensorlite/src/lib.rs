@@ -1,0 +1,309 @@
+//! Minimal dense `f32` tensors for the from-scratch neural networks.
+//!
+//! Only what [`neuralnet`](../neuralnet/index.html) needs: row-major
+//! storage, 2-D matrix multiplication, element-wise arithmetic, and
+//! shape bookkeeping. Not a general array library by design — the
+//! public surface is small enough to audit and fast enough (with the
+//! workspace's optimized dev profile) to train the paper's CNN.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorlite::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = checked_len(shape);
+        Self { data: vec![0.0; n], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = checked_len(shape);
+        Self { data: vec![value; n], shape: shape.to_vec() }
+    }
+
+    /// Wraps a vector with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n = checked_len(shape);
+        assert_eq!(data.len(), n, "data length {} != shape product {n}", data.len());
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let n = checked_len(shape);
+        assert_eq!(self.data.len(), n, "cannot reshape {:?} to {shape:?}", self.shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// 2-D matrix multiplication: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with compatible inner dims.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "inner dimensions {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams over `other` rows, cache-friendly.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[p * n..(p + 1) * n];
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires 2-D");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { data: out, shape: vec![n, m] }
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Builds a `[rows.len(), dim]` matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `dim` or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Tensor {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let dim = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            assert_eq!(r.len(), dim, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor { data, shape: vec![rows.len(), dim] }
+    }
+
+    /// The `i`-th row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless 2-D and `i` is in range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row requires 2-D");
+        let n = self.shape[1];
+        &self.data[i * n..(i + 1) * n]
+    }
+}
+
+fn checked_len(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "shape must have at least one dimension");
+    shape.iter().fold(1usize, |acc, &d| {
+        assert!(d > 0, "zero dimension in shape");
+        acc.checked_mul(d).expect("shape overflow")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).data(), a.data());
+        assert_eq!(Tensor::eye(2).matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_mismatched_dims() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[4, 3]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn transpose_matches_matmul_transposition() {
+        // (AB)^T == B^T A^T
+        let a = Tensor::from_vec((0..6).map(|i| i as f32 * 0.5).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[3, 4]);
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 4]);
+        let b = a.clone().reshaped(&[4, 2]);
+        assert_eq!(b.data(), a.data());
+        assert_eq!(b.shape(), &[4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_wrong_count() {
+        Tensor::zeros(&[2, 2]).reshaped(&[3, 2]);
+    }
+
+    #[test]
+    fn from_rows_and_row_access() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        Tensor::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Tensor::full(&[3], 2.0);
+        a.add_assign(&Tensor::full(&[3], 1.0));
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 1.5, 1.5]);
+        assert_eq!(a.map(|x| x * 2.0).sum(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dimension_rejected() {
+        Tensor::zeros(&[2, 0]);
+    }
+}

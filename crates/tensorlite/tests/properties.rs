@@ -1,0 +1,67 @@
+//! Property-based tests for tensor algebra identities.
+
+use proptest::prelude::*;
+use tensorlite::Tensor;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]))
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(close(&left, &right, 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in arb_matrix(3, 3), b in arb_matrix(3, 3), c in arb_matrix(3, 3)) {
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_assign(&c);
+        let lhs = a.matmul(&b_plus_c);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_an_involution(a in arb_matrix(4, 7)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in arb_matrix(5, 5)) {
+        prop_assert!(close(&a.matmul(&Tensor::eye(5)), &a, 1e-6));
+        prop_assert!(close(&Tensor::eye(5).matmul(&a), &a, 1e-6));
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in arb_matrix(4, 6)) {
+        let sum = a.sum();
+        let r = a.reshaped(&[2, 12]);
+        prop_assert!((r.sum() - sum).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scale_is_linear(a in arb_matrix(3, 3), s in -3.0f32..3.0) {
+        let mut scaled = a.clone();
+        scaled.scale(s);
+        prop_assert!((scaled.sum() - a.sum() * s).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rows_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec(-2.0f32..2.0, 4), 1..6)) {
+        let t = Tensor::from_rows(&rows);
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(t.row(i), r.as_slice());
+        }
+    }
+}

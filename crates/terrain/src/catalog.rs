@@ -1,0 +1,522 @@
+//! City and borough catalog (paper Tables I–III).
+//!
+//! Bounding boxes approximate the real metro areas; signatures encode
+//! each area's real elevation character (base elevation, relief, hill
+//! texture). The ten cities of the city-level dataset (Table II), the
+//! six cities × 22 boroughs of the borough-level dataset (Table III),
+//! and the two extra metros of the user-specific dataset (Table I:
+//! Orlando, San Diego) are all present.
+
+use crate::signature::ElevationSignature;
+use geoprim::{BoundingBox, LatLon};
+use serde::{Deserialize, Serialize};
+
+/// The twelve metro areas appearing across the paper's three datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CityId {
+    NewYorkCity,
+    WashingtonDc,
+    SanFrancisco,
+    ColoradoSprings,
+    Minneapolis,
+    LosAngeles,
+    NewJersey,
+    Duluth,
+    Miami,
+    Tampa,
+    Orlando,
+    SanDiego,
+}
+
+impl CityId {
+    /// All metro areas, in Table II order followed by the two
+    /// user-specific-only metros.
+    pub const ALL: [CityId; 12] = [
+        CityId::NewYorkCity,
+        CityId::WashingtonDc,
+        CityId::SanFrancisco,
+        CityId::ColoradoSprings,
+        CityId::Minneapolis,
+        CityId::LosAngeles,
+        CityId::NewJersey,
+        CityId::Duluth,
+        CityId::Miami,
+        CityId::Tampa,
+        CityId::Orlando,
+        CityId::SanDiego,
+    ];
+
+    /// The ten cities of the city-level dataset (Table II), in the
+    /// paper's descending-sample-size order.
+    pub const CITY_LEVEL: [CityId; 10] = [
+        CityId::NewYorkCity,
+        CityId::WashingtonDc,
+        CityId::SanFrancisco,
+        CityId::ColoradoSprings,
+        CityId::Minneapolis,
+        CityId::LosAngeles,
+        CityId::NewJersey,
+        CityId::Duluth,
+        CityId::Miami,
+        CityId::Tampa,
+    ];
+
+    /// The six cities of the borough-level dataset (Table III), in the
+    /// paper's alphabetical order (LA, MIA, NJ, NYC, SF, WDC).
+    pub const BOROUGH_LEVEL: [CityId; 6] = [
+        CityId::LosAngeles,
+        CityId::Miami,
+        CityId::NewJersey,
+        CityId::NewYorkCity,
+        CityId::SanFrancisco,
+        CityId::WashingtonDc,
+    ];
+
+    /// The paper's abbreviation (Table III): LA, MIA, NJ, NYC, SF, WDC…
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            CityId::NewYorkCity => "NYC",
+            CityId::WashingtonDc => "WDC",
+            CityId::SanFrancisco => "SF",
+            CityId::ColoradoSprings => "COS",
+            CityId::Minneapolis => "MSP",
+            CityId::LosAngeles => "LA",
+            CityId::NewJersey => "NJ",
+            CityId::Duluth => "DLH",
+            CityId::Miami => "MIA",
+            CityId::Tampa => "TPA",
+            CityId::Orlando => "ORL",
+            CityId::SanDiego => "SD",
+        }
+    }
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CityId::NewYorkCity => "New York City",
+            CityId::WashingtonDc => "Washington DC",
+            CityId::SanFrancisco => "San Francisco",
+            CityId::ColoradoSprings => "Colorado Springs",
+            CityId::Minneapolis => "Minneapolis",
+            CityId::LosAngeles => "Los Angeles",
+            CityId::NewJersey => "New Jersey",
+            CityId::Duluth => "Duluth",
+            CityId::Miami => "Miami",
+            CityId::Tampa => "Tampa",
+            CityId::Orlando => "Orlando",
+            CityId::SanDiego => "San Diego",
+        }
+    }
+}
+
+impl std::fmt::Display for CityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The 22 boroughs of the borough-level dataset (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BoroughId {
+    // Los Angeles
+    LaDowntown,
+    LaSantaMonica,
+    LaChinatown,
+    LaBeverlyHills,
+    // Miami
+    MiaDowntown,
+    MiaMiamiBeach,
+    MiaVirginiaKey,
+    // New Jersey
+    NjJerseyCity,
+    NjWestNewYork,
+    NjNewark,
+    // New York City
+    NycManhattan,
+    NycQueens,
+    NycBrooklynSouth,
+    NycBrooklynNorth,
+    NycBronx,
+    NycStatenIsland,
+    // San Francisco
+    SfSouthWest,
+    SfSouthEast,
+    SfNorthWest,
+    SfNorthEast,
+    // Washington DC
+    WdcDistrictOfColumbia,
+    WdcBaltimore,
+}
+
+impl BoroughId {
+    /// All boroughs in Table III order.
+    pub const ALL: [BoroughId; 22] = [
+        BoroughId::LaDowntown,
+        BoroughId::LaSantaMonica,
+        BoroughId::LaChinatown,
+        BoroughId::LaBeverlyHills,
+        BoroughId::MiaDowntown,
+        BoroughId::MiaMiamiBeach,
+        BoroughId::MiaVirginiaKey,
+        BoroughId::NjJerseyCity,
+        BoroughId::NjWestNewYork,
+        BoroughId::NjNewark,
+        BoroughId::NycManhattan,
+        BoroughId::NycQueens,
+        BoroughId::NycBrooklynSouth,
+        BoroughId::NycBrooklynNorth,
+        BoroughId::NycBronx,
+        BoroughId::NycStatenIsland,
+        BoroughId::SfSouthWest,
+        BoroughId::SfSouthEast,
+        BoroughId::SfNorthWest,
+        BoroughId::SfNorthEast,
+        BoroughId::WdcDistrictOfColumbia,
+        BoroughId::WdcBaltimore,
+    ];
+
+    /// The city this borough belongs to.
+    pub fn city(self) -> CityId {
+        use BoroughId::*;
+        match self {
+            LaDowntown | LaSantaMonica | LaChinatown | LaBeverlyHills => CityId::LosAngeles,
+            MiaDowntown | MiaMiamiBeach | MiaVirginiaKey => CityId::Miami,
+            NjJerseyCity | NjWestNewYork | NjNewark => CityId::NewJersey,
+            NycManhattan | NycQueens | NycBrooklynSouth | NycBrooklynNorth | NycBronx
+            | NycStatenIsland => CityId::NewYorkCity,
+            SfSouthWest | SfSouthEast | SfNorthWest | SfNorthEast => CityId::SanFrancisco,
+            WdcDistrictOfColumbia | WdcBaltimore => CityId::WashingtonDc,
+        }
+    }
+
+    /// Borough name as printed in Table III.
+    pub fn name(self) -> &'static str {
+        use BoroughId::*;
+        match self {
+            LaDowntown | MiaDowntown => "Downtown",
+            LaSantaMonica => "Santa Monica",
+            LaChinatown => "Chinatown",
+            LaBeverlyHills => "Beverly Hills",
+            MiaMiamiBeach => "Miami Beach",
+            MiaVirginiaKey => "Virginia Key",
+            NjJerseyCity => "Jersey City",
+            NjWestNewYork => "West New York",
+            NjNewark => "Newark",
+            NycManhattan => "Manhattan",
+            NycQueens => "Queens",
+            NycBrooklynSouth => "Brooklyn(South)",
+            NycBrooklynNorth => "Brooklyn(North)",
+            NycBronx => "Bronx",
+            NycStatenIsland => "Staten Island",
+            SfSouthWest => "South West",
+            SfSouthEast => "South East",
+            SfNorthWest => "North West",
+            SfNorthEast => "North East",
+            WdcDistrictOfColumbia => "District of Columbia",
+            WdcBaltimore => "Baltimore",
+        }
+    }
+
+    /// Boroughs of a given city, in Table III order.
+    pub fn of_city(city: CityId) -> Vec<BoroughId> {
+        Self::ALL.iter().copied().filter(|b| b.city() == city).collect()
+    }
+}
+
+impl std::fmt::Display for BoroughId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.city().abbrev(), self.name())
+    }
+}
+
+/// A metro area: bounding box + elevation signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// Which metro this is.
+    pub id: CityId,
+    /// The mining boundary `B` for the city (paper Fig. 4, phase 1).
+    pub bbox: BoundingBox,
+    /// The synthetic elevation character of the metro.
+    pub signature: ElevationSignature,
+}
+
+/// A borough: bounding box within its parent city.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Borough {
+    /// Which borough this is.
+    pub id: BoroughId,
+    /// The mining boundary for the borough.
+    pub bbox: BoundingBox,
+}
+
+/// The full city/borough catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    cities: Vec<City>,
+    boroughs: Vec<Borough>,
+}
+
+fn bb(sw: (f64, f64), ne: (f64, f64)) -> BoundingBox {
+    BoundingBox::new(LatLon::new(sw.0, sw.1), LatLon::new(ne.0, ne.1))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sig(
+    base: f64,
+    relief: f64,
+    wl: f64,
+    regional: f64,
+    regional_wl: f64,
+    octaves: u32,
+    ridged: bool,
+) -> ElevationSignature {
+    ElevationSignature {
+        base_m: base,
+        relief_m: relief,
+        hill_wavelength_m: wl,
+        regional_relief_m: regional,
+        regional_wavelength_m: regional_wl,
+        octaves,
+        gain: 0.5,
+        ridged,
+    }
+}
+
+impl Catalog {
+    /// Builds the standard catalog used by every experiment.
+    pub fn standard() -> Self {
+        let cities = vec![
+            // Coastal plain: near sea level, very gentle relief; boroughs
+            // distinguished almost only by the weak regional octave.
+            City {
+                id: CityId::NewYorkCity,
+                bbox: bb((40.49, -74.27), (40.92, -73.68)),
+                signature: sig(15.0, 22.0, 2_500.0, 14.0, 12_000.0, 4, false),
+            },
+            City {
+                id: CityId::WashingtonDc,
+                bbox: bb((38.79, -77.12), (39.38, -76.52)),
+                signature: sig(30.0, 45.0, 3_500.0, 22.0, 15_000.0, 4, false),
+            },
+            City {
+                id: CityId::SanFrancisco,
+                bbox: bb((37.70, -122.52), (37.81, -122.36)),
+                signature: sig(40.0, 95.0, 1_400.0, 35.0, 5_000.0, 5, true),
+            },
+            City {
+                id: CityId::ColoradoSprings,
+                bbox: bb((38.74, -104.92), (38.95, -104.70)),
+                signature: sig(1_840.0, 150.0, 4_500.0, 60.0, 12_000.0, 5, true),
+            },
+            City {
+                id: CityId::Minneapolis,
+                bbox: bb((44.89, -93.33), (45.05, -93.19)),
+                signature: sig(255.0, 18.0, 3_000.0, 8.0, 9_000.0, 4, false),
+            },
+            City {
+                id: CityId::LosAngeles,
+                bbox: bb((33.93, -118.55), (34.15, -118.15)),
+                signature: sig(65.0, 75.0, 3_200.0, 40.0, 11_000.0, 4, false),
+            },
+            City {
+                id: CityId::NewJersey,
+                bbox: bb((40.65, -74.25), (40.82, -73.98)),
+                signature: sig(9.0, 26.0, 2_800.0, 12.0, 8_000.0, 4, false),
+            },
+            City {
+                id: CityId::Duluth,
+                bbox: bb((46.72, -92.20), (46.84, -92.00)),
+                signature: sig(230.0, 95.0, 2_200.0, 45.0, 7_000.0, 5, true),
+            },
+            City {
+                id: CityId::Miami,
+                bbox: bb((25.70, -80.32), (25.86, -80.11)),
+                signature: sig(2.5, 3.0, 2_000.0, 1.5, 8_000.0, 3, false),
+            },
+            City {
+                id: CityId::Tampa,
+                bbox: bb((27.87, -82.54), (28.06, -82.37)),
+                signature: sig(11.0, 8.0, 2_600.0, 4.0, 9_000.0, 3, false),
+            },
+            // User-specific-only metros (Table I).
+            City {
+                id: CityId::Orlando,
+                bbox: bb((28.38, -81.51), (28.62, -81.26)),
+                signature: sig(28.0, 9.0, 2_800.0, 5.0, 10_000.0, 3, false),
+            },
+            City {
+                id: CityId::SanDiego,
+                bbox: bb((32.63, -117.25), (32.88, -117.02)),
+                signature: sig(25.0, 60.0, 2_400.0, 30.0, 9_000.0, 4, false),
+            },
+        ];
+
+        let boroughs = vec![
+            Borough { id: BoroughId::LaDowntown, bbox: bb((34.01, -118.28), (34.07, -118.21)) },
+            Borough { id: BoroughId::LaSantaMonica, bbox: bb((33.99, -118.52), (34.05, -118.44)) },
+            Borough { id: BoroughId::LaChinatown, bbox: bb((34.058, -118.245), (34.072, -118.228)) },
+            Borough { id: BoroughId::LaBeverlyHills, bbox: bb((34.05, -118.43), (34.11, -118.38)) },
+            Borough { id: BoroughId::MiaDowntown, bbox: bb((25.755, -80.21), (25.80, -80.18)) },
+            Borough { id: BoroughId::MiaMiamiBeach, bbox: bb((25.765, -80.15), (25.825, -80.117)) },
+            Borough { id: BoroughId::MiaVirginiaKey, bbox: bb((25.72, -80.175), (25.755, -80.14)) },
+            Borough { id: BoroughId::NjJerseyCity, bbox: bb((40.68, -74.11), (40.75, -74.02)) },
+            Borough { id: BoroughId::NjWestNewYork, bbox: bb((40.77, -74.02), (40.80, -73.99)) },
+            Borough { id: BoroughId::NjNewark, bbox: bb((40.69, -74.22), (40.77, -74.13)) },
+            Borough { id: BoroughId::NycManhattan, bbox: bb((40.70, -74.02), (40.88, -73.91)) },
+            Borough { id: BoroughId::NycQueens, bbox: bb((40.54, -73.96), (40.80, -73.70)) },
+            Borough { id: BoroughId::NycBrooklynSouth, bbox: bb((40.57, -74.05), (40.65, -73.86)) },
+            Borough { id: BoroughId::NycBrooklynNorth, bbox: bb((40.65, -74.05), (40.74, -73.855)) },
+            Borough { id: BoroughId::NycBronx, bbox: bb((40.79, -73.93), (40.92, -73.765)) },
+            Borough { id: BoroughId::NycStatenIsland, bbox: bb((40.49, -74.26), (40.65, -74.05)) },
+            Borough { id: BoroughId::SfSouthWest, bbox: bb((37.70, -122.52), (37.755, -122.44)) },
+            Borough { id: BoroughId::SfSouthEast, bbox: bb((37.70, -122.44), (37.755, -122.36)) },
+            Borough { id: BoroughId::SfNorthWest, bbox: bb((37.755, -122.52), (37.81, -122.44)) },
+            Borough { id: BoroughId::SfNorthEast, bbox: bb((37.755, -122.44), (37.81, -122.36)) },
+            Borough {
+                id: BoroughId::WdcDistrictOfColumbia,
+                bbox: bb((38.80, -77.12), (39.00, -76.91)),
+            },
+            Borough { id: BoroughId::WdcBaltimore, bbox: bb((39.20, -76.71), (39.37, -76.53)) },
+        ];
+
+        Self { cities, boroughs }
+    }
+
+    /// All cities in catalog order.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// All boroughs in Table III order.
+    pub fn boroughs(&self) -> &[Borough] {
+        &self.boroughs
+    }
+
+    /// Looks up a city by id.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every `CityId` is present in the standard catalog.
+    pub fn city(&self, id: CityId) -> &City {
+        self.cities
+            .iter()
+            .find(|c| c.id == id)
+            .expect("catalog contains every CityId")
+    }
+
+    /// Looks up a borough by id.
+    pub fn borough(&self, id: BoroughId) -> &Borough {
+        self.boroughs
+            .iter()
+            .find(|b| b.id == id)
+            .expect("catalog contains every BoroughId")
+    }
+
+    /// The city whose bounding box contains `p`, if any. When boxes
+    /// overlap (NYC and NJ share the Hudson), the *smallest* containing
+    /// box wins, which keeps borough coordinates attributed sensibly.
+    pub fn city_at(&self, p: LatLon) -> Option<&City> {
+        self.cities
+            .iter()
+            .filter(|c| c.bbox.contains(p))
+            .min_by(|a, b| a.bbox.area_deg2().total_cmp(&b.bbox.area_deg2()))
+    }
+
+    /// Nearest city by bbox-centre distance; used for coordinates that
+    /// fall just outside every box (routes may wander past a boundary).
+    pub fn nearest_city(&self, p: LatLon) -> &City {
+        self.cities
+            .iter()
+            .min_by(|a, b| {
+                p.degree_distance(a.bbox.center())
+                    .total_cmp(&p.degree_distance(b.bbox.center()))
+            })
+            .expect("catalog is non-empty")
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_cities_and_boroughs() {
+        let c = Catalog::standard();
+        assert_eq!(c.cities().len(), 12);
+        assert_eq!(c.boroughs().len(), 22);
+        for id in CityId::ALL {
+            assert_eq!(c.city(id).id, id);
+        }
+        for id in BoroughId::ALL {
+            assert_eq!(c.borough(id).id, id);
+        }
+    }
+
+    #[test]
+    fn all_signatures_validate() {
+        for city in Catalog::standard().cities() {
+            city.signature
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", city.id));
+        }
+    }
+
+    #[test]
+    fn boroughs_lie_within_their_city() {
+        let c = Catalog::standard();
+        for b in c.boroughs() {
+            let city = c.city(b.id.city());
+            assert!(
+                city.bbox.encloses(&b.bbox),
+                "{} not inside {}",
+                b.id,
+                city.id
+            );
+        }
+    }
+
+    #[test]
+    fn borough_counts_match_table_iii() {
+        assert_eq!(BoroughId::of_city(CityId::LosAngeles).len(), 4);
+        assert_eq!(BoroughId::of_city(CityId::Miami).len(), 3);
+        assert_eq!(BoroughId::of_city(CityId::NewJersey).len(), 3);
+        assert_eq!(BoroughId::of_city(CityId::NewYorkCity).len(), 6);
+        assert_eq!(BoroughId::of_city(CityId::SanFrancisco).len(), 4);
+        assert_eq!(BoroughId::of_city(CityId::WashingtonDc).len(), 2);
+    }
+
+    #[test]
+    fn city_at_resolves_borough_centres() {
+        let c = Catalog::standard();
+        for b in c.boroughs() {
+            let found = c.city_at(b.bbox.center()).expect("borough centre in some city");
+            assert_eq!(found.id, b.id.city(), "borough {}", b.id);
+        }
+    }
+
+    #[test]
+    fn nearest_city_handles_outliers() {
+        let c = Catalog::standard();
+        // A point in the Everglades is nearest to Miami.
+        assert_eq!(c.nearest_city(LatLon::new(25.6, -80.5)).id, CityId::Miami);
+    }
+
+    #[test]
+    fn sf_quadrants_tile_the_city() {
+        let c = Catalog::standard();
+        let sf = c.city(CityId::SanFrancisco).bbox;
+        let total: f64 = BoroughId::of_city(CityId::SanFrancisco)
+            .iter()
+            .map(|b| c.borough(*b).bbox.area_deg2())
+            .sum();
+        assert!((total - sf.area_deg2()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Raster digital-elevation-model (DEM) support.
+//!
+//! [`RasterDem`] is a rectangular elevation grid with bilinear
+//! interpolation, the format real elevation data ships in (SRTM/ASTER
+//! tiles). It implements [`ElevationModel`], so a downstream user can
+//! swap the synthetic terrain for real data without touching the attack
+//! pipeline; [`RasterDem::sample_from`] rasterizes any other model
+//! (including [`crate::SyntheticTerrain`]) into a grid, which is also
+//! how the "public sources" of threat model TM-3 — an adversary
+//! profiling city elevations offline — are emulated faithfully.
+
+use crate::model::ElevationModel;
+use geoprim::{BoundingBox, LatLon};
+use serde::{Deserialize, Serialize};
+
+/// A row-major elevation grid over a bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RasterDem {
+    bbox: BoundingBox,
+    rows: usize,
+    cols: usize,
+    /// `values[r * cols + c]`, row 0 at the southern edge.
+    values: Vec<f64>,
+}
+
+impl RasterDem {
+    /// Wraps an existing grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are smaller than 2×2, the value count does
+    /// not match, or any value is non-finite.
+    pub fn new(bbox: BoundingBox, rows: usize, cols: usize, values: Vec<f64>) -> Self {
+        assert!(rows >= 2 && cols >= 2, "DEM needs at least a 2x2 grid");
+        assert_eq!(values.len(), rows * cols, "value count must be rows*cols");
+        assert!(values.iter().all(|v| v.is_finite()), "DEM values must be finite");
+        Self { bbox, rows, cols, values }
+    }
+
+    /// Rasterizes another elevation model over `bbox`.
+    pub fn sample_from<M: ElevationModel>(
+        model: &M,
+        bbox: BoundingBox,
+        rows: usize,
+        cols: usize,
+    ) -> Self {
+        assert!(rows >= 2 && cols >= 2, "DEM needs at least a 2x2 grid");
+        let mut values = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let lat = bbox.south_west().lat
+                + bbox.lat_span() * r as f64 / (rows - 1) as f64;
+            for c in 0..cols {
+                let lon = bbox.south_west().lon
+                    + bbox.lon_span() * c as f64 / (cols - 1) as f64;
+                values.push(model.elevation_at(LatLon::new(lat, lon)));
+            }
+        }
+        Self { bbox, rows, cols, values }
+    }
+
+    /// The grid's bounding box.
+    pub fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The raw grid value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn cell(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        self.values[row * self.cols + col]
+    }
+
+    /// Approximate ground resolution in metres `(north-south, east-west)`.
+    pub fn resolution_m(&self) -> (f64, f64) {
+        let sw = self.bbox.south_west();
+        let ns = sw.haversine_m(LatLon::new(self.bbox.north_east().lat, sw.lon))
+            / (self.rows - 1) as f64;
+        let ew = sw.haversine_m(LatLon::new(sw.lat, self.bbox.north_east().lon))
+            / (self.cols - 1) as f64;
+        (ns, ew)
+    }
+}
+
+impl ElevationModel for RasterDem {
+    /// Bilinear interpolation inside the grid; coordinates outside the
+    /// bounding box clamp to the edge (standard DEM tiling behaviour).
+    fn elevation_at(&self, p: LatLon) -> f64 {
+        let fr = ((p.lat - self.bbox.south_west().lat) / self.bbox.lat_span().max(f64::MIN_POSITIVE))
+            .clamp(0.0, 1.0)
+            * (self.rows - 1) as f64;
+        let fc = ((p.lon - self.bbox.south_west().lon) / self.bbox.lon_span().max(f64::MIN_POSITIVE))
+            .clamp(0.0, 1.0)
+            * (self.cols - 1) as f64;
+        let r0 = (fr.floor() as usize).min(self.rows - 2);
+        let c0 = (fc.floor() as usize).min(self.cols - 2);
+        let tr = fr - r0 as f64;
+        let tc = fc - c0 as f64;
+        let v00 = self.cell(r0, c0);
+        let v01 = self.cell(r0, c0 + 1);
+        let v10 = self.cell(r0 + 1, c0);
+        let v11 = self.cell(r0 + 1, c0 + 1);
+        let south = v00 * (1.0 - tc) + v01 * tc;
+        let north = v10 * (1.0 - tc) + v11 * tc;
+        south * (1.0 - tr) + north * tr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CityId, SyntheticTerrain};
+
+    fn unit_box() -> BoundingBox {
+        BoundingBox::new(LatLon::new(10.0, 20.0), LatLon::new(11.0, 21.0))
+    }
+
+    #[test]
+    fn interpolation_reproduces_grid_corners() {
+        let dem = RasterDem::new(unit_box(), 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(dem.elevation_at(LatLon::new(10.0, 20.0)), 1.0); // SW
+        assert_eq!(dem.elevation_at(LatLon::new(10.0, 21.0)), 2.0); // SE
+        assert_eq!(dem.elevation_at(LatLon::new(11.0, 20.0)), 3.0); // NW
+        assert_eq!(dem.elevation_at(LatLon::new(11.0, 21.0)), 4.0); // NE
+    }
+
+    #[test]
+    fn interpolation_is_bilinear_at_centre() {
+        let dem = RasterDem::new(unit_box(), 2, 2, vec![0.0, 10.0, 20.0, 30.0]);
+        let centre = dem.elevation_at(LatLon::new(10.5, 20.5));
+        assert!((centre - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outside_points_clamp_to_edges() {
+        let dem = RasterDem::new(unit_box(), 2, 2, vec![1.0, 1.0, 9.0, 9.0]);
+        assert_eq!(dem.elevation_at(LatLon::new(9.0, 20.5)), 1.0);
+        assert_eq!(dem.elevation_at(LatLon::new(12.0, 20.5)), 9.0);
+    }
+
+    #[test]
+    fn rasterized_synthetic_terrain_is_close_to_the_original() {
+        let t = SyntheticTerrain::new(5);
+        let bbox = t.catalog().city(CityId::Miami).bbox;
+        let dem = RasterDem::sample_from(&t, bbox, 80, 80);
+        // Probe interior points: a fine raster tracks the smooth field.
+        let mut worst: f64 = 0.0;
+        for i in 1..20 {
+            let p = LatLon::new(
+                bbox.south_west().lat + bbox.lat_span() * i as f64 / 21.0,
+                bbox.south_west().lon + bbox.lon_span() * (21 - i) as f64 / 21.0,
+            );
+            worst = worst.max((dem.elevation_at(p) - t.elevation_at(p)).abs());
+        }
+        assert!(worst < 2.0, "raster deviates by {worst} m");
+    }
+
+    #[test]
+    fn resolution_is_plausible() {
+        let t = SyntheticTerrain::new(5);
+        let bbox = t.catalog().city(CityId::Miami).bbox;
+        let dem = RasterDem::sample_from(&t, bbox, 60, 60);
+        let (ns, ew) = dem.resolution_m();
+        assert!(ns > 100.0 && ns < 1000.0, "ns {ns}");
+        assert!(ew > 100.0 && ew < 1000.0, "ew {ew}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let dem = RasterDem::new(unit_box(), 2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let json = serde_json::to_string(&dem).unwrap();
+        let back: RasterDem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dem);
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2")]
+    fn rejects_degenerate_grid() {
+        RasterDem::new(unit_box(), 1, 5, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_values() {
+        RasterDem::new(unit_box(), 2, 2, vec![0.0, f64::NAN, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic procedural elevation substrate.
+//!
+//! The paper augments mined route segments with elevation profiles from
+//! the Google Maps Elevation API and profiles real metro-area terrain.
+//! Neither is available offline, so this crate builds the closest
+//! synthetic equivalent that exercises the same code paths:
+//!
+//! - [`noise`]: seeded, deterministic multi-octave value noise,
+//! - [`signature`]: per-city *elevation signatures* (base elevation,
+//!   relief amplitude, hill wavelength, ruggedness) calibrated to the 12
+//!   metro areas used in the paper's three datasets,
+//! - [`catalog`]: city and borough bounding boxes (Tables I–III),
+//! - [`SyntheticTerrain`]: an [`ElevationModel`] mapping any coordinate
+//!   to an elevation in metres,
+//! - [`ElevationService`]: a Google-Elevation-API-like facade with path
+//!   resampling and request batching/accounting.
+//!
+//! The attack's learnability rests on two properties of real terrain
+//! that the signatures reproduce: *across cities* elevation ranges and
+//! textures differ strongly (flat Miami vs. mountainous Colorado
+//! Springs), while *within a city* boroughs differ only through weak
+//! low-frequency relief — which is exactly why the paper's TM-3
+//! (city-level) attack outperforms TM-2 (borough-level).
+//!
+//! # Examples
+//!
+//! ```
+//! use terrain::{CityId, SyntheticTerrain, ElevationModel};
+//!
+//! let terrain = SyntheticTerrain::new(42);
+//! let miami = terrain.catalog().city(CityId::Miami).bbox.center();
+//! let springs = terrain.catalog().city(CityId::ColoradoSprings).bbox.center();
+//! assert!(terrain.elevation_at(miami) < 40.0);
+//! assert!(terrain.elevation_at(springs) > 1500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod dem;
+pub mod noise;
+pub mod signature;
+
+mod model;
+mod service;
+
+pub use catalog::{BoroughId, Catalog, City, CityId};
+pub use dem::RasterDem;
+pub use model::{ElevationModel, SyntheticTerrain};
+pub use service::{ElevationService, ServiceStats, MAX_LOCATIONS_PER_REQUEST};
+pub use signature::ElevationSignature;

@@ -1,0 +1,244 @@
+//! The synthetic terrain model.
+
+use crate::catalog::{Catalog, City, CityId};
+use crate::noise::{fbm, ridged, value_noise};
+use geoprim::{LatLon, LocalProjection};
+
+/// Anything that maps coordinates to elevations in metres.
+///
+/// This is the seam between the attack pipeline and its elevation source:
+/// the paper used the Google Maps Elevation API, this reproduction uses
+/// [`SyntheticTerrain`], and a downstream user could plug in a DEM.
+pub trait ElevationModel {
+    /// Elevation in metres above sea level at `p`.
+    fn elevation_at(&self, p: LatLon) -> f64;
+
+    /// Batch lookup; the default maps [`ElevationModel::elevation_at`]
+    /// over the slice.
+    fn elevations(&self, points: &[LatLon]) -> Vec<f64> {
+        points.iter().map(|p| self.elevation_at(*p)).collect()
+    }
+}
+
+impl<T: ElevationModel + ?Sized> ElevationModel for &T {
+    fn elevation_at(&self, p: LatLon) -> f64 {
+        (**self).elevation_at(p)
+    }
+}
+
+/// Deterministic procedural terrain over the standard [`Catalog`].
+///
+/// Elevation at a point is computed from the signature of the containing
+/// (or nearest) city as
+///
+/// ```text
+/// base + regional·noise(p / λ_regional) + relief·fbm(p / λ_hill)
+/// ```
+///
+/// clamped at sea level. All noise is a pure function of the
+/// construction seed, so two `SyntheticTerrain::new(s)` instances agree
+/// everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use terrain::{ElevationModel, SyntheticTerrain};
+/// use geoprim::LatLon;
+///
+/// let t = SyntheticTerrain::new(7);
+/// let p = LatLon::new(37.76, -122.45); // San Francisco
+/// assert_eq!(t.elevation_at(p), SyntheticTerrain::new(7).elevation_at(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTerrain {
+    seed: u64,
+    catalog: Catalog,
+}
+
+impl SyntheticTerrain {
+    /// Creates terrain over [`Catalog::standard`] with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, catalog: Catalog::standard() }
+    }
+
+    /// Creates terrain over a custom catalog.
+    pub fn with_catalog(seed: u64, catalog: Catalog) -> Self {
+        Self { seed, catalog }
+    }
+
+    /// The seed this terrain was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The city/borough catalog backing this terrain.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn city_for(&self, p: LatLon) -> &City {
+        self.catalog.city_at(p).unwrap_or_else(|| self.catalog.nearest_city(p))
+    }
+
+    fn city_seed(&self, id: CityId) -> u64 {
+        // Stable per-city sub-seed: mix the discriminant into the seed.
+        let idx = CityId::ALL.iter().position(|c| *c == id).unwrap_or(0) as u64;
+        self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678)
+    }
+
+    /// Elevation decomposed into `(base, regional, hills)` components;
+    /// useful for tests and for the ablation benches.
+    pub fn components_at(&self, p: LatLon) -> (f64, f64, f64) {
+        let city = self.city_for(p);
+        let s = &city.signature;
+        let proj = LocalProjection::new(city.bbox.center());
+        let (x, y) = proj.to_meters(p);
+        let cseed = self.city_seed(city.id);
+
+        let regional = s.regional_relief_m
+            * value_noise(
+                x / s.regional_wavelength_m,
+                y / s.regional_wavelength_m,
+                cseed.wrapping_add(0x00A1_1CE5),
+            );
+        let hills = if s.ridged {
+            s.relief_m
+                * 0.5
+                * ridged(x / s.hill_wavelength_m, y / s.hill_wavelength_m, cseed, s.octaves, s.gain)
+        } else {
+            s.relief_m
+                * 0.5
+                * fbm(x / s.hill_wavelength_m, y / s.hill_wavelength_m, cseed, s.octaves, s.gain)
+        };
+        (s.base_m, regional, hills)
+    }
+}
+
+impl ElevationModel for SyntheticTerrain {
+    fn elevation_at(&self, p: LatLon) -> f64 {
+        let (base, regional, hills) = self.components_at(p);
+        // Quantize to 1 cm, like a real elevation service interpolating a
+        // finite-resolution DEM: discrete elevation values *repeat*, which
+        // the paper's text encoding (unique-value codebook + n-gram
+        // frequencies) implicitly relies on.
+        let v = (base + regional + hills).max(0.0);
+        (v * 100.0).round() / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::BoroughId;
+
+    fn sample_city(t: &SyntheticTerrain, id: CityId, n: usize) -> Vec<f64> {
+        let bbox = t.catalog().city(id).bbox;
+        let mut out = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let lat = bbox.south_west().lat + bbox.lat_span() * (i as f64 + 0.5) / n as f64;
+                let lon = bbox.south_west().lon + bbox.lon_span() * (j as f64 + 0.5) / n as f64;
+                out.push(t.elevation_at(LatLon::new(lat, lon)));
+            }
+        }
+        out
+    }
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn terrain_is_deterministic() {
+        let a = SyntheticTerrain::new(99);
+        let b = SyntheticTerrain::new(99);
+        let p = LatLon::new(40.75, -73.98);
+        assert_eq!(a.elevation_at(p), b.elevation_at(p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticTerrain::new(1);
+        let b = SyntheticTerrain::new(2);
+        let p = LatLon::new(40.75, -73.98);
+        assert_ne!(a.elevation_at(p), b.elevation_at(p));
+    }
+
+    #[test]
+    fn elevation_is_never_below_sea_level() {
+        let t = SyntheticTerrain::new(5);
+        for v in sample_city(&t, CityId::Miami, 20) {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn city_means_reflect_signatures() {
+        let t = SyntheticTerrain::new(11);
+        let miami = mean(&sample_city(&t, CityId::Miami, 12));
+        let nyc = mean(&sample_city(&t, CityId::NewYorkCity, 12));
+        let springs = mean(&sample_city(&t, CityId::ColoradoSprings, 12));
+        let duluth = mean(&sample_city(&t, CityId::Duluth, 12));
+        assert!(miami < 15.0, "miami mean {miami}");
+        assert!(nyc < 80.0 && nyc > 1.0, "nyc mean {nyc}");
+        assert!(springs > 1600.0, "springs mean {springs}");
+        assert!(duluth > 150.0 && duluth < 450.0, "duluth mean {duluth}");
+    }
+
+    #[test]
+    fn sf_is_rougher_than_miami() {
+        let t = SyntheticTerrain::new(3);
+        let var = |v: &[f64]| {
+            let m = mean(v);
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        let sf = var(&sample_city(&t, CityId::SanFrancisco, 15));
+        let mia = var(&sample_city(&t, CityId::Miami, 15));
+        assert!(sf > 20.0 * mia, "sf var {sf}, miami var {mia}");
+    }
+
+    #[test]
+    fn terrain_is_continuous_along_a_path() {
+        let t = SyntheticTerrain::new(17);
+        let start = LatLon::new(38.90, -77.04);
+        let mut prev = t.elevation_at(start);
+        for i in 1..200 {
+            let p = start.offset_m(i as f64 * 10.0, i as f64 * 5.0);
+            let e = t.elevation_at(p);
+            assert!((e - prev).abs() < 20.0, "jump of {} m at step {i}", (e - prev).abs());
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn components_sum_to_elevation_when_positive() {
+        // Up to the 1 cm DEM quantization.
+        let t = SyntheticTerrain::new(23);
+        let p = LatLon::new(38.85, -104.8);
+        let (b, r, h) = t.components_at(p);
+        assert!((t.elevation_at(p) - (b + r + h)).abs() <= 0.005 + 1e-9);
+    }
+
+    #[test]
+    fn elevation_is_quantized_to_centimetres() {
+        let t = SyntheticTerrain::new(23);
+        for i in 0..50 {
+            let p = LatLon::new(37.72 + i as f64 * 0.001, -122.45);
+            let v = t.elevation_at(p);
+            assert!(((v * 100.0).round() / 100.0 - v).abs() < 1e-9, "{v} not quantized");
+        }
+    }
+
+    #[test]
+    fn boroughs_of_nyc_share_the_city_signature() {
+        // Borough samples must stay in the plausible NYC elevation band —
+        // the within-city separability comes only from the weak regional
+        // octave, not from distinct signatures.
+        let t = SyntheticTerrain::new(31);
+        for b in BoroughId::of_city(CityId::NewYorkCity) {
+            let bbox = t.catalog().borough(b).bbox;
+            let e = t.elevation_at(bbox.center());
+            assert!((0.0..=120.0).contains(&e), "{b}: {e}");
+        }
+    }
+}

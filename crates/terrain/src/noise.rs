@@ -1,0 +1,186 @@
+//! Seeded, deterministic value noise.
+//!
+//! A small fractal-Brownian-motion (fBm) value-noise implementation used
+//! as the stochastic backbone of the synthetic terrain. Everything is a
+//! pure function of `(x, y, seed)` — no global state — so any experiment
+//! seeded identically regenerates byte-identical elevation profiles.
+
+/// SplitMix64 finalizer: a high-quality 64-bit avalanche hash.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes an integer lattice point to a value uniform in `[-1, 1]`.
+#[inline]
+fn lattice(ix: i64, iy: i64, seed: u64) -> f64 {
+    let h = splitmix64(
+        (ix as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add(seed),
+    );
+    // Map the top 53 bits to [0,1), then to [-1,1].
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Quintic smoothstep (Perlin's fade curve): C2-continuous interpolation.
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+#[inline]
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Single-octave value noise at `(x, y)`, in `[-1, 1]`.
+///
+/// Bilinear interpolation of hashed lattice values with a quintic fade,
+/// giving smooth, band-limited terrain-like variation with wavelength ~1.
+///
+/// # Examples
+///
+/// ```
+/// let a = terrain::noise::value_noise(1.5, 2.5, 7);
+/// let b = terrain::noise::value_noise(1.5, 2.5, 7);
+/// assert_eq!(a, b); // deterministic
+/// assert!((-1.0..=1.0).contains(&a));
+/// ```
+pub fn value_noise(x: f64, y: f64, seed: u64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let tx = fade(x - x0);
+    let ty = fade(y - y0);
+    let (ix, iy) = (x0 as i64, y0 as i64);
+    let v00 = lattice(ix, iy, seed);
+    let v10 = lattice(ix + 1, iy, seed);
+    let v01 = lattice(ix, iy + 1, seed);
+    let v11 = lattice(ix + 1, iy + 1, seed);
+    lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty)
+}
+
+/// Multi-octave fractal Brownian motion over [`value_noise`].
+///
+/// Each successive octave doubles frequency and multiplies amplitude by
+/// `gain`. The result is normalized back to roughly `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `octaves` is zero.
+pub fn fbm(x: f64, y: f64, seed: u64, octaves: u32, gain: f64) -> f64 {
+    assert!(octaves > 0, "fbm requires at least one octave");
+    let mut sum = 0.0;
+    let mut amp = 1.0;
+    let mut freq = 1.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        sum += amp * value_noise(x * freq, y * freq, seed.wrapping_add(o as u64));
+        norm += amp;
+        amp *= gain;
+        freq *= 2.0;
+    }
+    sum / norm
+}
+
+/// Ridged fBm: `1 - |fbm|` per octave, producing sharp hill crests.
+///
+/// Used for rugged cities (San Francisco, Duluth, Colorado Springs)
+/// whose elevation profiles show the jagged texture the CNN keys on.
+///
+/// # Panics
+///
+/// Panics if `octaves` is zero.
+pub fn ridged(x: f64, y: f64, seed: u64, octaves: u32, gain: f64) -> f64 {
+    assert!(octaves > 0, "ridged requires at least one octave");
+    let mut sum = 0.0;
+    let mut amp = 1.0;
+    let mut freq = 1.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        let n = value_noise(x * freq, y * freq, seed.wrapping_add(0x5D0_u64 + o as u64));
+        sum += amp * (1.0 - n.abs());
+        norm += amp;
+        amp *= gain;
+        freq *= 2.0;
+    }
+    // (sum/norm) is in [0,1]; recenter to [-1,1].
+    (sum / norm) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        for &(x, y, s) in &[(0.3, 0.7, 1u64), (12.5, -4.25, 99), (-3.0, -3.0, 7)] {
+            assert_eq!(value_noise(x, y, s), value_noise(x, y, s));
+        }
+    }
+
+    #[test]
+    fn noise_depends_on_seed() {
+        let a = value_noise(1.25, 2.75, 1);
+        let b = value_noise(1.25, 2.75, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        for i in 0..500 {
+            let x = (i as f64) * 0.137 - 30.0;
+            let y = (i as f64) * 0.291 - 70.0;
+            let v = value_noise(x, y, 42);
+            assert!((-1.0..=1.0).contains(&v), "noise {v} out of range at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn noise_equals_lattice_at_integers() {
+        let v = value_noise(5.0, -3.0, 11);
+        let w = value_noise(5.0 + 1e-12, -3.0 + 1e-12, 11);
+        assert!((v - w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Adjacent samples differ by a small amount (no lattice seams).
+        let mut prev = value_noise(0.0, 0.5, 3);
+        for i in 1..=400 {
+            let x = i as f64 * 0.01;
+            let v = value_noise(x, 0.5, 3);
+            assert!((v - prev).abs() < 0.1, "jump at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fbm_is_bounded_and_deterministic() {
+        for i in 0..200 {
+            let x = i as f64 * 0.31;
+            let v = fbm(x, -x, 5, 4, 0.5);
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, fbm(x, -x, 5, 4, 0.5));
+        }
+    }
+
+    #[test]
+    fn ridged_is_bounded() {
+        for i in 0..200 {
+            let x = i as f64 * 0.17;
+            let v = ridged(x, x * 0.5, 9, 4, 0.5);
+            assert!((-1.0..=1.0).contains(&v), "ridged {v} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one octave")]
+    fn fbm_rejects_zero_octaves() {
+        fbm(0.0, 0.0, 0, 0, 0.5);
+    }
+}

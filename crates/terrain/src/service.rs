@@ -1,0 +1,185 @@
+//! An elevation-API facade mimicking the Google Maps Elevation API.
+
+use crate::model::ElevationModel;
+use geoprim::LatLon;
+use std::cell::Cell;
+
+/// The Google Elevation API accepts at most 512 locations per request;
+/// the facade enforces the same batching so client code exercises the
+/// same chunking logic it would against the real service.
+pub const MAX_LOCATIONS_PER_REQUEST: usize = 512;
+
+/// Request accounting for an [`ElevationService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Number of (simulated) HTTP requests issued.
+    pub requests: u64,
+    /// Number of individual locations resolved.
+    pub locations: u64,
+}
+
+/// A facade over an [`ElevationModel`] that mirrors how the paper's
+/// pipeline consumed the Google Maps Elevation API: batch lookups and
+/// *sampled paths* ("we obtained the corresponding elevation profile for
+/// each polyline path").
+///
+/// # Examples
+///
+/// ```
+/// use terrain::{ElevationService, SyntheticTerrain};
+/// use geoprim::LatLon;
+///
+/// let service = ElevationService::new(SyntheticTerrain::new(1));
+/// let path = vec![LatLon::new(38.89, -77.05), LatLon::new(38.90, -77.03)];
+/// let profile = service.sample_path(&path, 100);
+/// assert_eq!(profile.len(), 100);
+/// assert!(service.stats().requests >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ElevationService<M> {
+    model: M,
+    requests: Cell<u64>,
+    locations: Cell<u64>,
+}
+
+impl<M: ElevationModel> ElevationService<M> {
+    /// Wraps an elevation model.
+    pub fn new(model: M) -> Self {
+        Self { model, requests: Cell::new(0), locations: Cell::new(0) }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Accumulated request accounting.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats { requests: self.requests.get(), locations: self.locations.get() }
+    }
+
+    /// Resolves elevations for explicit locations, in API-sized batches.
+    pub fn lookup(&self, points: &[LatLon]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(points.len());
+        for chunk in points.chunks(MAX_LOCATIONS_PER_REQUEST) {
+            self.requests.set(self.requests.get() + 1);
+            self.locations.set(self.locations.get() + chunk.len() as u64);
+            out.extend(self.model.elevations(chunk));
+        }
+        out
+    }
+
+    /// Samples `n` equally spaced (by arc length) elevations along a
+    /// polyline path — the "sampled path" mode of the Google API.
+    ///
+    /// Returns an empty vector for an empty path or `n == 0`. A
+    /// single-point path yields `n` copies of that point's elevation.
+    pub fn sample_path(&self, path: &[LatLon], n: usize) -> Vec<f64> {
+        let pts = resample_path(path, n);
+        self.lookup(&pts)
+    }
+}
+
+/// Resamples a polyline into `n` points equally spaced by arc length.
+///
+/// Endpoints are preserved: the first output point is `path[0]` and the
+/// last is `path[last]` (for `n >= 2`).
+pub(crate) fn resample_path(path: &[LatLon], n: usize) -> Vec<LatLon> {
+    if n == 0 || path.is_empty() {
+        return Vec::new();
+    }
+    if path.len() == 1 || n == 1 {
+        return vec![path[0]; n];
+    }
+    // Cumulative arc length per vertex.
+    let mut cum = Vec::with_capacity(path.len());
+    cum.push(0.0);
+    for w in path.windows(2) {
+        let d = w[0].haversine_m(w[1]);
+        cum.push(cum.last().unwrap() + d);
+    }
+    let total = *cum.last().unwrap();
+    if total <= 0.0 {
+        return vec![path[0]; n];
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for i in 0..n {
+        let target = total * i as f64 / (n - 1) as f64;
+        while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+            seg += 1;
+        }
+        let seg_len = cum[seg + 1] - cum[seg];
+        let t = if seg_len > 0.0 { (target - cum[seg]) / seg_len } else { 0.0 };
+        let a = path[seg];
+        let b = path[seg + 1];
+        out.push(LatLon::new(a.lat + (b.lat - a.lat) * t, a.lon + (b.lon - a.lon) * t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticTerrain;
+
+    #[test]
+    fn lookup_batches_requests() {
+        let svc = ElevationService::new(SyntheticTerrain::new(1));
+        let pts = vec![LatLon::new(40.75, -73.98); 1200];
+        let out = svc.lookup(&pts);
+        assert_eq!(out.len(), 1200);
+        assert_eq!(svc.stats().requests, 3); // 512 + 512 + 176
+        assert_eq!(svc.stats().locations, 1200);
+    }
+
+    #[test]
+    fn sample_path_preserves_endpoints() {
+        let svc = ElevationService::new(SyntheticTerrain::new(1));
+        let a = LatLon::new(38.89, -77.05);
+        let b = LatLon::new(38.92, -77.00);
+        let pts = resample_path(&[a, b], 50);
+        assert_eq!(pts.len(), 50);
+        assert!(pts[0].degree_distance(a) < 1e-12);
+        assert!(pts[49].degree_distance(b) < 1e-12);
+        let profile = svc.sample_path(&[a, b], 50);
+        assert_eq!(profile.len(), 50);
+    }
+
+    #[test]
+    fn resample_is_arc_length_uniform() {
+        // An L-shaped path: spacing must be uniform along the arc.
+        let path = vec![
+            LatLon::new(0.0, 0.0),
+            LatLon::new(0.01, 0.0),
+            LatLon::new(0.01, 0.01),
+        ];
+        let pts = resample_path(&path, 21);
+        let mut dists = Vec::new();
+        for w in pts.windows(2) {
+            dists.push(w[0].haversine_m(w[1]));
+        }
+        let mean = dists.iter().sum::<f64>() / dists.len() as f64;
+        for d in dists {
+            assert!((d - mean).abs() < mean * 0.05, "spacing {d} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let svc = ElevationService::new(SyntheticTerrain::new(1));
+        assert!(svc.sample_path(&[], 10).is_empty());
+        assert!(svc.sample_path(&[LatLon::new(1.0, 1.0)], 0).is_empty());
+        let single = svc.sample_path(&[LatLon::new(28.5, -81.4)], 5);
+        assert_eq!(single.len(), 5);
+        assert!(single.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn zero_length_path_repeats_point() {
+        let p = LatLon::new(25.77, -80.19);
+        let pts = resample_path(&[p, p, p], 7);
+        assert_eq!(pts.len(), 7);
+        assert!(pts.iter().all(|q| q.degree_distance(p) < 1e-12));
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-city elevation signatures.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters describing the elevation character of one metro area.
+///
+/// A signature is the synthetic stand-in for what the paper's adversary
+/// learns when they "profile the elevation of cities, with information
+/// that is easily obtained from public sources" (threat model TM-3).
+/// The classifier never sees these parameters — only elevation profiles
+/// sampled from terrain generated with them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElevationSignature {
+    /// Mean elevation above sea level in metres (e.g. Miami ≈ 2 m,
+    /// Colorado Springs ≈ 1840 m).
+    pub base_m: f64,
+    /// Peak-to-trough relief amplitude of the dominant hills, metres.
+    pub relief_m: f64,
+    /// Wavelength of the dominant hills in metres.
+    pub hill_wavelength_m: f64,
+    /// Amplitude of the *regional* low-frequency octave in metres. This
+    /// octave has wavelength comparable to a borough, so it is what makes
+    /// boroughs of the same city (weakly) distinguishable.
+    pub regional_relief_m: f64,
+    /// Wavelength of the regional octave in metres.
+    pub regional_wavelength_m: f64,
+    /// Number of fBm octaves below the dominant wavelength.
+    pub octaves: u32,
+    /// Per-octave amplitude gain in `(0, 1]`.
+    pub gain: f64,
+    /// Whether the hill octaves use ridged noise (sharp crests), typical
+    /// of genuinely rugged cities.
+    pub ridged: bool,
+}
+
+impl ElevationSignature {
+    /// A conservative default: gently rolling 20 m relief at 100 m base.
+    pub fn rolling() -> Self {
+        Self {
+            base_m: 100.0,
+            relief_m: 20.0,
+            hill_wavelength_m: 3_000.0,
+            regional_relief_m: 10.0,
+            regional_wavelength_m: 9_000.0,
+            octaves: 4,
+            gain: 0.5,
+            ridged: false,
+        }
+    }
+
+    /// Validates physical plausibility of the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (non-finite field, non-positive wavelength, zero
+    /// octaves, or gain outside `(0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        let finite = [
+            ("base_m", self.base_m),
+            ("relief_m", self.relief_m),
+            ("hill_wavelength_m", self.hill_wavelength_m),
+            ("regional_relief_m", self.regional_relief_m),
+            ("regional_wavelength_m", self.regional_wavelength_m),
+            ("gain", self.gain),
+        ];
+        for (name, v) in finite {
+            if !v.is_finite() {
+                return Err(format!("{name} must be finite, got {v}"));
+            }
+        }
+        if self.hill_wavelength_m <= 0.0 || self.regional_wavelength_m <= 0.0 {
+            return Err("wavelengths must be positive".into());
+        }
+        if self.relief_m < 0.0 || self.regional_relief_m < 0.0 {
+            return Err("relief amplitudes must be non-negative".into());
+        }
+        if self.octaves == 0 {
+            return Err("octaves must be at least 1".into());
+        }
+        if !(0.0 < self.gain && self.gain <= 1.0) {
+            return Err(format!("gain must be in (0, 1], got {}", self.gain));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ElevationSignature {
+    fn default() -> Self {
+        Self::rolling()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_is_valid() {
+        assert!(ElevationSignature::rolling().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        let mut s = ElevationSignature::rolling();
+        s.gain = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = ElevationSignature::rolling();
+        s.hill_wavelength_m = -5.0;
+        assert!(s.validate().is_err());
+        let mut s = ElevationSignature::rolling();
+        s.octaves = 0;
+        assert!(s.validate().is_err());
+        let mut s = ElevationSignature::rolling();
+        s.base_m = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = ElevationSignature::rolling();
+        s.relief_m = -1.0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the terrain substrate.
+
+use geoprim::LatLon;
+use proptest::prelude::*;
+use terrain::{CityId, ElevationModel, ElevationService, SyntheticTerrain};
+
+fn arb_us_point() -> impl Strategy<Value = LatLon> {
+    // Continental-US-ish envelope covering all catalog cities.
+    (25.0f64..47.0, -123.0f64..-73.0).prop_map(|(lat, lon)| LatLon::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn elevation_is_deterministic_and_sane(p in arb_us_point(), seed in 0u64..100) {
+        let t = SyntheticTerrain::new(seed);
+        let a = t.elevation_at(p);
+        let b = SyntheticTerrain::new(seed).elevation_at(p);
+        prop_assert_eq!(a, b);
+        prop_assert!((0.0..9000.0).contains(&a), "elevation {a}");
+    }
+
+    #[test]
+    fn elevation_is_quantized_to_centimetres(p in arb_us_point()) {
+        let t = SyntheticTerrain::new(3);
+        let e = t.elevation_at(p);
+        prop_assert!(((e * 100.0).round() / 100.0 - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearby_points_have_nearby_elevations(p in arb_us_point(),
+                                            dx in -30.0f64..30.0, dy in -30.0f64..30.0) {
+        let t = SyntheticTerrain::new(7);
+        let q = p.offset_m(dx, dy);
+        let de = (t.elevation_at(p) - t.elevation_at(q)).abs();
+        // 30 m of horizontal distance cannot produce a cliff in fBm
+        // terrain with ≥1 km wavelengths (generous bound incl. ridged).
+        prop_assert!(de < 40.0, "Δe {de} over ~{:.0} m", (dx * dx + dy * dy).sqrt());
+    }
+
+    #[test]
+    fn service_lookup_matches_model(points in prop::collection::vec(arb_us_point(), 1..50)) {
+        let t = SyntheticTerrain::new(5);
+        let service = ElevationService::new(SyntheticTerrain::new(5));
+        let direct: Vec<f64> = points.iter().map(|p| t.elevation_at(*p)).collect();
+        prop_assert_eq!(service.lookup(&points), direct);
+    }
+
+    #[test]
+    fn sample_path_length_is_exact(
+        a in arb_us_point(), b in arb_us_point(), n in 2usize..256) {
+        let service = ElevationService::new(SyntheticTerrain::new(1));
+        prop_assert_eq!(service.sample_path(&[a, b], n).len(), n);
+    }
+
+    #[test]
+    fn city_lookup_is_total(p in arb_us_point()) {
+        let t = SyntheticTerrain::new(1);
+        // nearest_city never fails; city_at may be None outside boxes.
+        let nearest = t.catalog().nearest_city(p).id;
+        prop_assert!(CityId::ALL.contains(&nearest));
+        if let Some(c) = t.catalog().city_at(p) {
+            prop_assert!(c.bbox.contains(p));
+        }
+    }
+}

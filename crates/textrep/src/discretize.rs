@@ -1,0 +1,98 @@
+//! Discretization of elevation signals (paper Fig. 5, step 1).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's two discretization functions.
+///
+/// Discrete values are represented as *scaled integers* so they can be
+/// hashed and compared exactly: `Floor` maps `e → ⌊e⌋`, and
+/// `FixedPrecision { decimals: 3 }` maps `e → ⌊e·10³⌋` (the paper's
+/// `⌊e·10³⌋/10³`, kept scaled to avoid float keys).
+///
+/// Non-finite inputs (NaN/±∞ from corrupt recordings) are clamped to 0
+/// rather than poisoning the codebook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Discretizer {
+    /// `f(e) = ⌊e⌋` — used for the dense user-specific dataset.
+    #[default]
+    Floor,
+    /// `f(e) = ⌊e·10^decimals⌋` — used for the sparse mined datasets,
+    /// where "losing information is undesired" (paper uses 3 decimals).
+    FixedPrecision {
+        /// Number of preserved decimal digits.
+        decimals: u32,
+    },
+}
+
+impl Discretizer {
+    /// The paper's mined-dataset discretizer (3 decimal digits).
+    pub fn mined() -> Self {
+        Discretizer::FixedPrecision { decimals: 3 }
+    }
+
+    /// Discretizes one value to its scaled-integer representative.
+    pub fn apply_one(&self, e: f64) -> i64 {
+        let e = if e.is_finite() { e } else { 0.0 };
+        match self {
+            Discretizer::Floor => e.floor() as i64,
+            Discretizer::FixedPrecision { decimals } => {
+                (e * 10f64.powi(*decimals as i32)).floor() as i64
+            }
+        }
+    }
+
+    /// Discretizes a whole signal.
+    pub fn apply(&self, signal: &[f64]) -> Vec<i64> {
+        signal.iter().map(|&e| self.apply_one(e)).collect()
+    }
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_matches_paper_definition() {
+        let d = Discretizer::Floor;
+        assert_eq!(d.apply(&[1.9, -0.1, 42.0]), vec![1, -1, 42]);
+    }
+
+    #[test]
+    fn fixed_precision_keeps_three_decimals() {
+        let d = Discretizer::mined();
+        assert_eq!(d.apply_one(12.3456), 12_345);
+        assert_eq!(d.apply_one(12.3454), 12_345);
+        assert_eq!(d.apply_one(0.0001), 0);
+    }
+
+    #[test]
+    fn floor_coarser_than_fixed_precision() {
+        // Values that collide under Floor stay distinct at 3 decimals.
+        let floor = Discretizer::Floor;
+        let fine = Discretizer::mined();
+        assert_eq!(floor.apply_one(5.001), floor.apply_one(5.999));
+        assert_ne!(fine.apply_one(5.001), fine.apply_one(5.999));
+    }
+
+    #[test]
+    fn non_finite_values_are_clamped() {
+        let d = Discretizer::Floor;
+        assert_eq!(d.apply_one(f64::NAN), 0);
+        assert_eq!(d.apply_one(f64::INFINITY), 0);
+        assert_eq!(d.apply_one(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn discretization_is_monotone() {
+        for d in [Discretizer::Floor, Discretizer::mined()] {
+            let mut prev = i64::MIN;
+            for i in 0..1000 {
+                let v = d.apply_one(-3.0 + i as f64 * 0.013);
+                assert!(v >= prev);
+                prev = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Word-size decision and text encoding (paper Fig. 5, steps 2–3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The encoding alphabet (lowercase Latin letters, `l = 26`).
+pub const ALPHABET: &[u8; 26] = b"abcdefghijklmnopqrstuvwxyz";
+
+/// The alphabet length `l` in the paper's `w = log_l c`.
+pub const ALPHABET_LEN: usize = ALPHABET.len();
+
+/// Mapping from discrete elevation values to fixed-width words.
+///
+/// The word size is `w = ⌈log_l c⌉` (minimum width that can address all
+/// `c` unique values with alphabet length `l`), and each unique value is
+/// assigned the base-`l` spelling of its rank. Ranks follow value order,
+/// so the mapping is deterministic for a given corpus.
+///
+/// # Examples
+///
+/// ```
+/// use textrep::ValueCodebook;
+///
+/// let signals = [vec![3i64, 1, 2], vec![2, 2, 4]];
+/// let cb = ValueCodebook::fit(signals.iter().map(|s| s.as_slice()));
+/// assert_eq!(cb.unique_values(), 4);
+/// assert_eq!(cb.word_size(), 1); // 26^1 >= 4
+/// let text = cb.encode_signal(&[1, 2, 3, 4]);
+/// assert_eq!(text, "abcd");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueCodebook {
+    /// value → word (BTreeMap keeps deterministic, ordered iteration).
+    words: BTreeMap<i64, String>,
+    word_size: usize,
+}
+
+impl ValueCodebook {
+    /// Fits a codebook over every discrete signal in the corpus.
+    ///
+    /// An empty corpus yields a codebook with word size 1 and no words.
+    pub fn fit<'a, I: IntoIterator<Item = &'a [i64]>>(signals: I) -> Self {
+        let mut unique: BTreeMap<i64, String> = BTreeMap::new();
+        for signal in signals {
+            for &v in signal {
+                unique.entry(v).or_default();
+            }
+        }
+        let c = unique.len();
+        let word_size = word_size_for(c);
+        for (rank, (_, word)) in unique.iter_mut().enumerate() {
+            *word = spell(rank, word_size);
+        }
+        Self { words: unique, word_size }
+    }
+
+    /// The word size `w`.
+    pub fn word_size(&self) -> usize {
+        self.word_size
+    }
+
+    /// Number of unique values `c` in the fitted corpus.
+    pub fn unique_values(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The word for a value, if it was present at fit time.
+    pub fn word(&self, value: i64) -> Option<&str> {
+        self.words.get(&value).map(String::as_str)
+    }
+
+    /// Encodes a discrete signal as concatenated words.
+    ///
+    /// Values unseen at fit time (possible when transforming held-out
+    /// data) are mapped to the nearest known value — the closest
+    /// elevation the vocabulary can express.
+    pub fn encode_signal(&self, signal: &[i64]) -> String {
+        let mut out = String::with_capacity(signal.len() * self.word_size);
+        for &v in signal {
+            match self.words.get(&v) {
+                Some(w) => out.push_str(w),
+                None => {
+                    if let Some(w) = self.nearest_word(v) {
+                        out.push_str(w);
+                    }
+                    // An empty codebook encodes everything as "".
+                }
+            }
+        }
+        out
+    }
+
+    fn nearest_word(&self, v: i64) -> Option<&str> {
+        let below = self.words.range(..=v).next_back();
+        let above = self.words.range(v..).next();
+        match (below, above) {
+            (Some((bv, bw)), Some((av, aw))) => {
+                if (v - bv) <= (av - v) {
+                    Some(bw)
+                } else {
+                    Some(aw)
+                }
+            }
+            (Some((_, w)), None) | (None, Some((_, w))) => Some(w),
+            (None, None) => None,
+        }
+    }
+}
+
+/// `w = ⌈log_l c⌉`, minimum 1.
+fn word_size_for(c: usize) -> usize {
+    if c <= 1 {
+        return 1;
+    }
+    let mut w = 0usize;
+    let mut capacity = 1usize;
+    while capacity < c {
+        capacity = capacity.saturating_mul(ALPHABET_LEN);
+        w += 1;
+    }
+    w
+}
+
+/// The base-`l` spelling of `rank` with exactly `width` letters.
+fn spell(rank: usize, width: usize) -> String {
+    let mut out = vec![b'a'; width];
+    let mut r = rank;
+    for slot in out.iter_mut().rev() {
+        *slot = ALPHABET[r % ALPHABET_LEN];
+        r /= ALPHABET_LEN;
+    }
+    debug_assert_eq!(r, 0, "rank exceeds alphabet capacity for width");
+    String::from_utf8(out).expect("alphabet is ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_size_matches_log_formula() {
+        assert_eq!(word_size_for(0), 1);
+        assert_eq!(word_size_for(1), 1);
+        assert_eq!(word_size_for(26), 1);
+        assert_eq!(word_size_for(27), 2);
+        assert_eq!(word_size_for(676), 2);
+        assert_eq!(word_size_for(677), 3);
+    }
+
+    #[test]
+    fn spelling_is_base26() {
+        assert_eq!(spell(0, 2), "aa");
+        assert_eq!(spell(1, 2), "ab");
+        assert_eq!(spell(25, 2), "az");
+        assert_eq!(spell(26, 2), "ba");
+        assert_eq!(spell(675, 2), "zz");
+    }
+
+    #[test]
+    fn all_words_are_unique_and_fixed_width() {
+        let signal: Vec<i64> = (0..100).map(|i| i * 7 % 53).collect();
+        let cb = ValueCodebook::fit([signal.as_slice()]);
+        let mut seen = std::collections::HashSet::new();
+        for v in signal {
+            let w = cb.word(v).unwrap();
+            assert_eq!(w.len(), cb.word_size());
+            seen.insert(w.to_owned());
+        }
+        assert_eq!(seen.len(), cb.unique_values());
+    }
+
+    #[test]
+    fn encoding_length_is_words_times_size() {
+        let cb = ValueCodebook::fit([&[1i64, 2, 3][..]]);
+        let text = cb.encode_signal(&[1, 2, 3, 3, 2, 1]);
+        assert_eq!(text.len(), 6 * cb.word_size());
+    }
+
+    #[test]
+    fn unseen_values_snap_to_nearest() {
+        let cb = ValueCodebook::fit([&[0i64, 10][..]]);
+        assert_eq!(cb.encode_signal(&[2]), cb.word(0).unwrap());
+        assert_eq!(cb.encode_signal(&[9]), cb.word(10).unwrap());
+        assert_eq!(cb.encode_signal(&[-5]), cb.word(0).unwrap());
+        assert_eq!(cb.encode_signal(&[99]), cb.word(10).unwrap());
+    }
+
+    #[test]
+    fn empty_codebook_encodes_empty() {
+        let cb = ValueCodebook::fit(std::iter::empty::<&[i64]>());
+        assert_eq!(cb.unique_values(), 0);
+        assert_eq!(cb.encode_signal(&[1, 2, 3]), "");
+    }
+
+    #[test]
+    fn large_corpus_gets_wider_words() {
+        let signal: Vec<i64> = (0..1000).collect();
+        let cb = ValueCodebook::fit([signal.as_slice()]);
+        assert_eq!(cb.word_size(), 3); // 26^2 = 676 < 1000 <= 26^3
+    }
+}

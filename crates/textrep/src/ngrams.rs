@@ -1,0 +1,139 @@
+//! Vocabulary construction from word-based n-grams (paper Fig. 6).
+
+use std::collections::HashSet;
+
+/// A vocabulary of unique word-aligned k-grams, `k = 1..=max_n`.
+///
+/// Per the paper, "a window with size `W = w×n` is slided throughout the
+/// corpus and each window content is appended to the vocabulary set ...
+/// after traversing the corpus by n times with different window sizes" —
+/// i.e. one pass per gram order, windows aligned to word boundaries and
+/// slid one word at a time, deduplicated by the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocabulary {
+    /// Sorted for determinism.
+    entries: Vec<String>,
+    word_size: usize,
+    max_n: usize,
+}
+
+impl Vocabulary {
+    /// Builds the vocabulary over an encoded corpus.
+    ///
+    /// Each element of `corpus` is one encoded signal (a line of the
+    /// paper's corpus document). Windows never span lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_size == 0` or `max_n == 0`.
+    pub fn build(corpus: &[String], word_size: usize, max_n: usize) -> Self {
+        assert!(word_size > 0, "word size must be positive");
+        assert!(max_n > 0, "n-gram order must be positive");
+        let mut set: HashSet<&str> = HashSet::new();
+        for line in corpus {
+            debug_assert_eq!(
+                line.len() % word_size,
+                0,
+                "encoded lines are whole words"
+            );
+            let n_words = line.len() / word_size;
+            for n in 1..=max_n {
+                if n > n_words {
+                    break;
+                }
+                let window = word_size * n;
+                // Slide one word at a time.
+                for start in (0..=(line.len() - window)).step_by(word_size) {
+                    set.insert(&line[start..start + window]);
+                }
+            }
+        }
+        let mut entries: Vec<String> = set.into_iter().map(str::to_owned).collect();
+        entries.sort_unstable();
+        Self { entries, word_size, max_n }
+    }
+
+    /// The vocabulary entries, sorted.
+    pub fn entries(&self) -> &[String] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The word size the vocabulary was built with.
+    pub fn word_size(&self) -> usize {
+        self.word_size
+    }
+
+    /// The maximum gram order.
+    pub fn max_n(&self) -> usize {
+        self.max_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn bigram_example_from_figure_6() {
+        // Word size 2, line "abcdef" = words [ab, cd, ef].
+        // 1-grams: ab, cd, ef; 2-grams: abcd, cdef.
+        let v = Vocabulary::build(&corpus(&["abcdef"]), 2, 2);
+        assert_eq!(v.entries(), &["ab", "abcd", "cd", "cdef", "ef"]);
+    }
+
+    #[test]
+    fn deduplicates_across_lines() {
+        let v = Vocabulary::build(&corpus(&["abab", "abab"]), 2, 2);
+        assert_eq!(v.entries(), &["ab", "abab"]);
+    }
+
+    #[test]
+    fn windows_do_not_span_lines() {
+        let v = Vocabulary::build(&corpus(&["ab", "cd"]), 2, 2);
+        // No "abcd" since it would span two signals.
+        assert_eq!(v.entries(), &["ab", "cd"]);
+    }
+
+    #[test]
+    fn short_lines_contribute_short_grams_only() {
+        let v = Vocabulary::build(&corpus(&["ab"]), 1, 4);
+        assert_eq!(v.entries(), &["a", "ab", "b"]);
+    }
+
+    #[test]
+    fn empty_corpus_is_empty() {
+        let v = Vocabulary::build(&[], 2, 3);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn gram_count_for_uniform_line() {
+        // Line of 10 distinct words, orders 1..=3:
+        // 10 + 9 + 8 = 27 unique grams.
+        let words: Vec<String> = (0..10).map(|i| format!("{i}")).collect();
+        let line = words.concat();
+        let v = Vocabulary::build(&[line], 1, 3);
+        assert_eq!(v.len(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "word size")]
+    fn rejects_zero_word_size() {
+        Vocabulary::build(&[], 0, 2);
+    }
+}

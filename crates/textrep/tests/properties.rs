@@ -1,0 +1,119 @@
+//! Property-based tests for the text-like representation.
+
+use proptest::prelude::*;
+use textrep::{
+    BowVectorizer, Discretizer, FeatureSelection, TextPipeline, ValueCodebook, Vocabulary,
+};
+
+fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..3000.0, 1..120)
+}
+
+proptest! {
+    #[test]
+    fn discretization_is_monotone(d in prop_oneof![
+        Just(Discretizer::Floor),
+        (1u32..4).prop_map(|decimals| Discretizer::FixedPrecision { decimals }),
+    ], mut values in prop::collection::vec(-500.0f64..500.0, 2..50)) {
+        values.sort_by(f64::total_cmp);
+        let out = d.apply(&values);
+        for w in out.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn codebook_words_are_unique_and_fixed_width(signal in prop::collection::vec(-1000i64..1000, 1..200)) {
+        let cb = ValueCodebook::fit([signal.as_slice()]);
+        let mut words = std::collections::HashSet::new();
+        for &v in &signal {
+            let w = cb.word(v).unwrap();
+            prop_assert_eq!(w.len(), cb.word_size());
+            words.insert(w.to_owned());
+        }
+        prop_assert_eq!(words.len(), cb.unique_values());
+    }
+
+    #[test]
+    fn encoded_signal_length_is_exact(signal in prop::collection::vec(-50i64..50, 0..100)) {
+        let cb = ValueCodebook::fit([signal.as_slice()]);
+        let text = cb.encode_signal(&signal);
+        prop_assert_eq!(text.len(), signal.len() * cb.word_size());
+    }
+
+    #[test]
+    fn vocabulary_entries_have_valid_gram_lengths(
+        lines in prop::collection::vec("[a-d]{0,24}", 0..6),
+        max_n in 1usize..5,
+    ) {
+        // Trim lines to whole words of size 2.
+        let lines: Vec<String> = lines
+            .into_iter()
+            .map(|l| {
+                let keep = l.len() - l.len() % 2;
+                l[..keep].to_owned()
+            })
+            .collect();
+        let vocab = Vocabulary::build(&lines, 2, max_n);
+        for e in vocab.entries() {
+            prop_assert_eq!(e.len() % 2, 0);
+            let words = e.len() / 2;
+            prop_assert!(words >= 1 && words <= max_n);
+        }
+    }
+
+    #[test]
+    fn bow_vectors_are_probability_or_zero(
+        signals in prop::collection::vec(arb_signal(), 2..8),
+        max_n in 1usize..4,
+    ) {
+        let p = TextPipeline::fit(Discretizer::Floor, max_n, FeatureSelection::keep_all(), &signals);
+        for s in &signals {
+            let f = p.transform(s);
+            let sum: f32 = f.iter().sum();
+            prop_assert!(f.iter().all(|&v| v >= 0.0));
+            prop_assert!((sum - 1.0).abs() < 1e-4 || sum == 0.0, "sum {sum}");
+        }
+    }
+
+    #[test]
+    fn feature_cap_is_respected(
+        signals in prop::collection::vec(arb_signal(), 2..6),
+        cap in 1usize..64,
+    ) {
+        let p = TextPipeline::fit(
+            Discretizer::Floor,
+            3,
+            FeatureSelection { tf_threshold: 1, max_features: Some(cap) },
+            &signals,
+        );
+        prop_assert!(p.n_features() <= cap);
+    }
+
+    #[test]
+    fn tiled_fit_matches_vocabulary_fit(lines in prop::collection::vec("[ab]{0,16}", 1..6)) {
+        let corpus: Vec<String> = lines;
+        let via_vocab = {
+            let vocab = Vocabulary::build(&corpus, 1, 3);
+            BowVectorizer::fit(vocab, 1, 3, &corpus, 1)
+        };
+        let via_tiled = BowVectorizer::fit_tiled(
+            &corpus, 1, 3,
+            FeatureSelection { tf_threshold: 1, max_features: None },
+        );
+        prop_assert_eq!(via_vocab.features(), via_tiled.features());
+        for line in &corpus {
+            prop_assert_eq!(via_vocab.transform(line), via_tiled.transform(line));
+        }
+    }
+
+    #[test]
+    fn unseen_profiles_transform_without_panic(
+        train in prop::collection::vec(arb_signal(), 2..5),
+        probe in arb_signal(),
+    ) {
+        let p = TextPipeline::fit(Discretizer::mined(), 4, FeatureSelection::standard(), &train);
+        let f = p.transform(&probe);
+        prop_assert_eq!(f.len(), p.n_features());
+    }
+}

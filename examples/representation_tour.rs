@@ -1,0 +1,71 @@
+//! A tour of the paper's two elevation-profile representations
+//! (Figs. 5–7): discretization, text encoding, n-gram vocabulary, and
+//! the colored line-graph image, on a single real generated activity.
+//!
+//! ```sh
+//! cargo run --release --example representation_tour
+//! ```
+
+use elevation_privacy::attack::defense::Defense;
+use imgrep::{render, ImageConfig};
+use routegen::AthleteSimulator;
+use terrain::{CityId, SyntheticTerrain};
+use textrep::{Discretizer, FeatureSelection, TextPipeline, ValueCodebook, Vocabulary};
+
+fn main() {
+    // One activity from a simulated athlete in San Francisco.
+    let mut sim = AthleteSimulator::new(SyntheticTerrain::new(3), 5);
+    let activity = sim.generate_one(CityId::SanFrancisco);
+    let profile = activity.elevation_profile();
+    println!(
+        "activity: {} GPS points, elevation {:.1}–{:.1} m",
+        profile.len(),
+        profile.iter().copied().fold(f64::INFINITY, f64::min),
+        profile.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+
+    // The GPX the fitness app would export.
+    let gpx = activity.gpx.to_xml();
+    println!("GPX export: {} bytes, starts with {:?}…\n", gpx.len(), &gpx[..45]);
+
+    // — Text-like representation (Fig. 5) —
+    let discretizer = Discretizer::Floor;
+    let discrete = discretizer.apply(&profile);
+    let codebook = ValueCodebook::fit([discrete.as_slice()]);
+    println!("① discretization: {} values → {} unique", discrete.len(), codebook.unique_values());
+    println!("② word size: w = ⌈log₂₆ {}⌉ = {}", codebook.unique_values(), codebook.word_size());
+    let encoded = codebook.encode_signal(&discrete);
+    println!("③ text encoding: {:?}…", &encoded[..30.min(encoded.len())]);
+    let vocab = Vocabulary::build(&[encoded.clone()], codebook.word_size(), 3);
+    println!("④ vocabulary: {} unique 1–3-grams (Fig. 6 windows)", vocab.len());
+
+    let pipeline = TextPipeline::fit(
+        discretizer,
+        8,
+        FeatureSelection::keep_all(),
+        &[profile.clone()],
+    );
+    let features = pipeline.transform(&profile);
+    let nonzero = features.iter().filter(|&&v| v > 0.0).count();
+    println!("   bag-of-words: {} features, {} nonzero, sum = 1\n", features.len(), nonzero);
+
+    // — Image-like representation (Fig. 7 input) —
+    let img = render(&profile, &ImageConfig::default());
+    println!("image: 3×32×32, band {} colour, {:.0}% pixels lit", img.band, img.coverage() * 100.0);
+    // ASCII rendering of the line graph.
+    for y in 0..img.height {
+        let mut line = String::new();
+        for x in 0..img.width {
+            let p = img.pixel(x, y);
+            line.push(if p.r > 0.0 || p.g > 0.0 || p.b > 0.0 { '█' } else { '·' });
+        }
+        println!("  {line}");
+    }
+
+    // What the defenses would share instead.
+    println!("\nsummary-only sharing (the paper's future-work defense):");
+    let stats = Defense::SummaryOnly { bins: 4 }.apply(&profile);
+    for (i, pair) in stats.chunks(2).enumerate() {
+        println!("  segment {i}: ascent {:.1} m, descent {:.1} m", pair[0], pair[1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # elevation-privacy
+//!
+//! A Rust reproduction of *Understanding the Potential Risks of Sharing
+//! Elevation Information on Fitness Applications* (ICDCS 2020).
+//!
+//! The paper demonstrates that the **elevation profile** of a workout —
+//! often shared publicly even when the route map is hidden — suffices to
+//! infer the athlete's region, borough, or city with 59.59%–95.83%
+//! accuracy. This crate re-exports the whole reproduction stack:
+//!
+//! - substrates: [`geoprim`], [`terrain`], [`gpxfile`], [`routegen`],
+//! - data: [`datasets`], [`textrep`], [`imgrep`],
+//! - learners: [`tensorlite`], [`neuralnet`], [`classicml`], [`evalkit`],
+//! - the attack itself: [`attack`] (crate `elev_core`),
+//! - the survey reproduction: [`surveysim`].
+//!
+//! See `examples/quickstart.rs` for an end-to-end attack in ~40 lines,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use classicml;
+pub use datasets;
+pub use elev_core as attack;
+pub use evalkit;
+pub use geoprim;
+pub use gpxfile;
+pub use imgrep;
+pub use neuralnet;
+pub use routegen;
+pub use surveysim;
+pub use tensorlite;
+pub use terrain;
+pub use textrep;

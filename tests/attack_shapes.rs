@@ -1,0 +1,117 @@
+//! Cross-crate integration tests asserting the paper's *shape* results
+//! end-to-end on miniature corpora: who wins, in which direction, and
+//! by roughly what ordering — the claims the reproduction must uphold.
+
+use datasets::{borough_level, city_level, split, user_specific};
+use elevation_privacy::attack::defense::Defense;
+use elevation_privacy::attack::text::{evaluate_text, TextAttackConfig, TextModel};
+use terrain::{BoroughId, CityId};
+use textrep::Discretizer;
+
+fn quick_cfg() -> TextAttackConfig {
+    TextAttackConfig { folds: 3, mlp_epochs: 25, ..Default::default() }
+}
+
+fn tm1_accuracy() -> f64 {
+    let ds = user_specific::build_with_counts(
+        5,
+        &[(CityId::WashingtonDc, 40), (CityId::Orlando, 30), (CityId::NewYorkCity, 20)],
+    );
+    evaluate_text(&ds, Discretizer::Floor, TextModel::Mlp, &quick_cfg())
+        .outcome()
+        .accuracy
+}
+
+fn tm2_accuracy() -> f64 {
+    // Within-city borough inference on NYC (hardest per the paper).
+    let counts: Vec<(BoroughId, usize)> = borough_level::TABLE_III
+        .iter()
+        .filter(|(b, _)| b.city() == CityId::NewYorkCity)
+        .map(|&(b, n)| (b, (n / 20).max(9)))
+        .collect();
+    let ds = borough_level::build_with_counts(6, &counts);
+    evaluate_text(&ds, Discretizer::mined(), TextModel::Mlp, &quick_cfg())
+        .outcome()
+        .accuracy
+}
+
+fn tm3_balanced() -> datasets::Dataset {
+    let counts: Vec<(CityId, usize)> = city_level::TABLE_II
+        .iter()
+        .take(5)
+        .map(|&(c, n)| (c, (n / 25).max(12)))
+        .collect();
+    let ds = city_level::build_with_counts(7, &counts);
+    let keep: Vec<u32> = ds.classes_by_size().into_iter().take(5).collect();
+    let filtered = ds.filter_classes(&keep);
+    let s = *filtered.class_counts().iter().min().unwrap();
+    split::balanced_downsample(&filtered, s, 1)
+}
+
+#[test]
+fn tm1_beats_tm2_the_papers_central_ordering() {
+    let tm1 = tm1_accuracy();
+    let tm2 = tm2_accuracy();
+    assert!(
+        tm1 > tm2 + 0.1,
+        "TM-1 ({tm1:.3}) must clearly beat within-city TM-2 ({tm2:.3})"
+    );
+    assert!(tm1 > 0.8, "TM-1 should be a strong attack, got {tm1:.3}");
+}
+
+#[test]
+fn tm3_beats_chance_by_a_wide_margin() {
+    let ds = tm3_balanced();
+    let acc = evaluate_text(&ds, Discretizer::mined(), TextModel::Mlp, &quick_cfg())
+        .outcome()
+        .accuracy;
+    let chance = 1.0 / ds.n_classes() as f64;
+    assert!(acc > chance * 2.5, "TM-3 accuracy {acc:.3} vs chance {chance:.3}");
+}
+
+#[test]
+fn summary_only_defense_collapses_the_attack() {
+    let ds = tm3_balanced();
+    let cfg = quick_cfg();
+    let baseline =
+        evaluate_text(&ds, Discretizer::mined(), TextModel::Mlp, &cfg).outcome().accuracy;
+    let defended = Defense::SummaryOnly { bins: 8 }.apply_to_dataset(&ds);
+    let after =
+        evaluate_text(&defended, Discretizer::mined(), TextModel::Mlp, &cfg).outcome().accuracy;
+    assert!(
+        after < baseline - 0.1,
+        "summary-only should strip most signal: {baseline:.3} -> {after:.3}"
+    );
+}
+
+#[test]
+fn coarse_quantization_degrades_gracefully() {
+    let ds = tm3_balanced();
+    let cfg = quick_cfg();
+    let baseline =
+        evaluate_text(&ds, Discretizer::mined(), TextModel::Mlp, &cfg).outcome().accuracy;
+    // Mild coarsening preserves most of the attack (coarse elevation
+    // bands still identify cities); that is the cautionary finding.
+    let defended = Defense::Coarsen { step_m: 5.0 }.apply_to_dataset(&ds);
+    let after =
+        evaluate_text(&defended, Discretizer::mined(), TextModel::Mlp, &cfg).outcome().accuracy;
+    assert!(
+        after > baseline - 0.25,
+        "5 m coarsening should not kill the attack: {baseline:.3} -> {after:.3}"
+    );
+}
+
+#[test]
+fn dense_discretizer_for_dense_data_sparse_for_sparse() {
+    // The paper's discretization rationale: Floor suffices for the dense
+    // user-specific recordings; mined data needs 3-decimal precision.
+    // Check both run end-to-end and produce sane outputs.
+    let user = user_specific::build_with_counts(
+        9,
+        &[(CityId::WashingtonDc, 20), (CityId::Orlando, 15)],
+    );
+    let floor_acc = evaluate_text(&user, Discretizer::Floor, TextModel::Svm, &quick_cfg())
+        .outcome()
+        .accuracy;
+    assert!(floor_acc > 0.6, "floor discretization on dense data: {floor_acc:.3}");
+}

@@ -1,0 +1,124 @@
+//! Cross-crate plumbing tests: GPX round trips through the full data
+//! path, dataset serialization, determinism of whole experiments, and
+//! failure injection at the crate seams.
+
+use datasets::{city_level, overlap, user_specific, Dataset, Sample};
+use elevation_privacy::attack::attacker::TextAttacker;
+use elevation_privacy::attack::image::{render_dataset, ImageAttackConfig};
+use elevation_privacy::attack::text::{TextAttackConfig, TextModel};
+use gpxfile::Gpx;
+use terrain::{CityId, ElevationService, SyntheticTerrain};
+use textrep::Discretizer;
+
+#[test]
+fn activity_survives_gpx_roundtrip_into_the_attack() {
+    // Simulated athlete → GPX text (what the app exports) → parsed GPX
+    // (what the adversary scrapes) → elevation profile → prediction.
+    let (ds, mut athlete) = user_specific::build_with_simulator(
+        3,
+        &[(CityId::WashingtonDc, 25), (CityId::Orlando, 20)],
+    );
+    let mut attacker = TextAttacker::fit(
+        &ds,
+        Discretizer::Floor,
+        TextModel::Svm,
+        &TextAttackConfig { svm_epochs: 15, ..Default::default() },
+    );
+    let mut correct = 0;
+    for i in 0..6 {
+        let metro = [CityId::WashingtonDc, CityId::Orlando][i % 2];
+        let activity = athlete.generate_one(metro);
+        let xml = activity.gpx.to_xml();
+        let parsed = Gpx::parse(&xml).expect("simulator emits valid GPX");
+        let profile = parsed.elevation_profile();
+        assert_eq!(profile.len(), activity.elevation_profile().len());
+        if attacker.predict_name(&profile) == metro.name() {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 4, "roundtripped profiles should still deanonymize: {correct}/6");
+}
+
+#[test]
+fn dataset_serialization_preserves_experiments() {
+    let ds = city_level::build_with_counts(5, &[(CityId::Miami, 15), (CityId::Duluth, 15)]);
+    let json = ds.to_json().unwrap();
+    let back = Dataset::from_json(&json).unwrap();
+    assert_eq!(ds, back);
+}
+
+#[test]
+fn whole_experiment_is_deterministic() {
+    use elevation_privacy::attack::text::evaluate_text;
+    let build = || {
+        city_level::build_with_counts(11, &[(CityId::Tampa, 15), (CityId::SanFrancisco, 15)])
+    };
+    let cfg = TextAttackConfig { folds: 3, svm_epochs: 10, ..Default::default() };
+    let a = evaluate_text(&build(), Discretizer::mined(), TextModel::Svm, &cfg);
+    let b = evaluate_text(&build(), Discretizer::mined(), TextModel::Svm, &cfg);
+    assert_eq!(a.pooled, b.pooled);
+}
+
+#[test]
+fn overlap_injection_shares_exact_elevation_prefixes() {
+    let ds = city_level::build_with_counts(7, &[(CityId::Miami, 20)]);
+    let service = ElevationService::new(SyntheticTerrain::new(7));
+    let injected = overlap::inject(&ds, 0.5, 3, &service);
+    // Every injected sample's profile must be an exact prefix of some
+    // original sample's profile — the leakage mechanism under test.
+    let originals: Vec<&Sample> = ds.samples().iter().collect();
+    let added = &injected.samples()[ds.len()..];
+    assert!(!added.is_empty());
+    for replica in added {
+        let matches = originals.iter().any(|orig| {
+            orig.elevation.len() >= replica.elevation.len()
+                && orig.elevation[..replica.elevation.len()] == replica.elevation[..]
+        });
+        assert!(matches, "replica is not a prefix of any original");
+    }
+}
+
+#[test]
+fn render_dataset_is_consistent_with_profile_count() {
+    let ds = city_level::build_with_counts(9, &[(CityId::Tampa, 10), (CityId::Miami, 10)]);
+    let cfg = ImageAttackConfig::default();
+    let x = render_dataset(&ds, &cfg.image);
+    assert_eq!(x.shape(), &[20, 3, 32, 32]);
+}
+
+#[test]
+fn malformed_gpx_fails_loudly_not_silently() {
+    for bad in [
+        "",
+        "<gpx",
+        "<kml></kml>",
+        r#"<gpx creator="x"><trk><trkseg><trkpt lat="bad" lon="0"/></trkseg></trk></gpx>"#,
+        r#"<gpx creator="x"><trk><trkseg><trkpt lat="1" lon="2"><ele>NaN</ele></trkpt></trkseg></trk></gpx>"#,
+    ] {
+        assert!(Gpx::parse(bad).is_err(), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn nan_elevations_do_not_poison_the_pipeline() {
+    let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+    for i in 0..12 {
+        let mut low: Vec<f64> = (0..40).map(|t| 5.0 + (t as f64 * 0.3).sin()).collect();
+        let high: Vec<f64> = (0..40).map(|t| 500.0 + (t as f64 * 0.2).cos() * 30.0).collect();
+        if i == 0 {
+            low[3] = f64::NAN; // corrupt recording
+            low[4] = f64::INFINITY;
+        }
+        ds.push(Sample { elevation: low, label: 0, path: None }).unwrap();
+        ds.push(Sample { elevation: high, label: 1, path: None }).unwrap();
+    }
+    let mut attacker = TextAttacker::fit(
+        &ds,
+        Discretizer::Floor,
+        TextModel::Svm,
+        &TextAttackConfig { svm_epochs: 10, ..Default::default() },
+    );
+    // Prediction on a NaN-bearing probe must not panic.
+    let probe = vec![f64::NAN, 5.0, 5.5, 6.0];
+    let _ = attacker.predict(&probe);
+}
