@@ -96,6 +96,22 @@ fn main() {
     let lo = lows.iter().copied().fold(1.0f64, f64::min);
     let hi = highs.iter().copied().fold(0.0f64, f64::max);
     println!();
+    let phases = elev_core::timing::snapshot();
+    println!(
+        "phase time (summed across workers): featurize {:?}, fit {:?}, predict {:?}",
+        phases.featurize, phases.fit, phases.predict
+    );
+    let cache = elev_core::featcache::stats();
+    println!(
+        "featurization cache: pipeline {}/{} hits, bow {}/{} hits, raster {}/{} hits",
+        cache.pipeline_hits,
+        cache.pipeline_hits + cache.pipeline_misses,
+        cache.bow_hits,
+        cache.bow_hits + cache.bow_misses,
+        cache.raster_hits,
+        cache.raster_hits + cache.raster_misses
+    );
+    println!();
     println!(
         "headline: prediction success ranges {}%–{}% across threat models \
          (paper: 59.59%–95.83%)",

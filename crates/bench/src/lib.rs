@@ -5,7 +5,8 @@
 //! seed/scale banner, so outputs are uniform and reproducible. Set
 //! `ELEV_SCALE=full` for paper-scale runs (minutes); the default
 //! `quick` scale finishes in seconds. Set `ELEV_SEED=<u64>` to change
-//! the master seed (default 42).
+//! the master seed (default 42), and `ELEV_THREADS=<n>` to size the
+//! worker pool (results are bit-identical at every thread count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +30,9 @@ pub fn start(experiment: &str, paper_ref: &str) -> (u64, ExperimentScale) {
     } else {
         "quick"
     };
+    let threads = exec::Executor::from_env().threads();
     println!("== {experiment} — reproducing {paper_ref} ==");
-    println!("seed {seed}, scale {mode} ({scale:?})");
+    println!("seed {seed}, scale {mode} ({scale:?}), threads {threads}");
     println!();
     (seed, scale)
 }

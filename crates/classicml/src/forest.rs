@@ -29,9 +29,10 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Trains the forest. Trees are grown in parallel across available
-    /// cores (crossbeam scoped threads); results are position-stable,
-    /// so training remains deterministic for a given seed.
+    /// Trains the forest. Trees are grown in parallel on the shared
+    /// work-stealing executor (`ELEV_THREADS`-aware); results are
+    /// position-stable, so training remains deterministic for a given
+    /// seed at any thread count.
     ///
     /// # Panics
     ///
@@ -67,31 +68,11 @@ impl RandomForest {
             })
             .collect();
 
-        let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-        let mut trees: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<&mut Option<DecisionTree>>> =
-            trees.iter_mut().map(std::sync::Mutex::new).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= bootstraps.len() {
-                        break;
-                    }
-                    let (bx, by, tree_seed) = &bootstraps[i];
-                    let tree = DecisionTree::fit(bx, by, &tree_cfg, *tree_seed);
-                    **slots[i].lock().expect("no poisoned slots") = Some(tree);
-                });
-            }
-        })
-        .expect("forest workers never panic");
-        drop(slots);
+        let trees = exec::Executor::from_env().map(&bootstraps, |_, (bx, by, tree_seed)| {
+            DecisionTree::fit(bx, by, &tree_cfg, *tree_seed)
+        });
 
-        Self {
-            trees: trees.into_iter().map(|t| t.expect("every slot filled")).collect(),
-            n_classes,
-        }
+        Self { trees, n_classes }
     }
 
     /// Number of trees.

@@ -165,58 +165,76 @@ pub fn balanced_top_classes(ds: &Dataset, c: usize, seed: u64) -> Dataset {
 
 /// Table IV: TM-1 on the user-specific dataset — SVM/RFC/MLP × 5- and
 /// 10-fold × C ∈ {2, 3, 4} (balanced at the smallest kept class).
+///
+/// The model × fold-count combinations of each class sweep are
+/// independent evaluations and run in parallel on the `ELEV_THREADS`
+/// executor; every combination carries its own seed derivation, so row
+/// values are identical at any thread count.
 pub fn table4_tm1(user: &Dataset, scale: &ExperimentScale, seed: u64) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for c in [2usize, 3, 4] {
-        let ds = balanced_top_classes(user, c, seed);
-        let s = ds.class_counts()[0];
+    let datasets: Vec<(usize, Dataset)> =
+        [2usize, 3, 4].iter().map(|&c| (c, balanced_top_classes(user, c, seed))).collect();
+    let mut combos: Vec<(usize, TextModel, usize)> = Vec::new();
+    for ds_idx in 0..datasets.len() {
         for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
             for folds in [scale.folds.div_ceil(2), scale.folds] {
-                let cfg = TextAttackConfig { folds, ..scale.text_cfg(seed) };
-                let outcome =
-                    evaluate_text(&ds, Discretizer::Floor, model, &cfg).outcome();
-                rows.push(SweepRow { classes: c, per_class: s, model, outcome, folds });
+                combos.push((ds_idx, model, folds));
             }
         }
     }
-    rows
+    exec::Executor::from_env().map(&combos, |_, &(ds_idx, model, folds)| {
+        let (c, ds) = &datasets[ds_idx];
+        let cfg = TextAttackConfig { folds, ..scale.text_cfg(seed) };
+        let outcome = evaluate_text(ds, Discretizer::Floor, model, &cfg).outcome();
+        SweepRow { classes: *c, per_class: ds.class_counts()[0], model, outcome, folds }
+    })
 }
 
 /// Fig. 8 / Table VII text rows: TM-2 per-city borough classification.
+/// City × model combinations evaluate in parallel.
 pub fn fig8_tm2(
     boroughs: &BTreeMap<CityId, Dataset>,
     scale: &ExperimentScale,
     seed: u64,
 ) -> Vec<(CityId, TextModel, FoldOutcome)> {
-    let mut rows = Vec::new();
+    let mut combos: Vec<(CityId, &Dataset, TextModel)> = Vec::new();
     for (&city, ds) in boroughs {
         for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
-            let cfg = scale.text_cfg(seed);
-            let outcome =
-                evaluate_text(ds, Discretizer::mined(), model, &cfg).outcome();
-            rows.push((city, model, outcome));
+            combos.push((city, ds, model));
         }
     }
-    rows
+    exec::Executor::from_env().map(&combos, |_, &(city, ds, model)| {
+        let cfg = scale.text_cfg(seed);
+        let outcome = evaluate_text(ds, Discretizer::mined(), model, &cfg).outcome();
+        (city, model, outcome)
+    })
 }
 
 /// Table V: TM-3 city identification — C ∈ {3, 5, 7, 8, 10} most
 /// populous cities, balanced, 10-fold.
 pub fn table5_tm3(city: &Dataset, scale: &ExperimentScale, seed: u64) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for c in [3usize, 5, 7, 8, 10] {
-        if c > city.n_classes() {
-            continue;
-        }
-        let ds = balanced_top_classes(city, c, seed);
-        let s = ds.class_counts()[0];
+    let datasets: Vec<(usize, Dataset)> = [3usize, 5, 7, 8, 10]
+        .iter()
+        .filter(|&&c| c <= city.n_classes())
+        .map(|&c| (c, balanced_top_classes(city, c, seed)))
+        .collect();
+    let mut combos: Vec<(usize, TextModel)> = Vec::new();
+    for ds_idx in 0..datasets.len() {
         for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
-            let cfg = scale.text_cfg(seed);
-            let outcome = evaluate_text(&ds, Discretizer::mined(), model, &cfg).outcome();
-            rows.push(SweepRow { classes: c, per_class: s, model, outcome, folds: cfg.folds });
+            combos.push((ds_idx, model));
         }
     }
-    rows
+    exec::Executor::from_env().map(&combos, |_, &(ds_idx, model)| {
+        let (c, ds) = &datasets[ds_idx];
+        let cfg = scale.text_cfg(seed);
+        let outcome = evaluate_text(ds, Discretizer::mined(), model, &cfg).outcome();
+        SweepRow {
+            classes: *c,
+            per_class: ds.class_counts()[0],
+            model,
+            outcome,
+            folds: cfg.folds,
+        }
+    })
 }
 
 /// Injects the paper's 30–35% simulated overlap into a mined dataset.
@@ -242,17 +260,16 @@ pub fn fig9_tm2_overlap(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Vec<(CityId, FoldOutcome, FoldOutcome)> {
-    let mut rows = Vec::new();
-    for (&city, ds) in boroughs {
+    let cities: Vec<(CityId, &Dataset)> = boroughs.iter().map(|(&c, d)| (c, d)).collect();
+    exec::Executor::from_env().map(&cities, |_, &(city, ds)| {
         let cfg = scale.text_cfg(seed);
         let original =
             evaluate_text(ds, Discretizer::mined(), TextModel::Mlp, &cfg).outcome();
         let injected_ds = inject_overlap(ds, 0.32, seed.wrapping_add(131));
         let injected =
             evaluate_text(&injected_ds, Discretizer::mined(), TextModel::Mlp, &cfg).outcome();
-        rows.push((city, original, injected));
-    }
-    rows
+        (city, original, injected)
+    })
 }
 
 /// One Table VII row: the best text accuracy (DS column) vs the CNN
@@ -278,16 +295,12 @@ pub fn table7_methods(corpora: &Corpora, scale: &ExperimentScale, seed: u64) -> 
 
     let image_methods = |ds: &Dataset, seed: u64| -> (f64, f64, f64) {
         let cfg = scale.image_cfg(seed);
-        let uwl = evaluate_image(ds, ImageMethod::UnweightedLoss, &cfg)
-            .confusion
-            .ovr_accuracy();
-        let wl = evaluate_image(ds, ImageMethod::WeightedLoss, &cfg)
-            .confusion
-            .ovr_accuracy();
-        let ft = evaluate_image(ds, ImageMethod::FineTune, &cfg)
-            .confusion
-            .ovr_accuracy();
-        (uwl, wl, ft)
+        let methods =
+            [ImageMethod::UnweightedLoss, ImageMethod::WeightedLoss, ImageMethod::FineTune];
+        let accs = exec::Executor::from_env().map(&methods, |_, &m| {
+            evaluate_image(ds, m, &cfg).confusion.ovr_accuracy()
+        });
+        (accs[0], accs[1], accs[2])
     };
 
     // TM-1.
@@ -368,12 +381,13 @@ pub fn table9_finetune_tm2(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Vec<(CityId, FoldOutcome)> {
-    let mut rows = Vec::new();
-    for (&city, ds) in &corpora.boroughs {
+    let cities: Vec<(CityId, &Dataset)> =
+        corpora.boroughs.iter().map(|(&c, d)| (c, d)).collect();
+    exec::Executor::from_env().map(&cities, |_, &(city, ds)| {
         let cfg = scale.image_cfg(seed.wrapping_add(city as u64));
         let out = evaluate_image(ds, ImageMethod::FineTune, &cfg);
         let m = &out.confusion;
-        rows.push((
+        (
             city,
             FoldOutcome {
                 accuracy: m.accuracy(),
@@ -383,9 +397,8 @@ pub fn table9_finetune_tm2(
                 f1: m.macro_f1(),
                 specificity: m.macro_specificity(),
             },
-        ));
-    }
-    rows
+        )
+    })
 }
 
 #[cfg(test)]

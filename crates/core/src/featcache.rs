@@ -1,0 +1,279 @@
+//! Memoized featurization shared across folds and threat-model sweeps.
+//!
+//! The experiment suite evaluates the *same* corpora many times — every
+//! fold of a cross-validation re-reads the same feature rows, Table IV
+//! evaluates each balanced dataset under 3 models × 2 fold settings,
+//! and Table VII re-renders the same datasets for each CNN method. The
+//! featurization (discretize → encode → BoW, or raster rendering) is
+//! deterministic in the profile and the config, so this module caches:
+//!
+//! - fitted [`TextPipeline`]s keyed by (corpus fingerprint, discretizer
+//!   / n-gram / selection config),
+//! - per-profile BoW vectors keyed by (pipeline identity, profile id),
+//! - per-profile rasters keyed by (raster config, profile id),
+//!
+//! where a *profile id* is a 128-bit FNV-1a hash of the elevation
+//! signal's raw bits. Values are `Arc`-shared; a cache hit returns the
+//! identical bits a cold computation would (see
+//! `crates/core/tests/featcache_correctness.rs`), so memoization never
+//! affects experiment output — only wall-clock.
+//!
+//! All state is process-global behind mutexes, safe to use from the
+//! parallel executor's workers. Hit/miss counters feed the `run_all`
+//! summary.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use imgrep::{render, ImageConfig};
+use textrep::{Discretizer, FeatureSelection, TextPipeline};
+
+/// A 128-bit content id for one elevation profile.
+pub fn profile_id(signal: &[f64]) -> u128 {
+    // FNV-1a over the raw f64 bits, length-prefixed so [] and [0.0]
+    // (and nested splits of equal prefixes) stay distinct.
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u128::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(signal.len() as u64);
+    for &e in signal {
+        eat(e.to_bits());
+    }
+    h
+}
+
+/// Fingerprint of a whole corpus (order-sensitive, like pipeline fit).
+fn corpus_fingerprint(signals: &[Vec<f64>]) -> u128 {
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = 0xcbf29ce484222325u128;
+    for s in signals {
+        h ^= profile_id(s);
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^ (signals.len() as u128)
+}
+
+fn text_config_key(d: Discretizer, ngram: usize, sel: FeatureSelection) -> String {
+    format!("{d:?}|n={ngram}|{sel:?}")
+}
+
+fn image_config_key(cfg: &ImageConfig) -> String {
+    format!("{cfg:?}")
+}
+
+struct CachedPipeline {
+    /// Distinguishes BoW entries of different fitted pipelines.
+    id: u64,
+    pipeline: Arc<TextPipeline>,
+}
+
+/// (pipeline id | raster config key) × profile id → shared feature row.
+type FeatureMap<K> = Mutex<HashMap<K, Arc<Vec<f32>>>>;
+
+#[derive(Default)]
+struct Caches {
+    pipelines: Mutex<HashMap<(u128, String), CachedPipeline>>,
+    next_pipeline_id: AtomicU64,
+    bow: FeatureMap<(u64, u128)>,
+    rasters: FeatureMap<(String, u128)>,
+    pipeline_hits: AtomicU64,
+    pipeline_misses: AtomicU64,
+    bow_hits: AtomicU64,
+    bow_misses: AtomicU64,
+    raster_hits: AtomicU64,
+    raster_misses: AtomicU64,
+}
+
+fn caches() -> &'static Caches {
+    static CACHES: OnceLock<Caches> = OnceLock::new();
+    CACHES.get_or_init(Caches::default)
+}
+
+/// A fitted text pipeline plus the cache identity its BoW rows carry.
+#[derive(Clone)]
+pub struct SharedPipeline {
+    id: u64,
+    pipeline: Arc<TextPipeline>,
+}
+
+impl SharedPipeline {
+    /// The fitted pipeline.
+    pub fn pipeline(&self) -> &TextPipeline {
+        &self.pipeline
+    }
+
+    /// The cached (or freshly computed) BoW vector for one profile.
+    pub fn bow(&self, signal: &[f64]) -> Arc<Vec<f32>> {
+        let c = caches();
+        let key = (self.id, profile_id(signal));
+        if let Some(hit) = c.bow.lock().expect("bow cache").get(&key) {
+            c.bow_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        c.bow_misses.fetch_add(1, Ordering::Relaxed);
+        let row = Arc::new(self.pipeline.transform(signal));
+        c.bow.lock().expect("bow cache").insert(key, Arc::clone(&row));
+        row
+    }
+}
+
+/// The fitted pipeline for a corpus and text config, memoized.
+///
+/// Fitting is corpus-global (codebook + vocabulary over all signals,
+/// "regardless of labels" per the paper), so the key is the corpus
+/// fingerprint plus the featurization config — fold counts, seeds, and
+/// classifier settings deliberately excluded.
+pub fn pipeline_for(
+    signals: &[Vec<f64>],
+    discretizer: Discretizer,
+    ngram: usize,
+    selection: FeatureSelection,
+) -> SharedPipeline {
+    let c = caches();
+    let key = (corpus_fingerprint(signals), text_config_key(discretizer, ngram, selection));
+    if let Some(hit) = c.pipelines.lock().expect("pipeline cache").get(&key) {
+        c.pipeline_hits.fetch_add(1, Ordering::Relaxed);
+        return SharedPipeline { id: hit.id, pipeline: Arc::clone(&hit.pipeline) };
+    }
+    c.pipeline_misses.fetch_add(1, Ordering::Relaxed);
+    // Fit outside the lock: fits are seconds-long and other configs
+    // should not queue behind them. A racing duplicate fit is harmless
+    // (deterministic result; first insert wins via entry check below).
+    let fitted = Arc::new(TextPipeline::fit(discretizer, ngram, selection, signals));
+    let mut map = c.pipelines.lock().expect("pipeline cache");
+    let entry = map.entry(key).or_insert_with(|| CachedPipeline {
+        id: c.next_pipeline_id.fetch_add(1, Ordering::Relaxed),
+        pipeline: fitted,
+    });
+    SharedPipeline { id: entry.id, pipeline: Arc::clone(&entry.pipeline) }
+}
+
+/// The rendered `3 × H × W` raster for one profile, memoized.
+pub fn raster_for(signal: &[f64], cfg: &ImageConfig) -> Arc<Vec<f32>> {
+    let c = caches();
+    let key = (image_config_key(cfg), profile_id(signal));
+    if let Some(hit) = c.rasters.lock().expect("raster cache").get(&key) {
+        c.raster_hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    c.raster_misses.fetch_add(1, Ordering::Relaxed);
+    let pixels = Arc::new(render(signal, cfg).pixels);
+    c.rasters.lock().expect("raster cache").insert(key, Arc::clone(&pixels));
+    pixels
+}
+
+/// Cache hit/miss counters (process totals since start or [`reset`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Fitted-pipeline lookups that hit.
+    pub pipeline_hits: u64,
+    /// Fitted-pipeline lookups that missed (fresh fits).
+    pub pipeline_misses: u64,
+    /// BoW-vector lookups that hit.
+    pub bow_hits: u64,
+    /// BoW-vector lookups that missed.
+    pub bow_misses: u64,
+    /// Raster lookups that hit.
+    pub raster_hits: u64,
+    /// Raster lookups that missed.
+    pub raster_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all three caches.
+    pub fn hits(&self) -> u64 {
+        self.pipeline_hits + self.bow_hits + self.raster_hits
+    }
+
+    /// Total lookups across all three caches.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.pipeline_misses + self.bow_misses + self.raster_misses
+    }
+}
+
+/// Reads the counters.
+pub fn stats() -> CacheStats {
+    let c = caches();
+    CacheStats {
+        pipeline_hits: c.pipeline_hits.load(Ordering::Relaxed),
+        pipeline_misses: c.pipeline_misses.load(Ordering::Relaxed),
+        bow_hits: c.bow_hits.load(Ordering::Relaxed),
+        bow_misses: c.bow_misses.load(Ordering::Relaxed),
+        raster_hits: c.raster_hits.load(Ordering::Relaxed),
+        raster_misses: c.raster_misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Drops all cached values and zeroes the counters.
+pub fn reset() {
+    let c = caches();
+    c.pipelines.lock().expect("pipeline cache").clear();
+    c.bow.lock().expect("bow cache").clear();
+    c.rasters.lock().expect("raster cache").clear();
+    c.pipeline_hits.store(0, Ordering::Relaxed);
+    c.pipeline_misses.store(0, Ordering::Relaxed);
+    c.bow_hits.store(0, Ordering::Relaxed);
+    c.bow_misses.store(0, Ordering::Relaxed);
+    c.raster_hits.store(0, Ordering::Relaxed);
+    c.raster_misses.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_ids_distinguish_contents_and_lengths() {
+        assert_ne!(profile_id(&[]), profile_id(&[0.0]));
+        assert_ne!(profile_id(&[1.0, 2.0]), profile_id(&[2.0, 1.0]));
+        assert_eq!(profile_id(&[1.5, -3.0]), profile_id(&[1.5, -3.0]));
+        // -0.0 and 0.0 have different bits; the cache keys on bits.
+        assert_ne!(profile_id(&[0.0]), profile_id(&[-0.0]));
+    }
+
+    #[test]
+    fn corpus_fingerprint_is_order_sensitive() {
+        let a = vec![vec![1.0, 2.0], vec![3.0]];
+        let b = vec![vec![3.0], vec![1.0, 2.0]];
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&b));
+        assert_eq!(corpus_fingerprint(&a), corpus_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_pipelines() {
+        let signals: Vec<Vec<f64>> =
+            (0..4).map(|i| (0..20).map(|t| (i * 100 + t) as f64).collect()).collect();
+        let a = pipeline_for(&signals, Discretizer::Floor, 2, FeatureSelection::keep_all());
+        let b = pipeline_for(&signals, Discretizer::Floor, 3, FeatureSelection::keep_all());
+        assert_ne!(a.id, b.id);
+        let a2 = pipeline_for(&signals, Discretizer::Floor, 2, FeatureSelection::keep_all());
+        assert_eq!(a.id, a2.id);
+    }
+
+    #[test]
+    fn repeated_bow_lookups_share_one_allocation() {
+        let signals: Vec<Vec<f64>> =
+            (0..3).map(|i| (0..15).map(|t| (i * 7 + t) as f64 * 0.5).collect()).collect();
+        let p = pipeline_for(&signals, Discretizer::Floor, 2, FeatureSelection::keep_all());
+        let x = p.bow(&signals[0]);
+        let y = p.bow(&signals[0]);
+        assert!(Arc::ptr_eq(&x, &y), "second lookup must be a cache hit");
+    }
+
+    #[test]
+    fn raster_cache_round_trips() {
+        let cfg = ImageConfig::default();
+        let signal: Vec<f64> = (0..50).map(|t| 10.0 + (t as f64 * 0.3).sin()).collect();
+        let a = raster_for(&signal, &cfg);
+        let b = raster_for(&signal, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 3 * cfg.height * cfg.width);
+    }
+}

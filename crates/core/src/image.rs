@@ -1,9 +1,11 @@
 //! The image-side attack: colored line graphs into the Fig. 7 CNN.
 
+use crate::featcache;
+use crate::timing::{self, Phase};
 use datasets::split::inverse_proportional_test_split;
 use datasets::Dataset;
 use evalkit::ConfusionMatrix;
-use imgrep::{render, ImageConfig};
+use imgrep::ImageConfig;
 use neuralnet::finetune::{fine_tune, make_rounds, FineTuneConfig};
 use neuralnet::loss::inverse_frequency_weights;
 use neuralnet::models::paper_cnn;
@@ -68,11 +70,18 @@ impl Default for ImageAttackConfig {
 }
 
 /// Renders every sample of a dataset into one `[N, 3, H, W]` tensor.
+///
+/// Per-sample rasters render in parallel on the `ELEV_THREADS`
+/// executor and are memoized process-wide (see [`crate::featcache`]),
+/// so re-evaluating the same dataset — e.g. under each Table VII
+/// method — renders each profile once.
 pub fn render_dataset(ds: &Dataset, image: &ImageConfig) -> Tensor {
     let (h, w) = (image.height, image.width);
+    let rows = exec::Executor::from_env()
+        .map(ds.samples(), |_, s| featcache::raster_for(&s.elevation, image));
     let mut data = Vec::with_capacity(ds.len() * 3 * h * w);
-    for s in ds.samples() {
-        data.extend_from_slice(&render(&s.elevation, image).pixels);
+    for row in rows {
+        data.extend_from_slice(&row);
     }
     Tensor::from_vec(data, &[ds.len(), 3, h, w])
 }
@@ -127,14 +136,16 @@ pub fn evaluate_image(
     let (train_idx, test_idx) =
         inverse_proportional_test_split(&labels, test_count, cfg.seed);
 
-    let x = render_dataset(ds, &cfg.image);
+    let x = timing::time(Phase::Featurize, || render_dataset(ds, &cfg.image));
     let y_train: Vec<u32> = train_idx.iter().map(|&i| labels[i]).collect();
     let x_train = neuralnet::gather_samples(&x, &train_idx);
     let x_test = neuralnet::gather_samples(&x, &test_idx);
     let y_test: Vec<u32> = test_idx.iter().map(|&i| labels[i]).collect();
 
-    let mut net = train_cnn(&x_train, &y_train, ds.n_classes(), method, cfg);
-    let preds = net.predict(&x_test);
+    let mut net = timing::time(Phase::Fit, || {
+        train_cnn(&x_train, &y_train, ds.n_classes(), method, cfg)
+    });
+    let preds = timing::time(Phase::Predict, || net.predict(&x_test));
     ImageOutcome {
         confusion: ConfusionMatrix::from_predictions(&y_test, &preds, ds.n_classes()),
         method,

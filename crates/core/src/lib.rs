@@ -47,10 +47,12 @@
 pub mod attacker;
 pub mod defense;
 pub mod experiments;
+pub mod featcache;
 pub mod image;
 pub mod spectral;
 pub mod text;
 pub mod threat;
+pub mod timing;
 
 pub use attacker::{ImageAttacker, TextAttacker};
 pub use threat::ThreatModel;

@@ -1,9 +1,12 @@
 //! The text-side attack: n-gram BoW features into SVM / RFC / MLP.
 
+use crate::featcache;
+use crate::timing::{self, Phase};
 use datasets::split::stratified_k_fold;
 use datasets::Dataset;
-use evalkit::{evaluate_folds, FoldSummary};
-use textrep::{Discretizer, FeatureSelection, TextPipeline};
+use evalkit::{evaluate_folds_parallel, FoldSummary};
+use std::sync::Arc;
+use textrep::{Discretizer, FeatureSelection};
 
 /// Which classifier consumes the BoW features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +131,11 @@ impl FittedTextModel {
 /// corpus "regardless of labels", exactly as in the paper; only the
 /// classifier respects the train/test split.
 ///
+/// Featurization is memoized process-wide (see [`crate::featcache`]),
+/// and folds run in parallel on the `ELEV_THREADS` executor. Each fold
+/// trains with an RNG stream derived from the master seed and the fold
+/// index, so the summary is bit-identical at every thread count.
+///
 /// # Panics
 ///
 /// Panics if the dataset has fewer samples than folds or fewer than two
@@ -139,18 +147,23 @@ pub fn evaluate_text(
     cfg: &TextAttackConfig,
 ) -> FoldSummary {
     assert!(ds.n_classes() >= 2, "need at least two classes");
+    let executor = exec::Executor::from_env();
     let signals: Vec<Vec<f64>> =
         ds.samples().iter().map(|s| s.elevation.clone()).collect();
-    let pipeline = TextPipeline::fit(discretizer, cfg.ngram, cfg.selection, &signals);
-    let features = pipeline.transform_all(&signals);
+    let features: Vec<Arc<Vec<f32>>> = timing::time(Phase::Featurize, || {
+        let pipeline = featcache::pipeline_for(&signals, discretizer, cfg.ngram, cfg.selection);
+        executor.map(&signals, |_, s| pipeline.bow(s))
+    });
     let labels = ds.labels();
     let folds = stratified_k_fold(&labels, cfg.folds, cfg.seed);
-    evaluate_folds(&labels, ds.n_classes(), &folds, |train, test| {
-        let xt: Vec<Vec<f32>> = train.iter().map(|&i| features[i].clone()).collect();
+    evaluate_folds_parallel(&labels, ds.n_classes(), &folds, &executor, |fold_idx, train, test| {
+        let xt: Vec<Vec<f32>> = train.iter().map(|&i| (*features[i]).clone()).collect();
         let yt: Vec<u32> = train.iter().map(|&i| labels[i]).collect();
-        let mut fitted = FittedTextModel::fit(model, &xt, &yt, cfg, cfg.seed ^ 0x7E47);
-        let xs: Vec<Vec<f32>> = test.iter().map(|&i| features[i].clone()).collect();
-        fitted.predict(&xs)
+        let fold_seed = exec::mix_seed(cfg.seed ^ 0x7E47, fold_idx as u64);
+        let mut fitted =
+            timing::time(Phase::Fit, || FittedTextModel::fit(model, &xt, &yt, cfg, fold_seed));
+        let xs: Vec<Vec<f32>> = test.iter().map(|&i| (*features[i]).clone()).collect();
+        timing::time(Phase::Predict, || fitted.predict(&xs))
     })
 }
 

@@ -1,0 +1,106 @@
+//! Per-phase wall-clock accounting for the experiment pipeline.
+//!
+//! The pipeline has three hot phases — featurization (BoW/raster),
+//! model fitting, and prediction — and `run_all` reports how the total
+//! wall-clock splits across them. Counters are process-global atomics:
+//! spans recorded on worker threads of the parallel executor simply
+//! accumulate, so with `ELEV_THREADS > 1` the totals are summed
+//! thread-time, which can exceed elapsed wall-clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The three accounted pipeline phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Featurization: discretize → encode → BoW, or raster rendering.
+    Featurize,
+    /// Classifier training (SVM / RFC / MLP / CNN).
+    Fit,
+    /// Inference on held-out samples.
+    Predict,
+}
+
+static FEATURIZE_NS: AtomicU64 = AtomicU64::new(0);
+static FIT_NS: AtomicU64 = AtomicU64::new(0);
+static PREDICT_NS: AtomicU64 = AtomicU64::new(0);
+
+fn counter(phase: Phase) -> &'static AtomicU64 {
+    match phase {
+        Phase::Featurize => &FEATURIZE_NS,
+        Phase::Fit => &FIT_NS,
+        Phase::Predict => &PREDICT_NS,
+    }
+}
+
+/// Runs `f`, charging its elapsed time to `phase`.
+pub fn time<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    counter(phase).fetch_add(ns, Ordering::Relaxed);
+    out
+}
+
+/// Accumulated per-phase totals since process start (or [`reset`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimes {
+    /// Total featurization time.
+    pub featurize: Duration,
+    /// Total fitting time.
+    pub fit: Duration,
+    /// Total prediction time.
+    pub predict: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.featurize + self.fit + self.predict
+    }
+}
+
+/// Reads the current totals.
+pub fn snapshot() -> PhaseTimes {
+    PhaseTimes {
+        featurize: Duration::from_nanos(FEATURIZE_NS.load(Ordering::Relaxed)),
+        fit: Duration::from_nanos(FIT_NS.load(Ordering::Relaxed)),
+        predict: Duration::from_nanos(PREDICT_NS.load(Ordering::Relaxed)),
+    }
+}
+
+/// Zeroes all counters (tests and per-run reporting).
+pub fn reset() {
+    FEATURIZE_NS.store(0, Ordering::Relaxed);
+    FIT_NS.store(0, Ordering::Relaxed);
+    PREDICT_NS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_into_snapshot() {
+        // Other tests in the process may also record spans; assert
+        // relative growth instead of absolute values.
+        let before = snapshot();
+        let out = time(Phase::Fit, || {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        let after = snapshot();
+        assert!(after.fit >= before.fit + Duration::from_millis(2));
+        assert!(after.total() > before.total());
+    }
+
+    #[test]
+    fn phases_are_charged_independently() {
+        let before = snapshot();
+        time(Phase::Featurize, || std::thread::sleep(Duration::from_millis(1)));
+        let after = snapshot();
+        assert!(after.featurize > before.featurize);
+        assert_eq!(after.predict, before.predict);
+    }
+}

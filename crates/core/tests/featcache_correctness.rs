@@ -1,0 +1,87 @@
+//! The featurization cache must be invisible to results: a cache hit
+//! returns exactly the bits a cold computation produces, for both BoW
+//! vectors and rasters, and distinct configs never alias.
+
+use std::sync::{Arc, Mutex};
+
+use elev_core::featcache;
+use imgrep::{render, ImageConfig};
+use textrep::{Discretizer, FeatureSelection, TextPipeline};
+
+/// The cache and its counters are process-global; serialize the tests
+/// in this binary so counter assertions see only their own traffic.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn corpus() -> Vec<Vec<f64>> {
+    (0..8)
+        .map(|i| {
+            (0..40)
+                .map(|t| 15.0 * (i + 1) as f64 + ((t as f64) * 0.21 + i as f64).sin() * 3.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn cached_bow_equals_cold_computation() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let signals = corpus();
+    let (d, n, sel) = (Discretizer::Floor, 3, FeatureSelection::keep_all());
+
+    // Cold reference, computed without the cache.
+    let reference = TextPipeline::fit(d, n, sel, &signals);
+    let cold: Vec<Vec<f32>> = signals.iter().map(|s| reference.transform(s)).collect();
+
+    featcache::reset();
+    let shared = featcache::pipeline_for(&signals, d, n, sel);
+    let first: Vec<Arc<Vec<f32>>> = signals.iter().map(|s| shared.bow(s)).collect();
+    let misses_after_first = featcache::stats();
+    assert_eq!(misses_after_first.bow_misses, signals.len() as u64);
+    assert_eq!(misses_after_first.bow_hits, 0);
+
+    // Warm pass: every lookup hits, and every row is bit-identical to
+    // the cold computation (same Vec, in fact).
+    let again = featcache::pipeline_for(&signals, d, n, sel);
+    let second: Vec<Arc<Vec<f32>>> = signals.iter().map(|s| again.bow(s)).collect();
+    let stats = featcache::stats();
+    assert_eq!(stats.pipeline_hits, 1);
+    assert_eq!(stats.bow_hits, signals.len() as u64);
+    for ((cold_row, a), b) in cold.iter().zip(&first).zip(&second) {
+        assert_eq!(&**a, cold_row);
+        assert!(Arc::ptr_eq(a, b), "warm lookup must share the cached allocation");
+    }
+}
+
+#[test]
+fn cached_raster_equals_cold_render() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let cfg = ImageConfig::default();
+    let signal: Vec<f64> = (0..80).map(|t| 30.0 + ((t as f64) * 0.17).cos() * 6.0).collect();
+
+    let cold = render(&signal, &cfg).pixels;
+    let cached = featcache::raster_for(&signal, &cfg);
+    assert_eq!(*cached, cold);
+
+    let warm = featcache::raster_for(&signal, &cfg);
+    assert!(Arc::ptr_eq(&cached, &warm));
+    assert_eq!(*warm, cold);
+}
+
+#[test]
+fn distinct_configs_never_alias() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let signals = corpus();
+    let a = featcache::pipeline_for(&signals, Discretizer::Floor, 3, FeatureSelection::keep_all());
+    let b = featcache::pipeline_for(&signals, Discretizer::Floor, 4, FeatureSelection::keep_all());
+    let row_a = a.bow(&signals[0]);
+    let row_b = b.bow(&signals[0]);
+    // 3-grams and 4-grams of the same corpus produce different vocab
+    // sizes, so aliasing would be visible as equal lengths here.
+    assert_ne!(row_a.len(), row_b.len());
+
+    let cfg = ImageConfig::default();
+    let small = ImageConfig { width: 16, height: 16, ..cfg };
+    let r1 = featcache::raster_for(&signals[0], &cfg);
+    let r2 = featcache::raster_for(&signals[0], &small);
+    assert_ne!(r1.len(), r2.len());
+}

@@ -174,7 +174,7 @@ mod tests {
         counts
             .iter()
             .enumerate()
-            .flat_map(|(c, &n)| std::iter::repeat(c as u32).take(n))
+            .flat_map(|(c, &n)| std::iter::repeat_n(c as u32, n))
             .collect()
     }
 

@@ -16,7 +16,7 @@ fn labels_from(counts: &[usize]) -> Vec<u32> {
     counts
         .iter()
         .enumerate()
-        .flat_map(|(c, &n)| std::iter::repeat(c as u32).take(n))
+        .flat_map(|(c, &n)| std::iter::repeat_n(c as u32, n))
         .collect()
 }
 

@@ -87,6 +87,42 @@ where
     FoldSummary { folds: matrices, pooled }
 }
 
+/// Parallel variant of [`evaluate_folds`]: folds run concurrently on
+/// `executor`, results aggregate in fold order.
+///
+/// `fit_predict(fold_index, train_indices, test_indices)` receives the
+/// fold's position so callers can derive a per-fold RNG stream from a
+/// master seed (`exec::mix_seed`) — the closure must be deterministic
+/// in its arguments for results to be identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `folds` is empty or a closure returns the wrong number of
+/// predictions.
+pub fn evaluate_folds_parallel<F>(
+    labels: &[u32],
+    n_classes: usize,
+    folds: &[(Vec<usize>, Vec<usize>)],
+    executor: &exec::Executor,
+    fit_predict: F,
+) -> FoldSummary
+where
+    F: Fn(usize, &[usize], &[usize]) -> Vec<u32> + Sync,
+{
+    assert!(!folds.is_empty(), "need at least one fold");
+    let matrices = executor.map(folds, |fold_idx, (train, test)| {
+        let preds = fit_predict(fold_idx, train, test);
+        assert_eq!(preds.len(), test.len(), "one prediction per test sample");
+        let truth: Vec<u32> = test.iter().map(|&i| labels[i]).collect();
+        ConfusionMatrix::from_predictions(&truth, &preds, n_classes)
+    });
+    let pooled = matrices
+        .iter()
+        .skip(1)
+        .fold(matrices[0].clone(), |acc, m| acc.merged(m));
+    FoldSummary { folds: matrices, pooled }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +175,39 @@ mod tests {
     #[should_panic(expected = "at least one fold")]
     fn rejects_empty_folds() {
         evaluate_folds(&[0u32], 1, &[], |_, _| vec![]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_any_thread_count() {
+        let labels: Vec<u32> = (0..40).map(|i| i % 4).collect();
+        let folds: Vec<(Vec<usize>, Vec<usize>)> = (0..5)
+            .map(|f| {
+                let test: Vec<usize> = (0..40).filter(|i| i % 5 == f).collect();
+                let train: Vec<usize> = (0..40).filter(|i| i % 5 != f).collect();
+                (train, test)
+            })
+            .collect();
+        // A deterministic but fold-dependent "model".
+        let predict = |fold_idx: usize, _train: &[usize], test: &[usize]| -> Vec<u32> {
+            test.iter().map(|&i| ((i + fold_idx) % 4) as u32).collect()
+        };
+        let sequential = {
+            let mut fold_idx = 0;
+            evaluate_folds(&labels, 4, &folds, |train, test| {
+                let p = predict(fold_idx, train, test);
+                fold_idx += 1;
+                p
+            })
+        };
+        for threads in [1, 2, 4] {
+            let parallel = evaluate_folds_parallel(
+                &labels,
+                4,
+                &folds,
+                &exec::Executor::new(threads),
+                |i, train, test| predict(i, train, test),
+            );
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
     }
 }

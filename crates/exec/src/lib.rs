@@ -1,0 +1,243 @@
+//! Work-stealing scoped-thread executor for the experiment pipeline.
+//!
+//! The paper's evaluation is dozens of independent per-fold model fits
+//! (Tables IV–IX), which are embarrassingly parallel. This crate
+//! provides the one primitive the pipeline needs — an order-preserving
+//! [`Executor::map`] — built on `std::thread::scope` with per-worker
+//! deques and work stealing, and no dependencies (the build
+//! environment is offline).
+//!
+//! **Determinism:** `map` returns results indexed by input position,
+//! never by completion order, so as long as each closure call is
+//! deterministic in `(index, item)`, the output is bit-identical at
+//! any thread count — including 1, where the items run inline on the
+//! caller's thread. Callers derive per-item RNG streams from a master
+//! seed plus the index (see `elev_core::experiments`), never from
+//! shared mutable state.
+//!
+//! Thread count resolves from the `ELEV_THREADS` environment variable
+//! (falling back to `std::thread::available_parallelism`); construct
+//! with [`Executor::new`] to pin it explicitly, e.g. in determinism
+//! tests that compare 1-thread and 4-thread runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Derives an independent per-item RNG seed from a master seed.
+///
+/// SplitMix64 finalizer over `master + (index + 1)·φ64` — the standard
+/// stream-splitting recipe. Callers seed per-fold / per-item generators
+/// with `mix_seed(master, i)` instead of sharing one sequential stream,
+/// which is what makes results independent of execution order and
+/// therefore identical at any thread count.
+pub fn mix_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Resolves the configured worker count: `ELEV_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("ELEV_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// A fixed-width work-stealing executor.
+///
+/// Cheap to construct (no persistent pool): each [`map`](Self::map)
+/// call spawns scoped workers that die when the call returns, so
+/// nested use — an experiment sweep mapping over settings whose
+/// closures map over folds — composes without deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (min 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// An executor sized by [`threads_from_env`].
+    pub fn from_env() -> Self {
+        Self::new(threads_from_env())
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in
+    /// input order.
+    ///
+    /// Work distribution: item indices are dealt round-robin into one
+    /// deque per worker; a worker pops from the front of its own deque
+    /// and steals from the back of a victim's when it runs dry. With
+    /// one worker (or one item) everything runs inline on the calling
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                let f = &f;
+                scope.spawn(move || {
+                    while let Some(i) = next_task(queues, w) {
+                        // Send failure means the collector is gone,
+                        // i.e. a sibling panicked; stop quietly and
+                        // let the scope propagate that panic.
+                        if tx.send((i, f(i, &items[i]))).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("every index produced exactly one result"))
+                .collect()
+        })
+    }
+}
+
+/// Pops the worker's own front task, stealing a victim's back task
+/// when the local deque is empty. `None` ends the worker: the task set
+/// is fixed up front, so a fully drained sweep means no work remains.
+fn next_task(queues: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+    if let Some(i) = queues[own].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    for offset in 1..queues.len() {
+        let victim = (own + offset) % queues.len();
+        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        for threads in [1, 2, 4, 7] {
+            let exec = Executor::new(threads);
+            let items: Vec<usize> = (0..100).collect();
+            let out = exec.map(&items, |i, &x| i * 1000 + x);
+            let expect: Vec<usize> = (0..100).map(|i| i * 1000 + i).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..37).collect();
+        let compute = |i: usize, &x: &u64| -> u64 {
+            // Deterministic in (index, item) only.
+            (x.wrapping_mul(0x9E3779B97F4A7C15)) ^ (i as u64)
+        };
+        let base = Executor::new(1).map(&items, compute);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(Executor::new(threads).map(&items, compute), base);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..512).collect();
+        let out = Executor::new(4).map(&items, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 512);
+        assert_eq!(counter.load(Ordering::Relaxed), 512);
+    }
+
+    #[test]
+    fn nested_maps_compose() {
+        let outer: Vec<usize> = (0..6).collect();
+        let exec = Executor::new(3);
+        let out = exec.map(&outer, |_, &row| {
+            let inner: Vec<usize> = (0..8).collect();
+            exec.map(&inner, |_, &col| row * 10 + col).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..6).map(|r| (0..8).map(|c| r * 10 + c).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.map(&[] as &[u8], |_, &b| b), Vec::<u8>::new());
+        assert_eq!(exec.map(&[9u8], |i, &b| (i, b)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(4).map(&(0..64).collect::<Vec<_>>(), |_, &x: &i32| {
+                if x == 33 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mix_seed_separates_streams() {
+        let a = mix_seed(42, 0);
+        let b = mix_seed(42, 1);
+        let c = mix_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_seed(42, 0));
+    }
+
+    #[test]
+    fn env_threads_parsing() {
+        // Only checks the parse contract, not the env itself.
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert!(threads_from_env() >= 1);
+    }
+}

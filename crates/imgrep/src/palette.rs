@@ -80,9 +80,9 @@ mod tests {
 
     #[test]
     fn colors_are_distinct_per_band() {
-        for i in 0..PALETTE.len() {
-            for j in (i + 1)..PALETTE.len() {
-                assert_ne!(PALETTE[i], PALETTE[j]);
+        for (i, a) in PALETTE.iter().enumerate() {
+            for b in PALETTE.iter().skip(i + 1) {
+                assert_ne!(a, b);
             }
         }
     }

@@ -335,14 +335,14 @@ mod tests {
         let eps = 1e-3f32;
         // Check dW numerically.
         let mut dw_expected = vec![0.0f32; 6];
-        for i in 0..6 {
+        for (i, slot) in dw_expected.iter_mut().enumerate() {
             let mut dp = d.clone();
             dp.w.data_mut()[i] += eps;
             let mut dm = d.clone();
             dm.w.data_mut()[i] -= eps;
             let lp = dp.forward(&x, false).sum();
             let lm = dm.forward(&x, false).sum();
-            dw_expected[i] = (lp - lm) / (2.0 * eps);
+            *slot = (lp - lm) / (2.0 * eps);
         }
         for (a, e) in d.dw.data().iter().zip(&dw_expected) {
             assert!((a - e).abs() < 1e-2, "analytic {a} vs numeric {e}");

@@ -293,7 +293,7 @@ mod tests {
         let acts = sim.generate(CityId::WashingtonDc, 60);
         let rects: Vec<BoundingBox> = acts
             .iter()
-            .map(|a| BoundingBox::tight(a.trajectory().into_iter()).unwrap())
+            .map(|a| BoundingBox::tight(a.trajectory()).unwrap())
             .collect();
         let iou = average_pairwise_iou(&rects);
         assert!(

@@ -23,6 +23,38 @@ proptest! {
     }
 
     #[test]
+    fn discretizer_bins_are_monotone_and_roundtrip(d in prop_oneof![
+        Just(Discretizer::Floor),
+        (1u32..4).prop_map(|decimals| Discretizer::FixedPrecision { decimals }),
+    ], a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        // Encoding preserves order.
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.apply_one(lo) <= d.apply_one(hi));
+        // Floor bins contain their values: bin ≤ e < bin + 1, and the
+        // bin's representative decodes back to the same bin.
+        let bin = Discretizer::Floor.apply_one(a);
+        prop_assert!(bin as f64 <= a && a < (bin + 1) as f64);
+        prop_assert_eq!(Discretizer::Floor.apply_one(bin as f64), bin);
+    }
+
+    #[test]
+    fn ngram_window_count_is_words_minus_n_plus_1(
+        n_words in 1usize..30,
+        max_n in 1usize..6,
+    ) {
+        // Distinct two-char words, so the set never deduplicates and
+        // the count per order n is exactly W − n + 1 sliding windows.
+        let line: String = (0..n_words).map(|i| format!("{i:02}")).collect();
+        let vocab = Vocabulary::build(&[line], 2, max_n);
+        for n in 1..=max_n.min(n_words) {
+            let count = vocab.entries().iter().filter(|e| e.len() == 2 * n).count();
+            prop_assert_eq!(count, n_words - n + 1, "order {}", n);
+        }
+        let expected: usize = (1..=max_n.min(n_words)).map(|n| n_words - n + 1).sum();
+        prop_assert_eq!(vocab.len(), expected);
+    }
+
+    #[test]
     fn codebook_words_are_unique_and_fixed_width(signal in prop::collection::vec(-1000i64..1000, 1..200)) {
         let cb = ValueCodebook::fit([signal.as_slice()]);
         let mut words = std::collections::HashSet::new();

@@ -36,14 +36,14 @@ fn main() {
     println!("② word size: w = ⌈log₂₆ {}⌉ = {}", codebook.unique_values(), codebook.word_size());
     let encoded = codebook.encode_signal(&discrete);
     println!("③ text encoding: {:?}…", &encoded[..30.min(encoded.len())]);
-    let vocab = Vocabulary::build(&[encoded.clone()], codebook.word_size(), 3);
+    let vocab = Vocabulary::build(std::slice::from_ref(&encoded), codebook.word_size(), 3);
     println!("④ vocabulary: {} unique 1–3-grams (Fig. 6 windows)", vocab.len());
 
     let pipeline = TextPipeline::fit(
         discretizer,
         8,
         FeatureSelection::keep_all(),
-        &[profile.clone()],
+        std::slice::from_ref(&profile),
     );
     let features = pipeline.transform(&profile);
     let nonzero = features.iter().filter(|&&v| v > 0.0).count();

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Full verification gate: build, lint, test, determinism, and a
+# quick-scale end-to-end smoke of the experiment suite.
+#
+# Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== determinism across thread counts =="
+cargo test -q --test determinism
+
+echo "== thread-count invariance (table4_tm1_text, quick scale) =="
+t1="$(mktemp)"; t4="$(mktemp)"
+trap 'rm -f "$t1" "$t4"' EXIT
+# Strip the banner (line 2 reports the thread count itself); every
+# result byte must match across thread counts.
+ELEV_SCALE=quick ELEV_THREADS=1 ./target/release/table4_tm1_text | sed 2d > "$t1"
+ELEV_SCALE=quick ELEV_THREADS=4 ./target/release/table4_tm1_text | sed 2d > "$t4"
+diff "$t1" "$t4"
+
+echo "== quick-scale smoke (run_all) =="
+ELEV_SCALE=quick cargo run --release -p bench --bin run_all
+
+echo "verify: OK"

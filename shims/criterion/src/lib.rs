@@ -1,0 +1,133 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macro surface
+//! and a simple median-of-samples timing loop, so `cargo bench`
+//! compiles and produces usable numbers without the real crate's
+//! statistics, plotting, or CLI.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation (accepted and echoed, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to every group function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Records the work per iteration (echoed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("  throughput: {t:?}");
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times the routine, keeping its return value live.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then a timed call per sample; sample count
+        // is controlled by the caller loop in `run_benchmark`.
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher::default();
+    // Warm-up.
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+    let best = b.samples.first().copied().unwrap_or_default();
+    println!("  {name}: median {median:?}, best {best:?} over {} samples", b.samples.len());
+}
+
+/// Declares a benchmark group function, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

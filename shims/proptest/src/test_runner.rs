@@ -1,0 +1,92 @@
+//! Test-runner plumbing: configuration, per-case RNG streams, and the
+//! error type the `prop_assert*` macros return.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 96 }
+    }
+}
+
+/// A failed property (returned by `prop_assert*`, reported by the
+/// generated test body).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives one property test: owns the case count and hands out one
+/// deterministic RNG per case.
+#[derive(Debug)]
+pub struct TestRunner {
+    cases: u32,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test. `PROPTEST_CASES` overrides
+    /// the configured case count; `PROPTEST_SEED` overrides the
+    /// name-derived base seed.
+    pub fn new(config: Config, test_name: &str) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases)
+            .max(1);
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+        Self { cases, base_seed }
+    }
+
+    /// Cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG for one case: every case gets its own stream, so case
+    /// `i` generates the same inputs regardless of how many cases run.
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.base_seed ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde is format-agnostic; this shim only ever feeds
+//! `serde_json`, so [`Serialize`]/[`Deserialize`] convert directly to
+//! and from an in-memory JSON [`Value`]. The derive macros live in the
+//! sibling `serde_derive` shim and generate impls of these traits for
+//! plain structs (named or tuple fields) and enums (unit, tuple, or
+//! struct variants) without `#[serde(...)]` attributes — exactly the
+//! shapes this workspace declares.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (covers every `iN` plus small `uN`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with canonically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` elsewhere / when missing).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Self::custom(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` back from a JSON value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: u64 = match value {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| Error::custom("negative integer for unsigned"))?,
+                    Value::UInt(u) => *u,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so the round trip back through `as f32`
+        // restores the original bits.
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected {N} elements, found {}", v.len())))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected {expected}-tuple, found {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+// Maps serialize as arrays of `[key, value]` pairs so non-string keys
+// survive the round trip without a key-encoding convention.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::from_value(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Canonical order so equal maps serialize identically.
+        let mut pairs: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect();
+        pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::from_value(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Helpers the derive macros expand to.
+pub mod derive_support {
+    use super::{Error, Value};
+    use std::collections::BTreeMap;
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Fetches `key` from an object, yielding `Null` for missing keys
+    /// so `Option` fields default to `None`.
+    pub fn field<'v>(value: &'v Value, type_name: &str, key: &str) -> Result<&'v Value, Error> {
+        static NULL: Value = Value::Null;
+        match value {
+            Value::Object(m) => Ok(m.get(key).unwrap_or(&NULL)),
+            other => Err(Error::expected(&format!("{type_name} object"), other)),
+        }
+    }
+
+    /// Expects an array of exactly `n` elements (tuple structs/variants).
+    pub fn elements<'v>(
+        value: &'v Value,
+        type_name: &str,
+        n: usize,
+    ) -> Result<&'v [Value], Error> {
+        match value {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "{type_name}: expected {n} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::expected(&format!("{type_name} array"), other)),
+        }
+    }
+
+    /// Unwraps an enum's `{"Variant": payload}` object.
+    pub fn enum_variant<'v>(
+        value: &'v Value,
+        type_name: &str,
+    ) -> Result<(&'v str, &'v Value), Error> {
+        match value {
+            Value::Str(name) => Ok((name.as_str(), &Value::Null)),
+            Value::Object(m) if m.len() == 1 => {
+                let (name, payload) = m.iter().next().unwrap();
+                Ok((name.as_str(), payload))
+            }
+            other => Err(Error::expected(&format!("{type_name} variant"), other)),
+        }
+    }
+
+    /// Wraps a payload-carrying variant.
+    pub fn variant_object(name: &str, payload: Value) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert(name.to_owned(), payload);
+        Value::Object(m)
+    }
+}

@@ -1,0 +1,486 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! With no registry access there is no `syn`/`quote`, so the derive
+//! input is parsed by hand from the raw [`TokenStream`]. Only the
+//! shapes this workspace declares are supported: non-generic structs
+//! (named, tuple, or unit) and enums (unit, tuple, or struct variants),
+//! with no `#[serde(...)]` attributes. Anything else becomes a
+//! `compile_error!` naming the unsupported construct.
+//!
+//! Field types never need to be understood: the generated code calls
+//! `::serde::Serialize::to_value` / `::serde::Deserialize::from_value`
+//! and lets inference pick the impl from the field's declared type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skips any number of `#[...]` / `#![...]` attributes.
+    fn skip_attributes(&mut self) {
+        while self.eat_punct('#') {
+            self.eat_punct('!');
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`, `pub(super)`.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a top-level `,`, tracking `<`/`>` depth so
+    /// commas inside generic arguments don't terminate early. Consumes
+    /// the comma. Returns whether any tokens were skipped.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut depth = 0usize;
+        let mut skipped = false;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        self.pos += 1;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+            skipped = true;
+        }
+        skipped
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    if c.eat_ident("struct") {
+        let name = expect_ident(&mut c, "struct name")?;
+        reject_generics(&mut c, &name)?;
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            _ => Err(format!("serde shim: unsupported struct body for `{name}`")),
+        }
+    } else if c.eat_ident("enum") {
+        let name = expect_ident(&mut c, "enum name")?;
+        reject_generics(&mut c, &name)?;
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            _ => Err(format!("serde shim: missing body for enum `{name}`")),
+        }
+    } else {
+        Err("serde shim: only structs and enums are supported".to_owned())
+    }
+}
+
+fn expect_ident(c: &mut Cursor, what: &str) -> Result<String, String> {
+    match c.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        _ => Err(format!("serde shim: expected {what}")),
+    }
+}
+
+fn reject_generics(c: &mut Cursor, name: &str) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type `{name}` is not supported by the offline derive"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        match c.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => {
+                fields.push(i.to_string());
+                if !c.eat_punct(':') {
+                    return Err(format!("serde shim: expected `:` after field `{i}`"));
+                }
+                c.skip_until_comma();
+            }
+            Some(other) => {
+                return Err(format!("serde shim: unexpected token `{other}` in fields"))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut arity = 0usize;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let name = match c.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => {
+                return Err(format!("serde shim: unexpected token `{other}` in enum"))
+            }
+        };
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip its expression.
+            c.skip_until_comma();
+        } else {
+            c.eat_punct(',');
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::derive_support::object(vec![{}])\n\
+                   }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Serialize::to_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Array(vec![{}])\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_owned())"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}, ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::derive_support::variant_object({vname:?}, \
+                                 ::serde::derive_support::object(vec![{}]))",
+                                pairs.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => \
+                                 ::serde::derive_support::variant_object({vname:?}, \
+                                 ::serde::Value::Array(vec![{}]))",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                   }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::derive_support::field(value, {name:?}, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok(Self {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))\n\
+               }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let items = ::serde::derive_support::elements(value, {name:?}, {arity})?;\n\
+                     ::std::result::Result::Ok(Self({}))\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok(Self)\n\
+               }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname})"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let path = format!("{name}::{vname}");
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::derive_support::field(\
+                                         payload, {path:?}, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => ::std::result::Result::Ok(\
+                                 {name}::{vname} {{ {} }})",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let path = format!("{name}::{vname}");
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\n\
+                                   let items = ::serde::derive_support::elements(\
+                                     payload, {path:?}, {arity})?;\n\
+                                   ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let (variant, payload) = \
+                       ::serde::derive_support::enum_variant(value, {name:?})?;\n\
+                     let _ = payload;\n\
+                     match variant {{\n\
+                       {},\n\
+                       other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown {name} variant {{other}}\")))\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}

@@ -11,13 +11,20 @@ use terrain::{CityId, SyntheticTerrain};
 use textrep::Discretizer;
 
 fn write_corpus(root: &std::path::Path) {
-    let mut sim = AthleteSimulator::new(SyntheticTerrain::new(7), 99);
-    for (metro, n) in [(CityId::WashingtonDc, 15), (CityId::Miami, 12)] {
+    // Several athletes per metro: each athlete's routes hug their home
+    // neighbourhood's elevation band, so a single athlete can't cover
+    // the metro-wide signature the attack classifies on.
+    for (metro, n_per_athlete) in [(CityId::WashingtonDc, 3), (CityId::Miami, 3)] {
         let dir = root.join(metro.abbrev());
         std::fs::create_dir_all(&dir).unwrap();
-        for i in 0..n {
-            let act = sim.generate_one(metro);
-            std::fs::write(dir.join(format!("{i}.gpx")), act.gpx.to_xml()).unwrap();
+        let mut i = 0;
+        for athlete in [99u64, 100, 101, 102, 103] {
+            let mut sim = AthleteSimulator::new(SyntheticTerrain::new(7), athlete);
+            for _ in 0..n_per_athlete {
+                let act = sim.generate_one(metro);
+                std::fs::write(dir.join(format!("{i}.gpx")), act.gpx.to_xml()).unwrap();
+                i += 1;
+            }
         }
     }
 }
@@ -62,7 +69,7 @@ fn gpx_tree_on_disk_trains_a_working_attacker() {
     write_corpus(&root);
     let ds = load_tree(&root);
     assert_eq!(ds.n_classes(), 2);
-    assert_eq!(ds.len(), 27);
+    assert_eq!(ds.len(), 30);
 
     let cfg = TextAttackConfig { mlp_epochs: 30, ..Default::default() };
     let mut attacker = TextAttacker::fit(&ds, Discretizer::Floor, TextModel::Mlp, &cfg);

@@ -1,0 +1,103 @@
+//! `ELEV_THREADS` must never change results.
+//!
+//! Every parallel site derives its RNG stream from the master seed and
+//! the work-item index (`exec::mix_seed`), and the executor returns
+//! results in submission order — so the fold summaries, tree ensembles,
+//! and sweep tables are bit-identical at any thread count. These tests
+//! pin that contract: each evaluates the same workload at 1, 2, and 4
+//! threads and requires exact (not approximate) equality.
+//!
+//! Thread counts are injected via the `ELEV_THREADS` env var, which is
+//! process-global, so the tests in this binary serialize on a mutex.
+
+use std::sync::Mutex;
+
+use classicml::{ForestConfig, RandomForest};
+use datasets::{Dataset, Sample};
+use elev_core::text::{evaluate_text, TextAttackConfig, TextModel};
+use evalkit::FoldSummary;
+use textrep::Discretizer;
+
+/// Serializes env-var mutation across the tests in this binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("ELEV_THREADS", threads);
+    let out = f();
+    std::env::remove_var("ELEV_THREADS");
+    out
+}
+
+/// Two separable elevation regimes, enough samples for 3 folds.
+fn toy_dataset() -> Dataset {
+    let mut ds = Dataset::new(vec!["low".into(), "high".into()]);
+    for i in 0..24 {
+        let phase = i as f64 * 0.43;
+        let low: Vec<f64> =
+            (0..60).map(|t| 8.0 + ((t as f64) * 0.25 + phase).sin() * 2.5).collect();
+        let high: Vec<f64> =
+            (0..60).map(|t| 420.0 + ((t as f64) * 0.19 + phase).cos() * 35.0).collect();
+        ds.push(Sample { elevation: low, label: 0, path: None }).unwrap();
+        ds.push(Sample { elevation: high, label: 1, path: None }).unwrap();
+    }
+    ds
+}
+
+fn quick_cfg() -> TextAttackConfig {
+    TextAttackConfig {
+        folds: 3,
+        ngram: 4,
+        mlp_epochs: 20,
+        rfc_trees: 12,
+        svm_epochs: 10,
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn evaluate_text_is_thread_count_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = toy_dataset();
+    let cfg = quick_cfg();
+    for model in [TextModel::Svm, TextModel::Rfc, TextModel::Mlp] {
+        let baseline: FoldSummary =
+            with_threads("1", || evaluate_text(&ds, Discretizer::Floor, model, &cfg));
+        for threads in ["2", "4"] {
+            let parallel =
+                with_threads(threads, || evaluate_text(&ds, Discretizer::Floor, model, &cfg));
+            // Full summaries — every per-fold confusion matrix, not just
+            // the averages — must match exactly.
+            assert_eq!(parallel, baseline, "{model} differs at ELEV_THREADS={threads}");
+            let (a, b) = (parallel.outcome(), baseline.outcome());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(a.f1.to_bits(), b.f1.to_bits());
+        }
+    }
+}
+
+#[test]
+fn random_forest_is_thread_count_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = toy_dataset();
+    // Tiny hand-rolled features so this exercises only the forest's
+    // parallel tree fitting, not the text pipeline.
+    let x: Vec<Vec<f32>> = ds
+        .samples()
+        .iter()
+        .map(|s| {
+            let mean = s.elevation.iter().sum::<f64>() / s.elevation.len() as f64;
+            let max = s.elevation.iter().cloned().fold(f64::MIN, f64::max);
+            vec![mean as f32, max as f32]
+        })
+        .collect();
+    let y = ds.labels();
+    let cfg = ForestConfig { n_trees: 16, ..Default::default() };
+    let baseline =
+        with_threads("1", || RandomForest::fit(&x, &y, &cfg, 7).predict(&x));
+    for threads in ["2", "4"] {
+        let parallel =
+            with_threads(threads, || RandomForest::fit(&x, &y, &cfg, 7).predict(&x));
+        assert_eq!(parallel, baseline, "forest differs at ELEV_THREADS={threads}");
+    }
+}
