@@ -111,6 +111,18 @@ fn main() {
         cache.raster_hits,
         cache.raster_hits + cache.raster_misses
     );
+    if cache.dense_feature_bytes() > 0 {
+        println!(
+            "feature matrix: {:.2}% nonzero; {} sparse vs {} dense ({:.0}x smaller)",
+            cache.bow_density() * 100.0,
+            fmt_bytes(cache.sparse_feature_bytes()),
+            fmt_bytes(cache.dense_feature_bytes()),
+            cache.dense_feature_bytes() as f64 / cache.sparse_feature_bytes().max(1) as f64
+        );
+    }
+    if let Some(line) = kernel_speedups() {
+        println!("kernel speedups vs dense/naive (BENCH_kernels.json): {line}");
+    }
     println!();
     println!(
         "headline: prediction success ranges {}%–{}% across threat models \
@@ -122,4 +134,41 @@ fn main() {
     println!();
     println!("run the per-table binaries (table4_tm1_text, table7_image_methods, …) for");
     println!("the full layouts, and set ELEV_SCALE=full for paper-scale sweeps.");
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Per-kernel speedups from the committed bench trajectory, if a
+/// parseable `BENCH_kernels.json` sits at the repository root (run
+/// `cargo bench -p bench --bench kernels` to refresh it).
+fn kernel_speedups() -> Option<String> {
+    #[derive(serde::Deserialize)]
+    struct Entry {
+        name: String,
+        speedup: Option<f64>,
+    }
+    #[derive(serde::Deserialize)]
+    struct Report {
+        benches: Vec<Entry>,
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let report: Report = serde_json::from_str(&std::fs::read_to_string(path).ok()?).ok()?;
+    let lines: Vec<String> = report
+        .benches
+        .iter()
+        .filter_map(|b| b.speedup.map(|s| format!("{} {s:.2}x", b.name)))
+        .collect();
+    if lines.is_empty() {
+        None
+    } else {
+        Some(lines.join(", "))
+    }
 }

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use sparsemat::{CsrMatrix, SparseVec};
 
 /// SVM hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,6 +98,76 @@ impl SvmClassifier {
     pub fn predict(&self, rows: &[Vec<f32>]) -> Vec<u32> {
         rows.iter().map(|r| self.predict_one(r)).collect()
     }
+
+    /// Trains on CSR rows without ever densifying them.
+    ///
+    /// The Pegasos recurrence is identical to [`SvmClassifier::fit`] —
+    /// same RNG stream, same shrink and projection steps — except that
+    /// the margin dot and the violation update walk only the row's
+    /// nonzeros. A skipped term is `w_j · 0.0` (resp. `w_j += η·y·0.0`),
+    /// which never changes a finite accumulator except possibly the sign
+    /// of an exact zero, so the learned hyperplanes compare equal
+    /// (`==`) to the dense fit's and every margin comparison, and hence
+    /// every prediction, is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, `x`/`y` lengths differ, or fewer than two
+    /// classes are present.
+    pub fn fit_sparse(x: &CsrMatrix, y: &[u32], config: &SvmConfig, seed: u64) -> Self {
+        assert!(x.n_rows() > 0, "cannot fit on an empty dataset");
+        assert_eq!(x.n_rows(), y.len(), "one label per row");
+        let n_classes = y.iter().copied().max().expect("non-empty") as usize + 1;
+        assert!(n_classes >= 2, "need at least two classes");
+
+        let planes = (0..n_classes)
+            .map(|class| {
+                train_binary_sparse(x, y, class as u32, config, seed.wrapping_add(class as u64))
+            })
+            .collect();
+        Self { planes, dim: x.n_cols() }
+    }
+
+    /// Per-class margins for one sparse row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the training data.
+    pub fn decision_function_sparse(&self, row: &SparseVec) -> Vec<f32> {
+        assert_eq!(row.dim(), self.dim, "feature width mismatch");
+        self.planes.iter().map(|p| row.dot_dense(&p.w) + p.b).collect()
+    }
+
+    /// Predicted class for one sparse row.
+    pub fn predict_one_sparse(&self, row: &SparseVec) -> u32 {
+        let scores = self.decision_function_sparse(row);
+        let mut best = 0usize;
+        for i in 1..scores.len() {
+            if scores[i] > scores[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Predicted classes for every row of a CSR matrix.
+    pub fn predict_sparse(&self, rows: &CsrMatrix) -> Vec<u32> {
+        assert_eq!(rows.n_cols(), self.dim, "feature width mismatch");
+        (0..rows.n_rows())
+            .map(|i| {
+                let mut best = 0usize;
+                let mut best_score = f32::NEG_INFINITY;
+                for (c, p) in self.planes.iter().enumerate() {
+                    let s = rows.row_dot_dense(i, &p.w) + p.b;
+                    if s > best_score {
+                        best_score = s;
+                        best = c;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
 }
 
 /// Pegasos: stochastic sub-gradient descent on
@@ -134,6 +205,50 @@ fn train_binary(
             }
             // Pegasos projection step: keep ‖w‖ ≤ 1/√λ, which bounds the
             // early-iteration oscillation of the 1/(λt) step size.
+            let norm2: f32 = w.iter().map(|v| v * v).sum();
+            let radius2 = 1.0 / config.lambda;
+            if norm2 > radius2 {
+                let scale = (radius2 / norm2).sqrt();
+                for wj in &mut w {
+                    *wj *= scale;
+                }
+            }
+        }
+    }
+    Hyperplane { w, b }
+}
+
+/// Pegasos over CSR rows: the dot and the violation update touch only
+/// nonzeros; the shrink and projection steps still sweep the dense
+/// weight vector (they scale every coordinate, sparse input or not).
+fn train_binary_sparse(
+    x: &CsrMatrix,
+    y: &[u32],
+    positive: u32,
+    config: &SvmConfig,
+    seed: u64,
+) -> Hyperplane {
+    let dim = x.n_cols();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = vec![0.0f32; dim];
+    let mut b = 0.0f32;
+    let mut t = 0u64;
+    let n = x.n_rows();
+    for _ in 0..config.epochs {
+        for _ in 0..n {
+            t += 1;
+            let i = rng.gen_range(0..n);
+            let label = if y[i] == positive { 1.0f32 } else { -1.0 };
+            let eta = 1.0 / (config.lambda * t as f32);
+            let margin = label * (x.row_dot_dense(i, &w) + b);
+            let shrink = 1.0 - eta * config.lambda;
+            for wj in &mut w {
+                *wj *= shrink;
+            }
+            if margin < 1.0 {
+                x.row_axpy_into(i, eta * label, &mut w);
+                b += eta * label;
+            }
             let norm2: f32 = w.iter().map(|v| v * v).sum();
             let radius2 = 1.0 / config.lambda;
             if norm2 > radius2 {

@@ -1,0 +1,117 @@
+//! Bit-for-bit agreement between the sparse and dense classifier paths.
+//!
+//! The sparse kernels claim to be drop-in replacements: identical
+//! accumulation order with only exact-zero terms skipped. These tests
+//! pin that claim on sparse BoW-like data (non-negative, L1-normalized
+//! rows with ~90% zeros), comparing fitted parameters with `==` and
+//! predictions exactly.
+
+use classicml::{
+    KnnClassifier, KnnMetric, NaiveBayes, RandomForest, SvmClassifier, SvmConfig,
+};
+use sparsemat::{CsrMatrix, FeatureMatrix, SparseVec};
+
+/// Deterministic sparse "BoW" rows: `n` rows over `dim` features, a few
+/// nonzeros each, L1-normalized, labels by latent cluster.
+fn bow_like(n: usize, dim: usize, classes: u32) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for i in 0..n {
+        let class = (i as u32) % classes;
+        let mut row = vec![0.0f32; dim];
+        // Class-specific band of features plus a couple of shared ones.
+        let base = (class as usize * dim / classes as usize) % dim;
+        let nnz = 3 + (next() as usize % 5);
+        for _ in 0..nnz {
+            let j = (base + next() as usize % (dim / 2)) % dim;
+            row[j] += 1.0 + (next() % 4) as f32;
+        }
+        let total: f32 = row.iter().sum();
+        for v in &mut row {
+            *v /= total;
+        }
+        x.push(row);
+        y.push(class);
+    }
+    (x, y)
+}
+
+#[test]
+fn svm_sparse_fit_matches_dense_exactly() {
+    let (x, y) = bow_like(60, 40, 3);
+    let csr = CsrMatrix::from_dense_rows(&x);
+    let cfg = SvmConfig { epochs: 12, ..Default::default() };
+    let dense = SvmClassifier::fit(&x, &y, &cfg, 42);
+    let sparse = SvmClassifier::fit_sparse(&csr, &y, &cfg, 42);
+    // Same RNG stream, same updates: the hyperplanes compare equal.
+    assert_eq!(dense, sparse);
+    assert_eq!(dense.predict(&x), sparse.predict_sparse(&csr));
+    for row in &x {
+        let sv = SparseVec::from_dense(row);
+        assert_eq!(dense.predict_one(row), sparse.predict_one_sparse(&sv));
+        let dd = dense.decision_function(row);
+        let sd = sparse.decision_function_sparse(&sv);
+        assert_eq!(dd, sd);
+    }
+}
+
+#[test]
+fn naive_bayes_sparse_fit_is_bit_identical() {
+    let (x, y) = bow_like(50, 32, 4);
+    let csr = CsrMatrix::from_dense_rows(&x);
+    let dense = NaiveBayes::fit(&x, &y, 1.0);
+    let sparse = NaiveBayes::fit_sparse(&csr, &y, 1.0);
+    assert_eq!(dense, sparse);
+    assert_eq!(dense.predict(&x), sparse.predict_sparse(&csr));
+    for row in &x {
+        let sv = SparseVec::from_dense(row);
+        let ds = dense.log_scores(row);
+        let ss = sparse.log_scores_sparse(&sv);
+        for (a, b) in ds.iter().zip(&ss) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn knn_sparse_distances_are_bit_identical() {
+    let (x, y) = bow_like(40, 24, 2);
+    let csr = CsrMatrix::from_dense_rows(&x);
+    for metric in [KnnMetric::Euclidean, KnnMetric::Manhattan] {
+        let dense = KnnClassifier::fit(&x, &y, 3, metric);
+        let sparse = KnnClassifier::fit_sparse(&csr, &y, 3, metric);
+        assert_eq!(dense.predict(&x), sparse.predict_sparse(&csr));
+    }
+    // The underlying sparse distances match the dense formula bitwise.
+    for a in x.iter().take(10) {
+        for b in x.iter().take(10) {
+            let (sa, sb) = (SparseVec::from_dense(a), SparseVec::from_dense(b));
+            let dense_sq: f32 =
+                a.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum();
+            assert_eq!(dense_sq.to_bits(), sa.sq_euclidean(&sb).to_bits());
+            let dense_l1: f32 = a.iter().zip(b).map(|(u, v)| (u - v).abs()).sum();
+            assert_eq!(dense_l1.to_bits(), sa.manhattan(&sb).to_bits());
+        }
+    }
+}
+
+#[test]
+fn forest_fit_matrix_densifies_to_the_same_model() {
+    let (x, y) = bow_like(30, 16, 2);
+    let cfg = classicml::ForestConfig { n_trees: 10, ..Default::default() };
+    let dense = RandomForest::fit(&x, &y, &cfg, 5);
+    let via_dense_matrix = RandomForest::fit_matrix(&FeatureMatrix::Dense(x.clone()), &y, &cfg, 5);
+    let via_sparse_matrix = RandomForest::fit_matrix(
+        &FeatureMatrix::Sparse(CsrMatrix::from_dense_rows(&x)),
+        &y,
+        &cfg,
+        5,
+    );
+    assert_eq!(dense, via_dense_matrix);
+    assert_eq!(dense, via_sparse_matrix);
+}

@@ -9,8 +9,12 @@
 //!
 //! - fitted [`TextPipeline`]s keyed by (corpus fingerprint, discretizer
 //!   / n-gram / selection config),
-//! - per-profile BoW vectors keyed by (pipeline identity, profile id),
-//! - per-profile rasters keyed by (raster config, profile id),
+//! - per-profile **sparse** BoW vectors keyed by (pipeline identity,
+//!   profile id) — BoW rows of an 8-gram vocabulary are overwhelmingly
+//!   zero, so the cache stores [`sparsemat::SparseVec`]s and never
+//!   materializes the dense row,
+//! - per-profile rasters keyed by (raster config, profile id) — rasters
+//!   are dense by nature and stay `Vec<f32>`,
 //!
 //! where a *profile id* is a 128-bit FNV-1a hash of the elevation
 //! signal's raw bits. Values are `Arc`-shared; a cache hit returns the
@@ -27,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use imgrep::{render, ImageConfig};
+use sparsemat::SparseVec;
 use textrep::{Discretizer, FeatureSelection, TextPipeline};
 
 /// A 128-bit content id for one elevation profile.
@@ -75,18 +80,20 @@ struct CachedPipeline {
 }
 
 /// (pipeline id | raster config key) × profile id → shared feature row.
-type FeatureMap<K> = Mutex<HashMap<K, Arc<Vec<f32>>>>;
+type FeatureMap<K, V> = Mutex<HashMap<K, Arc<V>>>;
 
 #[derive(Default)]
 struct Caches {
     pipelines: Mutex<HashMap<(u128, String), CachedPipeline>>,
     next_pipeline_id: AtomicU64,
-    bow: FeatureMap<(u64, u128)>,
-    rasters: FeatureMap<(String, u128)>,
+    bow: FeatureMap<(u64, u128), SparseVec>,
+    rasters: FeatureMap<(String, u128), Vec<f32>>,
     pipeline_hits: AtomicU64,
     pipeline_misses: AtomicU64,
     bow_hits: AtomicU64,
     bow_misses: AtomicU64,
+    bow_nnz: AtomicU64,
+    bow_dense_elems: AtomicU64,
     raster_hits: AtomicU64,
     raster_misses: AtomicU64,
 }
@@ -109,8 +116,10 @@ impl SharedPipeline {
         &self.pipeline
     }
 
-    /// The cached (or freshly computed) BoW vector for one profile.
-    pub fn bow(&self, signal: &[f64]) -> Arc<Vec<f32>> {
+    /// The cached (or freshly computed) sparse BoW vector for one
+    /// profile. Its `to_dense()` is bit-identical to
+    /// `TextPipeline::transform` on the same signal.
+    pub fn bow(&self, signal: &[f64]) -> Arc<SparseVec> {
         let c = caches();
         let key = (self.id, profile_id(signal));
         if let Some(hit) = c.bow.lock().expect("bow cache").get(&key) {
@@ -118,7 +127,9 @@ impl SharedPipeline {
             return Arc::clone(hit);
         }
         c.bow_misses.fetch_add(1, Ordering::Relaxed);
-        let row = Arc::new(self.pipeline.transform(signal));
+        let row = Arc::new(self.pipeline.transform_sparse(signal));
+        c.bow_nnz.fetch_add(row.nnz() as u64, Ordering::Relaxed);
+        c.bow_dense_elems.fetch_add(row.dim() as u64, Ordering::Relaxed);
         c.bow.lock().expect("bow cache").insert(key, Arc::clone(&row));
         row
     }
@@ -180,6 +191,10 @@ pub struct CacheStats {
     pub bow_hits: u64,
     /// BoW-vector lookups that missed.
     pub bow_misses: u64,
+    /// Total nonzeros across all cached (freshly computed) BoW rows.
+    pub bow_nnz: u64,
+    /// Total dense elements the same rows would occupy (sum of dims).
+    pub bow_dense_elems: u64,
     /// Raster lookups that hit.
     pub raster_hits: u64,
     /// Raster lookups that missed.
@@ -196,6 +211,27 @@ impl CacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits() + self.pipeline_misses + self.bow_misses + self.raster_misses
     }
+
+    /// Bytes the cached BoW rows occupy in sparse form
+    /// (`u32` index + `f32` value per nonzero).
+    pub fn sparse_feature_bytes(&self) -> u64 {
+        self.bow_nnz * 8
+    }
+
+    /// Bytes the same rows would occupy densely (`f32` per element).
+    pub fn dense_feature_bytes(&self) -> u64 {
+        self.bow_dense_elems * 4
+    }
+
+    /// Fraction of BoW feature entries that are nonzero (0 when the
+    /// cache is empty).
+    pub fn bow_density(&self) -> f64 {
+        if self.bow_dense_elems == 0 {
+            0.0
+        } else {
+            self.bow_nnz as f64 / self.bow_dense_elems as f64
+        }
+    }
 }
 
 /// Reads the counters.
@@ -206,6 +242,8 @@ pub fn stats() -> CacheStats {
         pipeline_misses: c.pipeline_misses.load(Ordering::Relaxed),
         bow_hits: c.bow_hits.load(Ordering::Relaxed),
         bow_misses: c.bow_misses.load(Ordering::Relaxed),
+        bow_nnz: c.bow_nnz.load(Ordering::Relaxed),
+        bow_dense_elems: c.bow_dense_elems.load(Ordering::Relaxed),
         raster_hits: c.raster_hits.load(Ordering::Relaxed),
         raster_misses: c.raster_misses.load(Ordering::Relaxed),
     }
@@ -221,6 +259,8 @@ pub fn reset() {
     c.pipeline_misses.store(0, Ordering::Relaxed);
     c.bow_hits.store(0, Ordering::Relaxed);
     c.bow_misses.store(0, Ordering::Relaxed);
+    c.bow_nnz.store(0, Ordering::Relaxed);
+    c.bow_dense_elems.store(0, Ordering::Relaxed);
     c.raster_hits.store(0, Ordering::Relaxed);
     c.raster_misses.store(0, Ordering::Relaxed);
 }

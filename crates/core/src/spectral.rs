@@ -127,11 +127,16 @@ pub fn evaluate_spectral(
     let labels = ds.labels();
     let folds = datasets::split::stratified_k_fold(&labels, cfg.folds, cfg.seed);
     evalkit::evaluate_folds(&labels, ds.n_classes(), &folds, |train, test| {
-        let xt: Vec<Vec<f32>> = train.iter().map(|&i| features[i].clone()).collect();
+        // Spectral rows are short and dense, so they keep the dense view.
+        let xt = sparsemat::FeatureMatrix::Dense(
+            train.iter().map(|&i| features[i].clone()).collect(),
+        );
         let yt: Vec<u32> = train.iter().map(|&i| labels[i]).collect();
         let mut fitted =
             crate::text::FittedTextModel::fit(model, &xt, &yt, cfg, cfg.seed ^ 0x5bec);
-        let xs: Vec<Vec<f32>> = test.iter().map(|&i| features[i].clone()).collect();
+        let xs = sparsemat::FeatureMatrix::Dense(
+            test.iter().map(|&i| features[i].clone()).collect(),
+        );
         fitted.predict(&xs)
     })
 }

@@ -5,6 +5,7 @@ use crate::timing::{self, Phase};
 use datasets::split::stratified_k_fold;
 use datasets::Dataset;
 use evalkit::{evaluate_folds_parallel, FoldSummary};
+use sparsemat::{CsrMatrix, FeatureMatrix, SparseVec};
 use std::sync::Arc;
 use textrep::{Discretizer, FeatureSelection};
 
@@ -76,21 +77,31 @@ pub(crate) enum FittedTextModel {
 }
 
 impl FittedTextModel {
+    /// Fits the chosen model on a [`FeatureMatrix`].
+    ///
+    /// Sparse inputs take the zero-skipping kernels (SVM sparse dots,
+    /// MLP sparse×dense input layer); dense inputs take the original
+    /// dense code. The two paths are bit-compatible (see
+    /// `crates/classicml/tests/sparse_agreement.rs` and
+    /// `crates/neuralnet/tests/sparse_training.rs`), so which one runs
+    /// never changes an experiment's output. The random forest is the
+    /// one model that always trains on a dense view — its per-node
+    /// threshold scans want random column access — which is exactly
+    /// what [`FeatureMatrix`] exists to express.
     pub(crate) fn fit(
         model: TextModel,
-        x: &[Vec<f32>],
+        x: &FeatureMatrix,
         y: &[u32],
         cfg: &TextAttackConfig,
         seed: u64,
     ) -> Self {
+        let svm_cfg = classicml::SvmConfig { epochs: cfg.svm_epochs, lambda: cfg.svm_lambda };
         match model {
-            TextModel::Svm => FittedTextModel::Svm(classicml::SvmClassifier::fit(
-                x,
-                y,
-                &classicml::SvmConfig { epochs: cfg.svm_epochs, lambda: cfg.svm_lambda },
-                seed,
-            )),
-            TextModel::Rfc => FittedTextModel::Rfc(classicml::RandomForest::fit(
+            TextModel::Svm => FittedTextModel::Svm(match x {
+                FeatureMatrix::Sparse(m) => classicml::SvmClassifier::fit_sparse(m, y, &svm_cfg, seed),
+                FeatureMatrix::Dense(rows) => classicml::SvmClassifier::fit(rows, y, &svm_cfg, seed),
+            }),
+            TextModel::Rfc => FittedTextModel::Rfc(classicml::RandomForest::fit_matrix(
                 x,
                 y,
                 &classicml::ForestConfig { n_trees: cfg.rfc_trees, ..Default::default() },
@@ -98,29 +109,38 @@ impl FittedTextModel {
             )),
             TextModel::Mlp => {
                 let n_classes = y.iter().copied().max().expect("non-empty") as usize + 1;
-                let mut net = neuralnet::models::mlp(x[0].len(), 100, n_classes.max(2), seed);
-                let tensor = tensorlite::Tensor::from_rows(x);
-                neuralnet::train(
-                    &mut net,
-                    &tensor,
-                    y,
-                    &neuralnet::TrainConfig {
-                        epochs: cfg.mlp_epochs,
-                        lr: cfg.mlp_lr,
-                        seed,
-                        ..Default::default()
-                    },
-                );
+                let mut net = neuralnet::models::mlp(x.n_cols(), 100, n_classes.max(2), seed);
+                let train_cfg = neuralnet::TrainConfig {
+                    epochs: cfg.mlp_epochs,
+                    lr: cfg.mlp_lr,
+                    seed,
+                    ..Default::default()
+                };
+                match x {
+                    FeatureMatrix::Sparse(m) => {
+                        neuralnet::train_sparse(&mut net, m, y, &train_cfg);
+                    }
+                    FeatureMatrix::Dense(rows) => {
+                        let tensor = tensorlite::Tensor::from_rows(rows);
+                        neuralnet::train(&mut net, &tensor, y, &train_cfg);
+                    }
+                }
                 FittedTextModel::Mlp(net)
             }
         }
     }
 
-    pub(crate) fn predict(&mut self, x: &[Vec<f32>]) -> Vec<u32> {
+    pub(crate) fn predict(&mut self, x: &FeatureMatrix) -> Vec<u32> {
         match self {
-            FittedTextModel::Svm(m) => m.predict(x),
-            FittedTextModel::Rfc(m) => m.predict(x),
-            FittedTextModel::Mlp(net) => net.predict(&tensorlite::Tensor::from_rows(x)),
+            FittedTextModel::Svm(m) => match x {
+                FeatureMatrix::Sparse(rows) => m.predict_sparse(rows),
+                FeatureMatrix::Dense(rows) => m.predict(rows),
+            },
+            FittedTextModel::Rfc(m) => m.predict(&x.to_dense_rows()),
+            FittedTextModel::Mlp(net) => match x {
+                FeatureMatrix::Sparse(rows) => net.predict_sparse(rows),
+                FeatureMatrix::Dense(rows) => net.predict(&tensorlite::Tensor::from_rows(rows)),
+            },
         }
     }
 }
@@ -131,8 +151,10 @@ impl FittedTextModel {
 /// corpus "regardless of labels", exactly as in the paper; only the
 /// classifier respects the train/test split.
 ///
-/// Featurization is memoized process-wide (see [`crate::featcache`]),
-/// and folds run in parallel on the `ELEV_THREADS` executor. Each fold
+/// Featurization is memoized process-wide (see [`crate::featcache`])
+/// and stays sparse end-to-end: each fold gathers its train/test rows
+/// into a [`CsrMatrix`] without ever materializing the dense feature
+/// matrix. Folds run in parallel on the `ELEV_THREADS` executor. Each fold
 /// trains with an RNG stream derived from the master seed and the fold
 /// index, so the summary is bit-identical at every thread count.
 ///
@@ -150,19 +172,22 @@ pub fn evaluate_text(
     let executor = exec::Executor::from_env();
     let signals: Vec<Vec<f64>> =
         ds.samples().iter().map(|s| s.elevation.clone()).collect();
-    let features: Vec<Arc<Vec<f32>>> = timing::time(Phase::Featurize, || {
+    let features: Vec<Arc<SparseVec>> = timing::time(Phase::Featurize, || {
         let pipeline = featcache::pipeline_for(&signals, discretizer, cfg.ngram, cfg.selection);
         executor.map(&signals, |_, s| pipeline.bow(s))
     });
+    let gather = |rows: &[usize]| {
+        FeatureMatrix::Sparse(CsrMatrix::from_rows(rows.iter().map(|&i| features[i].as_ref())))
+    };
     let labels = ds.labels();
     let folds = stratified_k_fold(&labels, cfg.folds, cfg.seed);
     evaluate_folds_parallel(&labels, ds.n_classes(), &folds, &executor, |fold_idx, train, test| {
-        let xt: Vec<Vec<f32>> = train.iter().map(|&i| (*features[i]).clone()).collect();
+        let xt = gather(train);
         let yt: Vec<u32> = train.iter().map(|&i| labels[i]).collect();
         let fold_seed = exec::mix_seed(cfg.seed ^ 0x7E47, fold_idx as u64);
         let mut fitted =
             timing::time(Phase::Fit, || FittedTextModel::fit(model, &xt, &yt, cfg, fold_seed));
-        let xs: Vec<Vec<f32>> = test.iter().map(|&i| (*features[i]).clone()).collect();
+        let xs = gather(test);
         timing::time(Phase::Predict, || fitted.predict(&xs))
     })
 }

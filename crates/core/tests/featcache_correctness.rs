@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 
 use elev_core::featcache;
 use imgrep::{render, ImageConfig};
+use sparsemat::SparseVec;
 use textrep::{Discretizer, FeatureSelection, TextPipeline};
 
 /// The cache and its counters are process-global; serialize the tests
@@ -34,20 +35,25 @@ fn cached_bow_equals_cold_computation() {
 
     featcache::reset();
     let shared = featcache::pipeline_for(&signals, d, n, sel);
-    let first: Vec<Arc<Vec<f32>>> = signals.iter().map(|s| shared.bow(s)).collect();
+    let first: Vec<Arc<SparseVec>> = signals.iter().map(|s| shared.bow(s)).collect();
     let misses_after_first = featcache::stats();
     assert_eq!(misses_after_first.bow_misses, signals.len() as u64);
     assert_eq!(misses_after_first.bow_hits, 0);
+    // The memory accounting matches what was actually cached.
+    let cached_nnz: u64 = first.iter().map(|r| r.nnz() as u64).sum();
+    let cached_elems: u64 = first.iter().map(|r| r.dim() as u64).sum();
+    assert_eq!(misses_after_first.bow_nnz, cached_nnz);
+    assert_eq!(misses_after_first.bow_dense_elems, cached_elems);
 
-    // Warm pass: every lookup hits, and every row is bit-identical to
-    // the cold computation (same Vec, in fact).
+    // Warm pass: every lookup hits, and every row densifies to exactly
+    // the bits of the cold computation (same allocation, in fact).
     let again = featcache::pipeline_for(&signals, d, n, sel);
-    let second: Vec<Arc<Vec<f32>>> = signals.iter().map(|s| again.bow(s)).collect();
+    let second: Vec<Arc<SparseVec>> = signals.iter().map(|s| again.bow(s)).collect();
     let stats = featcache::stats();
     assert_eq!(stats.pipeline_hits, 1);
     assert_eq!(stats.bow_hits, signals.len() as u64);
     for ((cold_row, a), b) in cold.iter().zip(&first).zip(&second) {
-        assert_eq!(&**a, cold_row);
+        assert_eq!(&a.to_dense(), cold_row);
         assert!(Arc::ptr_eq(a, b), "warm lookup must share the cached allocation");
     }
 }
@@ -76,8 +82,8 @@ fn distinct_configs_never_alias() {
     let row_a = a.bow(&signals[0]);
     let row_b = b.bow(&signals[0]);
     // 3-grams and 4-grams of the same corpus produce different vocab
-    // sizes, so aliasing would be visible as equal lengths here.
-    assert_ne!(row_a.len(), row_b.len());
+    // sizes, so aliasing would be visible as equal dimensions here.
+    assert_ne!(row_a.dim(), row_b.dim());
 
     let cfg = ImageConfig::default();
     let small = ImageConfig { width: 16, height: 16, ..cfg };

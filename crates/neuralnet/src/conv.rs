@@ -192,7 +192,6 @@ impl Layer for Conv2d {
         let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
         let (oh, ow) = (grad_output.shape()[2], grad_output.shape()[3]);
         let w_mat = self.w.clone().reshaped(&[oc, c * k * k]);
-        let w_mat_t = w_mat.transposed();
         let mut dx = Tensor::zeros(&[n, c, h, w]);
         let sample_in = c * h * w;
         let sample_out = oc * oh * ow;
@@ -207,12 +206,14 @@ impl Layer for Conv2d {
                 &[oc, oh * ow],
             );
             // dW += dY × colᵀ ; db += row sums of dY ; dcol = Wᵀ × dY.
-            dw_acc.add_assign(&go.matmul(&col.transposed()));
+            // Both transposes are fused into the kernels — no [C·K²,
+            // OH·OW] or [C·K², OC] copies per sample.
+            dw_acc.add_assign(&go.matmul_bt(&col));
             for oci in 0..oc {
                 self.db.data_mut()[oci] +=
                     go.data()[oci * oh * ow..(oci + 1) * oh * ow].iter().sum::<f32>();
             }
-            let dcol = w_mat_t.matmul(&go);
+            let dcol = w_mat.matmul_at(&go);
             col2im(
                 &dcol,
                 &mut dx.data_mut()[ni * sample_in..(ni + 1) * sample_in],

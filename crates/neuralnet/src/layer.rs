@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sparsemat::CsrMatrix;
 use tensorlite::Tensor;
 
 /// A differentiable network layer.
@@ -12,6 +13,14 @@ use tensorlite::Tensor;
 pub trait Layer {
     /// Forward pass. `train` enables training-only caching.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Forward pass over a sparse CSR batch, for layers that can consume
+    /// nonzeros directly (the MLP's input [`Dense`] layer). Returns
+    /// `None` when the layer has no sparse path and the caller should
+    /// densify instead.
+    fn forward_sparse(&mut self, _input: &CsrMatrix, _train: bool) -> Option<Tensor> {
+        None
+    }
 
     /// Backward pass; must be called after a `forward` with `train=true`.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
@@ -33,6 +42,7 @@ pub struct Dense {
     dw: Tensor,
     db: Tensor,
     input: Option<Tensor>,
+    sparse_input: Option<CsrMatrix>,
 }
 
 impl Dense {
@@ -57,6 +67,7 @@ impl Dense {
             dw: Tensor::zeros(&[in_dim, out_dim]),
             db: Tensor::zeros(&[out_dim]),
             input: None,
+            sparse_input: None,
         }
     }
 
@@ -76,11 +87,32 @@ impl Dense {
     }
 }
 
+impl Dense {
+    fn accumulate_db(&mut self, grad_output: &Tensor) {
+        for r in 0..grad_output.shape()[0] {
+            let row = grad_output.row(r);
+            for (g, &v) in self.db.data_mut().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+    }
+}
+
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().len(), 2, "dense input must be [N, features]");
         assert_eq!(input.shape()[1], self.in_dim(), "dense input width");
-        let mut out = input.matmul(&self.w);
+        let out = input.matmul_add_bias(&self.w, self.b.data());
+        if train {
+            self.input = Some(input.clone());
+            self.sparse_input = None;
+        }
+        out
+    }
+
+    fn forward_sparse(&mut self, input: &CsrMatrix, train: bool) -> Option<Tensor> {
+        assert_eq!(input.n_cols(), self.in_dim(), "dense input width");
+        let mut out = input.matmul_dense(&self.w);
         let out_dim = self.out_dim();
         for r in 0..out.shape()[0] {
             let row = &mut out.data_mut()[r * out_dim..(r + 1) * out_dim];
@@ -89,24 +121,48 @@ impl Layer for Dense {
             }
         }
         if train {
-            self.input = Some(input.clone());
+            self.sparse_input = Some(input.clone());
+            self.input = None;
         }
-        out
+        Some(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("backward before forward(train=true)");
-        // dW += Xᵀ·dY ; db += Σ_rows dY ; dX = dY·Wᵀ.
-        self.dw.add_assign(&input.transposed().matmul(grad_output));
-        let out_dim = self.out_dim();
-        for r in 0..grad_output.shape()[0] {
-            let row = grad_output.row(r).to_vec();
-            for (g, v) in self.db.data_mut().iter_mut().zip(row) {
-                *g += v;
+        if let Some(csr) = self.sparse_input.take() {
+            // dW += Xᵀ·dY, scattered over the row nonzeros: for each
+            // sample p (ascending) each nonzero X[p,j] rank-1 updates
+            // dW's row j — the `matmul_at` accumulation order with the
+            // zero terms skipped, so dW is bit-identical to the dense
+            // backward's.
+            let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
+            let mut dt = Tensor::zeros(&[in_dim, out_dim]);
+            {
+                let dtd = dt.data_mut();
+                for p in 0..csr.n_rows() {
+                    let (idx, val) = csr.row(p);
+                    let gr = grad_output.row(p);
+                    for (&j, &v) in idx.iter().zip(val) {
+                        let dst =
+                            &mut dtd[j as usize * out_dim..(j as usize + 1) * out_dim];
+                        for (d, &g) in dst.iter_mut().zip(gr) {
+                            *d += v * g;
+                        }
+                    }
+                }
             }
+            self.dw.add_assign(&dt);
+            self.accumulate_db(grad_output);
+            self.sparse_input = Some(csr);
+            // Sparse input only ever feeds the network's first layer,
+            // whose input gradient the trainer discards.
+            return Tensor::zeros(&[grad_output.shape()[0], in_dim]);
         }
-        let _ = out_dim;
-        grad_output.matmul(&self.w.transposed())
+        let input = self.input.as_ref().expect("backward before forward(train=true)");
+        // dW += Xᵀ·dY ; db += Σ_rows dY ; dX = dY·Wᵀ — both products via
+        // the fused transpose kernels (no explicit transposed() copies).
+        self.dw.add_assign(&input.matmul_at(grad_output));
+        self.accumulate_db(grad_output);
+        grad_output.matmul_bt(&self.w)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

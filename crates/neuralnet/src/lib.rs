@@ -47,6 +47,9 @@ pub mod snapshot;
 mod net;
 
 pub use layer::{Dense, Dropout, Flatten, Layer, Relu};
-pub use net::{gather_samples, train, train_with_optimizer, Sequential, TrainConfig, TrainReport};
+pub use net::{
+    gather_samples, train, train_sparse, train_sparse_with_optimizer, train_with_optimizer,
+    Sequential, TrainConfig, TrainReport,
+};
 pub use optim::{Adam, Sgd};
 pub use snapshot::{ArchSpec, NetSnapshot};

@@ -6,6 +6,7 @@ use crate::optim::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sparsemat::CsrMatrix;
 use tensorlite::Tensor;
 
 /// A stack of layers applied in order.
@@ -60,6 +61,25 @@ impl Sequential {
     pub fn logits(&mut self, x: &Tensor) -> Tensor {
         self.forward(x, false)
     }
+
+    /// Class predictions over a sparse batch: the first layer consumes
+    /// the CSR rows directly (sparse×dense matmul) when it can.
+    pub fn predict_sparse(&mut self, x: &CsrMatrix) -> Vec<u32> {
+        let logits = self.forward_sparse(x, false).expect("empty network");
+        let c = logits.shape()[1];
+        (0..logits.shape()[0])
+            .map(|r| {
+                let row = logits.row(r);
+                let mut best = 0usize;
+                for j in 1..c {
+                    if row[j] > row[best] {
+                        best = j;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
 }
 
 impl Layer for Sequential {
@@ -69,6 +89,22 @@ impl Layer for Sequential {
             cur = layer.forward(&cur, train);
         }
         cur
+    }
+
+    /// Feeds CSR rows to the first layer's sparse path when it has one
+    /// (densifying otherwise), then proceeds densely. The sparse×dense
+    /// first matmul skips only exact-zero terms of the dense product, so
+    /// the logits match the dense forward bit for bit.
+    fn forward_sparse(&mut self, input: &CsrMatrix, train: bool) -> Option<Tensor> {
+        let (first, rest) = self.layers.split_first_mut()?;
+        let mut cur = match first.forward_sparse(input, train) {
+            Some(t) => t,
+            None => first.forward(&Tensor::from_rows(&input.to_dense_rows()), train),
+        };
+        for layer in rest {
+            cur = layer.forward(&cur, train);
+        }
+        Some(cur)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -162,6 +198,65 @@ pub fn train_with_optimizer(
             let yb: Vec<u32> = chunk.iter().map(|&i| y[i]).collect();
             net.zero_grad();
             let logits = net.forward(&xb, true);
+            let (loss, grad) =
+                cross_entropy(&logits, &yb, config.class_weights.as_deref());
+            net.backward(&grad);
+            adam.step(net);
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    TrainReport { epoch_losses }
+}
+
+/// [`train`] over CSR feature rows: mini-batches are gathered as CSR
+/// row slices and the network's first layer runs the sparse×dense
+/// matmul, so dense feature batches are never materialized.
+///
+/// Same shuffling RNG, loss, and optimizer schedule as [`train`]; the
+/// sparse forward/backward are bit-compatible with the dense ones, so a
+/// given seed yields the same report and the same trained weights.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` disagree on the sample count, the batch size
+/// is zero, `x` is empty, or the network has no layers.
+pub fn train_sparse(
+    net: &mut Sequential,
+    x: &CsrMatrix,
+    y: &[u32],
+    config: &TrainConfig,
+) -> TrainReport {
+    train_sparse_with_optimizer(net, x, y, config, &mut Adam::new(config.lr))
+}
+
+/// [`train_sparse`] with an externally owned optimizer.
+pub fn train_sparse_with_optimizer(
+    net: &mut Sequential,
+    x: &CsrMatrix,
+    y: &[u32],
+    config: &TrainConfig,
+    adam: &mut Adam,
+) -> TrainReport {
+    let n = x.n_rows();
+    assert_eq!(n, y.len(), "one label per sample");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(n > 0, "cannot train on an empty dataset");
+    adam.set_lr(config.lr);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let xb = x.gather(chunk);
+            let yb: Vec<u32> = chunk.iter().map(|&i| y[i]).collect();
+            net.zero_grad();
+            let logits = net.forward_sparse(&xb, true).expect("empty network");
             let (loss, grad) =
                 cross_entropy(&logits, &yb, config.class_weights.as_deref());
             net.backward(&grad);

@@ -1,0 +1,75 @@
+//! Sparse-input MLP training must reproduce the dense path exactly.
+//!
+//! `train_sparse` feeds CSR mini-batches to the first Dense layer
+//! (sparse×dense forward, scatter backward); everything downstream is
+//! the ordinary dense pipeline. Because the sparse kernels skip only
+//! exact-zero terms in the same accumulation order, the trained weights,
+//! per-epoch losses, and predictions must all match the dense run.
+
+use neuralnet::{models, train, train_sparse, Layer, Sequential, TrainConfig};
+use sparsemat::CsrMatrix;
+use tensorlite::Tensor;
+
+/// Sparse BoW-like rows: ~80% zeros, L1-normalized, two latent classes.
+fn sparse_data(n: usize, dim: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = (i % 2) as u32;
+        let mut row = vec![0.0f32; dim];
+        for t in 0..3 {
+            let j = (i * 7 + t * 5 + class as usize * dim / 2) % dim;
+            row[j] += 1.0 + ((i + t) % 3) as f32;
+        }
+        let total: f32 = row.iter().sum();
+        for v in &mut row {
+            *v /= total;
+        }
+        rows.push(row);
+        labels.push(class);
+    }
+    (rows, labels)
+}
+
+fn weights_of(net: &mut Sequential) -> Vec<u32> {
+    let mut bits = Vec::new();
+    net.visit_params(&mut |p, _| bits.extend(p.data().iter().map(|v| v.to_bits())));
+    bits
+}
+
+#[test]
+fn sparse_training_matches_dense_bitwise() {
+    let (rows, y) = sparse_data(48, 30);
+    let x_dense = Tensor::from_rows(&rows);
+    let x_csr = CsrMatrix::from_dense_rows(&rows);
+    let cfg = TrainConfig { epochs: 6, batch_size: 8, lr: 0.01, ..Default::default() };
+
+    let mut dense_net = models::mlp(30, 16, 2, 11);
+    let mut sparse_net = models::mlp(30, 16, 2, 11);
+    let dense_report = train(&mut dense_net, &x_dense, &y, &cfg);
+    let sparse_report = train_sparse(&mut sparse_net, &x_csr, &y, &cfg);
+
+    // Same losses, bit for bit.
+    assert_eq!(dense_report.epoch_losses.len(), sparse_report.epoch_losses.len());
+    for (a, b) in dense_report.epoch_losses.iter().zip(&sparse_report.epoch_losses) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // Same trained parameters, bit for bit.
+    assert_eq!(weights_of(&mut dense_net), weights_of(&mut sparse_net));
+    // Same predictions via either forward.
+    assert_eq!(dense_net.predict(&x_dense), sparse_net.predict_sparse(&x_csr));
+}
+
+#[test]
+fn sparse_forward_logits_match_dense_bitwise() {
+    let (rows, _y) = sparse_data(20, 24);
+    let x_dense = Tensor::from_rows(&rows);
+    let x_csr = CsrMatrix::from_dense_rows(&rows);
+    let mut net = models::mlp(24, 10, 3, 5);
+    let dense_logits = net.logits(&x_dense);
+    let sparse_logits = net.forward_sparse(&x_csr, false).expect("non-empty net");
+    assert_eq!(dense_logits.shape(), sparse_logits.shape());
+    for (a, b) in dense_logits.data().iter().zip(sparse_logits.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -110,23 +110,128 @@ impl Tensor {
 
     /// 2-D matrix multiplication: `[m, k] × [k, n] → [m, n]`.
     ///
+    /// Runs the register-blocked kernel (see [`Tensor::matmul_reference`]
+    /// for the oracle it is tested against). Every output element is a
+    /// single accumulator over `p = 0..k` in ascending order, so the
+    /// result is bit-identical to the naive triple loop.
+    ///
     /// # Panics
     ///
     /// Panics unless both tensors are 2-D with compatible inner dims.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k, n) = matmul_dims(self, other);
+        let mut out = vec![0.0f32; m * n];
+        matmul_blocked(&self.data, &other.data, &mut out, k, n);
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// Fused `self × other + bias`, with `bias` added per output column
+    /// after the full accumulation — bit-identical to `matmul` followed
+    /// by a broadcast row-wise bias add, without the extra pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or `bias.len() != n`.
+    pub fn matmul_add_bias(&self, other: &Tensor, bias: &[f32]) -> Tensor {
+        let (m, k, n) = matmul_dims(self, other);
+        assert_eq!(bias.len(), n, "bias width mismatch");
+        let mut out = vec![0.0f32; m * n];
+        matmul_blocked(&self.data, &other.data, &mut out, k, n);
+        for row in out.chunks_exact_mut(n) {
+            for (d, &b) in row.iter_mut().zip(bias) {
+                *d += b;
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// `selfᵀ × other` without materializing the transpose:
+    /// `[k, m]ᵀ × [k, n] → [m, n]`.
+    ///
+    /// Streams both operands row-by-row (`p` outermost), accumulating
+    /// each output element in ascending-`p` order — bit-identical to
+    /// `self.transposed().matmul(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D sharing their first dim.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "leading dimensions {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &self.data[p * m..(p + 1) * m];
+            let brow = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(brow) {
+                    *d += a * b;
+                }
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// `self × otherᵀ` without materializing the transpose:
+    /// `[m, k] × [n, k]ᵀ → [m, n]`.
+    ///
+    /// Row-against-row dot products (both contiguous), eight
+    /// independent accumulators at a time, each in ascending-`p` order —
+    /// bit-identical to `self.matmul(&other.transposed())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D sharing their second dim.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dimensions {k} vs {k2}");
+        const JB: usize = 8;
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams over `other` rows, cache-friendly.
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let dst = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + JB <= n {
+                let mut acc = [0.0f32; JB];
+                for (p, &a) in arow.iter().enumerate() {
+                    for (l, slot) in acc.iter_mut().enumerate() {
+                        *slot += a * other.data[(j + l) * k + p];
+                    }
+                }
+                dst[j..j + JB].copy_from_slice(&acc);
+                j += JB;
+            }
+            for (jj, slot) in dst.iter_mut().enumerate().skip(j) {
+                let brow = &other.data[jj * k..(jj + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *slot = acc;
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// Textbook ikj triple-loop product — the correctness oracle the
+    /// blocked kernel is tested against (bit-for-bit; both accumulate
+    /// each output element in ascending-`p` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with compatible inner dims.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        let (m, k, n) = matmul_dims(self, other);
+        let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             for p in 0..k {
                 let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
                 let row = &other.data[p * n..(p + 1) * n];
                 let dst = &mut out[i * n..(i + 1) * n];
                 for (d, &b) in dst.iter_mut().zip(row) {
@@ -208,6 +313,98 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "row requires 2-D");
         let n = self.shape[1];
         &self.data[i * n..(i + 1) * n]
+    }
+}
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.shape.len(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.shape.len(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let (k2, n) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "inner dimensions {k} vs {k2}");
+    (m, k, n)
+}
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Column lanes per register tile (one f32 SIMD vector on AVX2).
+const NR: usize = 8;
+
+/// Register-blocked matmul with a packed B panel.
+///
+/// The `j` loop is outermost: each `k × NR` column panel of B is copied
+/// once into a contiguous, L1-resident buffer and reused by every
+/// `MR`-row tile of A, so the inner loop streams both operands
+/// sequentially instead of striding B by `n` (the naive loop's other
+/// cost is re-loading and re-storing the output row on every `p`; here
+/// the `MR·NR` accumulators live in registers across the whole `k`
+/// loop). Packing is pure data movement and each accumulator still sums
+/// `p = 0..k` in ascending order, which keeps the result bit-identical
+/// to the naive kernel — blocking only over `i`/`j` reorders nothing.
+///
+/// The last `n % NR` columns reuse the same tile kernel on a
+/// zero-padded panel: the padded lanes compute sums nobody reads, and
+/// only the real `jw` lanes are stored back, so every written value
+/// has the same operands in the same order as a full panel.
+fn matmul_blocked(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let mut panel = vec![0.0f32; k * NR];
+    let mut jb = 0;
+    while jb + NR <= n {
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            dst.copy_from_slice(&b[p * n + jb..p * n + jb + NR]);
+        }
+        matmul_panel(a, &panel, out, k, n, jb, NR);
+        jb += NR;
+    }
+    // The last n % NR columns reuse the same tile kernel on a
+    // zero-padded panel: the padded lanes compute sums nobody reads,
+    // and only the real `jw` lanes are stored back, so every written
+    // value has the same operands in the same order as a full panel.
+    if jb < n {
+        let jw = n - jb;
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            dst[..jw].copy_from_slice(&b[p * n + jb..p * n + jb + jw]);
+            dst[jw..].fill(0.0);
+        }
+        matmul_panel(a, &panel, out, k, n, jb, jw);
+    }
+}
+
+/// One packed `k × NR` panel of B against all rows of A, storing output
+/// columns `jb..jb + jw` (`jw == NR` except for the rightmost panel).
+fn matmul_panel(a: &[f32], panel: &[f32], out: &mut [f32], k: usize, n: usize, jb: usize, jw: usize) {
+    let m = a.len() / k;
+    let mut ib = 0;
+    while ib + MR <= m {
+        let (a0, rest) = a[ib * k..].split_at(k);
+        let (a1, rest) = rest.split_at(k);
+        let (a2, rest) = rest.split_at(k);
+        let a3 = &rest[..k];
+        let mut acc = [[0.0f32; NR]; MR];
+        let lanes = a0.iter().zip(a1).zip(a2).zip(a3).zip(panel.chunks_exact(NR));
+        for ((((&v0, &v1), &v2), &v3), brow) in lanes {
+            let av = [v0, v1, v2, v3];
+            for (row_acc, &a_val) in acc.iter_mut().zip(&av) {
+                for (slot, &bv) in row_acc.iter_mut().zip(brow) {
+                    *slot += a_val * bv;
+                }
+            }
+        }
+        for (r, row_acc) in acc.iter().enumerate() {
+            out[(ib + r) * n + jb..(ib + r) * n + jb + jw].copy_from_slice(&row_acc[..jw]);
+        }
+        ib += MR;
+    }
+    // Leftover rows of this panel: 1 × NR tiles.
+    for i in ib..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut acc = [0.0f32; NR];
+        for (&av, brow) in arow.iter().zip(panel.chunks_exact(NR)) {
+            for (slot, &bv) in acc.iter_mut().zip(brow) {
+                *slot += av * bv;
+            }
+        }
+        out[i * n + jb..i * n + jb + jw].copy_from_slice(&acc[..jw]);
     }
 }
 

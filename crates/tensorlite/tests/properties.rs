@@ -64,4 +64,67 @@ proptest! {
             prop_assert_eq!(t.row(i), r.as_slice());
         }
     }
+
+    // The blocked kernel must be a drop-in replacement for the naive
+    // triple loop: zero ULP of divergence, because the experiment
+    // pipeline's determinism contract compares output bytes.
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise(
+        m in 1usize..13, k in 1usize..17, n in 1usize..21, seed in 0u64..64,
+    ) {
+        let gen = |len: usize, salt: u64| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u64 + 1)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(seed.wrapping_mul(salt));
+                    ((h >> 40) as f32 / 8_388_608.0) - 1.0
+                })
+                .collect()
+        };
+        let a = Tensor::from_vec(gen(m * k, 3), &[m, k]);
+        let b = Tensor::from_vec(gen(k * n, 7), &[k, n]);
+        let blocked = a.matmul(&b);
+        let reference = a.matmul_reference(&b);
+        for (x, y) in blocked.data().iter().zip(reference.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose_bitwise(
+        a in arb_matrix(6, 4), b in arb_matrix(6, 5),
+    ) {
+        let fused = a.matmul_at(&b);
+        let explicit = a.transposed().matmul_reference(&b);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose_bitwise(
+        a in arb_matrix(5, 7), b in arb_matrix(4, 7),
+    ) {
+        let fused = a.matmul_bt(&b);
+        let explicit = a.matmul_reference(&b.transposed());
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_add_bias_matches_two_step_bitwise(
+        a in arb_matrix(4, 6), b in arb_matrix(6, 3),
+        bias in prop::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        let fused = a.matmul_add_bias(&b, &bias);
+        let mut two_step = a.matmul_reference(&b);
+        for (e, slot) in two_step.data_mut().iter_mut().enumerate() {
+            *slot += bias[e % 3];
+        }
+        for (x, y) in fused.data().iter().zip(two_step.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }

@@ -2,6 +2,7 @@
 
 use crate::ngrams::Vocabulary;
 use serde::{Deserialize, Serialize};
+use sparsemat::SparseVec;
 use std::collections::HashMap;
 
 /// Feature-selection policy for [`BowVectorizer`].
@@ -162,22 +163,49 @@ impl BowVectorizer {
     /// Counts non-overlapping gram occurrences in an encoded signal and
     /// L1-normalizes into occurrence probabilities.
     ///
-    /// Signals matching no feature transform to the zero vector.
+    /// Signals matching no feature transform to the zero vector. This is
+    /// the densified view of [`BowVectorizer::transform_sparse`]; the two
+    /// agree coordinate-for-coordinate, bit for bit.
     pub fn transform(&self, encoded: &str) -> Vec<f32> {
-        let mut counts = vec![0f32; self.features.len()];
-        let mut total = 0f32;
+        self.transform_sparse(encoded).to_dense()
+    }
+
+    /// Counts non-overlapping gram occurrences and L1-normalizes, without
+    /// ever materializing a dense row.
+    ///
+    /// Only matched grams are touched: the matched feature indices are
+    /// collected, sorted, and run-length counted, so the cost scales with
+    /// the number of grams in the signal rather than with the vocabulary
+    /// size. Each stored value is `count / total` — exactly the value the
+    /// dense path computes for that coordinate (counts are exact small
+    /// integers in `f32`, and the division is the identical operation),
+    /// so densifying reproduces the dense transform bit for bit.
+    pub fn transform_sparse(&self, encoded: &str) -> SparseVec {
+        let mut matched: Vec<u32> = Vec::new();
         count_tiled(encoded, self.word_size, self.max_n, |gram| {
             if let Some(&i) = self.index.get(gram) {
-                counts[i] += 1.0;
-                total += 1.0;
+                matched.push(i as u32);
             }
         });
-        if total > 0.0 {
-            for c in &mut counts {
-                *c /= total;
-            }
+        if matched.is_empty() {
+            return SparseVec::zeros(self.features.len());
         }
-        counts
+        let total = matched.len() as f32;
+        matched.sort_unstable();
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut pos = 0;
+        while pos < matched.len() {
+            let idx = matched[pos];
+            let mut run = pos + 1;
+            while run < matched.len() && matched[run] == idx {
+                run += 1;
+            }
+            indices.push(idx);
+            values.push((run - pos) as f32 / total);
+            pos = run;
+        }
+        SparseVec::new(self.features.len(), indices, values)
     }
 }
 
@@ -296,6 +324,30 @@ mod tests {
             FeatureSelection { tf_threshold: 1, max_features: Some(1) },
         );
         assert_eq!(v.features(), &["a".to_owned()]);
+    }
+
+    #[test]
+    fn sparse_transform_roundtrips_to_dense_bitwise() {
+        let v = fit(&["abcabc", "bcabca", "cababab"], 1, 3, 1);
+        for line in ["abcabc", "bcabca", "cababab", "zzzz", "abca"] {
+            let dense = v.transform(line);
+            let sparse = v.transform_sparse(line);
+            assert_eq!(sparse.dim(), dense.len());
+            let densified = sparse.to_dense();
+            for (a, b) in dense.iter().zip(&densified) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Every stored entry is an actual nonzero.
+            assert!(sparse.values().iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn sparse_transform_of_unmatched_signal_is_empty() {
+        let v = fit(&["abab"], 2, 1, 1);
+        let s = v.transform_sparse("zzzz");
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.dim(), v.n_features());
     }
 
     #[test]

@@ -121,9 +121,27 @@ impl TextPipeline {
         self.vectorizer.transform(&self.encode(signal))
     }
 
+    /// Transforms one elevation signal into a sparse BoW vector without
+    /// materializing the dense row (see
+    /// [`BowVectorizer::transform_sparse`]).
+    pub fn transform_sparse(&self, signal: &[f64]) -> sparsemat::SparseVec {
+        self.vectorizer.transform_sparse(&self.encode(signal))
+    }
+
     /// Transforms a batch of signals.
     pub fn transform_all(&self, signals: &[Vec<f64>]) -> Vec<Vec<f32>> {
         signals.iter().map(|s| self.transform(s)).collect()
+    }
+
+    /// Transforms a batch of signals into sparse rows.
+    pub fn transform_all_sparse(&self, signals: &[Vec<f64>]) -> Vec<sparsemat::SparseVec> {
+        signals.iter().map(|s| self.transform_sparse(s)).collect()
+    }
+
+    /// Transforms a batch of signals straight into a CSR feature matrix.
+    pub fn transform_all_csr(&self, signals: &[Vec<f64>]) -> sparsemat::CsrMatrix {
+        let rows = self.transform_all_sparse(signals);
+        sparsemat::CsrMatrix::from_rows(&rows)
     }
 }
 

@@ -28,6 +28,24 @@ ELEV_SCALE=quick ELEV_THREADS=1 ./target/release/table4_tm1_text | sed 2d > "$t1
 ELEV_SCALE=quick ELEV_THREADS=4 ./target/release/table4_tm1_text | sed 2d > "$t4"
 diff "$t1" "$t4"
 
+echo "== kernel bench smoke (BENCH_QUICK=1) =="
+saved=""
+if [ -f BENCH_kernels.json ]; then
+    saved="$(mktemp)"
+    cp BENCH_kernels.json "$saved"
+fi
+BENCH_QUICK=1 cargo bench -q -p bench --bench kernels
+test -s BENCH_kernels.json
+if command -v jq >/dev/null 2>&1; then
+    jq -e '.suite == "kernels" and (.benches | length > 0)' BENCH_kernels.json >/dev/null
+else
+    python3 -c 'import json; r = json.load(open("BENCH_kernels.json")); assert r["suite"] == "kernels" and r["benches"]'
+fi
+# The smoke overwrites the committed full-mode numbers; restore them.
+if [ -n "$saved" ]; then
+    mv "$saved" BENCH_kernels.json
+fi
+
 echo "== quick-scale smoke (run_all) =="
 ELEV_SCALE=quick cargo run --release -p bench --bin run_all
 
