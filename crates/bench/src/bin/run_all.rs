@@ -93,6 +93,32 @@ fn main() {
         t.elapsed()
     );
 
+    // Robustness: accuracy under fault injection + quarantine ingestion.
+    let t = Instant::now();
+    let fault_plan = faultsim::FaultPlan::from_env();
+    let rob = elev_core::robustness::robustness_sweep(
+        &corpora,
+        &scale,
+        seed,
+        fault_plan.seed,
+        &elev_core::robustness::DEFAULT_RATES,
+    );
+    let mut rob_table = TextTable::new(&["rate", "TM-1 A", "TM-3 A", "repaired", "quar"]);
+    for &rate in &elev_core::robustness::DEFAULT_RATES {
+        let at = |setting: &str| rob.iter().find(|p| p.rate == rate && p.setting == setting);
+        let (tm1, tm3) = (at("TM-1").expect("TM-1 point"), at("TM-3").expect("TM-3 point"));
+        rob_table.row(vec![
+            format!("{rate:.2}"),
+            pct(tm1.outcome.ovr_accuracy),
+            pct(tm3.outcome.ovr_accuracy),
+            (tm1.report.repaired() + tm3.report.repaired()).to_string(),
+            (tm1.report.quarantined() + tm3.report.quarantined()).to_string(),
+        ]);
+    }
+    println!();
+    println!("robustness: accuracy vs corruption rate (quarantine ingestion) [{:?}]:", t.elapsed());
+    rob_table.print();
+
     let lo = lows.iter().copied().fold(1.0f64, f64::min);
     let hi = highs.iter().copied().fold(0.0f64, f64::max);
     println!();

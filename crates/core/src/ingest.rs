@@ -1,0 +1,875 @@
+//! Resilient track ingestion: validate → repair → accept or quarantine.
+//!
+//! The clean experiment path assumes perfect recordings; real fitness
+//! exports arrive with GPS dropouts, barometric spikes, NaN elevations,
+//! duplicated points, shuffled timestamps, and truncated files. This
+//! module is the production-style front door: every incoming track is
+//! validated, repaired where the damage is recoverable, and otherwise
+//! **quarantined** into a structured per-run [`IngestReport`] — one
+//! corrupt track can never abort a batch run.
+//!
+//! Repairs are conservative and deterministic:
+//!
+//! - out-of-order timestamps → stable sort by time (only when every
+//!   point carries a timestamp);
+//! - exact duplicate runs → consecutive dedup;
+//! - timestamp gaps (GPS dropout) → linear gap interpolation at the
+//!   track's median sampling interval;
+//! - NaN elevations → linear interpolation from the nearest finite
+//!   neighbours;
+//! - elevation spikes → rolling-median despike.
+//!
+//! A track that is untouched by all five passes is reported as
+//! [`Disposition::Clean`] and its profile is returned **byte-identical**
+//! to [`gpxfile::Gpx::elevation_profile`] — the zero-fault invariance
+//! the experiment suite depends on.
+//!
+//! Each track is processed in isolation on the workspace executor via
+//! [`exec::Executor::try_map`]; a panic inside a repair quarantines that
+//! track ([`QuarantineReason::RepairPanicked`]) while every other track
+//! completes.
+
+use exec::Executor;
+use gpxfile::{Gpx, TrackPoint};
+
+/// Ingestion thresholds. The defaults are tuned so that the clean
+/// synthetic corpora pass through 100% untouched (no false repairs)
+/// while every fault `faultsim` injects is either repaired or
+/// quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestConfig {
+    /// Quarantine profiles shorter than this after repair.
+    pub min_profile_len: usize,
+    /// Rolling-median window for despiking (odd, ≥ 3).
+    pub spike_window: usize,
+    /// A point deviating from its window median by more than this many
+    /// metres is a spike.
+    pub spike_threshold_m: f64,
+    /// A timestamp delta larger than `factor × median Δt` is a gap.
+    pub max_time_gap_factor: f64,
+    /// Never synthesize more than this many points for one gap.
+    pub max_gap_fill_points: usize,
+    /// Quarantine when repairs touched more than this fraction of the
+    /// track's points (the signal is no longer trustworthy).
+    pub max_repaired_fraction: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            min_profile_len: 24,
+            spike_window: 5,
+            spike_threshold_m: 40.0,
+            max_time_gap_factor: 4.0,
+            max_gap_fill_points: 64,
+            max_repaired_fraction: 0.35,
+        }
+    }
+}
+
+/// One incoming track.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrackSource {
+    /// An already-parsed document (possibly with model-level damage).
+    Parsed(Gpx),
+    /// Raw serialized bytes (possibly truncated, mangled, or invalid
+    /// UTF-8).
+    Raw(Vec<u8>),
+}
+
+/// One category of applied repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairKind {
+    /// Points re-sorted into timestamp order.
+    SortedByTime,
+    /// Exact consecutive duplicates removed.
+    DedupedPoints,
+    /// Synthetic points interpolated across a timestamp gap.
+    FilledGap,
+    /// NaN elevations interpolated from finite neighbours.
+    InterpolatedNan,
+    /// Spikes replaced by the rolling median.
+    DespikedElevation,
+}
+
+impl RepairKind {
+    /// All repair kinds, in pipeline order.
+    pub const ALL: [RepairKind; 5] = [
+        RepairKind::SortedByTime,
+        RepairKind::DedupedPoints,
+        RepairKind::FilledGap,
+        RepairKind::InterpolatedNan,
+        RepairKind::DespikedElevation,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RepairKind::SortedByTime => "sort_time",
+            RepairKind::DedupedPoints => "dedup",
+            RepairKind::FilledGap => "fill_gap",
+            RepairKind::InterpolatedNan => "interp_nan",
+            RepairKind::DespikedElevation => "despike",
+        }
+    }
+}
+
+/// One applied repair: what, and how many points it touched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Repair {
+    /// The repair category.
+    pub kind: RepairKind,
+    /// Number of points sorted, removed, synthesized, or rewritten.
+    pub points: usize,
+}
+
+/// Why a track was quarantined instead of accepted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineReason {
+    /// The bytes did not parse as GPX (the message is the
+    /// [`gpxfile::GpxError`] display).
+    ParseFailed(String),
+    /// No usable elevation values at all.
+    EmptyProfile,
+    /// Fewer points than [`IngestConfig::min_profile_len`] after repair.
+    TooShort {
+        /// Final profile length.
+        points: usize,
+    },
+    /// Repairs touched more of the track than
+    /// [`IngestConfig::max_repaired_fraction`] allows.
+    TooCorrupt {
+        /// Fraction of points touched by repairs.
+        repaired_fraction: f64,
+    },
+    /// The repair pipeline itself panicked (isolated by
+    /// [`exec::Executor::try_map`]).
+    RepairPanicked(String),
+}
+
+impl QuarantineReason {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuarantineReason::ParseFailed(_) => "parse_failed",
+            QuarantineReason::EmptyProfile => "empty_profile",
+            QuarantineReason::TooShort { .. } => "too_short",
+            QuarantineReason::TooCorrupt { .. } => "too_corrupt",
+            QuarantineReason::RepairPanicked(_) => "repair_panicked",
+        }
+    }
+
+    /// Every reason name, in canonical report order.
+    pub const NAMES: [&'static str; 5] =
+        ["parse_failed", "empty_profile", "too_short", "too_corrupt", "repair_panicked"];
+}
+
+/// The per-track outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Accepted untouched; the profile is byte-identical to the clean
+    /// extraction path.
+    Clean,
+    /// Accepted after the listed repairs.
+    Repaired(Vec<Repair>),
+    /// Rejected; no profile is produced.
+    Quarantined(QuarantineReason),
+}
+
+/// One track's entry in the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackReport {
+    /// Input index of the track.
+    pub index: usize,
+    /// What happened to it.
+    pub disposition: Disposition,
+    /// Profile length delivered downstream (0 when quarantined).
+    pub profile_len: usize,
+}
+
+/// The structured per-run ingestion report: every input track is
+/// accounted for, in input order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngestReport {
+    /// Per-track outcomes, sorted by input index.
+    pub tracks: Vec<TrackReport>,
+}
+
+impl IngestReport {
+    /// Number of tracks accepted untouched.
+    pub fn clean(&self) -> usize {
+        self.tracks.iter().filter(|t| matches!(t.disposition, Disposition::Clean)).count()
+    }
+
+    /// Number of tracks accepted after repair.
+    pub fn repaired(&self) -> usize {
+        self.tracks
+            .iter()
+            .filter(|t| matches!(t.disposition, Disposition::Repaired(_)))
+            .count()
+    }
+
+    /// Number of tracks quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.tracks
+            .iter()
+            .filter(|t| matches!(t.disposition, Disposition::Quarantined(_)))
+            .count()
+    }
+
+    /// Total points touched per repair kind, in [`RepairKind::ALL`]
+    /// order.
+    pub fn repair_counts(&self) -> Vec<(RepairKind, usize)> {
+        RepairKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let points = self
+                    .tracks
+                    .iter()
+                    .filter_map(|t| match &t.disposition {
+                        Disposition::Repaired(rs) => Some(rs),
+                        _ => None,
+                    })
+                    .flatten()
+                    .filter(|r| r.kind == kind)
+                    .map(|r| r.points)
+                    .sum();
+                (kind, points)
+            })
+            .collect()
+    }
+
+    /// Quarantined-track counts per reason, in
+    /// [`QuarantineReason::NAMES`] order.
+    pub fn quarantine_counts(&self) -> Vec<(&'static str, usize)> {
+        QuarantineReason::NAMES
+            .into_iter()
+            .map(|name| {
+                let n = self
+                    .tracks
+                    .iter()
+                    .filter(|t| {
+                        matches!(&t.disposition,
+                            Disposition::Quarantined(r) if r.name() == name)
+                    })
+                    .count();
+                (name, n)
+            })
+            .collect()
+    }
+
+    /// Renders the report as a JSON object (hand-formatted: flat,
+    /// deterministic key order, safe for `jq`/`python -c` smoke
+    /// checks).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"tracks\": {}, \"clean\": {}, \"repaired\": {}, \"quarantined\": {}",
+            self.tracks.len(),
+            self.clean(),
+            self.repaired(),
+            self.quarantined()
+        ));
+        out.push_str(", \"repairs\": {");
+        let repairs: Vec<String> = self
+            .repair_counts()
+            .into_iter()
+            .map(|(k, n)| format!("\"{}\": {n}", k.name()))
+            .collect();
+        out.push_str(&repairs.join(", "));
+        out.push_str("}, \"quarantine_reasons\": {");
+        let reasons: Vec<String> = self
+            .quarantine_counts()
+            .into_iter()
+            .map(|(name, n)| format!("\"{name}\": {n}"))
+            .collect();
+        out.push_str(&reasons.join(", "));
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a compact human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "ingest: {} tracks — {} clean, {} repaired, {} quarantined\n",
+            self.tracks.len(),
+            self.clean(),
+            self.repaired(),
+            self.quarantined()
+        );
+        let repairs: Vec<String> = self
+            .repair_counts()
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(k, n)| format!("{} {n}", k.name()))
+            .collect();
+        if !repairs.is_empty() {
+            out.push_str(&format!("  repairs (points): {}\n", repairs.join(", ")));
+        }
+        let reasons: Vec<String> = self
+            .quarantine_counts()
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(name, n)| format!("{name} {n}"))
+            .collect();
+        if !reasons.is_empty() {
+            out.push_str(&format!("  quarantine: {}\n", reasons.join(", ")));
+        }
+        out
+    }
+}
+
+/// Ingests a batch of tracks on the given executor.
+///
+/// Returns one slot per input (in input order): `Some(profile)` for
+/// accepted tracks, `None` for quarantined ones, plus the full
+/// [`IngestReport`]. Each track is processed independently and
+/// panic-isolated, so the output is bit-identical at any thread count
+/// and a poisoned track can never take down the batch.
+pub fn ingest_batch(
+    sources: &[TrackSource],
+    cfg: &IngestConfig,
+    executor: &Executor,
+) -> (Vec<Option<Vec<f64>>>, IngestReport) {
+    let outcomes = executor.try_map(sources, |_, src| ingest_one(src, cfg));
+    let mut profiles = Vec::with_capacity(sources.len());
+    let mut tracks = Vec::with_capacity(sources.len());
+    for (index, slot) in outcomes.into_iter().enumerate() {
+        let (disposition, profile) = match slot {
+            Ok((d, p)) => (d, p),
+            Err(panic) => (
+                Disposition::Quarantined(QuarantineReason::RepairPanicked(panic.message)),
+                None,
+            ),
+        };
+        tracks.push(TrackReport {
+            index,
+            disposition,
+            profile_len: profile.as_ref().map_or(0, Vec::len),
+        });
+        profiles.push(profile);
+    }
+    (profiles, IngestReport { tracks })
+}
+
+/// Ingests a single track (the pure per-task body).
+pub fn ingest_one(
+    src: &TrackSource,
+    cfg: &IngestConfig,
+) -> (Disposition, Option<Vec<f64>>) {
+    let gpx = match src {
+        TrackSource::Parsed(g) => g.clone(),
+        TrackSource::Raw(bytes) => match Gpx::parse_bytes(bytes) {
+            Ok(g) => g,
+            Err(e) => {
+                return (
+                    Disposition::Quarantined(QuarantineReason::ParseFailed(e.to_string())),
+                    None,
+                )
+            }
+        },
+    };
+
+    // Work on the flattened point sequence (the profile is flat too).
+    let mut points: Vec<TrackPoint> = gpx
+        .tracks
+        .iter()
+        .flat_map(|t| &t.segments)
+        .flat_map(|s| &s.points)
+        .cloned()
+        .collect();
+    let mut repairs: Vec<Repair> = Vec::new();
+
+    // 1. Out-of-order timestamps (only when the recording is fully
+    //    timestamped; a stable sort keeps untimed tracks untouched).
+    if !points.is_empty() && points.iter().all(|p| p.time.is_some()) {
+        let moved = count_out_of_order(&points);
+        if moved > 0 {
+            points.sort_by(|a, b| a.time.cmp(&b.time));
+            repairs.push(Repair { kind: RepairKind::SortedByTime, points: moved });
+        }
+    }
+
+    // 2. Exact consecutive duplicates (logger stutter).
+    let before = points.len();
+    dedup_consecutive(&mut points);
+    if points.len() < before {
+        repairs.push(Repair { kind: RepairKind::DedupedPoints, points: before - points.len() });
+    }
+
+    // 3. Timestamp gaps → synthetic interpolated points.
+    let filled = fill_time_gaps(&mut points, cfg);
+    if filled > 0 {
+        repairs.push(Repair { kind: RepairKind::FilledGap, points: filled });
+    }
+
+    // The elevation series downstream of structural repair.
+    let mut profile: Vec<f64> =
+        points.iter().filter_map(|p| p.elevation_m).collect();
+    if profile.is_empty() {
+        return (Disposition::Quarantined(QuarantineReason::EmptyProfile), None);
+    }
+
+    // 4. NaN elevations → linear interpolation.
+    let interpolated = interpolate_nans(&mut profile);
+    if interpolated > 0 {
+        repairs.push(Repair { kind: RepairKind::InterpolatedNan, points: interpolated });
+    }
+    if profile.iter().any(|e| !e.is_finite()) {
+        // Nothing finite to anchor the interpolation.
+        return (Disposition::Quarantined(QuarantineReason::EmptyProfile), None);
+    }
+
+    // 5. Spikes → rolling median.
+    let despiked = despike(&mut profile, cfg);
+    if despiked > 0 {
+        repairs.push(Repair { kind: RepairKind::DespikedElevation, points: despiked });
+    }
+
+    // Acceptance checks.
+    if profile.len() < cfg.min_profile_len {
+        return (
+            Disposition::Quarantined(QuarantineReason::TooShort { points: profile.len() }),
+            None,
+        );
+    }
+    let touched: usize = repairs.iter().map(|r| r.points).sum();
+    let fraction = touched as f64 / profile.len() as f64;
+    if fraction > cfg.max_repaired_fraction {
+        return (
+            Disposition::Quarantined(QuarantineReason::TooCorrupt {
+                repaired_fraction: fraction,
+            }),
+            None,
+        );
+    }
+
+    if repairs.is_empty() {
+        // Untouched: deliver the exact clean-path extraction.
+        (Disposition::Clean, Some(gpx.elevation_profile()))
+    } else {
+        (Disposition::Repaired(repairs), Some(profile))
+    }
+}
+
+/// Number of points whose timestamp is smaller than a predecessor's —
+/// the count reported for a [`RepairKind::SortedByTime`] repair.
+fn count_out_of_order(points: &[TrackPoint]) -> usize {
+    points
+        .windows(2)
+        .filter(|w| w[1].time < w[0].time)
+        .count()
+}
+
+/// Removes points identical to their predecessor (coordinates,
+/// elevation bits, and timestamp all equal — NaN elevations compare by
+/// bit pattern so duplicated NaN points still collapse).
+fn dedup_consecutive(points: &mut Vec<TrackPoint>) {
+    points.dedup_by(|b, a| {
+        a.coord == b.coord
+            && a.time == b.time
+            && match (a.elevation_m, b.elevation_m) {
+                (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+                (None, None) => true,
+                _ => false,
+            }
+    });
+}
+
+/// Parses `YYYY-MM-DDTHH:MM:SSZ` into seconds since an arbitrary epoch
+/// (only differences matter). Returns `None` for any other shape.
+fn time_seconds(t: &str) -> Option<i64> {
+    let b = t.as_bytes();
+    if b.len() < 19 || b[4] != b'-' || b[7] != b'-' || b[10] != b'T' || b[13] != b':' || b[16] != b':'
+    {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| -> Option<i64> {
+        t.get(range)?.parse::<i64>().ok()
+    };
+    let (y, mo, d) = (num(0..4)?, num(5..7)?, num(8..10)?);
+    let (h, mi, s) = (num(11..13)?, num(14..16)?, num(17..19)?);
+    // Days-from-civil (Howard Hinnant's algorithm), good enough for
+    // ordering and differences across month/year boundaries.
+    let y_adj = if mo <= 2 { y - 1 } else { y };
+    let era = y_adj.div_euclid(400);
+    let yoe = y_adj - era * 400;
+    let mp = (mo + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146_097 + doe - 719_468;
+    Some(days * 86_400 + h * 3_600 + mi * 60 + s)
+}
+
+/// Detects sampling gaps (Δt > `factor ×` median Δt) and inserts
+/// linearly interpolated points. Returns the number of synthesized
+/// points.
+fn fill_time_gaps(points: &mut Vec<TrackPoint>, cfg: &IngestConfig) -> usize {
+    if points.len() < 3 || points.iter().any(|p| p.time.is_none()) {
+        return 0;
+    }
+    let secs: Vec<i64> = match points
+        .iter()
+        .map(|p| p.time.as_deref().and_then(time_seconds))
+        .collect::<Option<Vec<i64>>>()
+    {
+        Some(s) => s,
+        None => return 0, // unparsable timestamps: leave the track alone
+    };
+    let mut dts: Vec<i64> = secs.windows(2).map(|w| (w[1] - w[0]).max(0)).collect();
+    dts.sort_unstable();
+    let median_dt = dts[dts.len() / 2].max(1);
+    let threshold = (median_dt as f64 * cfg.max_time_gap_factor).ceil() as i64;
+
+    let mut out: Vec<TrackPoint> = Vec::with_capacity(points.len());
+    let mut inserted = 0usize;
+    for i in 0..points.len() {
+        if i > 0 {
+            let dt = secs[i] - secs[i - 1];
+            if dt > threshold {
+                let missing =
+                    (((dt as f64) / (median_dt as f64)).round() as usize - 1)
+                        .min(cfg.max_gap_fill_points);
+                let a = &points[i - 1];
+                let b = &points[i];
+                for k in 1..=missing {
+                    let t = k as f64 / (missing + 1) as f64;
+                    let ele = match (a.elevation_m, b.elevation_m) {
+                        (Some(x), Some(y)) if x.is_finite() && y.is_finite() => {
+                            Some(x + (y - x) * t)
+                        }
+                        _ => None,
+                    };
+                    let coord = geoprim::LatLon::new(
+                        a.coord.lat + (b.coord.lat - a.coord.lat) * t,
+                        a.coord.lon + (b.coord.lon - a.coord.lon) * t,
+                    );
+                    out.push(TrackPoint { coord, elevation_m: ele, time: None });
+                    inserted += 1;
+                }
+            }
+        }
+        out.push(points[i].clone());
+    }
+    if inserted > 0 {
+        *points = out;
+    }
+    inserted
+}
+
+/// Replaces non-finite elevations by linear interpolation between the
+/// nearest finite neighbours (edge runs copy the nearest finite value).
+/// Returns the number of values rewritten; leaves the series untouched
+/// when nothing is finite.
+fn interpolate_nans(profile: &mut [f64]) -> usize {
+    let n = profile.len();
+    if !profile.iter().any(|e| !e.is_finite()) {
+        return 0;
+    }
+    if !profile.iter().any(|e| e.is_finite()) {
+        return 0; // nothing to anchor on; caller quarantines
+    }
+    let mut fixed = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        if profile[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        let start = i; // first bad index
+        let mut end = i;
+        while end < n && !profile[end].is_finite() {
+            end += 1;
+        }
+        let left = start.checked_sub(1).map(|j| profile[j]);
+        let right = if end < n { Some(profile[end]) } else { None };
+        for (off, slot) in profile[start..end].iter_mut().enumerate() {
+            *slot = match (left, right) {
+                (Some(l), Some(r)) => {
+                    let t = (off + 1) as f64 / (end - start + 1) as f64;
+                    l + (r - l) * t
+                }
+                (Some(l), None) => l,
+                (None, Some(r)) => r,
+                (None, None) => unreachable!("a finite anchor exists"),
+            };
+            fixed += 1;
+        }
+        i = end;
+    }
+    fixed
+}
+
+/// Rolling-median despike: a value deviating from the median of its
+/// window by more than the threshold is replaced by that median.
+/// Detection runs on the original series (replacements do not cascade),
+/// which keeps the pass order-independent and idempotent on clean data.
+fn despike(profile: &mut [f64], cfg: &IngestConfig) -> usize {
+    let n = profile.len();
+    let w = cfg.spike_window.max(3) | 1; // force odd
+    if n < w {
+        return 0;
+    }
+    let original = profile.to_vec();
+    let half = w / 2;
+    let mut fixed = 0usize;
+    let mut window = Vec::with_capacity(w);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        window.clear();
+        window.extend_from_slice(&original[lo..hi]);
+        window.sort_by(f64::total_cmp);
+        let med = window[window.len() / 2];
+        if (original[i] - med).abs() > cfg.spike_threshold_m {
+            profile[i] = med;
+            fixed += 1;
+        }
+    }
+    fixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::{corrupt_track, FaultKind, FaultPlan, Payload};
+    use geoprim::LatLon;
+    use gpxfile::{Track, TrackSegment};
+    use proptest::prelude::*;
+
+    fn sample_gpx(n: usize) -> Gpx {
+        let points = (0..n)
+            .map(|i| {
+                TrackPoint::with_elevation(
+                    LatLon::new(38.0 + i as f64 * 1e-4, -77.0 + i as f64 * 5e-5),
+                    120.0 + (i as f64 * 0.23).sin() * 6.0 + i as f64 * 0.05,
+                )
+            })
+            .collect();
+        Gpx {
+            creator: "ingest test".into(),
+            tracks: vec![Track { name: None, segments: vec![TrackSegment { points }] }],
+        }
+    }
+
+    fn to_source(payload: Payload) -> TrackSource {
+        match payload {
+            Payload::Parsed(g) => TrackSource::Parsed(g),
+            Payload::Raw(b) => TrackSource::Raw(b),
+        }
+    }
+
+    #[test]
+    fn clean_track_passes_through_byte_identical() {
+        let gpx = sample_gpx(120);
+        let (d, profile) = ingest_one(&TrackSource::Parsed(gpx.clone()), &IngestConfig::default());
+        assert_eq!(d, Disposition::Clean);
+        let clean = gpx.elevation_profile();
+        let got = profile.unwrap();
+        assert_eq!(got.len(), clean.len());
+        assert!(got.iter().zip(&clean).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn every_model_fault_kind_is_repaired_or_quarantined() {
+        let gpx = sample_gpx(200);
+        let cfg = IngestConfig::default();
+        for kind in [
+            FaultKind::GpsGap,
+            FaultKind::ElevationSpike,
+            FaultKind::ElevationNan,
+            FaultKind::DuplicatePoints,
+            FaultKind::OutOfOrderTime,
+        ] {
+            for seed in 0..8 {
+                let plan = FaultPlan { kinds: vec![kind], ..FaultPlan::uniform(1.0, seed) };
+                let out = corrupt_track(&plan, 0, &gpx);
+                assert_eq!(out.injected, vec![kind]);
+                let (d, _) = ingest_one(&to_source(out.payload), &cfg);
+                assert!(
+                    !matches!(d, Disposition::Clean),
+                    "{kind} (seed {seed}) slipped through as clean"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spike_repair_restores_profile_closely() {
+        let gpx = sample_gpx(150);
+        let clean = gpx.elevation_profile();
+        let plan =
+            FaultPlan { kinds: vec![FaultKind::ElevationSpike], ..FaultPlan::uniform(1.0, 3) };
+        let out = corrupt_track(&plan, 0, &gpx);
+        let (d, profile) = ingest_one(&to_source(out.payload), &IngestConfig::default());
+        assert!(matches!(d, Disposition::Repaired(_)));
+        let got = profile.unwrap();
+        assert_eq!(got.len(), clean.len());
+        let worst = got
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 15.0, "despiked profile deviates by {worst} m");
+    }
+
+    #[test]
+    fn shuffle_repair_restores_profile_exactly() {
+        let gpx = sample_gpx(150);
+        let plan =
+            FaultPlan { kinds: vec![FaultKind::OutOfOrderTime], ..FaultPlan::uniform(1.0, 5) };
+        let out = corrupt_track(&plan, 0, &gpx);
+        let (d, profile) = ingest_one(&to_source(out.payload), &IngestConfig::default());
+        assert!(matches!(d, Disposition::Repaired(_)), "got {d:?}");
+        assert_eq!(profile.unwrap(), gpx.elevation_profile());
+    }
+
+    #[test]
+    fn duplicate_repair_restores_profile_exactly() {
+        let gpx = sample_gpx(150);
+        let plan =
+            FaultPlan { kinds: vec![FaultKind::DuplicatePoints], ..FaultPlan::uniform(1.0, 7) };
+        let out = corrupt_track(&plan, 0, &gpx);
+        let (d, profile) = ingest_one(&to_source(out.payload), &IngestConfig::default());
+        assert!(matches!(d, Disposition::Repaired(_)), "got {d:?}");
+        assert_eq!(profile.unwrap(), gpx.elevation_profile());
+    }
+
+    #[test]
+    fn truncated_bytes_are_quarantined_not_fatal() {
+        let gpx = sample_gpx(100);
+        let plan =
+            FaultPlan { kinds: vec![FaultKind::TruncateBytes], ..FaultPlan::uniform(1.0, 9) };
+        let out = corrupt_track(&plan, 0, &gpx);
+        let (d, profile) = ingest_one(&to_source(out.payload), &IngestConfig::default());
+        assert!(
+            matches!(d, Disposition::Quarantined(QuarantineReason::ParseFailed(_))),
+            "got {d:?}"
+        );
+        assert!(profile.is_none());
+    }
+
+    #[test]
+    fn too_short_tracks_are_quarantined() {
+        let gpx = sample_gpx(10);
+        let (d, _) = ingest_one(&TrackSource::Parsed(gpx), &IngestConfig::default());
+        assert!(matches!(d, Disposition::Quarantined(QuarantineReason::TooShort { .. })));
+    }
+
+    #[test]
+    fn all_nan_profile_is_quarantined() {
+        let mut gpx = sample_gpx(60);
+        for p in &mut gpx.tracks[0].segments[0].points {
+            p.elevation_m = Some(f64::NAN);
+        }
+        let (d, _) = ingest_one(&TrackSource::Parsed(gpx), &IngestConfig::default());
+        assert!(matches!(d, Disposition::Quarantined(QuarantineReason::EmptyProfile)));
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_thread_counts() {
+        let gpx = sample_gpx(160);
+        let plan = FaultPlan::uniform(0.5, 21);
+        let sources: Vec<TrackSource> = (0..24)
+            .map(|i| to_source(corrupt_track(&plan, i, &gpx).payload))
+            .collect();
+        let cfg = IngestConfig::default();
+        let base = ingest_batch(&sources, &cfg, &Executor::new(1));
+        for threads in [2, 4, 8] {
+            let got = ingest_batch(&sources, &cfg, &Executor::new(threads));
+            assert_eq!(got.1, base.1, "report differs at {threads} threads");
+            assert_eq!(got.0.len(), base.0.len());
+            for (a, b) in got.0.iter().zip(&base.0) {
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert!(x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()));
+                    }
+                    (None, None) => {}
+                    _ => panic!("disposition flip at {threads} threads"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_every_track() {
+        let gpx = sample_gpx(160);
+        let plan = FaultPlan::uniform(0.6, 33);
+        let sources: Vec<TrackSource> = (0..40)
+            .map(|i| to_source(corrupt_track(&plan, i, &gpx).payload))
+            .collect();
+        let (profiles, report) =
+            ingest_batch(&sources, &IngestConfig::default(), &Executor::new(4));
+        assert_eq!(report.tracks.len(), 40);
+        assert_eq!(report.clean() + report.repaired() + report.quarantined(), 40);
+        for (i, t) in report.tracks.iter().enumerate() {
+            assert_eq!(t.index, i);
+            match &t.disposition {
+                Disposition::Quarantined(_) => assert!(profiles[i].is_none()),
+                _ => assert_eq!(profiles[i].as_ref().unwrap().len(), t.profile_len),
+            }
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"tracks\": 40"));
+        assert!(json.contains("\"quarantine_reasons\""));
+    }
+
+    #[test]
+    fn panicking_repair_quarantines_only_that_track() {
+        // A degenerate source that trips an internal panic: exercised
+        // through the public batch API via a poisoned closure stand-in.
+        // ingest_one itself is total, so simulate by checking try_map
+        // integration: a Raw source with garbage is quarantined while
+        // neighbours survive.
+        let good = TrackSource::Parsed(sample_gpx(100));
+        let bad = TrackSource::Raw(vec![0xFF, 0xFE, 0x00, 0x01]);
+        let (profiles, report) = ingest_batch(
+            &[good.clone(), bad, good],
+            &IngestConfig::default(),
+            &Executor::new(2),
+        );
+        assert!(profiles[0].is_some() && profiles[2].is_some());
+        assert!(profiles[1].is_none());
+        assert_eq!(report.quarantined(), 1);
+    }
+
+    #[test]
+    fn time_seconds_parses_and_orders() {
+        let a = time_seconds("2020-01-11T08:00:00Z").unwrap();
+        let b = time_seconds("2020-01-11T08:00:01Z").unwrap();
+        let c = time_seconds("2020-01-12T08:00:00Z").unwrap();
+        assert_eq!(b - a, 1);
+        assert_eq!(c - a, 86_400);
+        assert_eq!(time_seconds("not a time"), None);
+        assert_eq!(time_seconds(""), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ingest_one_is_total_on_arbitrary_bytes(
+            bytes in prop::collection::vec(0u32..=255, 0..256),
+        ) {
+            let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+            let (d, p) = ingest_one(&TrackSource::Raw(bytes), &IngestConfig::default());
+            prop_assert_eq!(p.is_none(), matches!(d, Disposition::Quarantined(_)));
+        }
+
+        #[test]
+        fn interpolate_nans_leaves_no_nans_when_anchored(
+            mut profile in prop::collection::vec(-100.0f64..4000.0, 2..128),
+            holes in prop::collection::vec(0usize..128, 0..32),
+        ) {
+            for &h in &holes {
+                let len = profile.len();
+                profile[h % len] = f64::NAN;
+            }
+            let any_finite = profile.iter().any(|e| e.is_finite());
+            interpolate_nans(&mut profile);
+            if any_finite {
+                prop_assert!(profile.iter().all(|e| e.is_finite()));
+            }
+        }
+    }
+}

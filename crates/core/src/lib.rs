@@ -18,7 +18,11 @@
 //! - [`defense`]: the future-work defenses (coarsening, noise,
 //!   summary-only sharing) and their effect on the attack,
 //! - [`experiments`]: the parameterized experiment runners behind every
-//!   table and figure reproduction in `crates/bench`.
+//!   table and figure reproduction in `crates/bench`,
+//! - [`ingest`]: the resilient validate/repair/quarantine ingestion
+//!   front door for corrupted real-world recordings,
+//! - [`robustness`]: the accuracy-vs-corruption-rate sweep built on
+//!   `faultsim` + [`ingest`].
 //!
 //! # Examples
 //!
@@ -49,6 +53,8 @@ pub mod defense;
 pub mod experiments;
 pub mod featcache;
 pub mod image;
+pub mod ingest;
+pub mod robustness;
 pub mod spectral;
 pub mod text;
 pub mod threat;

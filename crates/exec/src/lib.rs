@@ -89,7 +89,9 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Propagates panics from `f`.
+    /// Propagates panics from `f`. When one task can take down a whole
+    /// batch run this is the wrong primitive — use
+    /// [`try_map`](Self::try_map), which isolates each task's panic.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -133,6 +135,58 @@ impl Executor {
                 .map(|slot| slot.expect("every index produced exactly one result"))
                 .collect()
         })
+    }
+
+    /// Like [`map`](Self::map), but isolates panics: each task runs
+    /// under [`std::panic::catch_unwind`], a panicking task yields
+    /// `Err(TaskPanic)` in its slot, and every other task still runs
+    /// to completion and returns its result.
+    ///
+    /// Because results are slotted by input index and the panic message
+    /// is a pure function of the task, the returned vector is identical
+    /// at any thread count — including which tasks failed and with what
+    /// message. Worker threads never unwind (the catch happens inside
+    /// the task closure), so no queue lock is ever poisoned and the
+    /// executor remains reusable after failures.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map(items, |i, item| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
+                .map_err(|payload| TaskPanic { index: i, message: panic_message(payload.as_ref()) })
+        })
+    }
+}
+
+/// A task that panicked inside [`Executor::try_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the failed task.
+    pub index: usize,
+    /// The panic payload, rendered to text (`"<non-string panic>"` for
+    /// exotic payload types).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
     }
 }
 

@@ -1,0 +1,91 @@
+//! Executor behaviour under task failure: a panicking task must not
+//! deadlock the pool, poison its queues, or disturb any other task's
+//! result — and the full outcome vector must be deterministic across
+//! thread counts.
+
+use exec::{Executor, TaskPanic};
+
+/// A workload where every third task panics with an index-derived
+/// message and the rest compute a value.
+fn mixed_workload(exec: &Executor, n: usize) -> Vec<Result<u64, TaskPanic>> {
+    let items: Vec<u64> = (0..n as u64).collect();
+    exec.try_map(&items, |i, &x| {
+        if i % 3 == 2 {
+            panic!("task {i} refused item {x}");
+        }
+        x.wrapping_mul(0x9E3779B97F4A7C15) ^ i as u64
+    })
+}
+
+#[test]
+fn panics_are_isolated_and_results_complete() {
+    let out = mixed_workload(&Executor::new(4), 60);
+    assert_eq!(out.len(), 60);
+    for (i, slot) in out.iter().enumerate() {
+        if i % 3 == 2 {
+            let err = slot.as_ref().unwrap_err();
+            assert_eq!(err.index, i);
+            assert_eq!(err.message, format!("task {i} refused item {i}"));
+        } else {
+            assert!(slot.is_ok(), "task {i} should have succeeded");
+        }
+    }
+}
+
+#[test]
+fn failure_pattern_is_identical_across_thread_counts() {
+    let base = mixed_workload(&Executor::new(1), 97);
+    for threads in [2, 3, 4, 8] {
+        assert_eq!(mixed_workload(&Executor::new(threads), 97), base, "threads={threads}");
+    }
+}
+
+#[test]
+fn pool_is_reusable_after_failures() {
+    let exec = Executor::new(4);
+    // A batch where *every* task panics must still return (no deadlock).
+    let all_fail = exec.try_map(&[1u8, 2, 3, 4, 5, 6, 7, 8], |_, _| -> u8 { panic!("boom") });
+    assert!(all_fail.iter().all(Result::is_err));
+    // The same executor value still runs clean batches afterwards — no
+    // poisoned state survives (queues are per-call, and workers never
+    // unwind while holding a lock).
+    let items: Vec<u32> = (0..50).collect();
+    let clean = exec.map(&items, |i, &x| x + i as u32);
+    assert_eq!(clean, (0..50).map(|i| i * 2).collect::<Vec<u32>>());
+    let retry = exec.try_map(&items, |_, &x| x);
+    assert!(retry.iter().all(Result::is_ok));
+}
+
+#[test]
+fn nested_try_map_composes_under_failure() {
+    let exec = Executor::new(3);
+    let rows: Vec<usize> = (0..6).collect();
+    let out = exec.try_map(&rows, |_, &row| {
+        let cols: Vec<usize> = (0..8).collect();
+        let inner = exec.try_map(&cols, |_, &col| {
+            if col == row {
+                panic!("diagonal {row}");
+            }
+            row * 10 + col
+        });
+        inner.into_iter().filter_map(Result::ok).sum::<usize>()
+    });
+    for (row, slot) in out.iter().enumerate() {
+        let expect: usize = (0..8).filter(|&c| c != row).map(|c| row * 10 + c).sum();
+        assert_eq!(slot.as_ref().copied().unwrap(), expect);
+    }
+}
+
+#[test]
+fn non_string_panic_payloads_are_reported() {
+    let out = Executor::new(2).try_map(&[0u8], |_, _| -> u8 {
+        std::panic::panic_any(42i32);
+    });
+    assert_eq!(out[0].as_ref().unwrap_err().message, "<non-string panic>");
+}
+
+#[test]
+fn empty_input_yields_empty_output() {
+    let out = Executor::new(4).try_map(&[] as &[u8], |_, &b| b);
+    assert!(out.is_empty());
+}

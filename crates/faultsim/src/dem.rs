@@ -1,0 +1,186 @@
+//! SRTM-style NODATA voids in raster DEMs, and their repair.
+//!
+//! Real elevation rasters ship with voids — radar shadow in SRTM,
+//! cloud cover in ASTER — marked with a sentinel value rather than NaN.
+//! [`punch_voids`] reproduces that failure mode deterministically;
+//! [`fill_voids`] is the standard iterative neighbour-mean repair a
+//! production ingester would apply before serving lookups.
+
+use crate::unit_hash;
+use terrain::RasterDem;
+
+/// The SRTM NODATA sentinel (finite, so it survives grid validation —
+/// exactly why real pipelines must check for it explicitly).
+pub const DEM_NODATA_M: f64 = -32_768.0;
+
+/// Replaces `rate` of the grid's cells with [`DEM_NODATA_M`],
+/// deterministically in `(seed, cell index)`. Returns the voided DEM
+/// and the number of cells punched.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1]`.
+pub fn punch_voids(dem: &RasterDem, rate: f64, seed: u64) -> (RasterDem, usize) {
+    assert!((0.0..=1.0).contains(&rate), "void rate must be in [0, 1]");
+    let (rows, cols) = dem.dims();
+    let mut values = Vec::with_capacity(rows * cols);
+    let mut punched = 0usize;
+    for r in 0..rows {
+        for c in 0..cols {
+            let idx = (r * cols + c) as u64;
+            if rate > 0.0 && unit_hash(seed, idx, 0x0DE4) < rate {
+                values.push(DEM_NODATA_M);
+                punched += 1;
+            } else {
+                values.push(dem.cell(r, c));
+            }
+        }
+    }
+    (RasterDem::new(dem.bbox(), rows, cols, values), punched)
+}
+
+/// Counts cells holding the NODATA sentinel.
+pub fn void_count(dem: &RasterDem) -> usize {
+    let (rows, cols) = dem.dims();
+    (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .filter(|&(r, c)| dem.cell(r, c) == DEM_NODATA_M)
+        .count()
+}
+
+/// Fills NODATA voids by iterated averaging of valid 4-neighbours,
+/// sweeping until every void is filled (each sweep reads the previous
+/// sweep's grid, so the result is independent of traversal order).
+/// Returns the repaired DEM and the number of cells filled.
+///
+/// A grid that is *entirely* void has no valid boundary to grow from
+/// and is returned unchanged — callers should treat a nonzero
+/// [`void_count`] after filling as a quarantine condition.
+pub fn fill_voids(dem: &RasterDem) -> (RasterDem, usize) {
+    let (rows, cols) = dem.dims();
+    let mut grid: Vec<f64> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| dem.cell(r, c))).collect();
+    let total_voids = grid.iter().filter(|&&v| v == DEM_NODATA_M).count();
+    if total_voids == 0 || total_voids == grid.len() {
+        return (dem.clone(), 0);
+    }
+    let mut remaining = total_voids;
+    while remaining > 0 {
+        let prev = grid.clone();
+        let mut progressed = false;
+        for r in 0..rows {
+            for c in 0..cols {
+                if prev[r * cols + c] != DEM_NODATA_M {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                let mut push = |rr: usize, cc: usize| {
+                    let v = prev[rr * cols + cc];
+                    if v != DEM_NODATA_M {
+                        sum += v;
+                        n += 1;
+                    }
+                };
+                if r > 0 {
+                    push(r - 1, c);
+                }
+                if r + 1 < rows {
+                    push(r + 1, c);
+                }
+                if c > 0 {
+                    push(r, c - 1);
+                }
+                if c + 1 < cols {
+                    push(r, c + 1);
+                }
+                if n > 0 {
+                    grid[r * cols + c] = sum / n as f64;
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+        }
+        debug_assert!(progressed, "a partially void grid always has a frontier");
+        if !progressed {
+            break;
+        }
+    }
+    (
+        RasterDem::new(dem.bbox(), rows, cols, grid),
+        total_voids - remaining,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoprim::{BoundingBox, LatLon};
+    use terrain::{CityId, ElevationModel, SyntheticTerrain};
+
+    fn miami_dem() -> RasterDem {
+        let t = SyntheticTerrain::new(5);
+        let bbox = t.catalog().city(CityId::Miami).bbox;
+        RasterDem::sample_from(&t, bbox, 40, 40)
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let dem = miami_dem();
+        let (voided, punched) = punch_voids(&dem, 0.0, 3);
+        assert_eq!(punched, 0);
+        assert_eq!(voided, dem);
+    }
+
+    #[test]
+    fn punching_is_deterministic_and_proportional() {
+        let dem = miami_dem();
+        let (a, punched_a) = punch_voids(&dem, 0.1, 9);
+        let (b, punched_b) = punch_voids(&dem, 0.1, 9);
+        assert_eq!(a, b);
+        assert_eq!(punched_a, punched_b);
+        assert_eq!(void_count(&a), punched_a);
+        let expected = (40.0f64 * 40.0 * 0.1) as isize;
+        assert!(
+            ((punched_a as isize) - expected).abs() < 60,
+            "punched {punched_a}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn fill_removes_all_voids_and_stays_close() {
+        let dem = miami_dem();
+        let (voided, punched) = punch_voids(&dem, 0.15, 21);
+        let (filled, repaired) = fill_voids(&voided);
+        assert_eq!(repaired, punched);
+        assert_eq!(void_count(&filled), 0);
+        // The repaired surface tracks the original smooth terrain.
+        let bbox = dem.bbox();
+        let mut worst: f64 = 0.0;
+        for i in 1..30 {
+            let p = LatLon::new(
+                bbox.south_west().lat + bbox.lat_span() * i as f64 / 31.0,
+                bbox.south_west().lon + bbox.lon_span() * i as f64 / 31.0,
+            );
+            worst = worst.max((filled.elevation_at(p) - dem.elevation_at(p)).abs());
+        }
+        assert!(worst < 10.0, "repair deviates by {worst} m");
+    }
+
+    #[test]
+    fn fully_void_grid_is_left_for_quarantine() {
+        let bbox = BoundingBox::new(LatLon::new(0.0, 0.0), LatLon::new(1.0, 1.0));
+        let dem = RasterDem::new(bbox, 2, 2, vec![DEM_NODATA_M; 4]);
+        let (out, repaired) = fill_voids(&dem);
+        assert_eq!(repaired, 0);
+        assert_eq!(void_count(&out), 4);
+    }
+
+    #[test]
+    fn clean_grid_fill_is_identity() {
+        let dem = miami_dem();
+        let (out, repaired) = fill_voids(&dem);
+        assert_eq!(repaired, 0);
+        assert_eq!(out, dem);
+    }
+}

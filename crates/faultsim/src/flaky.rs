@@ -1,0 +1,224 @@
+//! A transiently failing elevation-service facade with deterministic
+//! retry/backoff.
+
+use crate::unit_hash;
+use geoprim::LatLon;
+use std::cell::Cell;
+use terrain::{ElevationModel, ElevationService};
+
+/// Error from an exhausted retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Which logical request failed (0-based counter).
+    pub request: u64,
+    /// Attempts made (initial try + retries).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "elevation request {} failed after {} attempts",
+            self.request, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Accounting for a [`FlakyElevationService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlakyStats {
+    /// Logical requests issued by callers.
+    pub requests: u64,
+    /// Attempts that failed transiently and were retried (or gave up).
+    pub transient_failures: u64,
+    /// Requests that exhausted the retry budget.
+    pub exhausted: u64,
+    /// Simulated backoff consumed, in abstract units (1 + 2 + 4 + … per
+    /// retried request — no real sleeping happens).
+    pub backoff_units: u64,
+}
+
+/// Wraps [`terrain::ElevationService`] with deterministic transient
+/// failures and exponential-backoff retries.
+///
+/// Whether attempt `a` of logical request `k` fails is a pure function
+/// of `(seed, k, a)`, so a run's failure pattern is bit-identical
+/// across thread counts and re-runs. Backoff is *simulated*: rather
+/// than sleeping, the facade accrues `2^retry` abstract units into
+/// [`FlakyStats::backoff_units`], which keeps experiments fast while
+/// still exercising (and accounting for) the retry path.
+///
+/// # Examples
+///
+/// ```
+/// use faultsim::FlakyElevationService;
+/// use geoprim::LatLon;
+/// use terrain::SyntheticTerrain;
+///
+/// let svc = FlakyElevationService::new(SyntheticTerrain::new(1), 0.3, 9);
+/// let profile = svc.lookup(&[LatLon::new(38.89, -77.05)]).unwrap();
+/// assert_eq!(profile.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FlakyElevationService<M> {
+    inner: ElevationService<M>,
+    failure_rate: f64,
+    seed: u64,
+    max_retries: u32,
+    counter: Cell<u64>,
+    stats: Cell<FlakyStats>,
+}
+
+impl<M: ElevationModel> FlakyElevationService<M> {
+    /// Default retry budget (initial attempt + 4 retries).
+    pub const DEFAULT_MAX_RETRIES: u32 = 4;
+
+    /// Wraps a model with per-attempt failure probability
+    /// `failure_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_rate` is outside `[0, 1)` (a rate of 1 could
+    /// never succeed).
+    pub fn new(model: M, failure_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&failure_rate),
+            "failure rate must be in [0, 1)"
+        );
+        Self {
+            inner: ElevationService::new(model),
+            failure_rate,
+            seed,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            counter: Cell::new(0),
+            stats: Cell::new(FlakyStats::default()),
+        }
+    }
+
+    /// Overrides the retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Accumulated accounting.
+    pub fn stats(&self) -> FlakyStats {
+        self.stats.get()
+    }
+
+    /// The wrapped service (for its own request accounting).
+    pub fn inner(&self) -> &ElevationService<M> {
+        &self.inner
+    }
+
+    /// Runs one logical request through the failure/retry schedule.
+    fn attempt<T>(&self, f: impl Fn() -> T) -> Result<T, ServiceError> {
+        let request = self.counter.get();
+        self.counter.set(request + 1);
+        let mut stats = self.stats.get();
+        stats.requests += 1;
+        let budget = self.max_retries + 1;
+        for attempt in 0..budget {
+            if unit_hash(self.seed, request, attempt as u64) >= self.failure_rate {
+                if attempt > 0 {
+                    stats.backoff_units += (1u64 << attempt) - 1;
+                }
+                self.stats.set(stats);
+                return Ok(f());
+            }
+            stats.transient_failures += 1;
+        }
+        stats.backoff_units += (1u64 << budget) - 1;
+        stats.exhausted += 1;
+        self.stats.set(stats);
+        Err(ServiceError { request, attempts: budget })
+    }
+
+    /// Resolves elevations for explicit locations, retrying transient
+    /// failures with exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the retry budget is exhausted.
+    pub fn lookup(&self, points: &[LatLon]) -> Result<Vec<f64>, ServiceError> {
+        self.attempt(|| self.inner.lookup(points))
+    }
+
+    /// Samples `n` equally spaced elevations along a polyline path,
+    /// with the same retry behaviour as [`Self::lookup`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the retry budget is exhausted.
+    pub fn sample_path(&self, path: &[LatLon], n: usize) -> Result<Vec<f64>, ServiceError> {
+        self.attempt(|| self.inner.sample_path(path, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terrain::SyntheticTerrain;
+
+    fn point() -> Vec<LatLon> {
+        vec![LatLon::new(28.5, -81.4)]
+    }
+
+    #[test]
+    fn zero_rate_never_fails_or_retries() {
+        let svc = FlakyElevationService::new(SyntheticTerrain::new(1), 0.0, 7);
+        for _ in 0..100 {
+            svc.lookup(&point()).unwrap();
+        }
+        let s = svc.stats();
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.transient_failures, 0);
+        assert_eq!(s.exhausted, 0);
+        assert_eq!(s.backoff_units, 0);
+    }
+
+    #[test]
+    fn results_match_the_reliable_service() {
+        let flaky = FlakyElevationService::new(SyntheticTerrain::new(3), 0.4, 11);
+        let reliable = ElevationService::new(SyntheticTerrain::new(3));
+        let path = vec![LatLon::new(38.89, -77.05), LatLon::new(38.92, -77.0)];
+        for _ in 0..20 {
+            if let Ok(profile) = flaky.sample_path(&path, 40) {
+                assert_eq!(profile, reliable.sample_path(&path, 40));
+            }
+        }
+        assert!(flaky.stats().transient_failures > 0, "rate 0.4 must fail sometimes");
+    }
+
+    #[test]
+    fn failure_schedule_is_deterministic() {
+        let run = || {
+            let svc = FlakyElevationService::new(SyntheticTerrain::new(5), 0.6, 13)
+                .with_max_retries(2);
+            let outcomes: Vec<bool> =
+                (0..200).map(|_| svc.lookup(&point()).is_ok()).collect();
+            (outcomes, svc.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn high_rate_exhausts_some_requests() {
+        let svc =
+            FlakyElevationService::new(SyntheticTerrain::new(2), 0.9, 17).with_max_retries(1);
+        let failures = (0..200).filter(|_| svc.lookup(&point()).is_err()).count();
+        assert!(failures > 100, "rate 0.9 with 2 attempts should usually exhaust");
+        let s = svc.stats();
+        assert_eq!(s.exhausted, failures as u64);
+        assert!(s.backoff_units > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate")]
+    fn rejects_certain_failure() {
+        FlakyElevationService::new(SyntheticTerrain::new(1), 1.0, 0);
+    }
+}

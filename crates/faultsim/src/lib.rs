@@ -1,0 +1,84 @@
+//! Deterministic fault injection for the elevation-attack pipeline.
+//!
+//! Real fitness exports are messy: GPS receivers drop out under tree
+//! cover, barometric altimeters spike, export tools truncate files, and
+//! elevation APIs fail transiently. The paper's evaluation (and the
+//! companion studies it cites) measure attack accuracy on *clean*
+//! corpora; this crate makes the degraded regime reproducible by
+//! injecting configurable corruption into the synthetic substrate under
+//! a seed-driven [`FaultPlan`]:
+//!
+//! - **track faults** ([`corrupt_track`]): GPS gaps, elevation spikes,
+//!   NaN elevations, duplicated points, out-of-order timestamps, and
+//!   byte-level truncation/mangling of the serialized GPX;
+//! - **DEM voids** ([`dem::punch_voids`]): SRTM-style NODATA holes in a
+//!   raster grid;
+//! - **flaky elevation service** ([`FlakyElevationService`]): transient
+//!   per-request failures with deterministic retry/backoff accounting.
+//!
+//! Every decision derives from `(plan seed, stable index)` through
+//! [`exec::mix_seed`], never from shared mutable state, so a fixed
+//! `(seed, FaultPlan)` pair produces bit-identical corruption at any
+//! thread count, and a plan with rate 0 ([`FaultPlan::none`]) is a
+//! guaranteed no-op.
+//!
+//! # Examples
+//!
+//! ```
+//! use faultsim::{corrupt_track, FaultPlan, Payload};
+//! use gpxfile::Gpx;
+//!
+//! let gpx = Gpx::parse(r#"<gpx creator="t"><trk><trkseg>
+//!     <trkpt lat="1" lon="1"><ele>5</ele></trkpt>
+//!     <trkpt lat="1.001" lon="1"><ele>6</ele></trkpt>
+//! </trkseg></trk></gpx>"#).unwrap();
+//! let clean = corrupt_track(&FaultPlan::none(), 0, &gpx);
+//! assert!(clean.injected.is_empty());
+//! match clean.payload {
+//!     Payload::Parsed(g) => assert_eq!(g, gpx),
+//!     Payload::Raw(_) => unreachable!("rate 0 never mangles bytes"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dem;
+mod flaky;
+mod inject;
+mod plan;
+
+pub use flaky::{FlakyElevationService, FlakyStats, ServiceError};
+pub use inject::{corrupt_track, synth_timestamp, CorruptedTrack, Payload};
+pub use plan::{FaultKind, FaultPlan};
+
+/// A deterministic uniform draw in `[0, 1)` from `(seed, a, b)`.
+///
+/// Used for per-cell / per-attempt decisions where constructing a full
+/// RNG would be wasteful. Stable across platforms and thread counts.
+pub fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let z = exec::mix_seed(exec::mix_seed(seed, a), b);
+    // 53 high bits → uniform double in [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_hash_is_in_range_and_stable() {
+        for i in 0..1000 {
+            let u = unit_hash(42, i, 7);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, unit_hash(42, i, 7));
+        }
+    }
+
+    #[test]
+    fn unit_hash_looks_uniform() {
+        let n = 10_000;
+        let mean = (0..n).map(|i| unit_hash(9, i, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

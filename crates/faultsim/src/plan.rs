@@ -1,0 +1,172 @@
+//! The seed-driven corruption plan.
+
+/// One category of injectable corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A contiguous run of interior points dropped (GPS dropout).
+    GpsGap,
+    /// Isolated elevation outliers (barometric spikes).
+    ElevationSpike,
+    /// Elevations replaced by NaN (sensor NODATA).
+    ElevationNan,
+    /// A run of points duplicated in place (logger stutter).
+    DuplicatePoints,
+    /// Timestamps shuffled within a window (out-of-order upload).
+    OutOfOrderTime,
+    /// The serialized GPX cut short (interrupted export).
+    TruncateBytes,
+    /// Random bytes of the serialized GPX overwritten (bit rot).
+    MangleBytes,
+}
+
+impl FaultKind {
+    /// Every track-level fault kind, in canonical order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::GpsGap,
+        FaultKind::ElevationSpike,
+        FaultKind::ElevationNan,
+        FaultKind::DuplicatePoints,
+        FaultKind::OutOfOrderTime,
+        FaultKind::TruncateBytes,
+        FaultKind::MangleBytes,
+    ];
+
+    /// Stable lowercase name (used by `ELEV_FAULT_KINDS` and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::GpsGap => "gap",
+            FaultKind::ElevationSpike => "spike",
+            FaultKind::ElevationNan => "nan",
+            FaultKind::DuplicatePoints => "dup",
+            FaultKind::OutOfOrderTime => "ooo",
+            FaultKind::TruncateBytes => "truncate",
+            FaultKind::MangleBytes => "mangle",
+        }
+    }
+
+    /// Parses a name produced by [`FaultKind::name`].
+    pub fn from_name(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s.trim())
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic corruption plan.
+///
+/// `track_rate` is the probability that a given track is corrupted at
+/// all; a corrupted track receives one or two of the enabled `kinds`.
+/// All draws derive from `(seed, track index)`, so the same plan
+/// corrupts the same tracks in the same way regardless of processing
+/// order or thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed for every corruption decision.
+    pub seed: u64,
+    /// Probability a track is corrupted (0 disables track faults).
+    pub track_rate: f64,
+    /// Enabled track-fault kinds (empty also disables track faults).
+    pub kinds: Vec<FaultKind>,
+    /// Fraction of DEM cells replaced by NODATA voids.
+    pub dem_void_rate: f64,
+    /// Per-attempt transient failure probability of the elevation
+    /// service facade.
+    pub service_failure_rate: f64,
+}
+
+impl FaultPlan {
+    /// The default fault seed (`ELEV_FAULT_SEED` overrides it).
+    pub const DEFAULT_SEED: u64 = 0xFA17;
+
+    /// A plan that injects nothing — the guaranteed clean path.
+    pub fn none() -> Self {
+        Self {
+            seed: Self::DEFAULT_SEED,
+            track_rate: 0.0,
+            kinds: Vec::new(),
+            dem_void_rate: 0.0,
+            service_failure_rate: 0.0,
+        }
+    }
+
+    /// A plan corrupting `rate` of tracks with every fault kind, and
+    /// using `rate / 4` for DEM voids and service failures (those
+    /// substrates degrade gracefully at much lower rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        Self {
+            seed,
+            track_rate: rate,
+            kinds: if rate > 0.0 { FaultKind::ALL.to_vec() } else { Vec::new() },
+            dem_void_rate: rate / 4.0,
+            service_failure_rate: rate / 4.0,
+        }
+    }
+
+    /// Builds a plan from the `ELEV_FAULT_*` environment knobs:
+    ///
+    /// - `ELEV_FAULT_RATE` — track corruption rate (default 0: no-op);
+    /// - `ELEV_FAULT_SEED` — fault seed (default [`Self::DEFAULT_SEED`]);
+    /// - `ELEV_FAULT_KINDS` — comma-separated subset of
+    ///   `gap,spike,nan,dup,ooo,truncate,mangle` (default: all).
+    ///
+    /// Unparsable values fall back to their defaults; unknown kind
+    /// names are ignored.
+    pub fn from_env() -> Self {
+        let rate = std::env::var("ELEV_FAULT_RATE")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|r| (0.0..=1.0).contains(r))
+            .unwrap_or(0.0);
+        let seed = std::env::var("ELEV_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(Self::DEFAULT_SEED);
+        let mut plan = Self::uniform(rate, seed);
+        if let Ok(kinds) = std::env::var("ELEV_FAULT_KINDS") {
+            plan.kinds = kinds.split(',').filter_map(FaultKind::from_name).collect();
+        }
+        plan
+    }
+
+    /// Whether the plan injects nothing anywhere.
+    pub fn is_noop(&self) -> bool {
+        (self.track_rate == 0.0 || self.kinds.is_empty())
+            && self.dem_void_rate == 0.0
+            && self.service_failure_rate == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_noop() {
+        assert!(FaultPlan::none().is_noop());
+        assert!(FaultPlan::uniform(0.0, 1).is_noop());
+        assert!(!FaultPlan::uniform(0.2, 1).is_noop());
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate")]
+    fn uniform_rejects_bad_rate() {
+        FaultPlan::uniform(1.5, 0);
+    }
+}

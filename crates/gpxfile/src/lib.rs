@@ -55,6 +55,12 @@ pub enum GpxError {
     },
     /// The document's root element was not `<gpx>`.
     NotGpx,
+    /// The input bytes were not valid UTF-8 (mangled exports, partial
+    /// downloads). Only produced by [`Gpx::parse_bytes`].
+    InvalidUtf8 {
+        /// Byte offset where decoding failed.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for GpxError {
@@ -63,6 +69,9 @@ impl std::fmt::Display for GpxError {
             GpxError::Xml(e) => write!(f, "malformed xml: {e}"),
             GpxError::BadTrackPoint { reason } => write!(f, "bad trkpt: {reason}"),
             GpxError::NotGpx => write!(f, "root element is not <gpx>"),
+            GpxError::InvalidUtf8 { offset } => {
+                write!(f, "invalid utf-8 at byte {offset}")
+            }
         }
     }
 }

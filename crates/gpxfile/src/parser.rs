@@ -111,6 +111,22 @@ impl Gpx {
         }
         gpx.ok_or(GpxError::NotGpx)
     }
+
+    /// Parses a GPX document from raw bytes.
+    ///
+    /// This is the entry point for untrusted input (uploads, mangled
+    /// exports): it validates UTF-8 first instead of assuming a `&str`
+    /// already exists.
+    ///
+    /// # Errors
+    ///
+    /// [`GpxError::InvalidUtf8`] for undecodable bytes, otherwise
+    /// everything [`Gpx::parse`] can return.
+    pub fn parse_bytes(src: &[u8]) -> Result<Gpx, GpxError> {
+        let text = std::str::from_utf8(src)
+            .map_err(|e| GpxError::InvalidUtf8 { offset: e.valid_up_to() })?;
+        Gpx::parse(text)
+    }
 }
 
 fn path_tail(path: &[String]) -> &str {

@@ -1,0 +1,131 @@
+//! Property tests: `Gpx::parse` / `Gpx::parse_bytes` never panic —
+//! they return `Ok` or a structured `Err` for *any* input, including
+//! randomly truncated and mutated real documents.
+
+use gpxfile::Gpx;
+use proptest::prelude::*;
+
+/// A realistic well-formed document to mutate (mutations of valid
+/// input explore much deeper parser states than pure noise).
+const SEED_DOC: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<gpx version="1.1" creator="fuzz &amp; co" xmlns="http://www.topografix.com/GPX/1/1">
+  <metadata><name>seed</name></metadata>
+  <trk>
+    <name>morning run</name>
+    <trkseg>
+      <trkpt lat="38.8951100" lon="-77.0363700"><ele>21.5000</ele><time>2020-01-11T08:00:00Z</time></trkpt>
+      <trkpt lat="38.8961100" lon="-77.0353700"><ele>23.0000</ele><time>2020-01-11T08:00:01Z</time></trkpt>
+      <trkpt lat="38.8971100" lon="-77.0343700"/>
+      <trkpt lat="38.8981100" lon="-77.0333700"><ele>24.2500</ele></trkpt>
+    </trkseg>
+  </trk>
+</gpx>
+"#;
+
+/// Parsing must return, not panic. The call itself is the assertion —
+/// a panic fails the property with the offending input printed.
+fn assert_total(bytes: &[u8]) {
+    let _ = Gpx::parse_bytes(bytes);
+    if let Ok(text) = std::str::from_utf8(bytes) {
+        let _ = Gpx::parse(text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..SEED_DOC.len()) {
+        assert_total(&SEED_DOC.as_bytes()[..cut]);
+    }
+
+    #[test]
+    fn byte_mutations_never_panic(
+        edits in prop::collection::vec((0usize..SEED_DOC.len(), 0u32..=255), 1..24),
+    ) {
+        let mut bytes = SEED_DOC.as_bytes().to_vec();
+        for &(at, byte) in &edits {
+            bytes[at] = byte as u8;
+        }
+        assert_total(&bytes);
+    }
+
+    #[test]
+    fn truncate_then_mutate_never_panics(
+        cut in 8usize..SEED_DOC.len(),
+        edits in prop::collection::vec((0usize..SEED_DOC.len(), 0u32..=255), 0..12),
+    ) {
+        let mut bytes = SEED_DOC.as_bytes()[..cut].to_vec();
+        for &(at, byte) in &edits {
+            let len = bytes.len();
+            bytes[at % len] = byte as u8;
+        }
+        assert_total(&bytes);
+    }
+
+    #[test]
+    fn random_noise_never_panics(bytes in prop::collection::vec(0u32..=255, 0..512)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        assert_total(&bytes);
+    }
+
+    #[test]
+    fn random_tag_soup_never_panics(
+        parts in prop::collection::vec(0usize..TOKENS.len(), 0..40),
+    ) {
+        let soup: String = parts.iter().map(|&i| TOKENS[i]).collect();
+        assert_total(soup.as_bytes());
+    }
+
+    #[test]
+    fn duplicated_slices_never_panic(
+        start in 0usize..SEED_DOC.len(),
+        len in 1usize..64,
+        at in 0usize..SEED_DOC.len(),
+    ) {
+        // Splice a copy of one slice into another position — models
+        // interleaved/duplicated writes from a crashing exporter.
+        let src = SEED_DOC.as_bytes();
+        let end = (start + len).min(src.len());
+        let mut bytes = Vec::with_capacity(src.len() + len);
+        bytes.extend_from_slice(&src[..at]);
+        bytes.extend_from_slice(&src[start..end]);
+        bytes.extend_from_slice(&src[at..]);
+        assert_total(&bytes);
+    }
+}
+
+/// Building blocks for structured tag soup: valid-looking fragments
+/// assembled in invalid orders.
+const TOKENS: &[&str] = &[
+    "<gpx creator=\"x\">",
+    "</gpx>",
+    "<trk>",
+    "</trk>",
+    "<trkseg>",
+    "</trkseg>",
+    "<trkpt lat=\"1\" lon=\"2\">",
+    "<trkpt lat=\"91\" lon=\"2\"/>",
+    "</trkpt>",
+    "<ele>5.0</ele>",
+    "<ele>NaN</ele>",
+    "<time>2020-01-11T08:00:00Z</time>",
+    "&amp;",
+    "&bogus;",
+    "&#x41;",
+    "&#99999999999;",
+    "<!-- c -->",
+    "<?xml version=\"1.0\"?>",
+    "<![CDATA[x]]>",
+    "]]>",
+    "<a",
+    "\"",
+    "'",
+    "<",
+    ">",
+    "/>",
+    "=",
+    " lat=\"3",
+    "\u{fffd}",
+    "é",
+];

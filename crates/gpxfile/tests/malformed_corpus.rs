@@ -1,0 +1,97 @@
+//! Regression corpus of hand-written malformed GPX documents.
+//!
+//! Every fixture under `tests/corpus/` is a document a real pipeline
+//! has to survive — truncated exports, bad numbers, mangled bytes.
+//! Each must come back as a structured `GpxError`, never a panic, and
+//! the error *class* is pinned so refactors can't silently downgrade a
+//! precise diagnosis into a catch-all.
+
+use gpxfile::{Gpx, GpxError};
+
+/// Coarse expected-error class for a fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Xml,
+    BadTrackPoint,
+    NotGpx,
+    InvalidUtf8,
+}
+
+fn classify(e: &GpxError) -> Expect {
+    match e {
+        GpxError::Xml(_) => Expect::Xml,
+        GpxError::BadTrackPoint { .. } => Expect::BadTrackPoint,
+        GpxError::NotGpx => Expect::NotGpx,
+        GpxError::InvalidUtf8 { .. } => Expect::InvalidUtf8,
+        other => panic!("unexpected error variant: {other:?}"),
+    }
+}
+
+const CORPUS: &[(&str, &[u8], Expect)] = &[
+    (
+        "truncated_mid_tag",
+        include_bytes!("corpus/truncated_mid_tag.gpx"),
+        Expect::Xml,
+    ),
+    (
+        "truncated_attribute",
+        include_bytes!("corpus/truncated_attribute.gpx"),
+        Expect::Xml,
+    ),
+    ("not_gpx_root", include_bytes!("corpus/not_gpx_root.gpx"), Expect::NotGpx),
+    (
+        "out_of_range_lat",
+        include_bytes!("corpus/out_of_range_lat.gpx"),
+        Expect::BadTrackPoint,
+    ),
+    (
+        "bad_elevation_text",
+        include_bytes!("corpus/bad_elevation_text.gpx"),
+        Expect::BadTrackPoint,
+    ),
+    ("unknown_entity", include_bytes!("corpus/unknown_entity.gpx"), Expect::Xml),
+    ("mismatched_tags", include_bytes!("corpus/mismatched_tags.gpx"), Expect::Xml),
+    ("stray_close", include_bytes!("corpus/stray_close.gpx"), Expect::Xml),
+    ("empty", include_bytes!("corpus/empty.gpx"), Expect::NotGpx),
+    ("invalid_utf8", include_bytes!("corpus/invalid_utf8.gpx"), Expect::InvalidUtf8),
+    ("missing_lon", include_bytes!("corpus/missing_lon.gpx"), Expect::BadTrackPoint),
+    ("nan_latitude", include_bytes!("corpus/nan_latitude.gpx"), Expect::BadTrackPoint),
+    (
+        "infinite_elevation",
+        include_bytes!("corpus/infinite_elevation.gpx"),
+        Expect::BadTrackPoint,
+    ),
+    (
+        "attr_missing_equals",
+        include_bytes!("corpus/attr_missing_equals.gpx"),
+        Expect::Xml,
+    ),
+];
+
+#[test]
+fn every_fixture_errors_with_the_pinned_class() {
+    for &(name, bytes, expect) in CORPUS {
+        let err = Gpx::parse_bytes(bytes)
+            .expect_err(&format!("fixture {name} must fail to parse"));
+        assert_eq!(classify(&err), expect, "fixture {name} produced {err:?}");
+        // Error display must be usable in a quarantine report.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn fixtures_fail_identically_under_catch_unwind() {
+    // Belt and braces: none of the corpus may panic either.
+    for &(name, bytes, _) in CORPUS {
+        let outcome = std::panic::catch_unwind(|| Gpx::parse_bytes(bytes).is_err());
+        assert_eq!(outcome.ok(), Some(true), "fixture {name} panicked");
+    }
+}
+
+#[test]
+fn parse_bytes_matches_parse_on_valid_utf8() {
+    let src = r#"<gpx creator="c"><trk><trkseg>
+        <trkpt lat="1" lon="2"><ele>3.5</ele></trkpt>
+    </trkseg></trk></gpx>"#;
+    assert_eq!(Gpx::parse_bytes(src.as_bytes()), Gpx::parse(src));
+}

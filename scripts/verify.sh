@@ -21,12 +21,40 @@ cargo test -q --test determinism
 
 echo "== thread-count invariance (table4_tm1_text, quick scale) =="
 t1="$(mktemp)"; t4="$(mktemp)"
-trap 'rm -f "$t1" "$t4"' EXIT
+tf="$(mktemp)"; rb1="$(mktemp)"; rb8="$(mktemp)"
+trap 'rm -f "$t1" "$t4" "$tf" "$rb1" "$rb8"' EXIT
 # Strip the banner (line 2 reports the thread count itself); every
 # result byte must match across thread counts.
 ELEV_SCALE=quick ELEV_THREADS=1 ./target/release/table4_tm1_text | sed 2d > "$t1"
 ELEV_SCALE=quick ELEV_THREADS=4 ./target/release/table4_tm1_text | sed 2d > "$t4"
 diff "$t1" "$t4"
+
+echo "== zero-rate fault invariance (clean path unperturbed) =="
+# With the fault substrate explicitly disabled, clean-path output must
+# be byte-identical to a run without any ELEV_FAULT_* set.
+ELEV_SCALE=quick ELEV_THREADS=4 ELEV_FAULT_RATE=0 \
+    ./target/release/table4_tm1_text | sed 2d > "$tf"
+diff "$t4" "$tf"
+
+echo "== fault-injection smoke (20% corruption) =="
+# A corrupted quick run must exit 0, be bit-identical across thread
+# counts (wall-time lines aside), and emit parseable quarantine
+# reports that account for every track.
+ELEV_SCALE=quick ELEV_THREADS=1 ELEV_FAULT_RATE=0.2 \
+    ./target/release/robustness_sweep | sed 2d | grep -v "wall time" > "$rb1"
+ELEV_SCALE=quick ELEV_THREADS=8 ELEV_FAULT_RATE=0.2 \
+    ./target/release/robustness_sweep | sed 2d | grep -v "wall time" > "$rb8"
+diff "$rb1" "$rb8"
+python3 - "$rb1" <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+marks = [i for i, l in enumerate(lines) if l.startswith("quarantine-report-json")]
+assert marks, "no quarantine report emitted"
+reports = [json.loads(lines[i + 1]) for i in marks]
+for r in reports:
+    assert r["tracks"] == r["clean"] + r["repaired"] + r["quarantined"], r
+assert any(r["quarantined"] > 0 for r in reports), "20% corruption should quarantine"
+EOF
 
 echo "== kernel bench smoke (BENCH_QUICK=1) =="
 saved=""
