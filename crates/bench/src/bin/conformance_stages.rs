@@ -1,0 +1,75 @@
+//! Golden-artifact emitter: recomputes every pinned pipeline stage and
+//! reports it against the committed registry — the CLI face of
+//! `cargo test -p conformance --test golden`.
+//!
+//! Modes:
+//!
+//! - default: compute the stage table, compare against
+//!   `crates/conformance/goldens/quick.txt`, exit nonzero on mismatch
+//!   (with `UPDATE_GOLDENS=1` the pins are rewritten instead);
+//! - `--fuzz [iterations]`: run the deterministic fuzz campaign and
+//!   print its error-class histogram;
+//! - `--emit-corpus <dir>`: regenerate the minimized fuzz exemplars
+//!   that seed `crates/gpxfile/tests/corpus/`.
+
+use conformance::fuzz::{minimized_exemplars, run_campaign, FuzzConfig};
+use conformance::{check_or_update, compute_stages};
+use std::time::Instant;
+
+/// Error classes the committed corpus carries exemplars for — one per
+/// structurally distinct parse/ingest failure the mutator reaches.
+const CORPUS_CLASSES: [&str; 4] =
+    ["xml.entity", "xml.mismatch", "gpx.bad_trkpt", "quarantine.too_corrupt"];
+
+fn main() {
+    let seed = bench::seed_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--fuzz") => {
+            let iterations = args
+                .get(1)
+                .map(|s| s.parse().expect("--fuzz iterations must be an integer"))
+                .unwrap_or(10_000);
+            let cfg = FuzzConfig { seed, iterations };
+            let t0 = Instant::now();
+            let report = run_campaign(&cfg, &exec::Executor::from_env());
+            println!("{}", report.render());
+            println!("elapsed: {:.2?}", t0.elapsed());
+            if !report.panics.is_empty() {
+                eprintln!("PANICS escaped the isolation boundary: {:?}", report.panics);
+                std::process::exit(1);
+            }
+        }
+        Some("--emit-corpus") => {
+            let dir = args.get(1).expect("--emit-corpus needs a target directory");
+            let cfg = FuzzConfig { seed, iterations: 10_000 };
+            let exemplars = minimized_exemplars(&cfg, &CORPUS_CLASSES);
+            std::fs::create_dir_all(dir).expect("create corpus dir");
+            for (class, doc) in &exemplars {
+                let name = format!("fuzz_{}.gpx", class.replace('.', "_"));
+                let path = std::path::Path::new(dir).join(&name);
+                std::fs::write(&path, doc).expect("write fixture");
+                println!("{} ({} bytes) -> {}", class, doc.len(), path.display());
+            }
+            for class in CORPUS_CLASSES {
+                if !exemplars.contains_key(class) {
+                    eprintln!("no exemplar found for class {class}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            println!("conformance stage registry (seed {seed})\n");
+            let t0 = Instant::now();
+            let stages = compute_stages(seed);
+            match check_or_update(&stages) {
+                Ok(report) => println!("{report}"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    std::process::exit(1);
+                }
+            }
+            println!("computed {} stages in {:.2?}", stages.len(), t0.elapsed());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The deterministic in-tree fuzz driver.
+//!
+//! No `cargo-fuzz`, no coverage instrumentation, no nondeterminism:
+//! every mutation derives from `(seed, iteration)` through the same
+//! SplitMix64 mixing the fault substrate uses, so a failing iteration
+//! number is a complete bug report. The coverage proxy is an
+//! error-class histogram — the distinct ways the parser and the
+//! ingestion pipeline can classify a mutated document. A campaign that
+//! stops discovering new classes has stopped making progress, which is
+//! the property the driver asserts instead of branch counts.
+//!
+//! Mutated documents run through [`exec::Executor::try_map`] in
+//! batches, so the driver simultaneously proves the panic-isolation
+//! contract: no input may panic past `try_map`'s boundary.
+
+use elev_core::ingest::{ingest_one, Disposition, IngestConfig, TrackSource};
+use gpxfile::xml::XmlError;
+use gpxfile::{Gpx, GpxError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; every iteration's RNG is `mix_seed(seed, iter)`.
+    pub seed: u64,
+    /// Number of mutated documents to run.
+    pub iterations: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self { seed: 0xF022, iterations: 10_000 }
+    }
+}
+
+/// Outcome of a campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Error-class histogram: class name → occurrences. This is the
+    /// coverage proxy; more keys = more distinct behaviours exercised.
+    pub histogram: BTreeMap<String, u64>,
+    /// Iterations whose document escaped `try_map` as a panic —
+    /// must always be empty.
+    pub panics: Vec<u64>,
+}
+
+impl FuzzReport {
+    /// Number of distinct error classes observed.
+    pub fn class_count(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// Renders the histogram for test logs.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fuzz campaign: {} iterations, {} error classes, {} panics\n",
+            self.iterations,
+            self.class_count(),
+            self.panics.len()
+        );
+        for (class, count) in &self.histogram {
+            out.push_str(&format!("  {class:<24} {count}\n"));
+        }
+        out
+    }
+}
+
+/// The realistic seed document mutations start from: namespaced GPX
+/// with elevations, timestamps, entities, and two segments — enough
+/// surface for every parser path, and long enough (30 points) that the
+/// unmutated document passes ingestion as `ok.clean`.
+pub fn seed_doc() -> Vec<u8> {
+    let mut doc = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <gpx version=\"1.1\" creator=\"conformance-fuzz\" \
+         xmlns=\"http://www.topografix.com/GPX/1/1\">\n\
+         \u{20}\u{20}<trk>\n\
+         \u{20}\u{20}\u{20}\u{20}<name>Morning Run &amp; Loop</name>\n\
+         \u{20}\u{20}\u{20}\u{20}<trkseg>\n",
+    );
+    for i in 0..30u32 {
+        let secs = 30 * i;
+        doc.push_str(&format!(
+            "      <trkpt lat=\"{:.4}\" lon=\"{:.4}\"><ele>{:.1}</ele>\
+             <time>2019-07-01T12:{:02}:{:02}Z</time></trkpt>\n",
+            38.8895 + f64::from(i) * 0.0005,
+            -77.0353 - f64::from(i) * 0.0004,
+            18.0 + f64::from(i) * 1.5,
+            secs / 60,
+            secs % 60,
+        ));
+    }
+    doc.push_str("    </trkseg>\n  </trk>\n</gpx>\n");
+    doc.into_bytes()
+}
+
+/// Byte fragments the splice/overwrite mutators draw from — tokens
+/// that steer mutants toward interesting parser states instead of
+/// uniform noise.
+const TOKENS: &[&[u8]] = &[
+    b"<trkpt", b"</trkpt>", b"<ele>", b"</ele>", b"lat=\"", b"lon=\"", b"&amp;", b"&bogus;",
+    b"<![CDATA[", b"]]>", b"<?xml", b"NaN", b"1e308", b"-1e308", b"\"\"", b"<gpx", b"</gpx>",
+    b"<trkseg>", b"</trkseg>", b"--", b"\xff\xfe", b"lat=\"91.0\"", b"lon=\"qq\"",
+];
+
+/// Deterministically mutates the seed document for one iteration.
+///
+/// Applies 1–4 stacked mutation operators chosen by the iteration's
+/// private RNG; the operator set covers structural damage (truncation,
+/// range deletion/duplication), byte-level damage (bit flips,
+/// overwrites, invalid UTF-8) and token splicing.
+pub fn mutate(seed: u64, iter: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(exec::mix_seed(seed, iter));
+    let mut doc = seed_doc();
+    let ops = rng.gen_range(1..=4usize);
+    for _ in 0..ops {
+        if doc.is_empty() {
+            break;
+        }
+        match rng.gen_range(0..9u32) {
+            // Truncate at a random point.
+            0 => {
+                let at = rng.gen_range(0..doc.len());
+                doc.truncate(at);
+            }
+            // Flip a random bit.
+            1 => {
+                let at = rng.gen_range(0..doc.len());
+                doc[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+            // Overwrite one byte with an arbitrary value.
+            2 => {
+                let at = rng.gen_range(0..doc.len());
+                doc[at] = rng.gen_range(0..=255u8);
+            }
+            // Delete a short range.
+            3 => {
+                let at = rng.gen_range(0..doc.len());
+                let len = rng.gen_range(1..=32usize).min(doc.len() - at);
+                doc.drain(at..at + len);
+            }
+            // Duplicate a short range in place.
+            4 => {
+                let at = rng.gen_range(0..doc.len());
+                let len = rng.gen_range(1..=32usize).min(doc.len() - at);
+                let chunk: Vec<u8> = doc[at..at + len].to_vec();
+                let insert_at = rng.gen_range(0..=doc.len());
+                doc.splice(insert_at..insert_at, chunk);
+            }
+            // Splice in a steering token.
+            5 => {
+                let tok = TOKENS[rng.gen_range(0..TOKENS.len())];
+                let at = rng.gen_range(0..=doc.len());
+                doc.splice(at..at, tok.iter().copied());
+            }
+            // Corrupt a numeric literal: swap a digit.
+            6 => {
+                let digits: Vec<usize> = doc
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.is_ascii_digit())
+                    .map(|(i, _)| i)
+                    .collect();
+                if !digits.is_empty() {
+                    let at = digits[rng.gen_range(0..digits.len())];
+                    doc[at] = b'0' + rng.gen_range(0..10u8);
+                }
+            }
+            // Inject an invalid UTF-8 continuation byte.
+            7 => {
+                let at = rng.gen_range(0..=doc.len());
+                doc.insert(at, rng.gen_range(0x80..=0xBFu8));
+            }
+            // Swap two ranges (tag reordering in the cheap).
+            _ => {
+                let a = rng.gen_range(0..doc.len());
+                let b = rng.gen_range(0..doc.len());
+                doc.swap(a, b);
+            }
+        }
+    }
+    doc
+}
+
+/// Classifies one document by driving it through `Gpx::parse_bytes`
+/// and, when it parses, through the full ingestion pipeline. The class
+/// name is the histogram key.
+pub fn classify(doc: &[u8]) -> String {
+    match Gpx::parse_bytes(doc) {
+        Err(GpxError::Xml(XmlError::UnexpectedEof { .. })) => "xml.eof".into(),
+        Err(GpxError::Xml(XmlError::Malformed { .. })) => "xml.malformed".into(),
+        Err(GpxError::Xml(XmlError::UnknownEntity { .. })) => "xml.entity".into(),
+        Err(GpxError::Xml(XmlError::MismatchedTag { .. })) => "xml.mismatch".into(),
+        Err(GpxError::BadTrackPoint { .. }) => "gpx.bad_trkpt".into(),
+        Err(GpxError::NotGpx) => "gpx.not_gpx".into(),
+        Err(GpxError::InvalidUtf8 { .. }) => "gpx.bad_utf8".into(),
+        // GpxError is #[non_exhaustive]; any future variant gets its
+        // own bucket rather than aborting the campaign.
+        Err(_) => "gpx.other".into(),
+        Ok(gpx) => {
+            let (disposition, _) = ingest_one(&TrackSource::Parsed(gpx), &IngestConfig::default());
+            match disposition {
+                Disposition::Clean => "ok.clean".into(),
+                Disposition::Repaired(_) => "ok.repaired".into(),
+                Disposition::Quarantined(reason) => {
+                    format!("quarantine.{}", reason.name())
+                }
+            }
+        }
+    }
+}
+
+/// Runs a campaign: mutate → classify in parallel batches through
+/// `try_map`, recording the error-class histogram and any panic that
+/// escapes the isolation boundary.
+pub fn run_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
+    const BATCH: u64 = 512;
+    let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
+    let mut panics = Vec::new();
+    let mut iter = 0u64;
+    while iter < cfg.iterations {
+        let batch: Vec<u64> = (iter..(iter + BATCH).min(cfg.iterations)).collect();
+        let results = executor.try_map(&batch, |_, &i| classify(&mutate(cfg.seed, i)));
+        for (offset, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(class) => *histogram.entry(class).or_insert(0) += 1,
+                Err(_) => panics.push(batch[offset]),
+            }
+        }
+        iter += BATCH;
+    }
+    FuzzReport { iterations: cfg.iterations, histogram, panics }
+}
+
+/// Minimizes a failing document while preserving its error class:
+/// greedy chunked deletion (ddmin-lite) at halving granularity down to
+/// single bytes. Deterministic — no RNG involved.
+pub fn minimize(doc: &[u8], target_class: &str) -> Vec<u8> {
+    let mut best = doc.to_vec();
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            if !candidate.is_empty() && classify(&candidate) == target_class {
+                best = candidate;
+                progressed = true;
+                // Re-test the same offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !progressed {
+            return best;
+        }
+        if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// Finds the first iteration producing each requested error class and
+/// returns its minimized document. Used to regenerate the committed
+/// corpus fixtures.
+pub fn minimized_exemplars(
+    cfg: &FuzzConfig,
+    classes: &[&str],
+) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for iter in 0..cfg.iterations {
+        if out.len() == classes.len() {
+            break;
+        }
+        let doc = mutate(cfg.seed, iter);
+        let class = classify(&doc);
+        if classes.contains(&class.as_str()) && !out.contains_key(&class) {
+            let min = minimize(&doc, &class);
+            out.insert(class, min);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_doc_is_clean() {
+        assert_eq!(classify(&seed_doc()), "ok.clean");
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        for i in [0, 1, 77, 4096] {
+            assert_eq!(mutate(9, i), mutate(9, i));
+        }
+        assert_ne!(mutate(9, 0), mutate(9, 1));
+    }
+
+    #[test]
+    fn minimize_preserves_class() {
+        // A document with a stray unknown entity somewhere in the middle.
+        let doc = String::from_utf8(seed_doc()).unwrap().replace("&amp;", "&bogus;");
+        let class = classify(doc.as_bytes());
+        assert_eq!(class, "xml.entity");
+        let min = minimize(doc.as_bytes(), &class);
+        assert_eq!(classify(&min), class);
+        assert!(min.len() <= doc.len());
+    }
+}

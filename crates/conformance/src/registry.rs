@@ -1,0 +1,244 @@
+//! The golden-artifact registry: pinned stage digests with structured
+//! per-stage diffs and an `UPDATE_GOLDENS=1` regeneration path.
+//!
+//! The pinned file lives at `crates/conformance/goldens/quick.txt`.
+//! One line per stage:
+//!
+//! ```text
+//! routegen.tracks 0011223344556677 # 8 activities, 3456 points
+//! ```
+//!
+//! A digest mismatch does not fail with a raw hex comparison — the
+//! registry renders a table of every stage with its pinned and
+//! computed digest and summary, so the *first divergent stage* (the
+//! one upstream of every other mismatch) is obvious at a glance.
+
+use crate::stages::StageArtifact;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One parsed line of the goldens file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenEntry {
+    /// Stage name.
+    pub name: String,
+    /// Pinned digest.
+    pub digest: u64,
+    /// Pinned summary (informational; not compared).
+    pub summary: String,
+}
+
+/// Comparison status of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Pinned and computed digests agree.
+    Ok,
+    /// Digests differ.
+    Mismatch,
+    /// The stage is computed but not pinned (new stage).
+    Unpinned,
+    /// The stage is pinned but no longer computed (removed stage).
+    Missing,
+}
+
+/// One row of a registry comparison.
+#[derive(Debug, Clone)]
+pub struct StageDiff {
+    /// Stage name.
+    pub name: String,
+    /// Pinned `(digest, summary)`, if the stage is in the goldens file.
+    pub pinned: Option<(u64, String)>,
+    /// Computed `(digest, summary)`, if the stage was regenerated.
+    pub computed: Option<(u64, String)>,
+    /// The verdict.
+    pub status: StageStatus,
+}
+
+/// Path of the committed goldens file.
+pub fn goldens_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/goldens/quick.txt"))
+}
+
+/// Parses a goldens file's contents.
+///
+/// Unparsable lines are an error, not a skip — a half-corrupted pin
+/// must never silently weaken the gate.
+pub fn parse_goldens(text: &str) -> Result<Vec<GoldenEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut head = line;
+        let mut summary = String::new();
+        if let Some(pos) = line.find(" # ") {
+            head = line[..pos].trim();
+            summary = line[pos + 3..].trim().to_owned();
+        }
+        let mut fields = head.split_whitespace();
+        let (name, hex) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(n), Some(h), None) => (n, h),
+            _ => return Err(format!("goldens line {}: expected `name hex16 # summary`", lineno + 1)),
+        };
+        let digest = u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("goldens line {}: bad digest {hex:?}", lineno + 1))?;
+        entries.push(GoldenEntry { name: name.to_owned(), digest, summary });
+    }
+    Ok(entries)
+}
+
+/// Renders stage artifacts in the goldens file format.
+pub fn render_goldens(stages: &[StageArtifact]) -> String {
+    let mut out = String::from(
+        "# Pinned pipeline-stage digests (FNV-1a 64 over canonical field encodings).\n\
+         # Regenerate after an intentional output change:\n\
+         #   UPDATE_GOLDENS=1 cargo test -p conformance --test golden\n\
+         # Never update to silence a mismatch you cannot explain.\n",
+    );
+    for s in stages {
+        let _ = writeln!(out, "{} {:016x} # {}", s.name, s.digest, s.summary);
+    }
+    out
+}
+
+/// Compares pinned entries against computed artifacts, stage by stage.
+pub fn compare(pinned: &[GoldenEntry], computed: &[StageArtifact]) -> Vec<StageDiff> {
+    let mut diffs: Vec<StageDiff> = Vec::new();
+    for c in computed {
+        let pin = pinned.iter().find(|p| p.name == c.name);
+        let status = match pin {
+            Some(p) if p.digest == c.digest => StageStatus::Ok,
+            Some(_) => StageStatus::Mismatch,
+            None => StageStatus::Unpinned,
+        };
+        diffs.push(StageDiff {
+            name: c.name.to_owned(),
+            pinned: pin.map(|p| (p.digest, p.summary.clone())),
+            computed: Some((c.digest, c.summary.clone())),
+            status,
+        });
+    }
+    for p in pinned {
+        if !computed.iter().any(|c| c.name == p.name) {
+            diffs.push(StageDiff {
+                name: p.name.clone(),
+                pinned: Some((p.digest, p.summary.clone())),
+                computed: None,
+                status: StageStatus::Missing,
+            });
+        }
+    }
+    diffs
+}
+
+/// Renders a comparison as the human-readable per-stage report.
+pub fn render_diff(diffs: &[StageDiff]) -> String {
+    let width = diffs.iter().map(|d| d.name.len()).max().unwrap_or(8).max(8);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:width$}  {:16}  {:16}  status", "stage", "pinned", "computed");
+    for d in diffs {
+        let hex = |v: &Option<(u64, String)>| {
+            v.as_ref().map_or_else(|| "-".repeat(16), |(h, _)| format!("{h:016x}"))
+        };
+        let status = match d.status {
+            StageStatus::Ok => "ok",
+            StageStatus::Mismatch => "MISMATCH",
+            StageStatus::Unpinned => "UNPINNED",
+            StageStatus::Missing => "MISSING",
+        };
+        let _ = writeln!(out, "{:width$}  {}  {}  {status}", d.name, hex(&d.pinned), hex(&d.computed));
+        if d.status != StageStatus::Ok {
+            if let Some((_, s)) = &d.pinned {
+                let _ = writeln!(out, "{:width$}    pinned:   {s}", "");
+            }
+            if let Some((_, s)) = &d.computed {
+                let _ = writeln!(out, "{:width$}    computed: {s}", "");
+            }
+        }
+    }
+    out
+}
+
+/// True when every computed stage matches its pin and no stage is
+/// unpinned or missing.
+pub fn all_ok(diffs: &[StageDiff]) -> bool {
+    diffs.iter().all(|d| d.status == StageStatus::Ok)
+}
+
+/// The full gate used by `tests/golden.rs` and `scripts/verify.sh`:
+/// compares `computed` against the committed goldens file.
+///
+/// With `UPDATE_GOLDENS=1` in the environment the file is rewritten
+/// from `computed` and the old-vs-new report is returned as `Ok`.
+/// Otherwise returns `Ok(report)` when everything matches and
+/// `Err(report)` — with regeneration instructions — when any stage
+/// diverges.
+pub fn check_or_update(computed: &[StageArtifact]) -> Result<String, String> {
+    let path = goldens_path();
+    let pinned_text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read goldens file {}: {e}", path.display()))?;
+    let pinned = parse_goldens(&pinned_text)?;
+    let diffs = compare(&pinned, computed);
+    let report = render_diff(&diffs);
+
+    if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
+        std::fs::write(&path, render_goldens(computed))
+            .map_err(|e| format!("cannot write goldens file {}: {e}", path.display()))?;
+        return Ok(format!(
+            "goldens regenerated at {} — review this diff before committing:\n{report}",
+            path.display()
+        ));
+    }
+    if all_ok(&diffs) {
+        Ok(report)
+    } else {
+        Err(format!(
+            "golden-artifact mismatch — the pipeline output changed.\n{report}\n\
+             If the change is intentional, regenerate with\n\
+             UPDATE_GOLDENS=1 cargo test -p conformance --test golden\n\
+             and commit the updated goldens file with an explanation."
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn art(name: &'static str, digest: u64) -> StageArtifact {
+        StageArtifact { name, digest, summary: format!("artifact {name}") }
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let stages = vec![art("a.one", 0xdead), art("b.two", 0xbeef)];
+        let parsed = parse_goldens(&render_goldens(&stages)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a.one");
+        assert_eq!(parsed[0].digest, 0xdead);
+        assert_eq!(parsed[1].summary, "artifact b.two");
+    }
+
+    #[test]
+    fn rejects_corrupt_lines() {
+        assert!(parse_goldens("just-a-name\n").is_err());
+        assert!(parse_goldens("name nothex16 # x\n").is_err());
+    }
+
+    #[test]
+    fn compare_flags_every_divergence_class() {
+        let pinned = parse_goldens(&render_goldens(&[art("same", 1), art("diff", 2), art("gone", 3)])).unwrap();
+        let computed = vec![art("same", 1), art("diff", 99), art("new", 4)];
+        let diffs = compare(&pinned, &computed);
+        let status_of = |n: &str| diffs.iter().find(|d| d.name == n).unwrap().status;
+        assert_eq!(status_of("same"), StageStatus::Ok);
+        assert_eq!(status_of("diff"), StageStatus::Mismatch);
+        assert_eq!(status_of("new"), StageStatus::Unpinned);
+        assert_eq!(status_of("gone"), StageStatus::Missing);
+        assert!(!all_ok(&diffs));
+        let report = render_diff(&diffs);
+        assert!(report.contains("MISMATCH"));
+        assert!(report.contains("artifact diff"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Canonical pipeline-stage artifacts for the golden registry.
+//!
+//! Each stage regenerates one link of the attack chain from a fixed
+//! seed — synthetic tracks → GPX bytes → ingested elevation profiles →
+//! text-side BoW vectors → image-side rasters → per-model metrics —
+//! and reduces it to a content digest plus a human-readable summary.
+//! The summaries exist so a digest mismatch reads as "the BoW stage
+//! now emits 1021 features instead of 1024", not as a raw hex diff.
+//!
+//! Everything here must be a pure function of `seed`: no wall-clock,
+//! no thread-count dependence (the executor layers are order-free by
+//! construction), no environment reads.
+
+use crate::digest::Digest;
+use elev_core::experiments::{table4_tm1, Corpora, ExperimentScale};
+use elev_core::ingest::{ingest_batch, IngestConfig, TrackSource};
+use elev_core::robustness::robustness_sweep;
+use faultsim::{corrupt_track, FaultPlan, Payload};
+use imgrep::{render, ImageConfig};
+use routegen::{Activity, AthleteSimulator};
+use terrain::{CityId, SyntheticTerrain};
+use textrep::{Discretizer, FeatureSelection, TextPipeline};
+
+/// One pinned pipeline stage: its digest and a summary for diffs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageArtifact {
+    /// Stable stage name (`layer.artifact`).
+    pub name: &'static str,
+    /// Content digest of the stage output.
+    pub digest: u64,
+    /// Deterministic human-readable description of the output's shape
+    /// (counts, lengths, feature dims) — the structured half of a diff.
+    pub summary: String,
+}
+
+/// Every registered stage name, in pipeline order.
+pub const STAGE_NAMES: [&str; 8] = [
+    "routegen.tracks",
+    "gpx.bytes",
+    "ingest.clean",
+    "ingest.faulted",
+    "textrep.bow",
+    "imgrep.raster",
+    "metrics.table4",
+    "metrics.robustness",
+];
+
+/// The scale every conformance artifact is computed at: small enough
+/// that the whole registry regenerates in seconds, large enough that
+/// all three classifiers, the folds machinery, and the quarantine
+/// pipeline actually execute.
+pub fn conformance_scale() -> ExperimentScale {
+    ExperimentScale {
+        dataset_fraction: 0.04,
+        folds: 3,
+        cnn_epochs: 2,
+        mlp_epochs: 10,
+        min_per_class: 9,
+    }
+}
+
+/// Generates the small fixed track set shared by the front-of-pipeline
+/// stages (two metros with distinct relief, four activities each).
+fn track_set(seed: u64) -> Vec<Activity> {
+    let mut activities = Vec::new();
+    for (i, metro) in [CityId::WashingtonDc, CityId::ColoradoSprings].into_iter().enumerate() {
+        let mut sim =
+            AthleteSimulator::new(SyntheticTerrain::new(seed), exec::mix_seed(seed, i as u64));
+        activities.extend(sim.generate(metro, 4));
+    }
+    activities
+}
+
+/// Computes every registered stage artifact from `seed`, in
+/// [`STAGE_NAMES`] order.
+pub fn compute_stages(seed: u64) -> Vec<StageArtifact> {
+    let scale = conformance_scale();
+    let mut out = Vec::with_capacity(STAGE_NAMES.len());
+
+    // Stage 1: routegen tracks (trajectory + per-point elevation).
+    let activities = track_set(seed);
+    {
+        let mut d = Digest::new();
+        let mut points = 0usize;
+        d.usize(activities.len());
+        for a in &activities {
+            d.str(a.metro.abbrev());
+            let traj = a.trajectory();
+            points += traj.len();
+            d.usize(traj.len());
+            for p in &traj {
+                d.f64(p.lat).f64(p.lon);
+            }
+            d.f64s(&a.elevation_profile());
+        }
+        out.push(StageArtifact {
+            name: "routegen.tracks",
+            digest: d.finish(),
+            summary: format!("{} activities, {} points", activities.len(), points),
+        });
+    }
+
+    // Stage 2: serialized GPX bytes.
+    let gpx_bytes: Vec<Vec<u8>> =
+        activities.iter().map(|a| a.gpx.to_xml().into_bytes()).collect();
+    {
+        let mut d = Digest::new();
+        d.usize(gpx_bytes.len());
+        for b in &gpx_bytes {
+            d.bytes(b);
+        }
+        out.push(StageArtifact {
+            name: "gpx.bytes",
+            digest: d.finish(),
+            summary: format!(
+                "{} documents, {} bytes total",
+                gpx_bytes.len(),
+                gpx_bytes.iter().map(Vec::len).sum::<usize>()
+            ),
+        });
+    }
+
+    // Stage 3: clean ingestion (parse + validate; everything must pass
+    // through untouched).
+    let sources: Vec<TrackSource> =
+        gpx_bytes.iter().map(|b| TrackSource::Raw(b.clone())).collect();
+    let (profiles, report) =
+        ingest_batch(&sources, &IngestConfig::default(), &exec::Executor::from_env());
+    let clean_profiles: Vec<Vec<f64>> = profiles.into_iter().flatten().collect();
+    {
+        let mut d = Digest::new();
+        d.usize(clean_profiles.len());
+        for p in &clean_profiles {
+            d.f64s(p);
+        }
+        d.str(&report.to_json());
+        out.push(StageArtifact {
+            name: "ingest.clean",
+            digest: d.finish(),
+            summary: format!(
+                "{} profiles ({} clean / {} repaired / {} quarantined), {} values",
+                clean_profiles.len(),
+                report.clean(),
+                report.repaired(),
+                report.quarantined(),
+                clean_profiles.iter().map(Vec::len).sum::<usize>()
+            ),
+        });
+    }
+
+    // Stage 4: faulted ingestion — the same tracks through a 35%
+    // corruption plan and the repair/quarantine pipeline.
+    {
+        let plan = FaultPlan::uniform(0.35, exec::mix_seed(seed, 0xFA17));
+        let corrupted: Vec<TrackSource> = activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match corrupt_track(&plan, i as u64, &a.gpx).payload {
+                Payload::Parsed(g) => TrackSource::Parsed(g),
+                Payload::Raw(b) => TrackSource::Raw(b),
+            })
+            .collect();
+        let (profiles, report) =
+            ingest_batch(&corrupted, &IngestConfig::default(), &exec::Executor::from_env());
+        let mut d = Digest::new();
+        d.usize(profiles.len());
+        for p in profiles.iter() {
+            match p {
+                Some(p) => d.f64s(p),
+                None => d.str("quarantined"),
+            };
+        }
+        d.str(&report.to_json());
+        out.push(StageArtifact {
+            name: "ingest.faulted",
+            digest: d.finish(),
+            summary: format!(
+                "{} tracks at 35% corruption: {} clean / {} repaired / {} quarantined",
+                report.tracks.len(),
+                report.clean(),
+                report.repaired(),
+                report.quarantined()
+            ),
+        });
+    }
+
+    // Stage 5: text-side BoW features over the clean profiles.
+    {
+        let pipeline = TextPipeline::fit(
+            Discretizer::Floor,
+            4,
+            FeatureSelection::standard(),
+            &clean_profiles,
+        );
+        let features = pipeline.transform_all(&clean_profiles);
+        let mut d = Digest::new();
+        d.usize(pipeline.n_features()).usize(features.len());
+        for f in &features {
+            d.f32s(f);
+        }
+        out.push(StageArtifact {
+            name: "textrep.bow",
+            digest: d.finish(),
+            summary: format!(
+                "{} vectors x {} features",
+                features.len(),
+                pipeline.n_features()
+            ),
+        });
+    }
+
+    // Stage 6: image-side rasters over the clean profiles.
+    {
+        let cfg = ImageConfig::default();
+        let mut d = Digest::new();
+        d.usize(clean_profiles.len());
+        let mut lit = 0usize;
+        for p in &clean_profiles {
+            let img = render(p, &cfg);
+            lit += img.pixels.iter().filter(|&&v| v > 0.0).count();
+            d.f32s(&img.pixels);
+        }
+        out.push(StageArtifact {
+            name: "imgrep.raster",
+            digest: d.finish(),
+            summary: format!(
+                "{} rasters {}x{}, {} lit channel values",
+                clean_profiles.len(),
+                cfg.width,
+                cfg.height,
+                lit
+            ),
+        });
+    }
+
+    // Stages 7–8 run on the shared tiny corpora (the same generation
+    // path every experiment binary uses).
+    let corpora = Corpora::generate(seed, &scale);
+
+    // Stage 7: Table IV metrics (SVM/RFC/MLP × folds × class sweeps).
+    {
+        let rows = table4_tm1(&corpora.user, &scale, seed);
+        let mut d = Digest::new();
+        d.usize(rows.len());
+        for r in &rows {
+            d.usize(r.classes)
+                .usize(r.per_class)
+                .str(&r.model.to_string())
+                .usize(r.folds);
+            digest_outcome(&mut d, &r.outcome);
+        }
+        let best = rows.iter().map(|r| r.outcome.accuracy).fold(0.0f64, f64::max);
+        out.push(StageArtifact {
+            name: "metrics.table4",
+            digest: d.finish(),
+            summary: format!("{} rows, best accuracy {:.4}", rows.len(), best),
+        });
+    }
+
+    // Stage 8: the robustness sweep at one corruption rate (ties the
+    // fault substrate, quarantine ingestion, and attack metrics into
+    // one pinned artifact).
+    {
+        let points = robustness_sweep(
+            &corpora,
+            &scale,
+            seed,
+            exec::mix_seed(seed, 0x60_1D),
+            &[0.2],
+        );
+        let mut d = Digest::new();
+        d.usize(points.len());
+        for p in &points {
+            d.str(&p.setting).f64(p.rate).usize(p.folds);
+            digest_outcome(&mut d, &p.outcome);
+            d.str(&p.report.to_json());
+            d.usize(p.accounting.len());
+            for a in &p.accounting {
+                d.str(a.kind.name())
+                    .usize(a.injected)
+                    .usize(a.repaired)
+                    .usize(a.quarantined)
+                    .usize(a.undetected);
+            }
+        }
+        let quarantined: usize = points.iter().map(|p| p.report.quarantined()).sum();
+        out.push(StageArtifact {
+            name: "metrics.robustness",
+            digest: d.finish(),
+            summary: format!(
+                "{} points at rate 0.20, {} tracks quarantined",
+                points.len(),
+                quarantined
+            ),
+        });
+    }
+
+    debug_assert_eq!(out.len(), STAGE_NAMES.len());
+    out
+}
+
+fn digest_outcome(d: &mut Digest, o: &evalkit::FoldOutcome) {
+    d.f64(o.accuracy)
+        .f64(o.ovr_accuracy)
+        .f64(o.precision)
+        .f64(o.recall)
+        .f64(o.f1)
+        .f64(o.specificity);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_match_artifacts() {
+        let stages = compute_stages(1);
+        let names: Vec<&str> = stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, STAGE_NAMES);
+    }
+}

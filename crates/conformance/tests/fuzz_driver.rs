@@ -1,0 +1,101 @@
+//! The deterministic fuzz campaign: 10k seed-indexed GPX mutants
+//! through the parser and the ingestion pipeline, with the error-class
+//! histogram as the coverage proxy and `try_map` as the panic
+//! isolation boundary.
+
+use conformance::fuzz::{classify, minimize, mutate, run_campaign, FuzzConfig};
+use std::time::Instant;
+
+#[test]
+fn campaign_runs_clean_and_deterministic() {
+    let cfg = FuzzConfig::default();
+    assert!(cfg.iterations >= 10_000, "CI campaign must run at least 10k iterations");
+
+    let started = Instant::now();
+    let report = run_campaign(&cfg, &exec::Executor::new(4));
+    let elapsed = started.elapsed();
+    println!("{}", report.render());
+    println!("elapsed: {elapsed:?}");
+
+    assert!(
+        report.panics.is_empty(),
+        "inputs escaped the try_map isolation boundary at iterations {:?}",
+        report.panics
+    );
+    assert!(
+        report.class_count() >= 6,
+        "coverage proxy collapsed: only {} error classes\n{}",
+        report.class_count(),
+        report.render()
+    );
+    // The mutator must not be so destructive that nothing survives to
+    // the ingestion layer, nor so gentle that nothing breaks.
+    let survivors: u64 = report
+        .histogram
+        .iter()
+        .filter(|(k, _)| k.starts_with("ok.") || k.starts_with("quarantine."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(survivors > 0, "no mutant ever reached the ingestion layer");
+    assert!(
+        survivors < report.iterations,
+        "every mutant parsed — the mutator is not exercising the error paths"
+    );
+
+    // Bit-for-bit determinism: same seed → same histogram, at any
+    // worker count.
+    let again = run_campaign(&cfg, &exec::Executor::new(1));
+    assert_eq!(report.histogram, again.histogram, "campaign is not deterministic");
+}
+
+#[test]
+fn committed_fuzz_fixtures_keep_their_classes() {
+    // The minimized exemplars committed to the shared corpus must keep
+    // producing the exact class they were minimized for. The first
+    // three are parse failures (also pinned by gpxfile's own corpus
+    // test); the last parses fine and dies in the ingestion layer,
+    // which only this crate can observe.
+    let fixtures: [(&[u8], &str); 4] = [
+        (
+            include_bytes!("../../gpxfile/tests/corpus/fuzz_gpx_bad_trkpt.gpx"),
+            "gpx.bad_trkpt",
+        ),
+        (
+            include_bytes!("../../gpxfile/tests/corpus/fuzz_xml_entity.gpx"),
+            "xml.entity",
+        ),
+        (
+            include_bytes!("../../gpxfile/tests/corpus/fuzz_xml_mismatch.gpx"),
+            "xml.mismatch",
+        ),
+        (
+            include_bytes!("../../gpxfile/tests/corpus/fuzz_quarantine_too_corrupt.gpx"),
+            "quarantine.too_corrupt",
+        ),
+    ];
+    for (bytes, expected) in fixtures {
+        assert_eq!(classify(bytes), expected, "committed fixture class drifted");
+    }
+}
+
+#[test]
+fn minimizer_grinds_failures_down() {
+    // Scan for one failing mutant per broad class and check the
+    // minimizer preserves the class while shrinking.
+    let cfg = FuzzConfig::default();
+    let mut seen = 0;
+    for iter in 0..2_000 {
+        let doc = mutate(cfg.seed, iter);
+        let class = classify(&doc);
+        if class.starts_with("xml.") || class.starts_with("gpx.") {
+            let min = minimize(&doc, &class);
+            assert_eq!(classify(&min), class, "minimization changed the error class");
+            assert!(min.len() <= doc.len());
+            seen += 1;
+            if seen >= 5 {
+                break;
+            }
+        }
+    }
+    assert!(seen >= 5, "mutator found fewer than 5 parse failures in 2000 iterations");
+}

@@ -1,0 +1,42 @@
+//! Runs the metamorphic invariant suite against shared fixtures.
+//!
+//! The whole suite runs inside one `#[test]` because two invariants
+//! (thread invariance, and anything ingest-batch-shaped) manipulate
+//! the process-wide `ELEV_THREADS` variable; Rust runs tests in
+//! threads, so spreading them across `#[test]`s would race.
+
+use conformance::invariants::{render_outcomes, run_all, InvariantCtx};
+use std::sync::Mutex;
+
+/// Serializes the two suite runs: the thread-invariance check mutates
+/// the process-wide `ELEV_THREADS` variable.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn all_invariants_hold() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ctx = InvariantCtx::new(42);
+    let outcomes = run_all(&ctx);
+    println!("{}", render_outcomes(&outcomes));
+    assert!(outcomes.len() >= 5, "suite must register at least five invariants");
+    let failed: Vec<_> = outcomes.iter().filter(|o| !o.passed).collect();
+    assert!(
+        failed.is_empty(),
+        "metamorphic invariants violated:\n{}",
+        render_outcomes(&outcomes)
+    );
+}
+
+#[test]
+fn invariants_are_seed_generic() {
+    // The relations are universal — they must hold at a second seed,
+    // not just the golden one.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ctx = InvariantCtx::new(7);
+    let outcomes = run_all(&ctx);
+    assert!(
+        outcomes.iter().all(|o| o.passed),
+        "invariants violated at seed 7:\n{}",
+        render_outcomes(&outcomes)
+    );
+}

@@ -1,0 +1,132 @@
+//! Satellite coverage for the `elev_core::robustness` sweep math and
+//! the fold-stratification edge cases the sweep depends on.
+
+use datasets::split::stratified_k_fold;
+use elev_core::experiments::{Corpora, ExperimentScale};
+use elev_core::robustness::{robustness_sweep, DEFAULT_RATES};
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        dataset_fraction: 0.04,
+        folds: 3,
+        cnn_epochs: 2,
+        mlp_epochs: 10,
+        min_per_class: 9,
+    }
+}
+
+#[test]
+fn fault_accounting_totals_are_conserved() {
+    let scale = tiny_scale();
+    let corpora = Corpora::generate(42, &scale);
+    let points = robustness_sweep(&corpora, &scale, 42, 0xACC7, &[0.0, 0.2, 0.4]);
+    assert!(!points.is_empty());
+    for p in &points {
+        // The report's own bookkeeping invariants hold…
+        p.report
+            .validate()
+            .unwrap_or_else(|e| panic!("report invariant at rate {}: {e}", p.rate));
+        // …and every track is accounted for exactly once.
+        let tracks = p.report.tracks.len();
+        assert_eq!(
+            tracks,
+            p.report.clean() + p.report.repaired() + p.report.quarantined(),
+            "disposition counts do not partition the {} tracks at rate {}",
+            tracks,
+            p.rate
+        );
+        // Per-kind accounting never claims more handled faults than
+        // were injected.
+        for a in &p.accounting {
+            assert!(
+                a.repaired + a.quarantined + a.undetected == a.injected,
+                "kind {} at rate {}: {} repaired + {} quarantined + {} undetected != {} injected",
+                a.kind.name(),
+                p.rate,
+                a.repaired,
+                a.quarantined,
+                a.undetected,
+                a.injected
+            );
+        }
+        // A zero-rate point injects nothing and quarantines nothing.
+        if p.rate == 0.0 {
+            assert_eq!(p.report.quarantined(), 0);
+            assert!(p.accounting.iter().all(|a| a.injected == 0));
+        }
+    }
+}
+
+#[test]
+fn zero_rate_accuracy_matches_the_clean_run() {
+    // Rate 0 is the identity on the corpus, so running the sweep twice
+    // at rate 0 must reproduce the same attack outcome — and the
+    // outcome must never *improve* as corruption increases from zero
+    // beyond noise: we assert the weaker, exact property that the two
+    // zero-rate runs agree bitwise.
+    let scale = tiny_scale();
+    let corpora = Corpora::generate(42, &scale);
+    let a = robustness_sweep(&corpora, &scale, 42, 0xACC7, &[0.0]);
+    let b = robustness_sweep(&corpora, &scale, 42, 0x5EED, &[0.0]);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        // Different fault-plan seeds, but rate 0 fires no faults: the
+        // attack outcome must be independent of the plan seed.
+        assert_eq!(
+            x.outcome, y.outcome,
+            "zero-rate outcome depends on the fault-plan seed in setting {}",
+            x.setting
+        );
+    }
+}
+
+#[test]
+fn default_rates_start_at_zero() {
+    // The sweep's headline table is anchored by the clean baseline.
+    assert_eq!(DEFAULT_RATES[0], 0.0);
+    assert!(DEFAULT_RATES.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn stratified_fold_handles_class_below_k() {
+    // 2 samples of class 1 against k=3 folds: the class simply misses
+    // one fold; every sample still lands in exactly one fold and no
+    // fold is empty of the majority class.
+    let labels: Vec<u32> = vec![0, 0, 0, 0, 0, 0, 1, 1];
+    let folds = stratified_k_fold(&labels, 3, 9);
+    assert_eq!(folds.len(), 3);
+    let mut test_seen = vec![0usize; labels.len()];
+    for (train, test) in &folds {
+        for &i in test {
+            test_seen[i] += 1;
+        }
+        // Train and test partition the samples within each fold.
+        let mut all: Vec<usize> = train.iter().chain(test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        assert!(
+            test.iter().any(|&i| labels[i] == 0),
+            "every test fold must contain the majority class"
+        );
+    }
+    assert!(
+        test_seen.iter().all(|&c| c == 1),
+        "each sample must appear in exactly one test fold"
+    );
+    let minority_folds = folds
+        .iter()
+        .filter(|(_, test)| test.iter().any(|&i| labels[i] == 1))
+        .count();
+    assert_eq!(minority_folds, 2, "2 minority samples must spread across 2 test folds");
+}
+
+#[test]
+fn stratified_fold_is_deterministic_per_seed() {
+    let labels: Vec<u32> = (0..40).map(|i| i % 4).collect();
+    assert_eq!(stratified_k_fold(&labels, 5, 1), stratified_k_fold(&labels, 5, 1));
+    assert_ne!(
+        stratified_k_fold(&labels, 5, 1),
+        stratified_k_fold(&labels, 5, 2),
+        "fold assignment must depend on the seed"
+    );
+}

@@ -258,6 +258,50 @@ impl IngestReport {
             .collect()
     }
 
+    /// Checks the report's internal bookkeeping invariants: the three
+    /// dispositions partition the tracks, indices are the input order,
+    /// every repair entry touched at least one point, and the per-kind
+    /// and per-reason breakdowns re-sum to the headline counts.
+    ///
+    /// Returns the first violated invariant, for conformance tests and
+    /// fault-injection sweeps that must fail with a named invariant
+    /// instead of a mismatched digest.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clean() + self.repaired() + self.quarantined() != self.tracks.len() {
+            return Err(format!(
+                "dispositions do not partition the report: {} + {} + {} != {}",
+                self.clean(),
+                self.repaired(),
+                self.quarantined(),
+                self.tracks.len()
+            ));
+        }
+        for (pos, t) in self.tracks.iter().enumerate() {
+            if t.index != pos {
+                return Err(format!("track at position {pos} carries index {}", t.index));
+            }
+            if let Disposition::Repaired(rs) = &t.disposition {
+                if rs.is_empty() {
+                    return Err(format!("track {pos} is Repaired with no repairs"));
+                }
+                if let Some(r) = rs.iter().find(|r| r.points == 0) {
+                    return Err(format!(
+                        "track {pos} records a {} repair touching zero points",
+                        r.kind.name()
+                    ));
+                }
+            }
+        }
+        let per_reason: usize = self.quarantine_counts().iter().map(|(_, n)| n).sum();
+        if per_reason != self.quarantined() {
+            return Err(format!(
+                "per-reason quarantine counts sum to {per_reason}, headline says {}",
+                self.quarantined()
+            ));
+        }
+        Ok(())
+    }
+
     /// Renders the report as a JSON object (hand-formatted: flat,
     /// deterministic key order, safe for `jq`/`python -c` smoke
     /// checks).
@@ -831,6 +875,27 @@ mod tests {
         assert!(profiles[0].is_some() && profiles[2].is_some());
         assert!(profiles[1].is_none());
         assert_eq!(report.quarantined(), 1);
+    }
+
+    #[test]
+    fn batch_reports_validate() {
+        let good = TrackSource::Parsed(sample_gpx(100));
+        let bad = TrackSource::Raw(vec![0xFF, 0xFE, 0x00, 0x01]);
+        let (_, report) = ingest_batch(
+            &[good.clone(), bad, good],
+            &IngestConfig::default(),
+            &Executor::new(2),
+        );
+        report.validate().expect("batch report invariants");
+        assert!(IngestReport::default().validate().is_ok());
+
+        // Each bookkeeping violation is named.
+        let mut broken = report.clone();
+        broken.tracks[1].index = 7;
+        assert!(broken.validate().unwrap_err().contains("position 1"));
+        let mut broken = report.clone();
+        broken.tracks[0].disposition = Disposition::Repaired(vec![]);
+        assert!(broken.validate().unwrap_err().contains("no repairs"));
     }
 
     #[test]

@@ -85,6 +85,37 @@ fn non_string_panic_payloads_are_reported() {
 }
 
 #[test]
+fn sequential_batches_are_deterministic_across_thread_counts() {
+    // The conformance fuzz driver streams many sequential try_map
+    // batches through one executor; the concatenated outcome vector
+    // must be independent of both thread count and batch boundary.
+    fn campaign(threads: usize, batch: usize) -> Vec<Result<u64, u64>> {
+        let exec = Executor::new(threads);
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        while next < 100 {
+            let items: Vec<u64> = (next..(next + batch as u64).min(100)).collect();
+            let results = exec.try_map(&items, |_, &i| {
+                let h = exec::mix_seed(0xCAFE, i);
+                if h.is_multiple_of(5) {
+                    panic!("mutant {i}");
+                }
+                h
+            });
+            // TaskPanic carries the per-batch index; rebase it to the
+            // campaign-global item id before comparing across batch sizes.
+            out.extend(results.into_iter().map(|r| r.map_err(|e| next + e.index as u64)));
+            next += batch as u64;
+        }
+        out
+    }
+    let base = campaign(1, 7);
+    for (threads, batch) in [(4, 7), (8, 7), (4, 100), (2, 1)] {
+        assert_eq!(campaign(threads, batch), base, "threads={threads} batch={batch}");
+    }
+}
+
+#[test]
 fn empty_input_yields_empty_output() {
     let out = Executor::new(4).try_map(&[] as &[u8], |_, &b| b);
     assert!(out.is_empty());

@@ -66,6 +66,26 @@ const CORPUS: &[(&str, &[u8], Expect)] = &[
         include_bytes!("corpus/attr_missing_equals.gpx"),
         Expect::Xml,
     ),
+    // `fuzz_*` fixtures are minimized finds from the deterministic
+    // fuzz driver (`cargo run -p bench --bin conformance_stages --
+    // --emit-corpus`, seed 42). fuzz_quarantine_too_corrupt.gpx also
+    // lives in this directory but parses successfully — its class is
+    // pinned by the conformance crate, which owns the ingest layer.
+    (
+        "fuzz_gpx_bad_trkpt",
+        include_bytes!("corpus/fuzz_gpx_bad_trkpt.gpx"),
+        Expect::BadTrackPoint,
+    ),
+    (
+        "fuzz_xml_entity",
+        include_bytes!("corpus/fuzz_xml_entity.gpx"),
+        Expect::Xml,
+    ),
+    (
+        "fuzz_xml_mismatch",
+        include_bytes!("corpus/fuzz_xml_mismatch.gpx"),
+        Expect::Xml,
+    ),
 ];
 
 #[test]
