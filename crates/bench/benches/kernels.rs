@@ -15,7 +15,7 @@
 //! does.
 
 use classicml::{SvmClassifier, SvmConfig};
-use neuralnet::{models, train, Layer, TrainConfig};
+use neuralnet::{models, train, train_in_arena, Adam, Layer, TrainArena, TrainConfig};
 use sparsemat::{CsrMatrix, SparseVec};
 use std::hint::black_box;
 use std::time::Instant;
@@ -216,29 +216,61 @@ fn main() {
     ));
 
     // --- Conv forward / forward+backward at the Fig. 7 architecture.
+    // Baselines emulate the pre-arena path: `reset_scratch` drops the
+    // persistent im2col columns / weight-matrix views / argmax buffers
+    // so every call reallocates them, exactly as the old code did. Both
+    // sides run the same kernels on the same inputs; only the scratch
+    // lifetime differs. `shards: Some(1)` keeps the step serial so the
+    // pair isolates allocation behavior, not data parallelism.
     let batch = 16;
     let x = deterministic_tensor(&[batch, 3, 32, 32], 7);
     let y: Vec<u32> = (0..batch).map(|i| (i % 4) as u32).collect();
+    let mut fwd_base = models::paper_cnn(4, 1);
     let mut fwd_net = models::paper_cnn(4, 1);
     benches.push(entry(
         "conv_forward_16imgs",
         samples,
-        "paper CNN forward on 16 images (blocked im2col matmuls)",
-        None::<fn()>,
+        "paper CNN forward on 16 images (blocked im2col matmuls); \
+         baseline reallocates im2col/weight-view scratch per call, \
+         optimized reuses the layer arenas",
+        Some(|| {
+            fwd_base.reset_scratch();
+            black_box(fwd_base.forward(&x, false));
+        }),
         || {
             black_box(fwd_net.forward(&x, false));
         },
     ));
-    let train_cfg = TrainConfig { epochs: 1, batch_size: batch, ..Default::default() };
+    let train_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: batch,
+        shards: Some(1),
+        ..Default::default()
+    };
+    let mut bwd_base = models::paper_cnn(4, 1);
+    let mut bwd_net = models::paper_cnn(4, 1);
+    let mut bwd_adam = Adam::new(train_cfg.lr);
+    let mut bwd_arena = TrainArena::new();
     benches.push(entry(
         "conv_fwd_bwd_16imgs",
         samples,
         "one training step on 16 images; backward uses the fused \
-         matmul_at/matmul_bt kernels instead of allocating transposes",
-        None::<fn()>,
+         matmul_at/matmul_bt kernels instead of allocating transposes; \
+         baseline drops layer scratch and the training arena every \
+         step, optimized keeps both warm",
+        Some(|| {
+            bwd_base.reset_scratch();
+            black_box(train(&mut bwd_base, &x, &y, &train_cfg));
+        }),
         || {
-            let mut net = models::paper_cnn(4, 1);
-            black_box(train(&mut net, &x, &y, &train_cfg));
+            black_box(train_in_arena(
+                &mut bwd_net,
+                &x,
+                &y,
+                &train_cfg,
+                &mut bwd_adam,
+                &mut bwd_arena,
+            ));
         },
     ));
 

@@ -1,0 +1,317 @@
+//! Training-path benchmarks for the deterministic data-parallel CNN
+//! step and the zero-alloc training arenas.
+//!
+//! Three before/after pairs, written to `BENCH_train.json` at the
+//! repository root (same schema as `BENCH_kernels.json`):
+//!
+//! 1. the single mini-batch step, serial vs 4-lane staged — trained
+//!    weights are bit-identical either way (asserted here), so the
+//!    pair measures pure scheduling;
+//! 2. the same step cold vs warm — the cold side drops layer scratch
+//!    and the training arena every call (the pre-arena behavior), and
+//!    a counting allocator reports allocations per step for both;
+//! 3. end-to-end Table VII (TM-1, weighted loss) at quick scale,
+//!    serial vs budget-sized lanes, with identical confusions asserted.
+//!
+//! Lane speedup tracks the host's available parallelism: on the
+//! single-core reference container the lanes serialize onto one worker
+//! and the pair reads ~1.0x; each note records the observed core count
+//! so the numbers stay interpretable across machines. Run with
+//! `cargo bench -p bench --bench train`; `BENCH_QUICK=1` for the smoke.
+
+use elev_core::experiments::{Corpora, ExperimentScale};
+use elev_core::image::{evaluate_image, ImageAttackConfig, ImageMethod};
+use neuralnet::{models, train, train_in_arena, Adam, Layer, TrainArena, TrainConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tensorlite::Tensor;
+
+/// `System`, plus a process-wide allocation counter so the bench can
+/// report allocations-per-step for the cold and warm training paths.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// (allocation count, bytes requested) of one run of `f` (includes
+/// worker threads).
+fn count_allocs(mut f: impl FnMut()) -> (u64, u64) {
+    let count0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes0 = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    f();
+    (
+        ALLOCATIONS.load(Ordering::Relaxed) - count0,
+        ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes0,
+    )
+}
+
+/// One before/after measurement (times in seconds, medians). Same
+/// shape as the `kernels` suite so downstream tooling parses both.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct TrainBench {
+    name: String,
+    baseline_s: Option<f64>,
+    optimized_s: f64,
+    speedup: Option<f64>,
+    note: String,
+}
+
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    suite: String,
+    quick: bool,
+    samples: usize,
+    benches: Vec<TrainBench>,
+}
+
+/// Median wall-clock seconds of `f` over `samples` runs (one warm-up).
+fn median_s<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn entry(
+    name: &str,
+    samples: usize,
+    note: String,
+    mut baseline: impl FnMut(),
+    mut optimized: impl FnMut(),
+) -> TrainBench {
+    let baseline_s = median_s(samples, &mut baseline);
+    let optimized_s = median_s(samples, &mut optimized);
+    let speedup = baseline_s / optimized_s;
+    println!(
+        "  {name}: baseline {:.3} ms, optimized {:.3} ms ({speedup:.2}x)",
+        baseline_s * 1e3,
+        optimized_s * 1e3
+    );
+    TrainBench {
+        name: name.to_owned(),
+        baseline_s: Some(baseline_s),
+        optimized_s,
+        speedup: Some(speedup),
+        note,
+    }
+}
+
+fn deterministic_tensor(shape: &[usize], salt: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|i| {
+            let h = (i as u64 ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// `to_bits` of every trained parameter, for bit-identity assertions.
+fn weight_bits(net: &mut neuralnet::Sequential) -> Vec<u32> {
+    let mut bits = Vec::new();
+    net.visit_params(&mut |p, _| bits.extend(p.data().iter().map(|v| v.to_bits())));
+    bits
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+    let samples = if quick { 3 } else { 9 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut benches = Vec::new();
+    println!("train suite (quick={quick}, {samples} samples per bench, {cores} cores)");
+
+    // The staged path reads the two-level budget from the environment;
+    // pin it so the measurement does not depend on the caller's shell.
+    std::env::set_var("ELEV_INNER_THREADS", "4");
+
+    // --- One CNN mini-batch epoch: serial vs 4-lane staged gradients.
+    let batch = 32;
+    let x = deterministic_tensor(&[batch * 2, 3, 32, 32], 7);
+    let y: Vec<u32> = (0..batch * 2).map(|i| (i % 4) as u32).collect();
+    let serial_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: batch,
+        shards: Some(1),
+        ..Default::default()
+    };
+    let lane_cfg = TrainConfig { shards: Some(4), ..serial_cfg.clone() };
+
+    // Bit-identity first: the bench's premise is that the two sides
+    // compute the same weights, so assert it before timing them.
+    let mut check_serial = models::paper_cnn(4, 1);
+    let mut check_lanes = models::paper_cnn(4, 1);
+    train(&mut check_serial, &x, &y, &serial_cfg);
+    train(&mut check_lanes, &x, &y, &lane_cfg);
+    assert_eq!(
+        weight_bits(&mut check_serial),
+        weight_bits(&mut check_lanes),
+        "serial and 4-lane training must produce bit-identical weights"
+    );
+
+    let mut serial_net = models::paper_cnn(4, 1);
+    let mut serial_adam = Adam::new(serial_cfg.lr);
+    let mut serial_arena = TrainArena::new();
+    let mut lane_net = models::paper_cnn(4, 1);
+    let mut lane_adam = Adam::new(lane_cfg.lr);
+    let mut lane_arena = TrainArena::new();
+    benches.push(entry(
+        "cnn_epoch_64imgs_serial_vs_4lane",
+        samples,
+        format!(
+            "two batch-32 steps on the paper CNN; 4 gradient lanes vs \
+             one, bit-identical weights asserted; lane speedup tracks \
+             core count ({cores} available here)"
+        ),
+        || {
+            black_box(train_in_arena(
+                &mut serial_net,
+                &x,
+                &y,
+                &serial_cfg,
+                &mut serial_adam,
+                &mut serial_arena,
+            ));
+        },
+        || {
+            black_box(train_in_arena(
+                &mut lane_net,
+                &x,
+                &y,
+                &lane_cfg,
+                &mut lane_adam,
+                &mut lane_arena,
+            ));
+        },
+    ));
+
+    // --- The same serial epoch, cold vs warm arenas, with alloc counts.
+    let mut cold_net = models::paper_cnn(4, 1);
+    let mut warm_net = models::paper_cnn(4, 1);
+    let mut warm_adam = Adam::new(serial_cfg.lr);
+    let mut warm_arena = TrainArena::new();
+    // Warm both paths, then count one representative call each.
+    cold_net.reset_scratch();
+    train(&mut cold_net, &x, &y, &serial_cfg);
+    train_in_arena(&mut warm_net, &x, &y, &serial_cfg, &mut warm_adam, &mut warm_arena);
+    let (cold_allocs, cold_bytes) = count_allocs(|| {
+        cold_net.reset_scratch();
+        black_box(train(&mut cold_net, &x, &y, &serial_cfg));
+    });
+    let (warm_allocs, warm_bytes) = count_allocs(|| {
+        black_box(train_in_arena(
+            &mut warm_net,
+            &x,
+            &y,
+            &serial_cfg,
+            &mut warm_adam,
+            &mut warm_arena,
+        ));
+    });
+    benches.push(entry(
+        "cnn_epoch_64imgs_cold_vs_warm_arena",
+        samples,
+        format!(
+            "cold drops layer scratch + arena every call (pre-arena \
+             behavior): {cold_allocs} allocations / {:.2} MiB per \
+             epoch vs {warm_allocs} / {:.2} MiB with persistent arenas",
+            cold_bytes as f64 / (1 << 20) as f64,
+            warm_bytes as f64 / (1 << 20) as f64
+        ),
+        || {
+            cold_net.reset_scratch();
+            black_box(train(&mut cold_net, &x, &y, &serial_cfg));
+        },
+        || {
+            black_box(train_in_arena(
+                &mut warm_net,
+                &x,
+                &y,
+                &serial_cfg,
+                &mut warm_adam,
+                &mut warm_arena,
+            ));
+        },
+    ));
+
+    // --- End-to-end Table VII delta: TM-1 weighted-loss CNN at quick
+    // scale, serial vs budget-sized lanes. Rasters are memoized
+    // process-wide, so after the warm-up both sides time train+predict.
+    let scale = ExperimentScale::quick();
+    let corpora = Corpora::generate(7, &scale);
+    let serial_img = ImageAttackConfig {
+        epochs: scale.cnn_epochs,
+        seed: 7,
+        shards: Some(1),
+        ..Default::default()
+    };
+    let lanes_img = ImageAttackConfig { shards: None, ..serial_img.clone() };
+    let out_serial = evaluate_image(&corpora.user, ImageMethod::WeightedLoss, &serial_img);
+    let out_lanes = evaluate_image(&corpora.user, ImageMethod::WeightedLoss, &lanes_img);
+    assert_eq!(
+        out_serial, out_lanes,
+        "table7 outcome must not depend on the lane count"
+    );
+    let e2e_samples = if quick { 1 } else { 3 };
+    benches.push(entry(
+        "table7_tm1_wl_quick_serial_vs_lanes",
+        e2e_samples,
+        format!(
+            "end-to-end TM-1 weighted-loss evaluation at quick scale \
+             ({} samples); identical confusion matrices asserted; \
+             {cores} cores available",
+            corpora.user.len()
+        ),
+        || {
+            black_box(evaluate_image(&corpora.user, ImageMethod::WeightedLoss, &serial_img));
+        },
+        || {
+            black_box(evaluate_image(&corpora.user, ImageMethod::WeightedLoss, &lanes_img));
+        },
+    ));
+
+    std::env::remove_var("ELEV_INNER_THREADS");
+
+    let report = BenchReport {
+        suite: "train".to_owned(),
+        quick,
+        samples,
+        benches,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Round-trip before writing so a malformed report can never land.
+    let parsed: BenchReport = serde_json::from_str(&json).expect("report parses back");
+    assert_eq!(parsed.benches.len(), report.benches.len());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(path, &json).expect("write BENCH_train.json");
+    println!("wrote {path}");
+}

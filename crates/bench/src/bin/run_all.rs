@@ -124,8 +124,8 @@ fn main() {
     println!();
     let phases = elev_core::timing::snapshot();
     println!(
-        "phase time (summed across workers): featurize {:?}, fit {:?}, predict {:?}",
-        phases.featurize, phases.fit, phases.predict
+        "phase time (summed across workers): featurize {:?}, fit {:?} (cnn-train {:?}), predict {:?}",
+        phases.featurize, phases.fit, phases.cnn_train, phases.predict
     );
     let cache = elev_core::featcache::stats();
     println!(

@@ -80,6 +80,7 @@ pub fn all_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(OffsetShiftsBins),
         Box::new(LabelPermutation),
         Box::new(ThreadInvariance),
+        Box::new(TrainShardInvariance),
         Box::new(SparseDenseAgreement),
         Box::new(IngestCleanIdentity),
         Box::new(DespikeOffsetEquivariance),
@@ -332,6 +333,97 @@ impl Invariant for ThreadInvariance {
             return Err(format!("table4 diverges between 1 and 4 threads at {first}"));
         }
         Ok(format!("{} rows bit-identical at 1 and 4 threads", one.len()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4b. Intra-model data parallelism is invisible: trained weights (CNN
+//     via the sharded dense path, MLP via the sparse path) are
+//     bit-identical with ELEV_INNER_THREADS at 1 and 4.
+// ---------------------------------------------------------------------
+
+struct TrainShardInvariance;
+
+/// A digest over every trained parameter's exact bit pattern.
+fn weight_digest(net: &mut neuralnet::Sequential) -> u64 {
+    use neuralnet::Layer;
+    let mut d = crate::digest::Digest::new();
+    net.visit_params(&mut |p, _| {
+        d.f32s(p.data());
+    });
+    d.finish()
+}
+
+impl Invariant for TrainShardInvariance {
+    fn name(&self) -> &'static str {
+        "train-shard-invariance"
+    }
+    fn description(&self) -> &'static str {
+        "CNN and sparse-MLP trained-weight digests are bit-identical at ELEV_INNER_THREADS 1 and 4"
+    }
+    fn check(&self, ctx: &InvariantCtx) -> Result<String, String> {
+        use neuralnet::models::{mlp, paper_cnn};
+        use neuralnet::{train, train_sparse, TrainConfig};
+        use tensorlite::Tensor;
+
+        // Deterministic synthetic fixtures — small enough for the quick
+        // tier, big enough for several uneven mini-batches per epoch.
+        let n = 12usize;
+        let x_img = Tensor::from_vec(
+            (0..n * 3 * 32 * 32)
+                .map(|i| ((exec::mix_seed(ctx.seed, i as u64) % 255) as f32 - 127.0) / 127.0)
+                .collect(),
+            &[n, 3, 32, 32],
+        );
+        let y: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|r| {
+                (0..24)
+                    .map(|c| {
+                        // ~2/3 sparse with deterministic nonzeros.
+                        let h = exec::mix_seed(ctx.seed ^ 0xA5, (r * 24 + c) as u64);
+                        if h.is_multiple_of(3) {
+                            ((h % 1000) as f32 - 500.0) / 500.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let x_csr = CsrMatrix::from_dense_rows(&rows);
+
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 5,
+            lr: 2e-3,
+            seed: ctx.seed,
+            ..Default::default()
+        };
+        let run = |inner: &str| {
+            std::env::set_var("ELEV_INNER_THREADS", inner);
+            let mut cnn = paper_cnn(3, ctx.seed);
+            train(&mut cnn, &x_img, &y, &cfg);
+            let mut net = mlp(24, 16, 3, ctx.seed);
+            train_sparse(&mut net, &x_csr, &y, &cfg);
+            std::env::remove_var("ELEV_INNER_THREADS");
+            (weight_digest(&mut cnn), weight_digest(&mut net))
+        };
+        let (cnn1, mlp1) = run("1");
+        let (cnn4, mlp4) = run("4");
+        if cnn1 != cnn4 {
+            return Err(format!(
+                "CNN weight digest diverges: {cnn1:016x} at 1 inner thread vs {cnn4:016x} at 4"
+            ));
+        }
+        if mlp1 != mlp4 {
+            return Err(format!(
+                "sparse-MLP weight digest diverges: {mlp1:016x} at 1 inner thread vs {mlp4:016x} at 4"
+            ));
+        }
+        Ok(format!(
+            "CNN digest {cnn1:016x} and sparse-MLP digest {mlp1:016x} identical at 1 and 4 inner threads"
+        ))
     }
 }
 

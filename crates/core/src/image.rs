@@ -53,6 +53,11 @@ pub struct ImageAttackConfig {
     pub batch_size: usize,
     /// Master seed.
     pub seed: u64,
+    /// Gradient lanes per CNN mini-batch (see
+    /// [`neuralnet::TrainConfig::shards`]); `None` sizes lanes from the
+    /// two-level `ELEV_THREADS`/`ELEV_INNER_THREADS` budget. Trained
+    /// weights are bit-identical at any setting.
+    pub shards: Option<usize>,
 }
 
 impl Default for ImageAttackConfig {
@@ -65,6 +70,7 @@ impl Default for ImageAttackConfig {
             test_fraction: 0.2,
             batch_size: 32,
             seed: 0,
+            shards: None,
         }
     }
 }
@@ -161,46 +167,50 @@ pub fn train_cnn(
     method: ImageMethod,
     cfg: &ImageAttackConfig,
 ) -> Sequential {
-    let mut net = paper_cnn(n_classes.max(2), cfg.seed);
-    match method {
-        ImageMethod::UnweightedLoss | ImageMethod::WeightedLoss => {
-            let class_weights = if method == ImageMethod::WeightedLoss {
-                Some(inverse_frequency_weights(y_train, n_classes))
-            } else {
-                None
-            };
-            train(
-                &mut net,
-                x_train,
-                y_train,
-                &TrainConfig {
-                    epochs: cfg.epochs,
-                    batch_size: cfg.batch_size,
-                    lr: cfg.lr,
-                    seed: cfg.seed,
-                    class_weights,
-                },
-            );
+    timing::time(Phase::CnnTrain, || {
+        let mut net = paper_cnn(n_classes.max(2), cfg.seed);
+        match method {
+            ImageMethod::UnweightedLoss | ImageMethod::WeightedLoss => {
+                let class_weights = if method == ImageMethod::WeightedLoss {
+                    Some(inverse_frequency_weights(y_train, n_classes))
+                } else {
+                    None
+                };
+                train(
+                    &mut net,
+                    x_train,
+                    y_train,
+                    &TrainConfig {
+                        epochs: cfg.epochs,
+                        batch_size: cfg.batch_size,
+                        lr: cfg.lr,
+                        seed: cfg.seed,
+                        class_weights,
+                        shards: cfg.shards,
+                    },
+                );
+            }
+            ImageMethod::FineTune => {
+                let drops = default_drops(n_classes);
+                let rounds = make_rounds(y_train, n_classes, &drops, cfg.seed);
+                fine_tune(
+                    &mut net,
+                    x_train,
+                    y_train,
+                    &rounds,
+                    &FineTuneConfig {
+                        epochs_per_round: cfg.epochs,
+                        batch_size: cfg.batch_size,
+                        lr: cfg.lr,
+                        final_lr: cfg.final_lr,
+                        seed: cfg.seed,
+                        shards: cfg.shards,
+                    },
+                );
+            }
         }
-        ImageMethod::FineTune => {
-            let drops = default_drops(n_classes);
-            let rounds = make_rounds(y_train, n_classes, &drops, cfg.seed);
-            fine_tune(
-                &mut net,
-                x_train,
-                y_train,
-                &rounds,
-                &FineTuneConfig {
-                    epochs_per_round: cfg.epochs,
-                    batch_size: cfg.batch_size,
-                    lr: cfg.lr,
-                    final_lr: cfg.final_lr,
-                    seed: cfg.seed,
-                },
-            );
-        }
-    }
-    net
+        net
+    })
 }
 
 #[cfg(test)]

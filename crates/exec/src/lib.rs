@@ -23,9 +23,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::Mutex;
+
+thread_local! {
+    /// How many sibling workers share the machine with this thread:
+    /// the product of the worker counts of every enclosing
+    /// [`Executor::map`] fan-out. 1 on threads outside any executor.
+    static FANOUT: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The number of executor workers the current thread is one of — the
+/// product of the fan-out widths of every enclosing [`Executor::map`].
+/// Returns 1 outside any executor (or on an inline, single-worker map).
+pub fn current_fanout() -> usize {
+    FANOUT.with(Cell::get).max(1)
+}
+
+/// Splits a total thread budget across the current fan-out level:
+/// `max(1, budget / current_fanout())`. An experiment sweep running on
+/// `W` outer workers leaves each of them `budget / W` inner threads, so
+/// two-level parallelism (sweep × intra-model) never oversubscribes.
+pub fn inner_threads(budget: usize) -> usize {
+    (budget / current_fanout()).max(1)
+}
+
+/// Resolves the inner (nested) worker count: `ELEV_INNER_THREADS` when
+/// set to a positive integer, otherwise the [`threads_from_env`] budget
+/// divided by the current fan-out (see [`inner_threads`]).
+pub fn inner_threads_from_env() -> usize {
+    std::env::var("ELEV_INNER_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| inner_threads(threads_from_env()))
+}
 
 /// Derives an independent per-item RNG seed from a master seed.
 ///
@@ -73,6 +107,15 @@ impl Executor {
         Self::new(threads_from_env())
     }
 
+    /// An executor sized by [`inner_threads_from_env`] — the right
+    /// width for parallelism *nested inside* an outer `map` (e.g. the
+    /// per-shard workers of one model training inside an experiment
+    /// sweep), so the two levels together stay within the
+    /// `ELEV_THREADS` budget.
+    pub fn inner_from_env() -> Self {
+        Self::new(inner_threads_from_env())
+    }
+
     /// Configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -108,6 +151,10 @@ impl Executor {
             .map(|w| Mutex::new((w..n).step_by(workers).collect()))
             .collect();
         let (tx, rx) = mpsc::channel::<(usize, R)>();
+        // Each worker is one of `workers` siblings at this level, times
+        // however many siblings the *calling* thread already had — the
+        // figure `inner_threads` divides the budget by.
+        let child_fanout = current_fanout().saturating_mul(workers);
 
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -115,6 +162,7 @@ impl Executor {
                 let queues = &queues;
                 let f = &f;
                 scope.spawn(move || {
+                    FANOUT.with(|c| c.set(child_fanout));
                     while let Some(i) = next_task(queues, w) {
                         // Send failure means the collector is gone,
                         // i.e. a sibling panicked; stop quietly and
@@ -293,5 +341,46 @@ mod tests {
         // Only checks the parse contract, not the env itself.
         assert_eq!(Executor::new(0).threads(), 1);
         assert!(threads_from_env() >= 1);
+        assert!(inner_threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn fanout_is_one_outside_executors() {
+        assert_eq!(current_fanout(), 1);
+        assert_eq!(inner_threads(8), 8);
+    }
+
+    #[test]
+    fn workers_observe_their_fanout() {
+        let items: Vec<usize> = (0..16).collect();
+        let fanouts = Executor::new(4).map(&items, |_, _| current_fanout());
+        assert!(fanouts.iter().all(|&f| f == 4), "{fanouts:?}");
+        // Inline (single-worker) maps run on the caller and keep its fanout.
+        let inline = Executor::new(1).map(&items, |_, _| current_fanout());
+        assert!(inline.iter().all(|&f| f == 1));
+    }
+
+    #[test]
+    fn nested_fanout_multiplies_and_budget_divides() {
+        let outer: Vec<usize> = (0..4).collect();
+        let seen = Executor::new(2).map(&outer, |_, _| {
+            let inner_items: Vec<usize> = (0..4).collect();
+            let inner = Executor::new(3).map(&inner_items, |_, _| current_fanout());
+            (current_fanout(), inner_threads(12), inner)
+        });
+        for (fanout, budget, inner) in seen {
+            assert_eq!(fanout, 2);
+            assert_eq!(budget, 6); // 12 threads across 2 outer workers
+            assert!(inner.iter().all(|&f| f == 6), "{inner:?}");
+        }
+        // Back on the caller after the scope: fanout restored.
+        assert_eq!(current_fanout(), 1);
+    }
+
+    #[test]
+    fn inner_threads_never_zero() {
+        let items = [(); 3];
+        let floors = Executor::new(8).map(&items, |_, _| inner_threads(2));
+        assert!(floors.iter().all(|&f| f == 1));
     }
 }

@@ -6,6 +6,12 @@ use rand::{Rng, SeedableRng};
 use tensorlite::Tensor;
 
 /// 2-D convolution over `[N, C, H, W]` inputs.
+///
+/// Forward/backward stage each sample through a persistent im2col
+/// column buffer (`col`) and a persistent `[OC, C·K·K]` weight view
+/// (`wmat`), so steady-state training allocates only the layer's
+/// output tensors — not the ~300 KB of per-batch scratch the naive
+/// path rebuilt every call.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     w: Tensor, // [OC, C, K, K]
@@ -15,6 +21,14 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     input: Option<Tensor>,
+    /// Reused im2col column matrix `[C·K·K, OH·OW]`.
+    col: Option<Tensor>,
+    /// Reused `[OC, C·K·K]` copy of `w` (refreshed every forward).
+    wmat: Option<Tensor>,
+    /// Reused per-sample grad-output view `[OC, OH·OW]` (backward).
+    go: Option<Tensor>,
+    /// Reused dW accumulator `[OC, C·K·K]` (backward).
+    dw_acc: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -50,6 +64,10 @@ impl Conv2d {
             stride,
             padding,
             input: None,
+            col: None,
+            wmat: None,
+            go: None,
+            dw_acc: None,
         }
     }
 
@@ -68,9 +86,22 @@ impl Conv2d {
     }
 }
 
-/// Builds the im2col matrix `[C·K·K, OH·OW]` for one sample.
+/// Hands out `slot`'s tensor resized/reshaped to `shape`, reusing its
+/// allocation when the element count already matches.
+fn take_scratch(slot: &mut Option<Tensor>, shape: &[usize]) -> Tensor {
+    let want: usize = shape.iter().product();
+    match slot.take() {
+        Some(t) if t.len() == want => t.reshaped(shape),
+        _ => Tensor::zeros(shape),
+    }
+}
+
+/// Fills `col` with the im2col matrix `[C·K·K, OH·OW]` for one sample.
+/// Zero-fills first, exactly like building the matrix from
+/// `Tensor::zeros`, so padded positions stay 0.0.
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+fn im2col_into(
+    col: &mut Tensor,
     x: &[f32],
     c: usize,
     h: usize,
@@ -80,9 +111,9 @@ fn im2col(
     padding: usize,
     oh: usize,
     ow: usize,
-) -> Tensor {
-    let mut col = Tensor::zeros(&[c * k * k, oh * ow]);
+) {
     let data = col.data_mut();
+    data.fill(0.0);
     let (s, p) = (stride as isize, padding as isize);
     let mut row = 0usize;
     for ci in 0..c {
@@ -107,7 +138,6 @@ fn im2col(
             }
         }
     }
-    col
 }
 
 /// Scatter-adds a column matrix back into an image (inverse of im2col).
@@ -160,12 +190,17 @@ impl Layer for Conv2d {
         let (n, h, w) = (shape[0], shape[2], shape[3]);
         let (oh, ow) = self.out_size(h, w);
         // Weight as [OC, C·K·K]; per sample: W_mat × col = [OC, OH·OW].
-        let w_mat = self.w.clone().reshaped(&[oc, c * k * k]);
+        // The weights change every optimizer step, so the flat view is
+        // refreshed each call — into the same allocation.
+        let mut w_mat = take_scratch(&mut self.wmat, &[oc, c * k * k]);
+        w_mat.data_mut().copy_from_slice(self.w.data());
+        let mut col = take_scratch(&mut self.col, &[c * k * k, oh * ow]);
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
         let sample_in = c * h * w;
         let sample_out = oc * oh * ow;
         for ni in 0..n {
-            let col = im2col(
+            im2col_into(
+                &mut col,
                 &input.data()[ni * sample_in..(ni + 1) * sample_in],
                 c, h, w, k, self.stride, self.padding, oh, ow,
             );
@@ -180,8 +215,10 @@ impl Layer for Conv2d {
                 }
             }
         }
+        self.wmat = Some(w_mat);
+        self.col = Some(col);
         if train {
-            self.input = Some(input.clone());
+            crate::layer::cache_assign(&mut self.input, input);
         }
         out
     }
@@ -191,20 +228,24 @@ impl Layer for Conv2d {
         let (oc, c, k) = self.dims();
         let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
         let (oh, ow) = (grad_output.shape()[2], grad_output.shape()[3]);
-        let w_mat = self.w.clone().reshaped(&[oc, c * k * k]);
+        // `wmat` was refreshed by the forward pass of this step and the
+        // weights have not changed since.
+        let w_mat = self.wmat.as_ref().expect("backward before forward(train=true)");
         let mut dx = Tensor::zeros(&[n, c, h, w]);
         let sample_in = c * h * w;
         let sample_out = oc * oh * ow;
-        let mut dw_acc = Tensor::zeros(&[oc, c * k * k]);
+        let mut col = take_scratch(&mut self.col, &[c * k * k, oh * ow]);
+        let mut go = take_scratch(&mut self.go, &[oc, oh * ow]);
+        let mut dw_acc = take_scratch(&mut self.dw_acc, &[oc, c * k * k]);
+        dw_acc.data_mut().fill(0.0);
         for ni in 0..n {
-            let col = im2col(
+            im2col_into(
+                &mut col,
                 &input.data()[ni * sample_in..(ni + 1) * sample_in],
                 c, h, w, k, self.stride, self.padding, oh, ow,
             );
-            let go = Tensor::from_vec(
-                grad_output.data()[ni * sample_out..(ni + 1) * sample_out].to_vec(),
-                &[oc, oh * ow],
-            );
+            go.data_mut()
+                .copy_from_slice(&grad_output.data()[ni * sample_out..(ni + 1) * sample_out]);
             // dW += dY × colᵀ ; db += row sums of dY ; dcol = Wᵀ × dY.
             // Both transposes are fused into the kernels — no [C·K²,
             // OH·OW] or [C·K², OC] copies per sample.
@@ -220,13 +261,30 @@ impl Layer for Conv2d {
                 c, h, w, k, self.stride, self.padding, oh, ow,
             );
         }
-        self.dw.add_assign(&dw_acc.reshaped(&[oc, c, k, k]));
+        for (d, &s) in self.dw.data_mut().iter_mut().zip(dw_acc.data()) {
+            *d += s;
+        }
+        self.col = Some(col);
+        self.go = Some(go);
+        self.dw_acc = Some(dw_acc);
         dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         f(&mut self.w, &mut self.dw);
         f(&mut self.b, &mut self.db);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.input = None;
+        self.col = None;
+        self.wmat = None;
+        self.go = None;
+        self.dw_acc = None;
     }
 }
 
@@ -260,9 +318,18 @@ impl Layer for MaxPool2d {
         let oh = (h - self.kernel) / self.stride + 1;
         let ow = (w - self.kernel) / self.stride + 1;
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
         let x = input.data();
         let out_data = out.data_mut();
+        // Argmax indices are only needed for backward; inference skips
+        // recording them. The buffer persists across training batches.
+        let mut argmax = if train {
+            let mut a = self.argmax.take().unwrap_or_default();
+            a.clear();
+            a.resize(n * c * oh * ow, 0);
+            Some(a)
+        } else {
+            None
+        };
         for ni in 0..n {
             for ci in 0..c {
                 for oy in 0..oh {
@@ -282,13 +349,15 @@ impl Layer for MaxPool2d {
                         }
                         let oi = ((ni * c + ci) * oh + oy) * ow + ox;
                         out_data[oi] = best;
-                        argmax[oi] = best_i;
+                        if let Some(a) = argmax.as_mut() {
+                            a[oi] = best_i;
+                        }
                     }
                 }
             }
         }
         if train {
-            self.argmax = Some(argmax);
+            self.argmax = argmax;
             self.input_shape = Some(shape.to_vec());
         }
         out
@@ -306,6 +375,15 @@ impl Layer for MaxPool2d {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.argmax = None;
+        self.input_shape = None;
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 //! classes first, all classes last), carrying parameters across rounds
 //! and optionally lowering the learning rate for the final round.
 
-use crate::net::{gather_samples, train_with_optimizer, Sequential, TrainConfig, TrainReport};
+use crate::arena::TrainArena;
+use crate::net::{gather_samples, train_in_arena, Sequential, TrainConfig, TrainReport};
 use crate::optim::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -103,11 +104,20 @@ pub struct FineTuneConfig {
     pub final_lr: f32,
     /// Shuffle seed.
     pub seed: u64,
+    /// Gradient lanes per mini-batch (see [`TrainConfig::shards`]).
+    pub shards: Option<usize>,
 }
 
 impl Default for FineTuneConfig {
     fn default() -> Self {
-        Self { epochs_per_round: 30, batch_size: 32, lr: 1e-3, final_lr: 1e-3, seed: 0 }
+        Self {
+            epochs_per_round: 30,
+            batch_size: 32,
+            lr: 1e-3,
+            final_lr: 1e-3,
+            seed: 0,
+            shards: None,
+        }
     }
 }
 
@@ -123,6 +133,10 @@ pub fn fine_tune(
     config: &FineTuneConfig,
 ) -> Vec<TrainReport> {
     let mut adam = Adam::new(config.lr);
+    // One arena across all rounds: the lane replicas and staging
+    // buffers are sized by the (fixed) network, so every round after
+    // the first trains allocation-free in steady state.
+    let mut arena = TrainArena::new();
     let mut reports = Vec::with_capacity(rounds.len());
     for (step, round) in rounds.iter().rev().enumerate() {
         let is_last = step + 1 == rounds.len();
@@ -134,8 +148,9 @@ pub fn fine_tune(
             lr: if is_last { config.final_lr } else { config.lr },
             seed: config.seed.wrapping_add(step as u64),
             class_weights: None,
+            shards: config.shards,
         };
-        reports.push(train_with_optimizer(net, &xb, &yb, &cfg, &mut adam));
+        reports.push(train_in_arena(net, &xb, &yb, &cfg, &mut adam, &mut arena));
     }
     reports
 }

@@ -10,7 +10,10 @@ use tensorlite::Tensor;
 /// `forward` caches whatever `backward` needs; `backward` receives the
 /// loss gradient w.r.t. the layer's output, accumulates parameter
 /// gradients internally, and returns the gradient w.r.t. its input.
-pub trait Layer {
+///
+/// `Send` so whole networks can move to (or be replicated onto) the
+/// sharded trainer's worker threads.
+pub trait Layer: Send {
     /// Forward pass. `train` enables training-only caching.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
@@ -32,6 +35,42 @@ pub trait Layer {
     fn zero_grad(&mut self) {
         self.visit_params(&mut |_, g| g.scale(0.0));
     }
+
+    /// Clones the layer — parameters, gradients, and caches — into a
+    /// boxed trait object. The sharded trainer uses this to build one
+    /// replica network per lane.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Drops any persistent scratch buffers (im2col columns, argmax
+    /// maps, cached inputs) so the next forward pass re-allocates them.
+    /// Benchmarks call this to emulate the pre-arena allocation
+    /// behavior; it never changes computed values.
+    fn reset_scratch(&mut self) {}
+
+    /// Whether running samples through this layer one at a time (with
+    /// `train=true`) produces bit-identical activations and parameter
+    /// gradients to running them as one batch. True for every stateless
+    /// or per-row layer; false for layers that consume an RNG stream
+    /// per forward call (dropout), which the sharded trainer must not
+    /// split.
+    fn per_sample_deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// Stores `src` in `slot`, reusing the existing allocation when the
+/// element count matches (shapes may differ, e.g. the last short batch
+/// of an epoch).
+pub(crate) fn cache_assign(slot: &mut Option<Tensor>, src: &Tensor) {
+    if let Some(t) = slot.take() {
+        if t.len() == src.len() {
+            let mut t = t.reshaped(src.shape());
+            t.data_mut().copy_from_slice(src.data());
+            *slot = Some(t);
+            return;
+        }
+    }
+    *slot = Some(src.clone());
 }
 
 /// Fully-connected layer: `Y = X·W + b`.
@@ -104,7 +143,7 @@ impl Layer for Dense {
         assert_eq!(input.shape()[1], self.in_dim(), "dense input width");
         let out = input.matmul_add_bias(&self.w, self.b.data());
         if train {
-            self.input = Some(input.clone());
+            cache_assign(&mut self.input, input);
             self.sparse_input = None;
         }
         out
@@ -169,6 +208,15 @@ impl Layer for Dense {
         f(&mut self.w, &mut self.dw);
         f(&mut self.b, &mut self.db);
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.input = None;
+        self.sparse_input = None;
+    }
 }
 
 /// Rectified linear unit.
@@ -187,7 +235,9 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if train {
-            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+            let mask = self.mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            mask.extend(input.data().iter().map(|&x| x > 0.0));
         }
         input.map(|x| x.max(0.0))
     }
@@ -204,6 +254,14 @@ impl Layer for Relu {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.mask = None;
+    }
 }
 
 /// Inverted dropout: during training, zeroes each activation with
@@ -264,6 +322,20 @@ impl Layer for Dropout {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.mask = None;
+    }
+
+    /// Dropout draws from its RNG once per forward call, so batch-split
+    /// replays consume the stream differently than the whole batch.
+    fn per_sample_deterministic(&self) -> bool {
+        self.p == 0.0
+    }
 }
 
 /// Flattens `[N, ...]` to `[N, prod]`.
@@ -295,6 +367,14 @@ impl Layer for Flatten {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        self.input_shape = None;
+    }
 }
 
 #[cfg(test)]

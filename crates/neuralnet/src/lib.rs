@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod conv;
 pub mod finetune;
 pub mod layer;
@@ -46,10 +47,11 @@ pub mod snapshot;
 
 mod net;
 
+pub use arena::TrainArena;
 pub use layer::{Dense, Dropout, Flatten, Layer, Relu};
 pub use net::{
-    gather_samples, train, train_sparse, train_sparse_with_optimizer, train_with_optimizer,
-    Sequential, TrainConfig, TrainReport,
+    gather_samples, shard_ranges, train, train_in_arena, train_sparse, train_sparse_in_arena,
+    train_sparse_with_optimizer, train_with_optimizer, Sequential, TrainConfig, TrainReport,
 };
 pub use optim::{Adam, Sgd};
 pub use snapshot::{ArchSpec, NetSnapshot};

@@ -41,6 +41,48 @@ pub fn cross_entropy(
     labels: &[u32],
     class_weights: Option<&[f32]>,
 ) -> (f32, Tensor) {
+    let norm = weight_norm(labels, class_weights);
+    let (raw, grad) = cross_entropy_with_norm(logits, labels, class_weights, norm);
+    (raw / norm, grad)
+}
+
+/// The batch normalizer `Σᵢ w[yᵢ]` (or the sample count without
+/// weights), folded in sample order; clamped to 1 when all weights are
+/// zero. Exposed so the sharded trainer can compute one batch-wide norm
+/// and then score each sample chunk independently with
+/// [`cross_entropy_with_norm`].
+pub fn weight_norm(labels: &[u32], class_weights: Option<&[f32]>) -> f32 {
+    let mut weight_sum = 0.0f32;
+    for &label in labels {
+        weight_sum += class_weights.map_or(1.0, |cw| cw[label as usize]);
+    }
+    if weight_sum > 0.0 {
+        weight_sum
+    } else {
+        1.0
+    }
+}
+
+/// [`cross_entropy`] against an externally supplied normalizer.
+///
+/// Returns `(raw_loss, grad_logits)` where `raw_loss` is the
+/// *unnormalized* `Σᵢ w[yᵢ]·(−log pᵢ[yᵢ])` over these rows (the caller
+/// divides by `norm` once — per-chunk division would change the
+/// float-op sequence) while `grad_logits` is already scaled by
+/// `1/norm`. Every per-row operation is row-local, so evaluating a
+/// batch one row at a time produces bit-identical gradient rows and
+/// raw-loss terms to evaluating it whole.
+///
+/// # Panics
+///
+/// Panics if shapes disagree, a label is out of range, or a weight
+/// vector of the wrong length is supplied.
+pub fn cross_entropy_with_norm(
+    logits: &Tensor,
+    labels: &[u32],
+    class_weights: Option<&[f32]>,
+    norm: f32,
+) -> (f32, Tensor) {
     let (n, c) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(labels.len(), n, "one label per row");
     if let Some(w) = class_weights {
@@ -49,11 +91,9 @@ pub fn cross_entropy(
     let probs = softmax(logits);
     let mut grad = probs.clone();
     let mut loss = 0.0f32;
-    let mut weight_sum = 0.0f32;
     for (r, &label) in labels.iter().enumerate() {
         assert!((label as usize) < c, "label {label} out of range for {c} classes");
         let w = class_weights.map_or(1.0, |cw| cw[label as usize]);
-        weight_sum += w;
         let p = probs.data()[r * c + label as usize].max(1e-12);
         loss += -p.ln() * w;
         // grad row = w * (softmax - onehot); normalized below.
@@ -63,9 +103,8 @@ pub fn cross_entropy(
             *v *= w;
         }
     }
-    let norm = if weight_sum > 0.0 { weight_sum } else { 1.0 };
     grad.scale(1.0 / norm);
-    (loss / norm, grad)
+    (loss, grad)
 }
 
 /// Inverse-frequency class weights: `w_c = N / (C · count_c)`.

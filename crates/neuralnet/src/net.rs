@@ -1,12 +1,14 @@
 //! Sequential networks and the mini-batch training loop.
 
+use crate::arena::TrainArena;
+use crate::loss::{cross_entropy_with_norm, weight_norm};
 use crate::layer::Layer;
-use crate::loss::cross_entropy;
 use crate::optim::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sparsemat::CsrMatrix;
+use std::time::Instant;
 use tensorlite::Tensor;
 
 /// A stack of layers applied in order.
@@ -17,6 +19,12 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self { layers: self.layers.iter().map(|l| l.clone_box()).collect() }
     }
 }
 
@@ -80,12 +88,57 @@ impl Sequential {
             })
             .collect()
     }
+
+    /// Appends every parameter tensor, in `visit_params` order, to a
+    /// flat buffer (cleared first). The sharded trainer broadcasts this
+    /// image to its lane replicas each step.
+    pub(crate) fn export_params(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |p, _| out.extend_from_slice(p.data()));
+    }
+
+    /// Overwrites every parameter from a flat buffer written by
+    /// [`export_params`](Self::export_params) on a structurally
+    /// identical network.
+    pub(crate) fn import_params(&mut self, src: &[f32]) {
+        let mut off = 0usize;
+        self.visit_params(&mut |p, _| {
+            let n = p.len();
+            p.data_mut().copy_from_slice(&src[off..off + n]);
+            off += n;
+        });
+        debug_assert_eq!(off, src.len(), "parameter count mismatch");
+    }
+
+    /// Appends every gradient tensor, in `visit_params` order, to a
+    /// flat buffer (without clearing — lanes append one image per
+    /// sample).
+    pub(crate) fn export_grads(&mut self, out: &mut Vec<f32>) {
+        self.visit_params(&mut |_, g| out.extend_from_slice(g.data()));
+    }
+
+    /// Adds a flat gradient image (visit order) onto the network's
+    /// accumulated gradients.
+    pub(crate) fn add_grads(&mut self, src: &[f32]) {
+        let mut off = 0usize;
+        self.visit_params(&mut |_, g| {
+            let n = g.len();
+            for (d, &s) in g.data_mut().iter_mut().zip(&src[off..off + n]) {
+                *d += s;
+            }
+            off += n;
+        });
+        debug_assert_eq!(off, src.len(), "gradient count mismatch");
+    }
 }
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut cur = input.clone();
-        for layer in &mut self.layers {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return input.clone();
+        };
+        let mut cur = first.forward(input, train);
+        for layer in rest {
             cur = layer.forward(&cur, train);
         }
         cur
@@ -108,8 +161,11 @@ impl Layer for Sequential {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut grad = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let Some((last, rest)) = self.layers.split_last_mut() else {
+            return grad_output.clone();
+        };
+        let mut grad = last.backward(grad_output);
+        for layer in rest.iter_mut().rev() {
             grad = layer.backward(&grad);
         }
         grad
@@ -119,6 +175,20 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.visit_params(f);
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn reset_scratch(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset_scratch();
+        }
+    }
+
+    fn per_sample_deterministic(&self) -> bool {
+        self.layers.iter().all(|l| l.per_sample_deterministic())
     }
 }
 
@@ -135,25 +205,48 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Optional per-class loss weights (the paper's weighted loss).
     pub class_weights: Option<Vec<f32>>,
+    /// Number of parallel gradient lanes per mini-batch (dense path).
+    /// `None` sizes lanes from [`exec::inner_threads_from_env`]. Either
+    /// way the trained weights are bit-identical to the serial loop —
+    /// per-sample gradients are reduced in global sample order — so
+    /// this only trades memory for wall-clock.
+    pub shards: Option<usize>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 50, batch_size: 32, lr: 1e-3, seed: 0, class_weights: None }
+        Self { epochs: 50, batch_size: 32, lr: 1e-3, seed: 0, class_weights: None, shards: None }
     }
 }
 
 /// Per-epoch training record.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only `epoch_losses`: wall-clock timings are
+/// machine-dependent and excluded so determinism tests can compare
+/// whole reports.
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Mean loss of each epoch.
     pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds spent in each epoch.
+    pub epoch_seconds: Vec<f64>,
+}
+
+impl PartialEq for TrainReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch_losses == other.epoch_losses
+    }
 }
 
 impl TrainReport {
     /// Loss of the final epoch.
     pub fn final_loss(&self) -> f32 {
         *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    }
+
+    /// Total wall-clock seconds across all epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.epoch_seconds.iter().sum()
     }
 }
 
@@ -180,34 +273,160 @@ pub fn train_with_optimizer(
     config: &TrainConfig,
     adam: &mut Adam,
 ) -> TrainReport {
+    train_in_arena(net, x, y, config, adam, &mut TrainArena::new())
+}
+
+/// Largest `n_params × batch_size` (in floats) the sharded trainer will
+/// stage per-sample gradients for: 2²⁴ floats = 64 MB. Beyond that the
+/// staging traffic outweighs the parallel compute and the serial loop
+/// is used instead.
+const MAX_STAGE_FLOATS: usize = 1 << 24;
+
+/// Splits `n` samples into `shards` contiguous ranges whose sizes
+/// differ by at most one (longer shards first). A pure function of its
+/// arguments — shard boundaries never depend on the machine's thread
+/// count, only on how many worker threads pick the shards up.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// The dense training loop against caller-owned optimizer *and* arena,
+/// so repeated fits (fine-tuning rounds, threat-model sweeps) reuse
+/// every scratch allocation.
+///
+/// When the network is [per-sample deterministic]
+/// (crate::Layer::per_sample_deterministic), more than one lane is
+/// requested (`config.shards`, default [`exec::inner_threads_from_env`])
+/// and the staging buffers fit the [`MAX_STAGE_FLOATS`] cap, each
+/// mini-batch fans out across `Executor` lanes: every lane replays its
+/// contiguous shard of the batch one sample at a time into a per-sample
+/// gradient stage, and the main thread folds the stages in global
+/// sample order. Because every kernel accumulates ascending over the
+/// sample axis from +0.0, that fold reproduces the serial batch
+/// gradient bit for bit — the trained weights are identical at any
+/// `ELEV_THREADS`/`ELEV_INNER_THREADS`/shard setting.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` disagree on the sample count, the batch size
+/// is zero, or `x` is empty.
+pub fn train_in_arena(
+    net: &mut Sequential,
+    x: &Tensor,
+    y: &[u32],
+    config: &TrainConfig,
+    adam: &mut Adam,
+    arena: &mut TrainArena,
+) -> TrainReport {
     let n = x.shape()[0];
     assert_eq!(n, y.len(), "one label per sample");
     assert!(config.batch_size > 0, "batch size must be positive");
     assert!(n > 0, "cannot train on an empty dataset");
     adam.set_lr(config.lr);
 
+    let inner = exec::Executor::inner_from_env();
+    let lanes_req = config.shards.unwrap_or_else(|| inner.threads()).max(1);
+    let n_params = net.n_params();
+    let staged = lanes_req > 1
+        && net.per_sample_deterministic()
+        && n_params.saturating_mul(config.batch_size.min(n)) <= MAX_STAGE_FLOATS;
+    let cw = config.class_weights.as_deref();
+
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut epoch_seconds = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
+        let t0 = Instant::now();
         order.shuffle(&mut rng);
         let mut total = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {
-            let xb = gather_samples(x, chunk);
-            let yb: Vec<u32> = chunk.iter().map(|&i| y[i]).collect();
-            net.zero_grad();
-            let logits = net.forward(&xb, true);
-            let (loss, grad) =
-                cross_entropy(&logits, &yb, config.class_weights.as_deref());
-            net.backward(&grad);
+            arena.fill_labels(chunk, y);
+            let norm = weight_norm(arena.labels(), cw);
+            let raw = if staged && chunk.len() > 1 {
+                staged_step(net, x, chunk, cw, norm, lanes_req, inner, n_params, arena)
+            } else {
+                serial_step(net, x, chunk, cw, norm, arena)
+            };
             adam.step(net);
-            total += loss;
+            total += raw / norm;
             batches += 1;
         }
         epoch_losses.push(total / batches.max(1) as f32);
+        epoch_seconds.push(t0.elapsed().as_secs_f64());
     }
-    TrainReport { epoch_losses }
+    TrainReport { epoch_losses, epoch_seconds }
+}
+
+/// One serial mini-batch step; returns the unnormalized batch loss.
+/// Identical arithmetic to the original training loop — the batch is
+/// gathered (into the arena's reused buffer), forwarded whole, and the
+/// backward pass accumulates gradients in place.
+fn serial_step(
+    net: &mut Sequential,
+    x: &Tensor,
+    chunk: &[usize],
+    cw: Option<&[f32]>,
+    norm: f32,
+    arena: &mut TrainArena,
+) -> f32 {
+    let xb = arena.gather(x, chunk);
+    net.zero_grad();
+    let logits = net.forward(&xb, true);
+    let (raw, grad) = cross_entropy_with_norm(&logits, arena.labels(), cw, norm);
+    net.backward(&grad);
+    arena.recycle(xb);
+    raw
+}
+
+/// One sharded mini-batch step; returns the unnormalized batch loss
+/// (folded in global sample order). Lanes replay disjoint contiguous
+/// shards of the batch per sample against a broadcast weight image;
+/// the main thread reduces the per-sample gradient stages ascending.
+#[allow(clippy::too_many_arguments)]
+fn staged_step(
+    net: &mut Sequential,
+    x: &Tensor,
+    chunk: &[usize],
+    cw: Option<&[f32]>,
+    norm: f32,
+    lanes_req: usize,
+    inner: exec::Executor,
+    n_params: usize,
+    arena: &mut TrainArena,
+) -> f32 {
+    let n_lanes = lanes_req.min(chunk.len());
+    arena.ensure_lanes(net, n_lanes);
+    net.export_params(arena.weight_stage_mut());
+    let ranges = shard_ranges(chunk.len(), n_lanes);
+
+    {
+        let (lanes, weights, labels) = arena.lane_view(n_lanes);
+        let exec = exec::Executor::new(inner.threads().min(n_lanes));
+        exec.map(&ranges, |j, range| {
+            let mut lane = lanes[j].lock().expect("lane lock");
+            lane.run(range.clone(), x, chunk, labels, cw, norm, weights, n_params);
+        });
+    }
+
+    // Fixed-order reduction: lanes ascending, samples within each lane
+    // ascending — i.e. global sample order, independent of which worker
+    // thread ran which lane (or how many workers there were).
+    let raw = arena.reduce(n_lanes, n_params);
+    net.zero_grad();
+    net.add_grads(arena.grad_accum());
+    raw
 }
 
 /// [`train`] over CSR feature rows: mini-batches are gathered as CSR
@@ -239,34 +458,62 @@ pub fn train_sparse_with_optimizer(
     config: &TrainConfig,
     adam: &mut Adam,
 ) -> TrainReport {
+    train_sparse_in_arena(net, x, y, config, adam, &mut TrainArena::new())
+}
+
+/// The sparse training loop against a caller-owned optimizer and arena.
+///
+/// Stays sample-serial regardless of `config.shards`: the sparse
+/// backward touches only the nonzero rows of `dW`, so staging a dense
+/// per-sample gradient image would cost orders of magnitude more than
+/// the compute it parallelizes. Serial execution is trivially
+/// independent of thread count, which is what the determinism
+/// invariant checks.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` disagree on the sample count, the batch size
+/// is zero, `x` is empty, or the network has no layers.
+pub fn train_sparse_in_arena(
+    net: &mut Sequential,
+    x: &CsrMatrix,
+    y: &[u32],
+    config: &TrainConfig,
+    adam: &mut Adam,
+    arena: &mut TrainArena,
+) -> TrainReport {
     let n = x.n_rows();
     assert_eq!(n, y.len(), "one label per sample");
     assert!(config.batch_size > 0, "batch size must be positive");
     assert!(n > 0, "cannot train on an empty dataset");
     adam.set_lr(config.lr);
+    let cw = config.class_weights.as_deref();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut epoch_seconds = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
+        let t0 = Instant::now();
         order.shuffle(&mut rng);
         let mut total = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {
             let xb = x.gather(chunk);
-            let yb: Vec<u32> = chunk.iter().map(|&i| y[i]).collect();
+            arena.fill_labels(chunk, y);
+            let norm = weight_norm(arena.labels(), cw);
             net.zero_grad();
             let logits = net.forward_sparse(&xb, true).expect("empty network");
-            let (loss, grad) =
-                cross_entropy(&logits, &yb, config.class_weights.as_deref());
+            let (raw, grad) = cross_entropy_with_norm(&logits, arena.labels(), cw, norm);
             net.backward(&grad);
             adam.step(net);
-            total += loss;
+            total += raw / norm;
             batches += 1;
         }
         epoch_losses.push(total / batches.max(1) as f32);
+        epoch_seconds.push(t0.elapsed().as_secs_f64());
     }
-    TrainReport { epoch_losses }
+    TrainReport { epoch_losses, epoch_seconds }
 }
 
 /// Gathers samples along the leading axis.
@@ -368,5 +615,168 @@ mod tests {
     fn rejects_label_mismatch() {
         let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, 1)) as Box<dyn Layer>]);
         train(&mut net, &Tensor::zeros(&[3, 2]), &[0, 1], &TrainConfig::default());
+    }
+
+    /// Bit patterns of every parameter, for exact comparisons.
+    fn weight_bits(net: &mut Sequential) -> Vec<u32> {
+        let mut bits = Vec::new();
+        net.visit_params(&mut |p, _| bits.extend(p.data().iter().map(|v| v.to_bits())));
+        bits
+    }
+
+    #[test]
+    fn shard_ranges_partition_contiguously_and_balanced() {
+        for n in [0usize, 1, 2, 5, 31, 32, 33, 100] {
+            for shards in [1usize, 2, 3, 7, 8, 64] {
+                let ranges = shard_ranges(n, shards);
+                // Contiguous cover of 0..n in order.
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n={n} shards={shards}");
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "n={n} shards={shards} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_ignore_thread_environment() {
+        // Boundaries are a pure function of (n, shards): recomputing
+        // them under any executor fan-out yields the same answer as on
+        // the caller's thread, so a machine's core count (or
+        // ELEV_THREADS) can never move a sample between shards.
+        let expect = shard_ranges(37, 5);
+        for workers in [1usize, 2, 4, 8] {
+            let inside =
+                exec::Executor::new(workers).map(&[(); 3], |_, _| shard_ranges(37, 5));
+            for got in inside {
+                assert_eq!(got, expect, "workers={workers}");
+            }
+        }
+    }
+
+    /// The tentpole guarantee: the staged (sharded) trainer reproduces
+    /// the serial trainer's weights *bit for bit*, at every lane count.
+    #[test]
+    fn staged_training_is_bit_identical_to_serial() {
+        let (x, y) = two_blob_data(13); // 26 samples → uneven batches
+        let make = || {
+            Sequential::new(vec![
+                Box::new(Dense::new(2, 8, 7)) as Box<dyn Layer>,
+                Box::new(Relu::new()),
+                Box::new(Dense::new(8, 2, 8)),
+            ])
+        };
+        let base_cfg =
+            TrainConfig { epochs: 4, batch_size: 8, lr: 0.01, shards: Some(1), ..Default::default() };
+        let mut serial = make();
+        let r0 = train(&mut serial, &x, &y, &base_cfg);
+        let expect = weight_bits(&mut serial);
+        for lanes in [2usize, 3, 8] {
+            let mut net = make();
+            let cfg = TrainConfig { shards: Some(lanes), ..base_cfg.clone() };
+            let r = train(&mut net, &x, &y, &cfg);
+            assert_eq!(r.epoch_losses, r0.epoch_losses, "lanes={lanes}");
+            assert_eq!(weight_bits(&mut net), expect, "lanes={lanes}");
+        }
+    }
+
+    /// Same guarantee for the conv stack (the paper CNN's layer types),
+    /// including class weights in the loss.
+    #[test]
+    fn staged_cnn_training_matches_serial_bitwise() {
+        use crate::models::paper_cnn;
+        // 12 tiny images, 3 classes, unbalanced so weights matter.
+        let n = 12usize;
+        let x = Tensor::from_vec(
+            (0..n * 3 * 32 * 32).map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.02).collect(),
+            &[n, 3, 32, 32],
+        );
+        let y: Vec<u32> = (0..n as u32).map(|i| if i < 7 { 0 } else if i < 11 { 1 } else { 2 }).collect();
+        let cw = crate::loss::inverse_frequency_weights(&y, 3);
+        let base_cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 5,
+            lr: 2e-3,
+            class_weights: Some(cw),
+            shards: Some(1),
+            ..Default::default()
+        };
+        let mut serial = paper_cnn(3, 0);
+        let r0 = train(&mut serial, &x, &y, &base_cfg);
+        let expect = weight_bits(&mut serial);
+        for lanes in [2usize, 4] {
+            let mut net = paper_cnn(3, 0);
+            let cfg = TrainConfig { shards: Some(lanes), ..base_cfg.clone() };
+            let r = train(&mut net, &x, &y, &cfg);
+            assert_eq!(r.epoch_losses, r0.epoch_losses, "lanes={lanes}");
+            assert_eq!(weight_bits(&mut net), expect, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn dropout_networks_fall_back_to_the_serial_path() {
+        use crate::layer::Dropout;
+        // A dropout net is not per-sample deterministic; the trainer
+        // must keep the whole-batch path so the RNG stream is consumed
+        // exactly as in the serial loop.
+        let (x, y) = two_blob_data(8);
+        let make = || {
+            Sequential::new(vec![
+                Box::new(Dense::new(2, 8, 3)) as Box<dyn Layer>,
+                Box::new(Dropout::new(0.4, 9)),
+                Box::new(Dense::new(8, 2, 4)),
+            ])
+        };
+        assert!(!make().per_sample_deterministic());
+        let mut a = make();
+        let mut b = make();
+        let ra = train(&mut a, &x, &y, &TrainConfig { epochs: 3, shards: Some(1), ..Default::default() });
+        let rb = train(&mut b, &x, &y, &TrainConfig { epochs: 3, shards: Some(4), ..Default::default() });
+        assert_eq!(ra, rb);
+        assert_eq!(weight_bits(&mut a), weight_bits(&mut b));
+    }
+
+    #[test]
+    fn arena_reuse_across_fits_changes_nothing() {
+        use crate::arena::TrainArena;
+        use crate::optim::Adam;
+        let (x, y) = two_blob_data(10);
+        let make = || {
+            Sequential::new(vec![
+                Box::new(Dense::new(2, 4, 5)) as Box<dyn Layer>,
+                Box::new(Relu::new()),
+                Box::new(Dense::new(4, 2, 6)),
+            ])
+        };
+        let cfg = TrainConfig { epochs: 3, batch_size: 4, shards: Some(2), ..Default::default() };
+        // Fresh arena per fit vs one arena across two fits.
+        let mut n1 = make();
+        train_with_optimizer(&mut n1, &x, &y, &cfg, &mut Adam::new(cfg.lr));
+        let expect = weight_bits(&mut n1);
+        let mut arena = TrainArena::new();
+        let mut n2 = make();
+        train_in_arena(&mut n2, &x, &y, &cfg, &mut Adam::new(cfg.lr), &mut arena);
+        assert_eq!(weight_bits(&mut n2), expect);
+        let mut n3 = make();
+        train_in_arena(&mut n3, &x, &y, &cfg, &mut Adam::new(cfg.lr), &mut arena);
+        assert_eq!(weight_bits(&mut n3), expect);
+    }
+
+    #[test]
+    fn train_report_timing_is_recorded_but_not_compared() {
+        let (x, y) = two_blob_data(5);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, 1)) as Box<dyn Layer>]);
+        let r = train(&mut net, &x, &y, &TrainConfig { epochs: 3, ..Default::default() });
+        assert_eq!(r.epoch_seconds.len(), 3);
+        assert!(r.total_seconds() >= 0.0);
+        let mut other = r.clone();
+        other.epoch_seconds = vec![999.0; 3];
+        assert_eq!(r, other, "equality ignores wall-clock");
     }
 }

@@ -44,23 +44,29 @@ if has conformance; then
 fi
 
 if has bench; then
-    echo "== kernel bench smoke (BENCH_QUICK=1) =="
-    saved=""
-    if [ -f BENCH_kernels.json ]; then
-        saved="$(mktemp)"
-        cp BENCH_kernels.json "$saved"
-    fi
-    BENCH_QUICK=1 cargo bench -q -p bench --bench kernels
-    test -s BENCH_kernels.json
-    if command -v jq >/dev/null 2>&1; then
-        jq -e '.suite == "kernels" and (.benches | length > 0)' BENCH_kernels.json >/dev/null
-    else
-        python3 -c 'import json; r = json.load(open("BENCH_kernels.json")); assert r["suite"] == "kernels" and r["benches"]'
-    fi
-    # The smoke overwrites the committed full-mode numbers; restore them.
-    if [ -n "$saved" ]; then
-        mv "$saved" BENCH_kernels.json
-    fi
+    echo "== bench smoke (BENCH_QUICK=1) =="
+    for suite in kernels train; do
+        json="BENCH_$suite.json"
+        saved=""
+        if [ -f "$json" ]; then
+            saved="$(mktemp)"
+            cp "$json" "$saved"
+        fi
+        BENCH_QUICK=1 cargo bench -q -p bench --bench "$suite"
+        test -s "$json"
+        if command -v jq >/dev/null 2>&1; then
+            jq -e --arg s "$suite" \
+                '.suite == $s and (.benches | length > 0)' "$json" >/dev/null
+        else
+            suite="$suite" json="$json" python3 -c 'import json, os
+r = json.load(open(os.environ["json"]))
+assert r["suite"] == os.environ["suite"] and r["benches"]'
+        fi
+        # The smoke overwrites the committed full-mode numbers; restore.
+        if [ -n "$saved" ]; then
+            mv "$saved" "$json"
+        fi
+    done
 fi
 
 if has smoke; then
