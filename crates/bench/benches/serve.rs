@@ -1,0 +1,259 @@
+//! Serving-path benchmarks for the deterministic inference server.
+//!
+//! Written to `BENCH_serve.json` at the repository root (same schema
+//! as `BENCH_train.json` / `BENCH_kernels.json`):
+//!
+//! 1. the steady-state classify path (cached BoW → SVM + forest + MLP
+//!    for both tasks), with the zero-allocation claim asserted under a
+//!    counting allocator before the server ever starts;
+//! 2. the offline `report_json` path (ingest → featurize → classify →
+//!    render) as the in-process reference point;
+//! 3. request latency through the real server at 1, 4 and 16
+//!    concurrent keep-alive clients — seeded request streams, p50/p99
+//!    latency and aggregate QPS, with every served body asserted equal
+//!    to the offline report.
+//!
+//! Run with `cargo bench -p bench --bench serve`; `BENCH_QUICK=1` for
+//! the smoke. Absolute numbers track the host; the note on each entry
+//! records the request volume and core count so they stay
+//! interpretable across machines.
+
+use elev_core::ingest::{ingest_one, IngestConfig, TrackSource};
+use routegen::AthleteSimulator;
+use serve::client::HttpClient;
+use serve::{BundleConfig, InferenceArena, ModelBundle, ServeConfig, Server};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use terrain::{CityId, SyntheticTerrain};
+
+/// `System`, plus a process-wide allocation counter backing the
+/// zero-alloc assertion on the classify path.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Every fixture and request stream in this suite derives from this.
+const SEED: u64 = 0x5E1F_BE4C;
+
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ServeBench {
+    name: String,
+    baseline_s: Option<f64>,
+    optimized_s: f64,
+    speedup: Option<f64>,
+    note: String,
+}
+
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    suite: String,
+    quick: bool,
+    samples: usize,
+    benches: Vec<ServeBench>,
+}
+
+/// `p` in [0, 1] over an unsorted sample set (nearest-rank).
+fn percentile(latencies: &mut [f64], p: f64) -> f64 {
+    latencies.sort_unstable_by(f64::total_cmp);
+    let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1]
+}
+
+/// Median wall-clock seconds of `f` over `samples` runs (one warm-up).
+fn median_s<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+    let samples = if quick { 20 } else { 200 };
+    let per_client = if quick { 40 } else { 250 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut benches = Vec::new();
+    println!("serve suite (quick={quick}, {per_client} requests per client, {cores} cores)");
+
+    // Deterministic clean uploads (same generation path as the serve
+    // test harness) and the bundle that classifies them.
+    let mut sim = AthleteSimulator::new(SyntheticTerrain::new(SEED), SEED);
+    let docs: Vec<Vec<u8>> = sim
+        .generate(CityId::WashingtonDc, 4)
+        .into_iter()
+        .map(|a| a.gpx.to_xml().into_bytes())
+        .collect();
+    let cfg_bundle = if quick { BundleConfig::tiny() } else { BundleConfig::quick() };
+    let t = Instant::now();
+    let bundle = ModelBundle::train(SEED, &cfg_bundle);
+    println!("  bundle trained in {:.1} s", t.elapsed().as_secs_f64());
+
+    // --- 1. Steady-state classify: timed, and asserted allocation-free
+    //        while this is still the only running thread.
+    let (_, profile) = ingest_one(&TrackSource::Raw(docs[0].clone()), &IngestConfig::default());
+    let profile = profile.expect("clean fixture ingests");
+    let mut arena = InferenceArena::new();
+    bundle.warm(&mut arena);
+    for task in bundle.tasks() {
+        let bow = task.bow(&profile);
+        black_box(task.classify_bow(&bow, &mut arena));
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        for task in bundle.tasks() {
+            let bow = task.bow(&profile);
+            black_box(task.classify_bow(&bow, &mut arena));
+        }
+    }
+    let classify_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        classify_allocs, 0,
+        "steady-state classify path allocated {classify_allocs} times over 200 classifications"
+    );
+    let classify_s = median_s(samples, || {
+        for task in bundle.tasks() {
+            let bow = task.bow(&profile);
+            black_box(task.classify_bow(&bow, &mut arena));
+        }
+    });
+    println!("  classify (both tasks): {:.1} us, 0 allocs", classify_s * 1e6);
+    benches.push(ServeBench {
+        name: "classify_both_tasks_warm".to_owned(),
+        baseline_s: None,
+        optimized_s: classify_s,
+        speedup: None,
+        note: "cached BoW + SVM + forest + MLP for TM-1 and TM-3; \
+               0 heap allocations asserted over 200 classifications"
+            .to_owned(),
+    });
+
+    // --- 2. The offline report path: what one request costs without
+    //        any transport (ingest dominates; the baseline for HTTP).
+    let offline_s = median_s(samples, || {
+        black_box(bundle.report_json(&docs[0], &mut arena));
+    });
+    println!("  offline report_json: {:.2} ms", offline_s * 1e3);
+    benches.push(ServeBench {
+        name: "offline_report_json".to_owned(),
+        baseline_s: None,
+        optimized_s: offline_s,
+        speedup: None,
+        note: "full ingest -> featurize -> classify -> render for one clean upload, in-process"
+            .to_owned(),
+    });
+
+    // Expected bodies, so the load generator can assert correctness of
+    // every served response while it measures.
+    let expected: Vec<(u16, String)> =
+        docs.iter().map(|d| bundle.report_json(d, &mut arena)).collect();
+
+    // --- 3. Served latency at 1 / 4 / 16 keep-alive clients.
+    for &clients in &[1usize, 4, 16] {
+        let served = ModelBundle::from_records(bundle.to_records()).expect("records rebuild");
+        let cfg = ServeConfig {
+            port: 0,
+            workers: clients,
+            model_dir: None,
+            reload_poll: Duration::from_millis(200),
+        };
+        let server = Server::start(served, &cfg).expect("bind");
+        let addr = server.addr();
+
+        let started = Instant::now();
+        let lat_sets: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let docs = &docs;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut client = HttpClient::connect(addr).expect("connect");
+                        let mut latencies = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let which = (exec::mix_seed(SEED ^ c as u64, i as u64)
+                                % docs.len() as u64)
+                                as usize;
+                            let t = Instant::now();
+                            let resp =
+                                client.post("/v1/report", &docs[which]).expect("post");
+                            latencies.push(t.elapsed().as_secs_f64());
+                            assert_eq!(
+                                (resp.status, resp.text()),
+                                (expected[which].0, expected[which].1.clone()),
+                                "served response diverged from the offline report under load"
+                            );
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        let wall = started.elapsed().as_secs_f64();
+        server.shutdown();
+
+        let mut all: Vec<f64> = lat_sets.into_iter().flatten().collect();
+        let total = all.len();
+        let p50 = percentile(&mut all, 0.50);
+        let p99 = percentile(&mut all, 0.99);
+        let qps = total as f64 / wall;
+        println!(
+            "  {clients:>2} client(s): p50 {:.2} ms, p99 {:.2} ms, {qps:.0} req/s",
+            p50 * 1e3,
+            p99 * 1e3
+        );
+        benches.push(ServeBench {
+            name: format!("served_report_p50_{clients}clients"),
+            baseline_s: Some(offline_s),
+            optimized_s: p50,
+            speedup: Some(offline_s / p50),
+            note: format!(
+                "{total} requests over {clients} keep-alive connection(s), \
+                 {clients} worker(s), {cores} cores: p99 {:.3} ms, {qps:.0} req/s; \
+                 every body asserted equal to the offline report; \
+                 baseline is the in-process report path",
+                p99 * 1e3
+            ),
+        });
+    }
+
+    let report = BenchReport {
+        suite: "serve".to_owned(),
+        quick,
+        samples,
+        benches,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Round-trip before writing so a malformed report can never land.
+    let parsed: BenchReport = serde_json::from_str(&json).expect("report parses back");
+    assert_eq!(parsed.benches.len(), report.benches.len());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

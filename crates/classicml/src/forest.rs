@@ -97,13 +97,28 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Number of classes the forest votes over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
     /// Class-vote histogram for one row.
     pub fn votes(&self, row: &[f32]) -> Vec<usize> {
-        let mut votes = vec![0usize; self.n_classes];
-        for tree in &self.trees {
-            votes[tree.predict_one(row) as usize] += 1;
-        }
+        let mut votes = Vec::with_capacity(self.n_classes);
+        self.votes_into(row, &mut votes);
         votes
+    }
+
+    /// [`votes`](Self::votes) into a caller-owned buffer (cleared and
+    /// re-zeroed first) — the serving hot path's allocation-free
+    /// variant: once `out` has warmed to `n_classes` capacity, no heap
+    /// allocation occurs.
+    pub fn votes_into(&self, row: &[f32], out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(self.n_classes, 0);
+        for tree in &self.trees {
+            out[tree.predict_one(row) as usize] += 1;
+        }
     }
 
     /// Majority-vote prediction for one row (ties go to the lower

@@ -134,8 +134,23 @@ impl SvmClassifier {
     ///
     /// Panics if the row width differs from the training data.
     pub fn decision_function_sparse(&self, row: &SparseVec) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.planes.len());
+        self.decision_function_sparse_into(row, &mut out);
+        out
+    }
+
+    /// [`decision_function_sparse`](Self::decision_function_sparse)
+    /// into a caller-owned buffer (cleared first) — the serving hot
+    /// path's allocation-free variant: once `out` has warmed to
+    /// `n_classes` capacity, no heap allocation occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the training data.
+    pub fn decision_function_sparse_into(&self, row: &SparseVec, out: &mut Vec<f32>) {
         assert_eq!(row.dim(), self.dim, "feature width mismatch");
-        self.planes.iter().map(|p| row.dot_dense(&p.w) + p.b).collect()
+        out.clear();
+        out.extend(self.planes.iter().map(|p| row.dot_dense(&p.w) + p.b));
     }
 
     /// Predicted class for one sparse row.

@@ -12,6 +12,14 @@
 //! Mutated documents run through [`exec::Executor::try_map`] in
 //! batches, so the driver simultaneously proves the panic-isolation
 //! contract: no input may panic past `try_map`'s boundary.
+//!
+//! Two campaigns share the machinery: the GPX campaign drives the
+//! parser and the ingestion pipeline, and the HTTP campaign
+//! ([`run_http_campaign`]) drives the inference server's request
+//! parser (`serve::http`) with mutated request framing — same
+//! seed-indexed mutation operators, a token set steering toward
+//! request-line and header damage, and [`serve::http::HttpError::name`]
+//! values as the histogram keys.
 
 use elev_core::ingest::{ingest_one, Disposition, IngestConfig, TrackSource};
 use gpxfile::xml::XmlError;
@@ -32,6 +40,14 @@ pub struct FuzzConfig {
 impl Default for FuzzConfig {
     fn default() -> Self {
         Self { seed: 0xF022, iterations: 10_000 }
+    }
+}
+
+impl FuzzConfig {
+    /// The pinned configuration of the HTTP framing campaign — its own
+    /// seed stream, so the two campaigns never share mutants.
+    pub fn http() -> Self {
+        Self { seed: 0x477F, iterations: 10_000 }
     }
 }
 
@@ -116,6 +132,15 @@ const TOKENS: &[&[u8]] = &[
 pub fn mutate(seed: u64, iter: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(exec::mix_seed(seed, iter));
     let mut doc = seed_doc();
+    apply_ops(&mut doc, &mut rng, TOKENS);
+    doc
+}
+
+/// The shared operator loop both campaigns run: 1–4 stacked mutations
+/// drawn from the iteration's private RNG, splicing from `tokens`.
+/// The RNG call sequence is part of the pinned-campaign contract —
+/// reordering it invalidates every committed exemplar.
+fn apply_ops(doc: &mut Vec<u8>, rng: &mut StdRng, tokens: &[&[u8]]) {
     let ops = rng.gen_range(1..=4usize);
     for _ in 0..ops {
         if doc.is_empty() {
@@ -153,7 +178,7 @@ pub fn mutate(seed: u64, iter: u64) -> Vec<u8> {
             }
             // Splice in a steering token.
             5 => {
-                let tok = TOKENS[rng.gen_range(0..TOKENS.len())];
+                let tok = tokens[rng.gen_range(0..tokens.len())];
                 let at = rng.gen_range(0..=doc.len());
                 doc.splice(at..at, tok.iter().copied());
             }
@@ -183,7 +208,6 @@ pub fn mutate(seed: u64, iter: u64) -> Vec<u8> {
             }
         }
     }
-    doc
 }
 
 /// Classifies one document by driving it through `Gpx::parse_bytes`
@@ -214,17 +238,35 @@ pub fn classify(doc: &[u8]) -> String {
     }
 }
 
-/// Runs a campaign: mutate → classify in parallel batches through
-/// `try_map`, recording the error-class histogram and any panic that
-/// escapes the isolation boundary.
+/// Runs the GPX campaign: mutate → classify in parallel batches
+/// through `try_map`, recording the error-class histogram and any
+/// panic that escapes the isolation boundary.
 pub fn run_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
+    run_campaign_with(cfg, executor, |i| classify(&mutate(cfg.seed, i)))
+}
+
+/// Runs the HTTP framing campaign against the inference server's
+/// request parser, with the same batching and panic isolation as the
+/// GPX campaign.
+pub fn run_http_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
+    run_campaign_with(cfg, executor, |i| classify_http(&mutate_http(cfg.seed, i)))
+}
+
+/// The shared campaign loop: one class per iteration through
+/// `try_map`'s panic boundary, batched so the histogram merge stays on
+/// the driver thread.
+fn run_campaign_with(
+    cfg: &FuzzConfig,
+    executor: &exec::Executor,
+    class_of: impl Fn(u64) -> String + Sync,
+) -> FuzzReport {
     const BATCH: u64 = 512;
     let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
     let mut panics = Vec::new();
     let mut iter = 0u64;
     while iter < cfg.iterations {
         let batch: Vec<u64> = (iter..(iter + BATCH).min(cfg.iterations)).collect();
-        let results = executor.try_map(&batch, |_, &i| classify(&mutate(cfg.seed, i)));
+        let results = executor.try_map(&batch, |_, &i| class_of(i));
         for (offset, r) in results.into_iter().enumerate() {
             match r {
                 Ok(class) => *histogram.entry(class).or_insert(0) += 1,
@@ -234,6 +276,83 @@ pub fn run_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
         iter += BATCH;
     }
     FuzzReport { iterations: cfg.iterations, histogram, panics }
+}
+
+/// The realistic seed request the HTTP campaign mutates: a well-formed
+/// keep-alive `POST /v1/report` carrying a short GPX body — exactly
+/// what the load generator sends, so the unmutated request classifies
+/// as `ok.post`.
+pub fn http_seed_request() -> Vec<u8> {
+    let body = b"<?xml version=\"1.0\"?><gpx creator=\"fuzz\"><trk><trkseg>\
+                 <trkpt lat=\"38.0\" lon=\"-77.0\"><ele>12.5</ele></trkpt>\
+                 </trkseg></trk></gpx>";
+    let mut req = format!(
+        "POST /v1/report HTTP/1.1\r\n\
+         Host: localhost\r\n\
+         User-Agent: conformance-fuzz\r\n\
+         Accept: application/json\r\n\
+         Connection: keep-alive\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+/// Steering tokens for the HTTP campaign — request-line fragments,
+/// header anatomy, and framing delimiters, so mutants explore the
+/// parser's error lattice instead of dying uniformly at the request
+/// line.
+const HTTP_TOKENS: &[&[u8]] = &[
+    b"GET ",
+    b"POST ",
+    b"get ",
+    b" HTTP/1.1",
+    b" HTTP/1.0",
+    b" HTTP/2.0",
+    b"\r\n",
+    b"\r\n\r\n",
+    b"\n\n",
+    b": ",
+    b":",
+    b"Content-Length: ",
+    b"Content-Length: 0\r\n",
+    b"Content-Length: 99999999999999999999\r\n",
+    b"Connection: close\r\n",
+    b"Transfer-Encoding: chunked\r\n",
+    b"H@st: x\r\n",
+    b"/v1/report",
+    b"/heal thz",
+    b" ",
+    b"\x00",
+    b"\xff\xfe",
+];
+
+/// Deterministically mutates the seed request for one iteration of the
+/// HTTP campaign — the same stacked operators as [`mutate`], splicing
+/// from [`HTTP_TOKENS`].
+pub fn mutate_http(seed: u64, iter: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(exec::mix_seed(seed, iter));
+    let mut doc = http_seed_request();
+    apply_ops(&mut doc, &mut rng, HTTP_TOKENS);
+    doc
+}
+
+/// Classifies one byte buffer through the server's request parser.
+/// Accepted requests bucket by method (bounded — arbitrary mutated
+/// methods collapse into `ok.other` so the class count stays a
+/// meaningful coverage proxy); rejections key on the parser's stable
+/// error names.
+pub fn classify_http(doc: &[u8]) -> String {
+    match serve::http::parse_request(doc) {
+        Ok((head, _)) => match head.method.as_str() {
+            "GET" => "ok.get".into(),
+            "POST" => "ok.post".into(),
+            _ => "ok.other".into(),
+        },
+        Err(e) => format!("http.{}", e.name()),
+    }
 }
 
 /// Minimizes a failing document while preserving its error class:
@@ -304,6 +423,27 @@ mod tests {
             assert_eq!(mutate(9, i), mutate(9, i));
         }
         assert_ne!(mutate(9, 0), mutate(9, 1));
+    }
+
+    #[test]
+    fn http_seed_request_is_a_clean_post() {
+        assert_eq!(classify_http(&http_seed_request()), "ok.post");
+    }
+
+    #[test]
+    fn http_mutation_is_deterministic() {
+        for i in [0, 1, 77, 4096] {
+            assert_eq!(mutate_http(9, i), mutate_http(9, i));
+        }
+        assert_ne!(mutate_http(9, 0), mutate_http(9, 1));
+    }
+
+    #[test]
+    fn http_classes_are_bounded_for_accepted_requests() {
+        assert_eq!(classify_http(b"GET / HTTP/1.1\r\n\r\n"), "ok.get");
+        assert_eq!(classify_http(b"DELETE / HTTP/1.1\r\n\r\n"), "ok.other");
+        assert_eq!(classify_http(b"GET / HTTP/2.0\r\n\r\n"), "http.bad_version");
+        assert_eq!(classify_http(b""), "http.empty");
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub fn all_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(SparseDenseAgreement),
         Box::new(IngestCleanIdentity),
         Box::new(DespikeOffsetEquivariance),
+        Box::new(ServedEqualsOffline),
     ]
 }
 
@@ -587,6 +588,84 @@ impl Invariant for DespikeOffsetEquivariance {
         }
         Ok("despiked profile offset-equivariant at +512 m; spikes pulled into the clean envelope"
             .into())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 8. Serving is a transparent transport: for every upload — clean or
+//    quarantine-bound — the HTTP server returns exactly the status and
+//    bytes the offline report function produces, through a registry
+//    ser/de round trip of the trained weights.
+// ---------------------------------------------------------------------
+
+struct ServedEqualsOffline;
+
+impl Invariant for ServedEqualsOffline {
+    fn name(&self) -> &'static str {
+        "served-equals-offline"
+    }
+    fn description(&self) -> &'static str {
+        "the inference server returns byte-identical leakage reports to the offline path, including quarantines"
+    }
+    fn check(&self, ctx: &InvariantCtx) -> Result<String, String> {
+        use serve::client::HttpClient;
+        use serve::{BundleConfig, InferenceArena, ModelBundle, ServeConfig, Server};
+
+        let offline = ModelBundle::train(ctx.seed, &BundleConfig::tiny());
+        // The served copy crosses the registry's binary format, so a
+        // lossy encode/decode breaks this invariant too.
+        let served = ModelBundle::from_records(offline.to_records())
+            .map_err(|e| format!("registry round trip failed: {e}"))?;
+        let cfg = ServeConfig {
+            port: 0,
+            workers: 2,
+            model_dir: None,
+            reload_poll: std::time::Duration::from_millis(200),
+        };
+        let server =
+            Server::start(served, &cfg).map_err(|e| format!("server failed to start: {e}"))?;
+        let mut client = HttpClient::connect(server.addr())
+            .map_err(|e| format!("client failed to connect: {e}"))?;
+
+        let mut uploads: Vec<(String, Vec<u8>)> = ctx
+            .activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (format!("activity {i}"), a.gpx.to_xml().into_bytes()))
+            .collect();
+        // A damaged upload: the quarantine path must serve identically
+        // too (the 422 body is still a deterministic report).
+        let truncated = uploads[0].1[..uploads[0].1.len() / 3].to_vec();
+        uploads.push(("truncated activity 0".into(), truncated));
+
+        let mut arena = InferenceArena::new();
+        let mut quarantined = 0usize;
+        for (label, raw) in &uploads {
+            let (status, body) = offline.report_json(raw, &mut arena);
+            if status != 200 {
+                quarantined += 1;
+            }
+            let resp = client
+                .post("/v1/report", raw)
+                .map_err(|e| format!("{label}: request failed: {e}"))?;
+            if resp.status != status || resp.text() != body {
+                return Err(format!(
+                    "{label}: served ({}, {} bytes) != offline ({status}, {} bytes)",
+                    resp.status,
+                    resp.body.len(),
+                    body.len()
+                ));
+            }
+        }
+        server.shutdown();
+        if quarantined == 0 {
+            return Err("the damaged upload was not quarantined — the 422 path went unchecked".into());
+        }
+        Ok(format!(
+            "{} uploads ({} quarantined) served byte-identically to the offline path",
+            uploads.len(),
+            quarantined
+        ))
     }
 }
 

@@ -34,7 +34,7 @@ pub struct StageArtifact {
 }
 
 /// Every registered stage name, in pipeline order.
-pub const STAGE_NAMES: [&str; 8] = [
+pub const STAGE_NAMES: [&str; 9] = [
     "routegen.tracks",
     "gpx.bytes",
     "ingest.clean",
@@ -43,6 +43,7 @@ pub const STAGE_NAMES: [&str; 8] = [
     "imgrep.raster",
     "metrics.table4",
     "metrics.robustness",
+    "serve.report",
 ];
 
 /// The scale every conformance artifact is computed at: small enough
@@ -295,8 +296,71 @@ pub fn compute_stages(seed: u64) -> Vec<StageArtifact> {
         });
     }
 
+    // Stage 9: the served leakage reports — status + exact body bytes
+    // the inference server returns for every stage-2 GPX document,
+    // plus two deterministic damaged variants that must quarantine.
+    // `report_json` is the single pure function the HTTP layer calls,
+    // so pinning it here pins the entire attack-as-a-service surface
+    // (ingestion → featurization → three classifiers → JSON) behind
+    // one digest.
+    {
+        let bundle =
+            serve::ModelBundle::train(seed, &serve::BundleConfig::tiny());
+        let mut docs = gpx_bytes.clone();
+        // Truncation mid-document: fails the parser → `parse_failed`.
+        docs.push(gpx_bytes[0][..gpx_bytes[0].len() / 2].to_vec());
+        // Every second point duplicated: parses, but repairs touch more
+        // than the corruption budget → `too_corrupt`.
+        docs.push(duplicate_every_other_point(&gpx_bytes[0]));
+
+        let mut arena = serve::InferenceArena::new();
+        let mut d = Digest::new();
+        let (mut ok, mut quarantined) = (0usize, 0usize);
+        d.usize(docs.len());
+        for doc in &docs {
+            let (status, body) = bundle.report_json(doc, &mut arena);
+            if status == 200 {
+                ok += 1;
+            } else {
+                quarantined += 1;
+            }
+            d.usize(status as usize).str(&body);
+        }
+        out.push(StageArtifact {
+            name: "serve.report",
+            digest: d.finish(),
+            summary: format!(
+                "{} uploads: {} reported / {} quarantined",
+                docs.len(),
+                ok,
+                quarantined
+            ),
+        });
+    }
+
     debug_assert_eq!(out.len(), STAGE_NAMES.len());
     out
+}
+
+/// Duplicates every second `<trkpt` line of a serialized GPX document
+/// — consecutive identical points the ingest layer must deduplicate,
+/// in volume past its corruption budget.
+fn duplicate_every_other_point(doc: &[u8]) -> Vec<u8> {
+    let xml = std::str::from_utf8(doc).expect("stage-2 GPX is UTF-8");
+    let mut out = String::with_capacity(xml.len() * 2);
+    let mut point_idx = 0usize;
+    for line in xml.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if line.trim_start().starts_with("<trkpt") {
+            if point_idx.is_multiple_of(2) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            point_idx += 1;
+        }
+    }
+    out.into_bytes()
 }
 
 fn digest_outcome(d: &mut Digest, o: &evalkit::FoldOutcome) {

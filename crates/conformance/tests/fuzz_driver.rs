@@ -3,7 +3,10 @@
 //! histogram as the coverage proxy and `try_map` as the panic
 //! isolation boundary.
 
-use conformance::fuzz::{classify, minimize, mutate, run_campaign, FuzzConfig};
+use conformance::fuzz::{
+    classify, classify_http, minimize, mutate, mutate_http, run_campaign, run_http_campaign,
+    FuzzConfig,
+};
 use std::time::Instant;
 
 #[test]
@@ -46,6 +49,59 @@ fn campaign_runs_clean_and_deterministic() {
     // worker count.
     let again = run_campaign(&cfg, &exec::Executor::new(1));
     assert_eq!(report.histogram, again.histogram, "campaign is not deterministic");
+}
+
+#[test]
+fn http_campaign_runs_clean_and_deterministic() {
+    let cfg = FuzzConfig::http();
+    assert!(cfg.iterations >= 10_000, "CI campaign must run at least 10k iterations");
+
+    let started = Instant::now();
+    let report = run_http_campaign(&cfg, &exec::Executor::new(4));
+    let elapsed = started.elapsed();
+    println!("{}", report.render());
+    println!("elapsed: {elapsed:?}");
+
+    assert!(
+        report.panics.is_empty(),
+        "requests escaped the try_map isolation boundary at iterations {:?}",
+        report.panics
+    );
+    assert!(
+        report.class_count() >= 5,
+        "coverage proxy collapsed: only {} framing classes\n{}",
+        report.class_count(),
+        report.render()
+    );
+    // The mutator must leave some requests parseable (the server's
+    // happy path) without every mutant surviving (the error lattice).
+    let accepted: u64 = report
+        .histogram
+        .iter()
+        .filter(|(k, _)| k.starts_with("ok."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(accepted > 0, "no mutant ever parsed as a valid request");
+    assert!(
+        accepted < report.iterations,
+        "every mutant parsed — the mutator is not exercising the parser's error paths"
+    );
+
+    // Same seed → same histogram at any worker count.
+    let again = run_http_campaign(&cfg, &exec::Executor::new(1));
+    assert_eq!(report.histogram, again.histogram, "HTTP campaign is not deterministic");
+}
+
+#[test]
+fn http_mutants_classify_reproducibly() {
+    // A spot-check tying (seed, iter) to a stable class: rerunning the
+    // same iteration must reproduce the same byte buffer and class.
+    let cfg = FuzzConfig::http();
+    for iter in [0u64, 17, 333, 9_999] {
+        let doc = mutate_http(cfg.seed, iter);
+        assert_eq!(doc, mutate_http(cfg.seed, iter));
+        assert_eq!(classify_http(&doc), classify_http(&doc));
+    }
 }
 
 #[test]

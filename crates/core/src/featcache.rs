@@ -135,6 +135,16 @@ impl SharedPipeline {
     }
 }
 
+/// Wraps an externally fitted pipeline — e.g. one deserialized from
+/// the model registry — so its BoW rows participate in the
+/// process-wide cache. Each adoption gets a fresh cache identity:
+/// rows are shared across repeated profiles hitting the *same* adopted
+/// pipeline (the serving steady state), never across distinct loads.
+pub fn adopt_pipeline(pipeline: Arc<TextPipeline>) -> SharedPipeline {
+    let c = caches();
+    SharedPipeline { id: c.next_pipeline_id.fetch_add(1, Ordering::Relaxed), pipeline }
+}
+
 /// The fitted pipeline for a corpus and text config, memoized.
 ///
 /// Fitting is corpus-global (codebook + vocabulary over all signals,

@@ -21,6 +21,8 @@
 //!   table and figure reproduction in `crates/bench`,
 //! - [`ingest`]: the resilient validate/repair/quarantine ingestion
 //!   front door for corrupted real-world recordings,
+//! - [`report`]: the per-track location-leakage report (the serving
+//!   layer's JSON output contract),
 //! - [`robustness`]: the accuracy-vs-corruption-rate sweep built on
 //!   `faultsim` + [`ingest`].
 //!
@@ -54,6 +56,7 @@ pub mod experiments;
 pub mod featcache;
 pub mod image;
 pub mod ingest;
+pub mod report;
 pub mod robustness;
 pub mod spectral;
 pub mod text;

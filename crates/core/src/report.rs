@@ -1,0 +1,269 @@
+//! The per-track location-leakage report.
+//!
+//! This is the serving layer's output contract: one JSON object per
+//! uploaded track stating what the ingestion front door did with it
+//! and, when a profile survived, what location each threat-model
+//! classifier inferred. Rendering is hand-formatted like
+//! [`crate::ingest::IngestReport::to_json`] — flat, deterministic key
+//! order, stable float formatting — so byte-equality is a meaningful
+//! test between the online server and the offline pipeline, and the
+//! conformance goldens can pin the exact bytes.
+
+use crate::ingest::{Disposition, QuarantineReason};
+
+/// What ingestion did to the uploaded track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestSummary {
+    /// `"clean"`, `"repaired"`, or `"quarantined"`.
+    pub disposition: &'static str,
+    /// Quarantine reason name, when quarantined.
+    pub reason: Option<&'static str>,
+    /// Total points touched by repairs.
+    pub repaired_points: usize,
+    /// Profile length delivered to the classifiers (0 when
+    /// quarantined).
+    pub profile_len: usize,
+}
+
+impl IngestSummary {
+    /// Summarizes a single-track [`Disposition`].
+    pub fn of(disposition: &Disposition, profile_len: usize) -> Self {
+        match disposition {
+            Disposition::Clean => Self {
+                disposition: "clean",
+                reason: None,
+                repaired_points: 0,
+                profile_len,
+            },
+            Disposition::Repaired(repairs) => Self {
+                disposition: "repaired",
+                reason: None,
+                repaired_points: repairs.iter().map(|r| r.points).sum(),
+                profile_len,
+            },
+            Disposition::Quarantined(reason) => Self {
+                disposition: "quarantined",
+                reason: Some(quarantine_name(reason)),
+                repaired_points: 0,
+                profile_len: 0,
+            },
+        }
+    }
+}
+
+fn quarantine_name(reason: &QuarantineReason) -> &'static str {
+    reason.name()
+}
+
+/// One model's vote in a task report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelVote {
+    /// Model name (`"svm"`, `"rfc"`, `"mlp"`).
+    pub model: &'static str,
+    /// Predicted label name.
+    pub label: String,
+}
+
+/// One threat-model's inference over the profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskReport {
+    /// Task name (`"tm1"` region-level, `"tm3"` city-level).
+    pub task: String,
+    /// Ensemble prediction: the majority label across the votes; ties
+    /// break toward the earliest-voting model, deterministically.
+    pub prediction: String,
+    /// Fraction of models agreeing with the ensemble prediction.
+    pub agreement: f64,
+    /// Every model's individual vote, in fixed model order.
+    pub votes: Vec<ModelVote>,
+}
+
+impl TaskReport {
+    /// Builds a task report from per-model votes (must be non-empty):
+    /// counts identical labels, takes the most frequent, breaks ties
+    /// toward the label that appeared first in vote order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `votes` is empty.
+    pub fn from_votes(task: impl Into<String>, votes: Vec<ModelVote>) -> Self {
+        assert!(!votes.is_empty(), "a task report needs at least one vote");
+        let mut best: Option<(usize, usize)> = None; // (count, first index)
+        for (i, v) in votes.iter().enumerate() {
+            if votes[..i].iter().any(|prev| prev.label == v.label) {
+                continue; // counted at its first occurrence
+            }
+            let count = votes.iter().filter(|o| o.label == v.label).count();
+            let better = match best {
+                None => true,
+                Some((bc, _)) => count > bc,
+            };
+            if better {
+                best = Some((count, i));
+            }
+        }
+        let (count, idx) = best.expect("non-empty votes");
+        Self {
+            task: task.into(),
+            prediction: votes[idx].label.clone(),
+            agreement: count as f64 / votes.len() as f64,
+            votes,
+        }
+    }
+}
+
+/// The full per-track leakage report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageReport {
+    /// Ingestion outcome.
+    pub ingest: IngestSummary,
+    /// One report per threat-model task; empty when the track was
+    /// quarantined.
+    pub tasks: Vec<TaskReport>,
+}
+
+impl LeakageReport {
+    /// `"ok"` when a profile reached the classifiers, `"quarantined"`
+    /// otherwise.
+    pub fn status(&self) -> &'static str {
+        if self.ingest.disposition == "quarantined" {
+            "quarantined"
+        } else {
+            "ok"
+        }
+    }
+
+    /// Renders the report as a flat, deterministically ordered JSON
+    /// object (hand-formatted; byte-stable across thread counts and
+    /// serving/offline paths).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"status\": \"{}\"", self.status()));
+        out.push_str(", \"ingest\": {");
+        out.push_str(&format!("\"disposition\": \"{}\"", self.ingest.disposition));
+        if let Some(reason) = self.ingest.reason {
+            out.push_str(&format!(", \"reason\": \"{reason}\""));
+        }
+        out.push_str(&format!(
+            ", \"repaired_points\": {}, \"profile_len\": {}",
+            self.ingest.repaired_points, self.ingest.profile_len
+        ));
+        out.push('}');
+        out.push_str(", \"tasks\": [");
+        let tasks: Vec<String> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let votes: Vec<String> = t
+                    .votes
+                    .iter()
+                    .map(|v| format!("\"{}\": \"{}\"", v.model, escape(&v.label)))
+                    .collect();
+                format!(
+                    "{{\"task\": \"{}\", \"prediction\": \"{}\", \"agreement\": {:.4}, \"models\": {{{}}}}}",
+                    escape(&t.task),
+                    escape(&t.prediction),
+                    t.agreement,
+                    votes.join(", ")
+                )
+            })
+            .collect();
+        out.push_str(&tasks.join(", "));
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (labels and task names are plain
+/// identifiers today; escaping keeps the renderer total anyway).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{Repair, RepairKind};
+
+    fn vote(model: &'static str, label: &str) -> ModelVote {
+        ModelVote { model, label: label.to_owned() }
+    }
+
+    #[test]
+    fn majority_and_ties() {
+        let t = TaskReport::from_votes(
+            "tm1",
+            vec![vote("svm", "A"), vote("rfc", "B"), vote("mlp", "B")],
+        );
+        assert_eq!(t.prediction, "B");
+        assert!((t.agreement - 2.0 / 3.0).abs() < 1e-12);
+
+        // Three-way tie: earliest vote wins.
+        let t = TaskReport::from_votes(
+            "tm1",
+            vec![vote("svm", "C"), vote("rfc", "A"), vote("mlp", "B")],
+        );
+        assert_eq!(t.prediction, "C");
+        assert!((t.agreement - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = LeakageReport {
+            ingest: IngestSummary::of(
+                &Disposition::Repaired(vec![Repair {
+                    kind: RepairKind::InterpolatedNan,
+                    points: 3,
+                }]),
+                120,
+            ),
+            tasks: vec![TaskReport::from_votes(
+                "tm1",
+                vec![vote("svm", "Dc"), vote("rfc", "Dc"), vote("mlp", "Dc")],
+            )],
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"status\": \"ok\", \"ingest\": {\"disposition\": \"repaired\", \
+             \"repaired_points\": 3, \"profile_len\": 120}, \"tasks\": \
+             [{\"task\": \"tm1\", \"prediction\": \"Dc\", \"agreement\": 1.0000, \
+             \"models\": {\"svm\": \"Dc\", \"rfc\": \"Dc\", \"mlp\": \"Dc\"}}]}"
+        );
+    }
+
+    #[test]
+    fn quarantined_report() {
+        let report = LeakageReport {
+            ingest: IngestSummary::of(
+                &Disposition::Quarantined(crate::ingest::QuarantineReason::TooShort {
+                    points: 3,
+                }),
+                0,
+            ),
+            tasks: vec![],
+        };
+        assert_eq!(report.status(), "quarantined");
+        let json = report.to_json();
+        assert!(json.contains("\"reason\": \"too_short\""), "{json}");
+        assert!(json.ends_with("\"tasks\": []}"), "{json}");
+    }
+
+    #[test]
+    fn escaping_is_total() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -54,11 +54,7 @@ pub fn inner_threads(budget: usize) -> usize {
 /// set to a positive integer, otherwise the [`threads_from_env`] budget
 /// divided by the current fan-out (see [`inner_threads`]).
 pub fn inner_threads_from_env() -> usize {
-    std::env::var("ELEV_INNER_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| inner_threads(threads_from_env()))
+    env_budget("ELEV_INNER_THREADS", || inner_threads(threads_from_env()))
 }
 
 /// Derives an independent per-item RNG seed from a master seed.
@@ -75,14 +71,27 @@ pub fn mix_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Resolves the configured worker count: `ELEV_THREADS` when set to a
-/// positive integer, otherwise the machine's available parallelism.
-pub fn threads_from_env() -> usize {
-    std::env::var("ELEV_THREADS")
+/// Reads a positive-integer worker budget from environment variable
+/// `var`, falling back to `default()` when unset, unparsable, or zero.
+///
+/// This is the one knob-resolution path every long-lived pool in the
+/// workspace shares: `ELEV_THREADS` (the executor), `ELEV_INNER_THREADS`
+/// (nested executors), and `ELEV_SERVE_WORKERS` (the inference server's
+/// connection workers) all spell "a positive count, or the default".
+pub fn env_budget(var: &str, default: impl FnOnce() -> usize) -> usize {
+    std::env::var(var)
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(default)
+}
+
+/// Resolves the configured worker count: `ELEV_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    env_budget("ELEV_THREADS", || {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
 }
 
 /// A fixed-width work-stealing executor.

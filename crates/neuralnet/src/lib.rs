@@ -39,6 +39,7 @@
 pub mod arena;
 pub mod conv;
 pub mod finetune;
+pub mod infer;
 pub mod layer;
 pub mod loss;
 pub mod models;
@@ -48,6 +49,7 @@ pub mod snapshot;
 mod net;
 
 pub use arena::TrainArena;
+pub use infer::{FlatMlp, InferScratch};
 pub use layer::{Dense, Dropout, Flatten, Layer, Relu};
 pub use net::{
     gather_samples, shard_ranges, train, train_in_arena, train_sparse, train_sparse_in_arena,

@@ -91,8 +91,9 @@ impl Sequential {
 
     /// Appends every parameter tensor, in `visit_params` order, to a
     /// flat buffer (cleared first). The sharded trainer broadcasts this
-    /// image to its lane replicas each step.
-    pub(crate) fn export_params(&mut self, out: &mut Vec<f32>) {
+    /// image to its lane replicas each step, and the model registry
+    /// persists it as the network's on-disk weight image.
+    pub fn export_params(&mut self, out: &mut Vec<f32>) {
         out.clear();
         self.visit_params(&mut |p, _| out.extend_from_slice(p.data()));
     }
@@ -100,7 +101,12 @@ impl Sequential {
     /// Overwrites every parameter from a flat buffer written by
     /// [`export_params`](Self::export_params) on a structurally
     /// identical network.
-    pub(crate) fn import_params(&mut self, src: &[f32]) {
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `src` is not exactly the
+    /// network's parameter count; release builds truncate/ignore.
+    pub fn import_params(&mut self, src: &[f32]) {
         let mut off = 0usize;
         self.visit_params(&mut |p, _| {
             let n = p.len();

@@ -1,0 +1,116 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Just enough to drive the server from inside the tree: the request
+//! harness, the conformance "served == offline" invariant, the verify
+//! smoke tier, and the bench load generator all use it. Keep-alive is
+//! the default, so one client = one connection = a stream of requests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (every in-tree response is JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One keep-alive connection to the server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects (5 s timeouts on both directions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure I/O errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        Ok(Self { stream, buf: Vec::with_capacity(4096) })
+    }
+
+    /// `GET target`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed responses (as `InvalidData`).
+    pub fn get(&mut self, target: &str) -> std::io::Result<Response> {
+        self.request("GET", target, &[])
+    }
+
+    /// `POST target` with a body.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed responses (as `InvalidData`).
+    pub fn post(&mut self, target: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.request("POST", target, body)
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &[u8]) -> std::io::Result<Response> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let bad = |what: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("malformed response: {what}"))
+        };
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(end) = crate::http::find_head_end(&self.buf) {
+                break end;
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed mid-head")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| bad("no status line"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("no status code"))?;
+        let content_length: usize = lines
+            .filter_map(|l| l.split_once(':'))
+            .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .unwrap_or(0);
+
+        let total = head_end + content_length;
+        while self.buf.len() < total {
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed mid-body")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = self.buf[head_end..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Response { status, body })
+    }
+}

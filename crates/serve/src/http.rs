@@ -1,0 +1,370 @@
+//! A pure, panic-free HTTP/1.1 request parser.
+//!
+//! Exactly the subset the inference server speaks: a request line, up
+//! to [`MAX_HEADERS`] headers, an optional `Content-Length` body. No
+//! chunked encoding, no continuation lines, no obsolete folding. The
+//! parser is total — any byte sequence maps to `Ok` or a structured
+//! [`HttpError`], never a panic — because it doubles as the
+//! conformance fuzz driver's target: `conformance::fuzz` feeds it 10k
+//! seed-indexed mutants per campaign and asserts nothing escapes.
+//!
+//! Errors carry stable [`HttpError::name`]s; the fuzz histogram uses
+//! them as its coverage proxy and the server maps them onto 400
+//! responses.
+
+/// Maximum number of headers a request may carry.
+pub const MAX_HEADERS: usize = 64;
+
+/// Maximum size of the head section (request line + headers +
+/// terminator) the server will buffer.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Everything the server needs from a request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, verbatim (`/v1/report`).
+    pub target: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub http11: bool,
+    /// Declared body length (0 when absent).
+    pub content_length: usize,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 default
+    /// close unless `Connection: keep-alive`).
+    pub keep_alive: bool,
+}
+
+/// Every way a request head can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// No bytes at all.
+    Empty,
+    /// No `\r\n\r\n` head terminator within the buffered bytes.
+    MissingTerminator,
+    /// Head section larger than [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine,
+    /// Method token empty, overlong, or not ASCII-alphabetic.
+    BadMethod,
+    /// Target does not start with `/` or contains forbidden bytes.
+    BadTarget,
+    /// Version is neither `HTTP/1.1` nor `HTTP/1.0`.
+    BadVersion,
+    /// A header line has no `:` separator.
+    BadHeaderLine,
+    /// A header name contains bytes outside the token alphabet.
+    BadHeaderName,
+    /// `Content-Length` is not a plain decimal integer that fits a
+    /// `usize`.
+    BadContentLength,
+    /// Two `Content-Length` headers disagree.
+    ConflictingContentLength,
+    /// More than [`MAX_HEADERS`] headers.
+    TooManyHeaders,
+}
+
+impl HttpError {
+    /// Stable lowercase class name (fuzz histogram key, 400-response
+    /// error code).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HttpError::Empty => "empty",
+            HttpError::MissingTerminator => "missing_terminator",
+            HttpError::HeadTooLarge => "head_too_large",
+            HttpError::BadRequestLine => "bad_request_line",
+            HttpError::BadMethod => "bad_method",
+            HttpError::BadTarget => "bad_target",
+            HttpError::BadVersion => "bad_version",
+            HttpError::BadHeaderLine => "bad_header_line",
+            HttpError::BadHeaderName => "bad_header_name",
+            HttpError::BadContentLength => "bad_content_length",
+            HttpError::ConflictingContentLength => "conflicting_content_length",
+            HttpError::TooManyHeaders => "too_many_headers",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Finds the `\r\n\r\n` head terminator, returning the offset just
+/// past it.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parses a head section (everything up to and including the
+/// `\r\n\r\n` terminator is consumed from `buf`; trailing bytes are
+/// ignored). Returns the parsed [`Head`] and the offset where the
+/// body starts.
+///
+/// # Errors
+///
+/// A structured [`HttpError`]; never panics, whatever the input.
+pub fn parse_head(buf: &[u8]) -> Result<(Head, usize), HttpError> {
+    if buf.is_empty() {
+        return Err(HttpError::Empty);
+    }
+    let head_end = find_head_end(buf).ok_or(if buf.len() > MAX_HEAD_BYTES {
+        HttpError::HeadTooLarge
+    } else {
+        HttpError::MissingTerminator
+    })?;
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = &buf[..head_end - 4];
+    let mut lines = head.split(|&b| b == b'\n').map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(|&b| b == b' ');
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    if method.is_empty() || method.len() > 16 || !method.iter().all(u8::is_ascii_uppercase) {
+        return Err(HttpError::BadMethod);
+    }
+    if target.is_empty()
+        || target[0] != b'/'
+        || target.iter().any(|&b| b <= b' ' || b >= 0x7f)
+    {
+        return Err(HttpError::BadTarget);
+    }
+    let http11 = match version {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        _ => return Err(HttpError::BadVersion),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = http11;
+    let mut n_headers = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            // An empty header line before the terminator means a bare
+            // `\n` split artifact of `\r\n\r\n` handling — the head
+            // slice excludes the final terminator, so any empty line
+            // here is a stray `\r\n` pair, i.e. a malformed head.
+            return Err(HttpError::BadHeaderLine);
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or(HttpError::BadHeaderLine)?;
+        let (name, rest) = line.split_at(colon);
+        if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+            return Err(HttpError::BadHeaderName);
+        }
+        let value = trim_ascii(&rest[1..]);
+        if eq_ignore_case(name, b"content-length") {
+            let parsed = parse_decimal(value).ok_or(HttpError::BadContentLength)?;
+            match content_length {
+                Some(prev) if prev != parsed => {
+                    return Err(HttpError::ConflictingContentLength)
+                }
+                _ => content_length = Some(parsed),
+            }
+        } else if eq_ignore_case(name, b"connection") {
+            if eq_ignore_case(value, b"close") {
+                keep_alive = false;
+            } else if eq_ignore_case(value, b"keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let head = Head {
+        method: String::from_utf8_lossy(method).into_owned(),
+        target: String::from_utf8_lossy(target).into_owned(),
+        http11,
+        content_length: content_length.unwrap_or(0),
+        keep_alive,
+    };
+    Ok((head, head_end))
+}
+
+/// Parses a complete request (head + body) from one buffer — the fuzz
+/// driver's entry point, and the one-shot path for tests.
+///
+/// # Errors
+///
+/// [`HttpError`] for a malformed head; a head whose declared
+/// `Content-Length` exceeds the bytes present yields
+/// [`HttpError::BadContentLength`] (a complete request was promised).
+pub fn parse_request(buf: &[u8]) -> Result<(Head, &[u8]), HttpError> {
+    let (head, body_start) = parse_head(buf)?;
+    let body = &buf[body_start..];
+    let len = head.content_length;
+    if body.len() < len {
+        return Err(HttpError::BadContentLength);
+    }
+    Ok((head, &body[..len]))
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.')
+}
+
+fn trim_ascii(mut v: &[u8]) -> &[u8] {
+    while let [b' ' | b'\t', rest @ ..] = v {
+        v = rest;
+    }
+    while let [rest @ .., b' ' | b'\t'] = v {
+        v = rest;
+    }
+    v
+}
+
+fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    a.eq_ignore_ascii_case(b)
+}
+
+fn parse_decimal(v: &[u8]) -> Option<usize> {
+    if v.is_empty() || v.len() > 19 || !v.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    let mut n = 0usize;
+    for &b in v {
+        n = n.checked_mul(10)?.checked_add((b - b'0') as usize)?;
+    }
+    Some(n)
+}
+
+/// Renders a response with deterministic headers (no `Date`, fixed
+/// order) — byte-stable output is part of the serving contract.
+pub fn render_response(status: u16, body: &str) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    };
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(req: &str) -> Head {
+        parse_request(req.as_bytes()).expect("parses").0
+    }
+
+    fn err(req: &[u8]) -> HttpError {
+        parse_request(req).expect_err("rejects")
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let head = ok("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.target, "/healthz");
+        assert!(head.http11 && head.keep_alive);
+        assert_eq!(head.content_length, 0);
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let (head, body) =
+            parse_request(b"POST /v1/report HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+                .expect("parses");
+        assert_eq!(head.content_length, 5);
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn connection_semantics() {
+        assert!(!ok("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(!ok("GET / HTTP/1.0\r\nHost: x\r\n\r\n").keep_alive);
+        assert!(ok("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn error_classes_are_distinct() {
+        assert_eq!(err(b""), HttpError::Empty);
+        assert_eq!(err(b"GET / HTTP/1.1\r\n"), HttpError::MissingTerminator);
+        assert_eq!(err(b"GET /\r\n\r\n"), HttpError::BadRequestLine);
+        assert_eq!(err(b"get / HTTP/1.1\r\n\r\n"), HttpError::BadMethod);
+        assert_eq!(err(b"GET x HTTP/1.1\r\n\r\n"), HttpError::BadTarget);
+        assert_eq!(err(b"GET / HTTP/2.0\r\n\r\n"), HttpError::BadVersion);
+        assert_eq!(err(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n"), HttpError::BadHeaderLine);
+        assert_eq!(err(b"GET / HTTP/1.1\r\nb@d: x\r\n\r\n"), HttpError::BadHeaderName);
+        assert_eq!(
+            err(b"GET / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n"),
+            HttpError::BadContentLength
+        );
+        assert_eq!(
+            err(b"GET / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n"),
+            HttpError::ConflictingContentLength
+        );
+    }
+
+    #[test]
+    fn too_many_headers() {
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            req.push_str(&format!("h{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        assert_eq!(err(req.as_bytes()), HttpError::TooManyHeaders);
+    }
+
+    #[test]
+    fn short_body_is_bad_content_length() {
+        assert_eq!(
+            err(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_bytes() {
+        // A few adversarial shapes; the fuzz campaign does this 10k
+        // more times.
+        for doc in [
+            &b"\xff\xfe\xfd"[..],
+            b"GET  /  HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: novalue\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n",
+            b"\r\n\r\n",
+            b"POST / HTTP/1.1\r\nConnection:\r\n\r\n",
+        ] {
+            let _ = parse_request(doc);
+        }
+    }
+
+    #[test]
+    fn response_rendering_is_deterministic() {
+        let a = render_response(200, "{}");
+        assert_eq!(
+            a,
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}"
+        );
+    }
+}

@@ -1,0 +1,547 @@
+//! The versioned on-disk model registry.
+//!
+//! One trained model per `.elevmdl` file, named `<name>@<version>`:
+//! a fixed magic, a format version, a typed header (kind, task, label
+//! names), a length-prefixed metadata section (the fitted
+//! [`TextPipeline`] for text-side models), a length-prefixed weight
+//! payload, and a trailing FNV-1a-64 checksum over everything before
+//! it. Sections are length-prefixed so a reader can locate the payload
+//! without parsing it (mmap-friendly: the weight image of MLP/CNN
+//! records is a raw little-endian `f32` slab at a known offset).
+//!
+//! Weight fidelity is exact: SVM and forest payloads go through the
+//! workspace's bit-exact JSON float round-trip, MLP/CNN payloads are
+//! the raw `f32` bit patterns. Save→load equality `to_bits`-level is
+//! pinned by `crates/serve/tests/registry_roundtrip.rs`, and the three
+//! corruption modes (truncated, bad checksum, wrong version) map to
+//! three distinct [`RegistryError`] variants.
+//!
+//! A directory of records carries a `manifest.txt` (one line per
+//! record, written last), which doubles as the hot-reload signal: the
+//! server polls its mtime and swaps the bundle when it changes.
+
+use classicml::{RandomForest, SvmClassifier};
+use neuralnet::{ArchSpec, FlatMlp};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use textrep::TextPipeline;
+
+/// File magic: `ELEVMDL` + format generation byte.
+pub const MAGIC: &[u8; 8] = b"ELEVMDL\x01";
+
+/// Current container format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The model families the registry stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Linear one-vs-rest SVM (`classicml::SvmClassifier`).
+    Svm,
+    /// Random forest (`classicml::RandomForest`).
+    Forest,
+    /// Flat-weight MLP (`neuralnet::FlatMlp`).
+    Mlp,
+    /// The paper's CNN as an arch spec + flat weight image.
+    Cnn,
+}
+
+impl ModelKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Svm => "svm",
+            ModelKind::Forest => "rfc",
+            ModelKind::Mlp => "mlp",
+            ModelKind::Cnn => "cnn",
+        }
+    }
+
+    fn tag(self) -> u32 {
+        match self {
+            ModelKind::Svm => 1,
+            ModelKind::Forest => 2,
+            ModelKind::Mlp => 3,
+            ModelKind::Cnn => 4,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            1 => Some(ModelKind::Svm),
+            2 => Some(ModelKind::Forest),
+            3 => Some(ModelKind::Mlp),
+            4 => Some(ModelKind::Cnn),
+            _ => None,
+        }
+    }
+}
+
+/// A model's weights in their registry form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelPayload {
+    /// SVM hyperplanes (JSON payload; floats round-trip bit-exactly).
+    Svm(SvmClassifier),
+    /// Forest trees (JSON payload; floats round-trip bit-exactly).
+    Forest(RandomForest),
+    /// MLP dims + raw `f32` weight image.
+    Mlp(FlatMlp),
+    /// CNN class count + raw `f32` weight image (visit order).
+    Cnn {
+        /// Output classes.
+        n_classes: usize,
+        /// Flat parameter image in `visit_params` order.
+        params: Vec<f32>,
+    },
+}
+
+impl ModelPayload {
+    /// The payload's [`ModelKind`].
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            ModelPayload::Svm(_) => ModelKind::Svm,
+            ModelPayload::Forest(_) => ModelKind::Forest,
+            ModelPayload::Mlp(_) => ModelKind::Mlp,
+            ModelPayload::Cnn { .. } => ModelKind::Cnn,
+        }
+    }
+}
+
+/// One registry record: a named, versioned, labelled model plus the
+/// featurization pipeline it expects (text-side kinds only).
+#[derive(Debug, Clone)]
+pub struct ModelRecord {
+    /// Registry name (e.g. `tm1-svm`).
+    pub name: String,
+    /// Monotonic model version; part of the file name.
+    pub version: u32,
+    /// Task the model answers (`tm1`, `tm3`).
+    pub task: String,
+    /// Class-index → label-name mapping.
+    pub labels: Vec<String>,
+    /// The fitted featurization pipeline (text-side models).
+    pub pipeline: Option<TextPipeline>,
+    /// The weights.
+    pub payload: ModelPayload,
+}
+
+/// Everything that can go wrong reading a registry file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// Filesystem error (message carries the OS detail).
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The container format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The file ends before a section it promised.
+    Truncated {
+        /// Byte offset where the reader stopped.
+        offset: usize,
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Actual file length.
+        len: usize,
+    },
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the content.
+        computed: u64,
+    },
+    /// Unknown model-kind tag.
+    BadKind(u32),
+    /// A section parsed but its content is invalid (bad UTF-8, bad
+    /// JSON, wrong parameter count...).
+    Malformed(String),
+}
+
+impl RegistryError {
+    /// Stable lowercase class name for tests and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegistryError::Io(_) => "io",
+            RegistryError::BadMagic => "bad_magic",
+            RegistryError::UnsupportedVersion { .. } => "unsupported_version",
+            RegistryError::Truncated { .. } => "truncated",
+            RegistryError::ChecksumMismatch { .. } => "checksum_mismatch",
+            RegistryError::BadKind(_) => "bad_kind",
+            RegistryError::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(m) => write!(f, "io error: {m}"),
+            RegistryError::BadMagic => f.write_str("not an .elevmdl file (bad magic)"),
+            RegistryError::UnsupportedVersion { found } => {
+                write!(f, "unsupported container version {found} (expected {FORMAT_VERSION})")
+            }
+            RegistryError::Truncated { offset, needed, len } => {
+                write!(f, "truncated at offset {offset}: needed {needed} more bytes of {len}")
+            }
+            RegistryError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
+            RegistryError::BadKind(tag) => write!(f, "unknown model kind tag {tag}"),
+            RegistryError::Malformed(m) => write!(f, "malformed record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// FNV-1a-64 over `bytes` — the registry's integrity checksum (and
+/// nothing more: it detects corruption, not tampering).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---- encoding ----------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn section(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        self.0.extend_from_slice(bytes);
+    }
+}
+
+/// Serializes a record to its `.elevmdl` byte image (checksum
+/// included).
+pub fn encode_record(record: &ModelRecord) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.0.extend_from_slice(MAGIC);
+    e.u32(FORMAT_VERSION);
+    e.u32(record.payload.kind().tag());
+    e.u32(record.version);
+    e.str(&record.name);
+    e.str(&record.task);
+    e.u32(record.labels.len() as u32);
+    for label in &record.labels {
+        e.str(label);
+    }
+    let meta = match &record.pipeline {
+        Some(p) => serde_json::to_string(p).expect("pipelines always serialize"),
+        None => String::new(),
+    };
+    e.section(meta.as_bytes());
+    let payload = match &record.payload {
+        ModelPayload::Svm(m) => {
+            serde_json::to_string(m).expect("svm serializes").into_bytes()
+        }
+        ModelPayload::Forest(m) => {
+            serde_json::to_string(m).expect("forest serializes").into_bytes()
+        }
+        ModelPayload::Mlp(m) => {
+            let mut p = Enc(Vec::new());
+            p.u64(m.input_dim() as u64);
+            p.u64(m.hidden() as u64);
+            p.u64(m.n_classes() as u64);
+            p.u64(m.params().len() as u64);
+            for &w in m.params() {
+                p.0.extend_from_slice(&w.to_le_bytes());
+            }
+            p.0
+        }
+        ModelPayload::Cnn { n_classes, params } => {
+            let mut p = Enc(Vec::new());
+            p.u64(*n_classes as u64);
+            p.u64(params.len() as u64);
+            for &w in params {
+                p.0.extend_from_slice(&w.to_le_bytes());
+            }
+            p.0
+        }
+    };
+    e.section(&payload);
+    let checksum = fnv1a64(&e.0);
+    e.u64(checksum);
+    e.0
+}
+
+// ---- decoding ----------------------------------------------------------
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RegistryError> {
+        if self.buf.len() - self.pos < n {
+            return Err(RegistryError::Truncated {
+                offset: self.pos,
+                needed: n - (self.buf.len() - self.pos),
+                len: self.buf.len(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u32(&mut self) -> Result<u32, RegistryError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, RegistryError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn str(&mut self) -> Result<String, RegistryError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| RegistryError::Malformed("non-UTF-8 string field".into()))
+    }
+    fn section(&mut self) -> Result<&'a [u8], RegistryError> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+}
+
+/// Decodes one `.elevmdl` byte image.
+///
+/// # Errors
+///
+/// Every corruption mode maps onto a distinct [`RegistryError`]:
+/// truncation → [`RegistryError::Truncated`], flipped content bytes →
+/// [`RegistryError::ChecksumMismatch`], a future container version →
+/// [`RegistryError::UnsupportedVersion`].
+pub fn decode_record(buf: &[u8]) -> Result<ModelRecord, RegistryError> {
+    let mut d = Dec { buf, pos: 0 };
+    if d.take(MAGIC.len())? != MAGIC {
+        return Err(RegistryError::BadMagic);
+    }
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(RegistryError::UnsupportedVersion { found: version });
+    }
+
+    // Verify the trailing checksum before trusting any length field
+    // beyond the fixed header (a flipped length byte would otherwise
+    // read as truncation instead of corruption).
+    if buf.len() < 8 {
+        return Err(RegistryError::Truncated { offset: 0, needed: 8 - buf.len(), len: buf.len() });
+    }
+    let content = &buf[..buf.len() - 8];
+    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(content);
+    if stored != computed {
+        return Err(RegistryError::ChecksumMismatch { stored, computed });
+    }
+    let mut d = Dec { buf: content, pos: d.pos };
+
+    let kind_tag = d.u32()?;
+    let kind = ModelKind::from_tag(kind_tag).ok_or(RegistryError::BadKind(kind_tag))?;
+    let model_version = d.u32()?;
+    let name = d.str()?;
+    let task = d.str()?;
+    let n_labels = d.u32()? as usize;
+    if n_labels > 1 << 20 {
+        return Err(RegistryError::Malformed(format!("absurd label count {n_labels}")));
+    }
+    let mut labels = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        labels.push(d.str()?);
+    }
+    let meta = d.section()?;
+    let payload_bytes = d.section()?;
+    if d.pos != content.len() {
+        return Err(RegistryError::Malformed(format!(
+            "{} trailing bytes after payload",
+            content.len() - d.pos
+        )));
+    }
+
+    let pipeline = if meta.is_empty() {
+        None
+    } else {
+        let json = std::str::from_utf8(meta)
+            .map_err(|_| RegistryError::Malformed("non-UTF-8 pipeline metadata".into()))?;
+        Some(
+            serde_json::from_str::<TextPipeline>(json)
+                .map_err(|e| RegistryError::Malformed(format!("pipeline metadata: {e}")))?,
+        )
+    };
+
+    let payload_json = |what: &str| -> Result<&str, RegistryError> {
+        std::str::from_utf8(payload_bytes)
+            .map_err(|_| RegistryError::Malformed(format!("non-UTF-8 {what} payload")))
+    };
+    let payload = match kind {
+        ModelKind::Svm => ModelPayload::Svm(
+            serde_json::from_str(payload_json("svm")?)
+                .map_err(|e| RegistryError::Malformed(format!("svm payload: {e}")))?,
+        ),
+        ModelKind::Forest => ModelPayload::Forest(
+            serde_json::from_str(payload_json("forest")?)
+                .map_err(|e| RegistryError::Malformed(format!("forest payload: {e}")))?,
+        ),
+        ModelKind::Mlp => {
+            let mut p = Dec { buf: payload_bytes, pos: 0 };
+            let input_dim = p.u64()? as usize;
+            let hidden = p.u64()? as usize;
+            let n_classes = p.u64()? as usize;
+            let n_params = p.u64()? as usize;
+            let params = read_f32s(&mut p, n_params)?;
+            ModelPayload::Mlp(
+                FlatMlp::from_params(input_dim, hidden, n_classes, params)
+                    .map_err(RegistryError::Malformed)?,
+            )
+        }
+        ModelKind::Cnn => {
+            let mut p = Dec { buf: payload_bytes, pos: 0 };
+            let n_classes = p.u64()? as usize;
+            let n_params = p.u64()? as usize;
+            let params = read_f32s(&mut p, n_params)?;
+            ModelPayload::Cnn { n_classes, params }
+        }
+    };
+
+    Ok(ModelRecord { name, version: model_version, task, labels, pipeline, payload })
+}
+
+fn read_f32s(p: &mut Dec<'_>, n: usize) -> Result<Vec<f32>, RegistryError> {
+    let bytes = p.take(n.checked_mul(4).ok_or_else(|| {
+        RegistryError::Malformed(format!("absurd parameter count {n}"))
+    })?)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+// ---- files and directories ---------------------------------------------
+
+/// The file name a record saves under: `<name>@<version>.elevmdl`.
+pub fn file_name(record: &ModelRecord) -> String {
+    format!("{}@{}.elevmdl", record.name, record.version)
+}
+
+/// Writes one record into `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as [`RegistryError::Io`].
+pub fn save_record(dir: &Path, record: &ModelRecord) -> Result<PathBuf, RegistryError> {
+    let path = dir.join(file_name(record));
+    fs::write(&path, encode_record(record)).map_err(|e| RegistryError::Io(e.to_string()))?;
+    Ok(path)
+}
+
+/// Reads and decodes one `.elevmdl` file.
+///
+/// # Errors
+///
+/// [`RegistryError::Io`] for filesystem failures, otherwise whatever
+/// [`decode_record`] reports.
+pub fn load_record(path: &Path) -> Result<ModelRecord, RegistryError> {
+    let bytes = fs::read(path).map_err(|e| RegistryError::Io(e.to_string()))?;
+    decode_record(&bytes)
+}
+
+/// The manifest file name a registry directory carries.
+pub const MANIFEST: &str = "manifest.txt";
+
+/// Writes `records` into `dir` (created if missing) plus a
+/// `manifest.txt`, written last so its mtime bump is the hot-reload
+/// signal.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as [`RegistryError::Io`].
+pub fn save_dir(dir: &Path, records: &[ModelRecord]) -> Result<(), RegistryError> {
+    fs::create_dir_all(dir).map_err(|e| RegistryError::Io(e.to_string()))?;
+    let mut lines = Vec::with_capacity(records.len());
+    for record in records {
+        let path = save_record(dir, record)?;
+        let bytes = fs::read(&path).map_err(|e| RegistryError::Io(e.to_string()))?;
+        lines.push(format!(
+            "{}@{} kind={} task={} labels={} bytes={} fnv1a64={:#018x}",
+            record.name,
+            record.version,
+            record.payload.kind().name(),
+            record.task,
+            record.labels.len(),
+            bytes.len(),
+            fnv1a64(&bytes),
+        ));
+    }
+    lines.sort();
+    let manifest = dir.join(MANIFEST);
+    let mut f = fs::File::create(&manifest).map_err(|e| RegistryError::Io(e.to_string()))?;
+    for line in &lines {
+        writeln!(f, "{line}").map_err(|e| RegistryError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Loads every `.elevmdl` record in `dir`, sorted by file name (so
+/// load order — and any error — is deterministic).
+///
+/// # Errors
+///
+/// [`RegistryError::Io`] when the directory is unreadable; the first
+/// undecodable record's error otherwise.
+pub fn load_dir(dir: &Path) -> Result<Vec<ModelRecord>, RegistryError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| RegistryError::Io(e.to_string()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "elevmdl"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_record(p)).collect()
+}
+
+/// The manifest's mtime, the hot-reload poll signal. `None` when the
+/// manifest does not exist (nothing to reload yet).
+pub fn manifest_mtime(dir: &Path) -> Option<std::time::SystemTime> {
+    fs::metadata(dir.join(MANIFEST)).and_then(|m| m.modified()).ok()
+}
+
+/// Captures a CNN's registry payload from a trained network.
+pub fn cnn_payload(net: &mut neuralnet::Sequential, n_classes: usize) -> ModelPayload {
+    let mut params = Vec::new();
+    net.export_params(&mut params);
+    ModelPayload::Cnn { n_classes, params }
+}
+
+/// Restores a CNN record's network (arch rebuilt, weights imported).
+///
+/// # Errors
+///
+/// Rejects payloads whose parameter count does not match the
+/// architecture.
+pub fn restore_cnn(n_classes: usize, params: &[f32]) -> Result<neuralnet::Sequential, String> {
+    let mut net = ArchSpec::PaperCnn { n_classes }.build(0);
+    if net.n_params() != params.len() {
+        return Err(format!(
+            "cnn parameter count {} != architecture's {}",
+            params.len(),
+            net.n_params()
+        ));
+    }
+    net.import_params(params);
+    Ok(net)
+}

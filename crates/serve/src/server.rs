@@ -1,0 +1,312 @@
+//! The blocking-accept + worker-pool HTTP server.
+//!
+//! No async runtime: one acceptor thread pushes connections onto a
+//! condvar-guarded queue; `ELEV_SERVE_WORKERS` worker threads pop and
+//! speak HTTP/1.1 (keep-alive, pipelining via leftover-buffer carry).
+//! Each worker owns one [`InferenceArena`], so the steady-state
+//! classify path allocates nothing and workers never contend on
+//! scratch space.
+//!
+//! The loaded [`ModelBundle`] sits behind an `RwLock<Arc<_>>`: request
+//! handlers clone the `Arc` (cheap, wait-free in the common case) and
+//! the optional hot-reload thread swaps a new bundle in when the
+//! registry manifest's mtime changes — in-flight requests finish on
+//! the bundle they started with.
+//!
+//! Routes:
+//!
+//! | method + target      | response                                   |
+//! |----------------------|--------------------------------------------|
+//! | `GET /healthz`       | `200` liveness JSON                        |
+//! | `GET /v1/models`     | `200` bundle version + model listing       |
+//! | `POST /v1/report`    | `200` leakage report / `422` quarantined   |
+//! | anything else        | `404` / `405` / `400` / `413` structured   |
+
+use crate::arena::InferenceArena;
+use crate::bundle::ModelBundle;
+use crate::http::{self, Head, MAX_HEAD_BYTES};
+use crate::registry;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request body the server will accept (a GPX upload).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral, read back via
+    /// [`Server::addr`]).
+    pub port: u16,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Registry directory to hot-reload from (manifest mtime polled);
+    /// `None` disables reloading.
+    pub model_dir: Option<PathBuf>,
+    /// Manifest poll interval.
+    pub reload_poll: Duration,
+}
+
+impl ServeConfig {
+    /// Ephemeral port, worker count from `ELEV_SERVE_WORKERS`
+    /// (default 4), no hot reload.
+    pub fn from_env() -> Self {
+        Self {
+            port: 0,
+            workers: exec::env_budget("ELEV_SERVE_WORKERS", || 4),
+            model_dir: None,
+            reload_poll: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// State shared between the acceptor, the workers, and the reloader.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    stop: AtomicBool,
+    bundle: RwLock<Arc<ModelBundle>>,
+}
+
+/// A running server; dropping it shuts the pool down cleanly.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    reloader: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the pool, and returns once the socket is live.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(bundle: ModelBundle, cfg: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            bundle: RwLock::new(Arc::new(bundle)),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let reloader = cfg.model_dir.clone().map(|dir| {
+            let shared = Arc::clone(&shared);
+            let poll = cfg.reload_poll;
+            std::thread::spawn(move || reload_loop(&dir, poll, &shared))
+        });
+
+        Ok(Self { addr, shared, acceptor: Some(acceptor), workers, reloader })
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swaps the served bundle immediately (the programmatic twin of
+    /// manifest hot reload).
+    pub fn replace_bundle(&self, bundle: ModelBundle) {
+        *self.shared.bundle.write().expect("bundle lock") = Arc::new(bundle);
+    }
+
+    /// Stops accepting, drains the pool, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor sits in a blocking accept; a throwaway local
+        // connection wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reloader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            queue.push_back(stream);
+            drop(queue);
+            shared.cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut arena = InferenceArena::new();
+    shared.bundle.read().expect("bundle lock").warm(&mut arena);
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.cv.wait(queue).expect("queue lock");
+            }
+        };
+        handle_connection(stream, shared, &mut arena);
+    }
+}
+
+fn reload_loop(dir: &std::path::Path, poll: Duration, shared: &Shared) {
+    let mut last = registry::manifest_mtime(dir);
+    let slice = Duration::from_millis(25).min(poll.max(Duration::from_millis(1)));
+    let mut elapsed = Duration::ZERO;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(slice);
+        elapsed += slice;
+        if elapsed < poll {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let now = registry::manifest_mtime(dir);
+        if now == last || now.is_none() {
+            continue;
+        }
+        last = now;
+        // A half-written registry (or one that fails validation) keeps
+        // the previous bundle serving; the swap is all-or-nothing.
+        if let Ok(records) = registry::load_dir(dir) {
+            if let Ok(bundle) = ModelBundle::from_records(records) {
+                *shared.bundle.write().expect("bundle lock") = Arc::new(bundle);
+            }
+        }
+    }
+}
+
+/// Serves one connection: read a request, respond, repeat while
+/// keep-alive holds. Any leftover bytes after a request (pipelining)
+/// are carried into the next iteration.
+fn handle_connection(mut stream: TcpStream, shared: &Shared, arena: &mut InferenceArena) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Accumulate until the head terminator is in the buffer.
+        let head_end = loop {
+            if let Some(end) = http::find_head_end(&buf) {
+                break end;
+            }
+            if buf.len() > MAX_HEAD_BYTES {
+                respond_close(&mut stream, 400, "{\"error\": \"head_too_large\"}");
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if !buf.is_empty() {
+                        respond_close(&mut stream, 400, "{\"error\": \"missing_terminator\"}");
+                    }
+                    return;
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return,
+            }
+        };
+
+        let head = match http::parse_head(&buf[..head_end]) {
+            Ok((head, _)) => head,
+            Err(e) => {
+                respond_close(&mut stream, 400, &format!("{{\"error\": \"{}\"}}", e.name()));
+                return;
+            }
+        };
+        if head.content_length > MAX_BODY_BYTES {
+            respond_close(&mut stream, 413, "{\"error\": \"payload_too_large\"}");
+            return;
+        }
+
+        // Accumulate the declared body.
+        let total = head_end + head.content_length;
+        while buf.len() < total {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    respond_close(&mut stream, 400, "{\"error\": \"bad_content_length\"}");
+                    return;
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return,
+            }
+        }
+
+        let (status, body) = route(&head, &buf[head_end..total], shared, arena);
+        let response = http::render_response(status, &body);
+        if stream.write_all(&response).is_err() {
+            return;
+        }
+        if !head.keep_alive {
+            return;
+        }
+        buf.drain(..total);
+    }
+}
+
+fn respond_close(stream: &mut TcpStream, status: u16, body: &str) {
+    let _ = stream.write_all(&http::render_response(status, body));
+}
+
+fn route(head: &Head, body: &[u8], shared: &Shared, arena: &mut InferenceArena) -> (u16, String) {
+    let bundle = Arc::clone(&shared.bundle.read().expect("bundle lock"));
+    match (head.method.as_str(), head.target.as_str()) {
+        ("GET", "/healthz") => (200, "{\"status\": \"ok\"}".to_owned()),
+        ("GET", "/v1/models") => (200, bundle.models_json()),
+        ("POST", "/v1/report") => bundle.report_json(body, arena),
+        (_, "/healthz" | "/v1/models" | "/v1/report") => {
+            (405, "{\"error\": \"method_not_allowed\"}".to_owned())
+        }
+        _ => (404, "{\"error\": \"not_found\"}".to_owned()),
+    }
+}

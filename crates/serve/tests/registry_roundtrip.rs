@@ -1,0 +1,231 @@
+//! Registry lifecycle tests: bit-exact save→load for every model
+//! kind, distinct structured errors for the three corruption modes,
+//! and manifest-driven hot reload on a live server.
+
+mod common;
+
+use serve::bundle::ModelBundle;
+use serve::client::HttpClient;
+use serve::registry::{
+    self, decode_record, encode_record, ModelPayload, ModelRecord, RegistryError,
+};
+use serve::{InferenceArena, ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A per-test scratch directory under the system temp dir, removed on
+/// drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("elev-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Asserts two payloads carry bit-identical weights (stricter than
+/// `PartialEq`, which NaN would satisfy vacuously for raw images).
+fn assert_payload_bits(a: &ModelPayload, b: &ModelPayload) {
+    match (a, b) {
+        (ModelPayload::Svm(x), ModelPayload::Svm(y)) => {
+            let xs = serde_json::to_string(x).expect("svm json");
+            let ys = serde_json::to_string(y).expect("svm json");
+            assert_eq!(xs, ys, "svm weights changed across the round trip");
+        }
+        (ModelPayload::Forest(x), ModelPayload::Forest(y)) => {
+            let xs = serde_json::to_string(x).expect("forest json");
+            let ys = serde_json::to_string(y).expect("forest json");
+            assert_eq!(xs, ys, "forest changed across the round trip");
+        }
+        (ModelPayload::Mlp(x), ModelPayload::Mlp(y)) => {
+            assert_eq!(
+                (x.input_dim(), x.hidden(), x.n_classes()),
+                (y.input_dim(), y.hidden(), y.n_classes())
+            );
+            let xb: Vec<u32> = x.params().iter().map(|w| w.to_bits()).collect();
+            let yb: Vec<u32> = y.params().iter().map(|w| w.to_bits()).collect();
+            assert_eq!(xb, yb, "mlp weight bits changed across the round trip");
+        }
+        (
+            ModelPayload::Cnn { n_classes: nx, params: px },
+            ModelPayload::Cnn { n_classes: ny, params: py },
+        ) => {
+            assert_eq!(nx, ny);
+            let xb: Vec<u32> = px.iter().map(|w| w.to_bits()).collect();
+            let yb: Vec<u32> = py.iter().map(|w| w.to_bits()).collect();
+            assert_eq!(xb, yb, "cnn weight bits changed across the round trip");
+        }
+        (a, b) => panic!("kind changed across the round trip: {:?} vs {:?}", a.kind(), b.kind()),
+    }
+}
+
+/// One CNN record (untrained weights — the round trip doesn't care)
+/// so all four kinds cross the format.
+fn cnn_record() -> ModelRecord {
+    let mut net = neuralnet::ArchSpec::PaperCnn { n_classes: 4 }.build(common::SEED);
+    ModelRecord {
+        name: "tm2-cnn".into(),
+        version: 1,
+        task: "tm2".into(),
+        labels: (0..4).map(|i| format!("class-{i}")).collect(),
+        pipeline: None,
+        payload: registry::cnn_payload(&mut net, 4),
+    }
+}
+
+#[test]
+fn every_kind_roundtrips_to_bits() {
+    let mut records = common::tiny_bundle().to_records();
+    records.push(cnn_record());
+    let kinds: Vec<&str> = records.iter().map(|r| r.payload.kind().name()).collect();
+    for kind in ["svm", "rfc", "mlp", "cnn"] {
+        assert!(kinds.contains(&kind), "round trip must cover {kind}");
+    }
+    for record in &records {
+        let bytes = encode_record(record);
+        let back = decode_record(&bytes).expect("decodes");
+        assert_eq!(back.name, record.name);
+        assert_eq!(back.version, record.version);
+        assert_eq!(back.task, record.task);
+        assert_eq!(back.labels, record.labels);
+        match (&record.pipeline, &back.pipeline) {
+            (None, None) => {}
+            (Some(p), Some(q)) => assert_eq!(
+                serde_json::to_string(p).expect("pipeline json"),
+                serde_json::to_string(q).expect("pipeline json"),
+                "pipeline changed across the round trip"
+            ),
+            _ => panic!("pipeline presence changed across the round trip"),
+        }
+        assert_payload_bits(&record.payload, &back.payload);
+    }
+}
+
+#[test]
+fn corruption_modes_map_to_distinct_errors() {
+    let records = common::tiny_bundle().to_records();
+    let record = records.iter().find(|r| r.payload.kind().name() == "mlp").expect("mlp record");
+    let bytes = encode_record(record);
+
+    // Head truncation: the reader runs out of bytes mid-header.
+    match decode_record(&bytes[..10]) {
+        Err(RegistryError::Truncated { len: 10, .. }) => {}
+        other => panic!("head truncation: expected Truncated, got {other:?}"),
+    }
+
+    // A flipped weight byte: the checksum catches it before any length
+    // field is trusted.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    match decode_record(&flipped) {
+        Err(RegistryError::ChecksumMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("flipped byte: expected ChecksumMismatch, got {other:?}"),
+    }
+
+    // A future container version: rejected by version, not checksum.
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match decode_record(&future) {
+        Err(RegistryError::UnsupportedVersion { found: 99 }) => {}
+        other => panic!("future version: expected UnsupportedVersion, got {other:?}"),
+    }
+
+    // Wrong magic, for completeness.
+    let mut alien = bytes;
+    alien[0] = b'X';
+    match decode_record(&alien) {
+        Err(RegistryError::BadMagic) => {}
+        other => panic!("wrong magic: expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn directory_roundtrip_preserves_reports() {
+    let dir = TempDir::new("dir-roundtrip");
+    let bundle = common::tiny_bundle();
+    registry::save_dir(&dir.0, &bundle.to_records()).expect("save_dir");
+
+    let manifest =
+        std::fs::read_to_string(dir.0.join(registry::MANIFEST)).expect("manifest exists");
+    assert_eq!(manifest.lines().count(), 6, "one manifest line per record:\n{manifest}");
+    for line in manifest.lines() {
+        assert!(line.contains(" fnv1a64=0x"), "manifest line lacks checksum: {line}");
+    }
+
+    let loaded = ModelBundle::from_records(registry::load_dir(&dir.0).expect("load_dir"))
+        .expect("rebuilds");
+    let mut arena = InferenceArena::new();
+    for raw in [common::clean_gpx(), common::faulted_gpx(), common::corrupt_gpx()] {
+        let direct = bundle.report_json(&raw, &mut arena);
+        let via_disk = loaded.report_json(&raw, &mut arena);
+        assert_eq!(direct, via_disk, "the disk round trip changed a report");
+    }
+}
+
+#[test]
+fn manifest_mtime_change_hot_reloads() {
+    let dir = TempDir::new("hot-reload");
+    let bundle = common::tiny_bundle();
+    registry::save_dir(&dir.0, &bundle.to_records()).expect("save_dir");
+
+    let served = ModelBundle::from_records(registry::load_dir(&dir.0).expect("load_dir"))
+        .expect("rebuilds");
+    let cfg = ServeConfig {
+        port: 0,
+        workers: 1,
+        model_dir: Some(dir.0.clone()),
+        reload_poll: Duration::from_millis(50),
+    };
+    let server = Server::start(served, &cfg).expect("bind");
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    assert!(client.get("/v1/models").expect("models").text().contains("\"version\": 1"));
+
+    // Publish version 2 (same weights, bumped version): new record
+    // files, then the manifest — whose mtime bump is the signal.
+    let v2: Vec<ModelRecord> = bundle
+        .to_records()
+        .into_iter()
+        .map(|mut r| {
+            r.version = 2;
+            r
+        })
+        .collect();
+    // Replace v1 files so the directory holds exactly one version.
+    for entry in std::fs::read_dir(&dir.0).expect("read_dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "elevmdl") {
+            std::fs::remove_file(path).expect("rm");
+        }
+    }
+    registry::save_dir(&dir.0, &v2).expect("save_dir v2");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let listing = client.get("/v1/models").expect("models").text();
+        if listing.contains("\"version\": 2") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "hot reload never happened: {listing}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The reloaded bundle still serves byte-identical reports.
+    let raw = common::clean_gpx();
+    let served_body = client.post("/v1/report", &raw).expect("post").text();
+    let mut arena = InferenceArena::new();
+    let (_, offline) = bundle.report_json(&raw, &mut arena);
+    assert_eq!(served_body, offline);
+    server.shutdown();
+}

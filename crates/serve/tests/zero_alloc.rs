@@ -1,0 +1,69 @@
+//! Pins the tentpole's zero-allocation claim: once a worker's arena
+//! and the feature cache are warm, the per-request classify path
+//! (cached BoW lookup + SVM + forest + MLP for both tasks) performs
+//! exactly zero heap allocations.
+//!
+//! Lives in its own integration-test binary with a single test
+//! function so the process-wide allocation counter sees only this
+//! thread's work during the measured window.
+
+mod common;
+
+use elev_core::ingest::{ingest_one, IngestConfig, TrackSource};
+use serve::InferenceArena;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_classify_path_allocates_nothing() {
+    let bundle = common::tiny_bundle();
+    let raw = common::clean_gpx();
+    let (_, profile) = ingest_one(&TrackSource::Raw(raw), &IngestConfig::default());
+    let profile = profile.expect("clean fixture ingests");
+
+    // Warm-up: grow the arena, populate the BoW cache, run one full
+    // classify per task so every reusable buffer reaches steady state.
+    let mut arena = InferenceArena::new();
+    bundle.warm(&mut arena);
+    for task in bundle.tasks() {
+        let bow = task.bow(&profile);
+        black_box(task.classify_bow(&bow, &mut arena));
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        for task in bundle.tasks() {
+            let bow = task.bow(&profile);
+            black_box(task.classify_bow(&bow, &mut arena));
+        }
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state classify path allocated {allocs} times over 200 task classifications"
+    );
+}

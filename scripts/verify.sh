@@ -7,12 +7,12 @@
 # invariant suite, and the deterministic fuzz driver.
 #
 # Usage: scripts/verify.sh [tier...]
-#   tiers: build clippy test conformance bench smoke (default: all)
+#   tiers: build clippy test conformance serve bench smoke (default: all)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tiers="${*:-build clippy test conformance bench smoke}"
+tiers="${*:-build clippy test conformance serve bench smoke}"
 
 has() {
     case " $tiers " in *" $1 "*) return 0 ;; *) return 1 ;; esac
@@ -43,9 +43,66 @@ if has conformance; then
     ./target/release/conformance_stages
 fi
 
+if has serve; then
+    echo "== serve (registry bootstrap + live smoke) =="
+    # Bootstrap a versioned registry, serve it, and require the live
+    # HTTP report to byte-match the offline --smoke report for the
+    # same upload — the end-to-end determinism contract, from shell.
+    dir="$(mktemp -d)"
+    ./target/release/elev-serve --bootstrap --model-dir "$dir"
+    test -s "$dir/manifest.txt"
+
+    # A small deterministic upload; its content only matters in that
+    # the served bytes must equal the offline bytes.
+    gpx="$dir/upload.gpx"
+    {
+        printf '<?xml version="1.0" encoding="UTF-8"?>\n'
+        printf '<gpx version="1.1" creator="verify">\n<trk><trkseg>\n'
+        i=0
+        while [ "$i" -lt 40 ]; do
+            printf '<trkpt lat="38.%04d" lon="-77.0353"><ele>%d.5</ele></trkpt>\n' \
+                "$i" $((100 + i))
+            i=$((i + 1))
+        done
+        printf '</trkseg></trk></gpx>\n'
+    } > "$gpx"
+    ./target/release/elev-serve --model-dir "$dir" --smoke "$gpx" \
+        | tail -n 1 > "$dir/offline.json"
+
+    ./target/release/elev-serve --model-dir "$dir" --workers 2 \
+        --port-file "$dir/port" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+    i=0
+    while [ ! -s "$dir/port" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    test -s "$dir/port"
+
+    port="$(cat "$dir/port")" gpx="$gpx" out="$dir/served.json" python3 -c '
+import http.client, os
+c = http.client.HTTPConnection("127.0.0.1", int(os.environ["port"]), timeout=10)
+c.request("GET", "/healthz")
+r = c.getresponse(); body = r.read()
+assert r.status == 200 and body == b"{\"status\": \"ok\"}", (r.status, body)
+c.request("POST", "/v1/report", open(os.environ["gpx"], "rb").read())
+r = c.getresponse(); body = r.read()
+assert r.status == 200, (r.status, body)
+open(os.environ["out"], "wb").write(body + b"\n")
+'
+    cmp "$dir/offline.json" "$dir/served.json"
+
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -rf "$dir"
+    echo "serve: live report byte-matches offline report"
+fi
+
 if has bench; then
     echo "== bench smoke (BENCH_QUICK=1) =="
-    for suite in kernels train; do
+    for suite in kernels train serve; do
         json="BENCH_$suite.json"
         saved=""
         if [ -f "$json" ]; then
