@@ -21,7 +21,7 @@
 //! request-line and header damage, and [`serve::http::HttpError::name`]
 //! values as the histogram keys.
 
-use elev_core::ingest::{ingest_one, Disposition, IngestConfig, TrackSource};
+use elev_core::ingest::{ingest_one, Disposition, IngestConfig, StreamingIngest, TrackSource};
 use gpxfile::xml::XmlError;
 use gpxfile::{Gpx, GpxError};
 use rand::rngs::StdRng;
@@ -210,31 +210,53 @@ fn apply_ops(doc: &mut Vec<u8>, rng: &mut StdRng, tokens: &[&[u8]]) {
     }
 }
 
+/// The parse-failure half of the class lattice, shared by the DOM and
+/// streaming classifiers so parity is judged on identical names.
+fn gpx_error_class(e: &GpxError) -> String {
+    match e {
+        GpxError::Xml(XmlError::UnexpectedEof { .. }) => "xml.eof".into(),
+        GpxError::Xml(XmlError::Malformed { .. }) => "xml.malformed".into(),
+        GpxError::Xml(XmlError::UnknownEntity { .. }) => "xml.entity".into(),
+        GpxError::Xml(XmlError::MismatchedTag { .. }) => "xml.mismatch".into(),
+        GpxError::BadTrackPoint { .. } => "gpx.bad_trkpt".into(),
+        GpxError::NotGpx => "gpx.not_gpx".into(),
+        GpxError::InvalidUtf8 { .. } => "gpx.bad_utf8".into(),
+        // GpxError is #[non_exhaustive]; any future variant gets its
+        // own bucket rather than aborting the campaign.
+        _ => "gpx.other".into(),
+    }
+}
+
+/// The survived-to-ingestion half of the class lattice.
+fn disposition_class(d: &Disposition) -> String {
+    match d {
+        Disposition::Clean => "ok.clean".into(),
+        Disposition::Repaired(_) => "ok.repaired".into(),
+        Disposition::Quarantined(reason) => format!("quarantine.{}", reason.name()),
+    }
+}
+
 /// Classifies one document by driving it through `Gpx::parse_bytes`
 /// and, when it parses, through the full ingestion pipeline. The class
 /// name is the histogram key.
 pub fn classify(doc: &[u8]) -> String {
     match Gpx::parse_bytes(doc) {
-        Err(GpxError::Xml(XmlError::UnexpectedEof { .. })) => "xml.eof".into(),
-        Err(GpxError::Xml(XmlError::Malformed { .. })) => "xml.malformed".into(),
-        Err(GpxError::Xml(XmlError::UnknownEntity { .. })) => "xml.entity".into(),
-        Err(GpxError::Xml(XmlError::MismatchedTag { .. })) => "xml.mismatch".into(),
-        Err(GpxError::BadTrackPoint { .. }) => "gpx.bad_trkpt".into(),
-        Err(GpxError::NotGpx) => "gpx.not_gpx".into(),
-        Err(GpxError::InvalidUtf8 { .. }) => "gpx.bad_utf8".into(),
-        // GpxError is #[non_exhaustive]; any future variant gets its
-        // own bucket rather than aborting the campaign.
-        Err(_) => "gpx.other".into(),
+        Err(e) => gpx_error_class(&e),
         Ok(gpx) => {
             let (disposition, _) = ingest_one(&TrackSource::Parsed(gpx), &IngestConfig::default());
-            match disposition {
-                Disposition::Clean => "ok.clean".into(),
-                Disposition::Repaired(_) => "ok.repaired".into(),
-                Disposition::Quarantined(reason) => {
-                    format!("quarantine.{}", reason.name())
-                }
-            }
+            disposition_class(&disposition)
         }
+    }
+}
+
+/// Classifies one document through the zero-copy streaming pipeline
+/// ([`StreamingIngest::try_ingest_bytes`]) — no DOM is ever built. For
+/// every input this must produce the same class as [`classify`]; the
+/// stream-parity campaign asserts exactly that.
+pub fn classify_stream(doc: &[u8]) -> String {
+    match StreamingIngest::default().try_ingest_bytes(doc) {
+        Err(e) => gpx_error_class(&e),
+        Ok((disposition, _)) => disposition_class(&disposition),
     }
 }
 
@@ -250,6 +272,24 @@ pub fn run_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
 /// GPX campaign.
 pub fn run_http_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
     run_campaign_with(cfg, executor, |i| classify_http(&mutate_http(cfg.seed, i)))
+}
+
+/// Runs the stream-parity campaign: every GPX mutant is classified by
+/// both the DOM pipeline ([`classify`]) and the streaming pipeline
+/// ([`classify_stream`]). Agreement yields the shared class; any
+/// disagreement lands in a `diverged.<dom>!=<stream>` bucket — a
+/// campaign is only healthy when no such key exists.
+pub fn run_stream_parity_campaign(cfg: &FuzzConfig, executor: &exec::Executor) -> FuzzReport {
+    run_campaign_with(cfg, executor, |i| {
+        let doc = mutate(cfg.seed, i);
+        let dom = classify(&doc);
+        let stream = classify_stream(&doc);
+        if dom == stream {
+            dom
+        } else {
+            format!("diverged.{dom}!={stream}")
+        }
+    })
 }
 
 /// The shared campaign loop: one class per iteration through
@@ -415,6 +455,7 @@ mod tests {
     #[test]
     fn seed_doc_is_clean() {
         assert_eq!(classify(&seed_doc()), "ok.clean");
+        assert_eq!(classify_stream(&seed_doc()), "ok.clean");
     }
 
     #[test]

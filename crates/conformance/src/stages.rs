@@ -34,7 +34,7 @@ pub struct StageArtifact {
 }
 
 /// Every registered stage name, in pipeline order.
-pub const STAGE_NAMES: [&str; 9] = [
+pub const STAGE_NAMES: [&str; 10] = [
     "routegen.tracks",
     "gpx.bytes",
     "ingest.clean",
@@ -44,6 +44,7 @@ pub const STAGE_NAMES: [&str; 9] = [
     "metrics.table4",
     "metrics.robustness",
     "serve.report",
+    "ingest.stream",
 ];
 
 /// The scale every conformance artifact is computed at: small enough
@@ -338,6 +339,56 @@ pub fn compute_stages(seed: u64) -> Vec<StageArtifact> {
         });
     }
 
+    // Stage 10: streaming ingestion — the zero-copy DOM-free path over
+    // the same clean and faulted corpora, digested with the exact
+    // stage-3 and stage-4 procedures. The stage digest is the pair of
+    // component digests, so `ingest.stream` is pinned equal to
+    // `ingest.clean`/`ingest.faulted` (checked by a unit test below):
+    // if the streaming path ever drifts from the DOM path by one bit,
+    // this pin breaks even though the DOM stages still pass.
+    {
+        let mut ing = elev_core::ingest::StreamingIngest::default();
+
+        let (profiles, report) = ing.ingest_batch(&sources);
+        let stream_clean: Vec<Vec<f64>> = profiles.into_iter().flatten().collect();
+        let mut dc = Digest::new();
+        dc.usize(stream_clean.len());
+        for p in &stream_clean {
+            dc.f64s(p);
+        }
+        dc.str(&report.to_json());
+        let clean_digest = dc.finish();
+
+        let plan = FaultPlan::uniform(0.35, exec::mix_seed(seed, 0xFA17));
+        let corrupted: Vec<TrackSource> = activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match corrupt_track(&plan, i as u64, &a.gpx).payload {
+                Payload::Parsed(g) => TrackSource::Parsed(g),
+                Payload::Raw(b) => TrackSource::Raw(b),
+            })
+            .collect();
+        let (profiles, report) = ing.ingest_batch(&corrupted);
+        let mut df = Digest::new();
+        df.usize(profiles.len());
+        for p in profiles.iter() {
+            match p {
+                Some(p) => df.f64s(p),
+                None => df.str("quarantined"),
+            };
+        }
+        df.str(&report.to_json());
+        let faulted_digest = df.finish();
+
+        out.push(StageArtifact {
+            name: "ingest.stream",
+            digest: Digest::new().u64(clean_digest).u64(faulted_digest).finish(),
+            summary: format!(
+                "streaming replay of clean + faulted corpora: component digests {clean_digest:016x} / {faulted_digest:016x}"
+            ),
+        });
+    }
+
     debug_assert_eq!(out.len(), STAGE_NAMES.len());
     out
 }
@@ -381,5 +432,19 @@ mod tests {
         let stages = compute_stages(1);
         let names: Vec<&str> = stages.iter().map(|s| s.name).collect();
         assert_eq!(names, STAGE_NAMES);
+
+        // The streaming stage's digest is the pair of its component
+        // digests; recombining the DOM stages' digests must reproduce
+        // it exactly — that equality IS the streaming-equals-DOM pin.
+        let find = |n: &str| stages.iter().find(|s| s.name == n).expect("stage exists");
+        let expected = Digest::new()
+            .u64(find("ingest.clean").digest)
+            .u64(find("ingest.faulted").digest)
+            .finish();
+        assert_eq!(
+            find("ingest.stream").digest,
+            expected,
+            "streaming ingestion drifted from the DOM ingestion stages"
+        );
     }
 }

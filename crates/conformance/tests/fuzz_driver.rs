@@ -4,8 +4,8 @@
 //! isolation boundary.
 
 use conformance::fuzz::{
-    classify, classify_http, minimize, mutate, mutate_http, run_campaign, run_http_campaign,
-    FuzzConfig,
+    classify, classify_http, classify_stream, minimize, mutate, mutate_http, run_campaign,
+    run_http_campaign, run_stream_parity_campaign, FuzzConfig,
 };
 use std::time::Instant;
 
@@ -49,6 +49,41 @@ fn campaign_runs_clean_and_deterministic() {
     // worker count.
     let again = run_campaign(&cfg, &exec::Executor::new(1));
     assert_eq!(report.histogram, again.histogram, "campaign is not deterministic");
+}
+
+#[test]
+fn stream_parity_campaign_finds_no_divergence() {
+    // The third campaign: every GPX mutant classified by BOTH the DOM
+    // pipeline and the zero-copy streaming pipeline. A mutant whose two
+    // classes disagree lands in a `diverged.*` bucket; the campaign is
+    // only healthy when that bucket set is empty.
+    let cfg = FuzzConfig::default();
+    assert!(cfg.iterations >= 10_000, "CI campaign must run at least 10k iterations");
+
+    let started = Instant::now();
+    let report = run_stream_parity_campaign(&cfg, &exec::Executor::new(4));
+    let elapsed = started.elapsed();
+    println!("{}", report.render());
+    println!("elapsed: {elapsed:?}");
+
+    assert!(
+        report.panics.is_empty(),
+        "inputs escaped the try_map isolation boundary at iterations {:?}",
+        report.panics
+    );
+    let diverged: Vec<&String> =
+        report.histogram.keys().filter(|k| k.starts_with("diverged.")).collect();
+    assert!(
+        diverged.is_empty(),
+        "streaming and DOM ingestion disagree on mutant classes: {diverged:?}\n{}",
+        report.render()
+    );
+    // Agreement means the parity histogram IS the DOM campaign's
+    // histogram — same classes, same counts, at any worker count.
+    let dom = run_campaign(&cfg, &exec::Executor::new(4));
+    assert_eq!(report.histogram, dom.histogram, "parity histogram drifted from the DOM campaign");
+    let again = run_stream_parity_campaign(&cfg, &exec::Executor::new(1));
+    assert_eq!(report.histogram, again.histogram, "parity campaign is not deterministic");
 }
 
 #[test]
@@ -131,6 +166,11 @@ fn committed_fuzz_fixtures_keep_their_classes() {
     ];
     for (bytes, expected) in fixtures {
         assert_eq!(classify(bytes), expected, "committed fixture class drifted");
+        assert_eq!(
+            classify_stream(bytes),
+            expected,
+            "committed fixture class drifted on the streaming path"
+        );
     }
 }
 

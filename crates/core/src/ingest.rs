@@ -24,13 +24,27 @@
 //! to [`gpxfile::Gpx::elevation_profile`] — the zero-fault invariance
 //! the experiment suite depends on.
 //!
-//! Each track is processed in isolation on the workspace executor via
-//! [`exec::Executor::try_map`]; a panic inside a repair quarantines that
-//! track ([`QuarantineReason::RepairPanicked`]) while every other track
-//! completes.
+//! The repair passes run on [`gpxfile::stream::FlatPoint`] sequences
+//! held in a reusable [`gpxfile::stream::PointBuf`], which two entry
+//! points feed:
+//!
+//! - [`ingest_one`] / [`ingest_batch`] — the DOM path: parse (or take)
+//!   a full [`Gpx`] document, flatten it, repair. Kept as the reference
+//!   implementation and the executor-parallel batch front door.
+//! - [`StreamingIngest`] — the zero-copy path: raw bytes go through the
+//!   borrowing event reader straight into the flat point buffer, no DOM
+//!   is built, and all working memory (point buffer, timestamp arena,
+//!   repair scratch) is reused across calls. Produces bit-identical
+//!   dispositions and profiles to the DOM path for every input.
+//!
+//! Each batch track is processed in isolation on the workspace executor
+//! via [`exec::Executor::try_map`]; a panic inside a repair quarantines
+//! that track ([`QuarantineReason::RepairPanicked`]) while every other
+//! track completes.
 
 use exec::Executor;
-use gpxfile::{Gpx, TrackPoint};
+use gpxfile::stream::{FlatPoint, PointBuf};
+use gpxfile::Gpx;
 
 /// Ingestion thresholds. The defaults are tuned so that the clean
 /// synthetic corpora pass through 100% untouched (no false repairs)
@@ -396,15 +410,21 @@ pub fn ingest_batch(
     (profiles, IngestReport { tracks })
 }
 
-/// Ingests a single track (the pure per-task body).
+/// Ingests a single track (the pure per-task body, DOM path).
+///
+/// Raw bytes are parsed into a full [`Gpx`] document and flattened —
+/// this is the reference implementation the streaming path
+/// ([`StreamingIngest`]) is pinned against.
 pub fn ingest_one(
     src: &TrackSource,
     cfg: &IngestConfig,
 ) -> (Disposition, Option<Vec<f64>>) {
-    let gpx = match src {
-        TrackSource::Parsed(g) => g.clone(),
+    let mut buf = PointBuf::default();
+    let mut scratch = IngestScratch::default();
+    match src {
+        TrackSource::Parsed(g) => buf.fill_from_gpx(g),
         TrackSource::Raw(bytes) => match Gpx::parse_bytes(bytes) {
-            Ok(g) => g,
+            Ok(g) => buf.fill_from_gpx(&g),
             Err(e) => {
                 return (
                     Disposition::Quarantined(QuarantineReason::ParseFailed(e.to_string())),
@@ -412,37 +432,166 @@ pub fn ingest_one(
                 )
             }
         },
-    };
+    }
+    repair_flat(&mut buf, cfg, &mut scratch)
+}
 
-    // Work on the flattened point sequence (the profile is flat too).
-    let mut points: Vec<TrackPoint> = gpx
-        .tracks
-        .iter()
-        .flat_map(|t| &t.segments)
-        .flat_map(|s| &s.points)
-        .cloned()
-        .collect();
+/// Reusable working memory for the repair passes: once grown to corpus
+/// size, a repair run performs no allocation beyond the returned
+/// profile.
+#[derive(Debug, Default)]
+struct IngestScratch {
+    /// Parsed timestamp seconds, one per point.
+    secs: Vec<i64>,
+    /// Sorted inter-point deltas (median Δt extraction).
+    dts: Vec<i64>,
+    /// Gap-fill output staging, swapped into the point buffer.
+    out: Vec<FlatPoint>,
+    /// Pre-despike copy of the profile (detection never cascades).
+    original: Vec<f64>,
+    /// Rolling-median sort window.
+    window: Vec<f64>,
+}
+
+/// Streaming ingestion: the zero-copy front door.
+///
+/// Raw GPX bytes flow through the borrowing event reader
+/// ([`gpxfile::stream::StreamReader`]) directly into a flat point
+/// buffer — no DOM is materialized — and the same five repair passes
+/// run against reusable scratch. Dispositions, repair lists, and
+/// profiles are bit-identical to [`ingest_one`] for every input; only
+/// the allocation profile and throughput differ.
+///
+/// The struct owns all working memory, so a long-lived instance (one
+/// per server arena, one per batch loop) reaches zero steady-state
+/// allocation on the parse-and-repair side.
+///
+/// # Examples
+///
+/// ```
+/// use elev_core::ingest::{Disposition, StreamingIngest};
+///
+/// let mut ing = StreamingIngest::default();
+/// let (d, profile) = ing.ingest_bytes(b"not gpx at all");
+/// assert!(matches!(d, Disposition::Quarantined(_)));
+/// assert!(profile.is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamingIngest {
+    cfg: IngestConfig,
+    buf: PointBuf,
+    scratch: IngestScratch,
+}
+
+impl StreamingIngest {
+    /// Creates a streaming ingester with the given thresholds.
+    pub fn new(cfg: IngestConfig) -> Self {
+        Self { cfg, buf: PointBuf::default(), scratch: IngestScratch::default() }
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &IngestConfig {
+        &self.cfg
+    }
+
+    /// Ingests one track from raw bytes, DOM-free.
+    ///
+    /// Parse failures are folded into the disposition
+    /// ([`QuarantineReason::ParseFailed`]), exactly like
+    /// [`ingest_one`] on a [`TrackSource::Raw`].
+    pub fn ingest_bytes(&mut self, raw: &[u8]) -> (Disposition, Option<Vec<f64>>) {
+        match self.try_ingest_bytes(raw) {
+            Ok(out) => out,
+            Err(e) => {
+                (Disposition::Quarantined(QuarantineReason::ParseFailed(e.to_string())), None)
+            }
+        }
+    }
+
+    /// Ingests one track from raw bytes, surfacing the parse error
+    /// itself (for callers that classify error variants, e.g. the
+    /// conformance fuzz campaigns).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`gpxfile::GpxError`] that [`Gpx::parse_bytes`]
+    /// would produce for the same input.
+    pub fn try_ingest_bytes(
+        &mut self,
+        raw: &[u8],
+    ) -> Result<(Disposition, Option<Vec<f64>>), gpxfile::GpxError> {
+        self.buf.fill_from_bytes(raw)?;
+        Ok(repair_flat(&mut self.buf, &self.cfg, &mut self.scratch))
+    }
+
+    /// Ingests one [`TrackSource`]: raw bytes take the streaming path,
+    /// already-parsed documents are flattened directly.
+    pub fn ingest_source(&mut self, src: &TrackSource) -> (Disposition, Option<Vec<f64>>) {
+        match src {
+            TrackSource::Parsed(g) => {
+                self.buf.fill_from_gpx(g);
+                repair_flat(&mut self.buf, &self.cfg, &mut self.scratch)
+            }
+            TrackSource::Raw(bytes) => self.ingest_bytes(bytes),
+        }
+    }
+
+    /// Ingests a batch serially on this instance's reusable buffers,
+    /// producing the same `(profiles, report)` shape — and the same
+    /// values — as [`ingest_batch`] on an executor.
+    pub fn ingest_batch(
+        &mut self,
+        sources: &[TrackSource],
+    ) -> (Vec<Option<Vec<f64>>>, IngestReport) {
+        let mut profiles = Vec::with_capacity(sources.len());
+        let mut tracks = Vec::with_capacity(sources.len());
+        for (index, src) in sources.iter().enumerate() {
+            let (disposition, profile) = self.ingest_source(src);
+            tracks.push(TrackReport {
+                index,
+                disposition,
+                profile_len: profile.as_ref().map_or(0, Vec::len),
+            });
+            profiles.push(profile);
+        }
+        (profiles, IngestReport { tracks })
+    }
+}
+
+/// The timestamp text a point's arena range refers to.
+fn time_of<'a>(arena: &'a str, p: &FlatPoint) -> Option<&'a str> {
+    p.time.map(|(a, b)| &arena[a as usize..b as usize])
+}
+
+/// Runs the five repair passes and acceptance checks over the flattened
+/// points in `buf`. The shared body of both ingestion paths.
+fn repair_flat(
+    buf: &mut PointBuf,
+    cfg: &IngestConfig,
+    scratch: &mut IngestScratch,
+) -> (Disposition, Option<Vec<f64>>) {
+    let (points, arena) = buf.parts_mut();
     let mut repairs: Vec<Repair> = Vec::new();
 
     // 1. Out-of-order timestamps (only when the recording is fully
     //    timestamped; a stable sort keeps untimed tracks untouched).
     if !points.is_empty() && points.iter().all(|p| p.time.is_some()) {
-        let moved = count_out_of_order(&points);
+        let moved = count_out_of_order(points, arena);
         if moved > 0 {
-            points.sort_by(|a, b| a.time.cmp(&b.time));
+            points.sort_by(|a, b| time_of(arena, a).cmp(&time_of(arena, b)));
             repairs.push(Repair { kind: RepairKind::SortedByTime, points: moved });
         }
     }
 
     // 2. Exact consecutive duplicates (logger stutter).
     let before = points.len();
-    dedup_consecutive(&mut points);
+    dedup_consecutive(points, arena);
     if points.len() < before {
         repairs.push(Repair { kind: RepairKind::DedupedPoints, points: before - points.len() });
     }
 
     // 3. Timestamp gaps → synthetic interpolated points.
-    let filled = fill_time_gaps(&mut points, cfg);
+    let filled = fill_time_gaps(points, arena, cfg, scratch);
     if filled > 0 {
         repairs.push(Repair { kind: RepairKind::FilledGap, points: filled });
     }
@@ -465,7 +614,7 @@ pub fn ingest_one(
     }
 
     // 5. Spikes → rolling median.
-    let despiked = despike(&mut profile, cfg);
+    let despiked = despike(&mut profile, cfg, scratch);
     if despiked > 0 {
         repairs.push(Repair { kind: RepairKind::DespikedElevation, points: despiked });
     }
@@ -489,8 +638,9 @@ pub fn ingest_one(
     }
 
     if repairs.is_empty() {
-        // Untouched: deliver the exact clean-path extraction.
-        (Disposition::Clean, Some(gpx.elevation_profile()))
+        // Untouched: the extraction above IS the clean-path profile,
+        // bit-identical to `Gpx::elevation_profile`.
+        (Disposition::Clean, Some(profile))
     } else {
         (Disposition::Repaired(repairs), Some(profile))
     }
@@ -498,20 +648,20 @@ pub fn ingest_one(
 
 /// Number of points whose timestamp is smaller than a predecessor's —
 /// the count reported for a [`RepairKind::SortedByTime`] repair.
-fn count_out_of_order(points: &[TrackPoint]) -> usize {
+fn count_out_of_order(points: &[FlatPoint], arena: &str) -> usize {
     points
         .windows(2)
-        .filter(|w| w[1].time < w[0].time)
+        .filter(|w| time_of(arena, &w[1]) < time_of(arena, &w[0]))
         .count()
 }
 
 /// Removes points identical to their predecessor (coordinates,
 /// elevation bits, and timestamp all equal — NaN elevations compare by
 /// bit pattern so duplicated NaN points still collapse).
-fn dedup_consecutive(points: &mut Vec<TrackPoint>) {
+fn dedup_consecutive(points: &mut Vec<FlatPoint>, arena: &str) {
     points.dedup_by(|b, a| {
         a.coord == b.coord
-            && a.time == b.time
+            && time_of(arena, a) == time_of(arena, b)
             && match (a.elevation_m, b.elevation_m) {
                 (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
                 (None, None) => true,
@@ -529,7 +679,14 @@ fn time_seconds(t: &str) -> Option<i64> {
         return None;
     }
     let num = |range: std::ops::Range<usize>| -> Option<i64> {
-        t.get(range)?.parse::<i64>().ok()
+        let s = t.get(range)?;
+        // All-digit fast path (every real timestamp field); anything
+        // else — signs, unicode digits, overflow — keeps `str::parse`'s
+        // exact acceptance so behavior is unchanged.
+        if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+            return Some(s.bytes().fold(0i64, |acc, b| acc * 10 + i64::from(b - b'0')));
+        }
+        s.parse::<i64>().ok()
     };
     let (y, mo, d) = (num(0..4)?, num(5..7)?, num(8..10)?);
     let (h, mi, s) = (num(11..13)?, num(14..16)?, num(17..19)?);
@@ -548,24 +705,30 @@ fn time_seconds(t: &str) -> Option<i64> {
 /// Detects sampling gaps (Δt > `factor ×` median Δt) and inserts
 /// linearly interpolated points. Returns the number of synthesized
 /// points.
-fn fill_time_gaps(points: &mut Vec<TrackPoint>, cfg: &IngestConfig) -> usize {
+fn fill_time_gaps(
+    points: &mut Vec<FlatPoint>,
+    arena: &str,
+    cfg: &IngestConfig,
+    scratch: &mut IngestScratch,
+) -> usize {
     if points.len() < 3 || points.iter().any(|p| p.time.is_none()) {
         return 0;
     }
-    let secs: Vec<i64> = match points
-        .iter()
-        .map(|p| p.time.as_deref().and_then(time_seconds))
-        .collect::<Option<Vec<i64>>>()
-    {
-        Some(s) => s,
-        None => return 0, // unparsable timestamps: leave the track alone
-    };
-    let mut dts: Vec<i64> = secs.windows(2).map(|w| (w[1] - w[0]).max(0)).collect();
-    dts.sort_unstable();
-    let median_dt = dts[dts.len() / 2].max(1);
+    scratch.secs.clear();
+    for p in points.iter() {
+        match time_of(arena, p).and_then(time_seconds) {
+            Some(s) => scratch.secs.push(s),
+            None => return 0, // unparsable timestamps: leave the track alone
+        }
+    }
+    let secs = &scratch.secs;
+    scratch.dts.clear();
+    scratch.dts.extend(secs.windows(2).map(|w| (w[1] - w[0]).max(0)));
+    scratch.dts.sort_unstable();
+    let median_dt = scratch.dts[scratch.dts.len() / 2].max(1);
     let threshold = (median_dt as f64 * cfg.max_time_gap_factor).ceil() as i64;
 
-    let mut out: Vec<TrackPoint> = Vec::with_capacity(points.len());
+    scratch.out.clear();
     let mut inserted = 0usize;
     for i in 0..points.len() {
         if i > 0 {
@@ -574,8 +737,8 @@ fn fill_time_gaps(points: &mut Vec<TrackPoint>, cfg: &IngestConfig) -> usize {
                 let missing =
                     (((dt as f64) / (median_dt as f64)).round() as usize - 1)
                         .min(cfg.max_gap_fill_points);
-                let a = &points[i - 1];
-                let b = &points[i];
+                let a = points[i - 1];
+                let b = points[i];
                 for k in 1..=missing {
                     let t = k as f64 / (missing + 1) as f64;
                     let ele = match (a.elevation_m, b.elevation_m) {
@@ -588,15 +751,15 @@ fn fill_time_gaps(points: &mut Vec<TrackPoint>, cfg: &IngestConfig) -> usize {
                         a.coord.lat + (b.coord.lat - a.coord.lat) * t,
                         a.coord.lon + (b.coord.lon - a.coord.lon) * t,
                     );
-                    out.push(TrackPoint { coord, elevation_m: ele, time: None });
+                    scratch.out.push(FlatPoint { coord, elevation_m: ele, time: None });
                     inserted += 1;
                 }
             }
         }
-        out.push(points[i].clone());
+        scratch.out.push(points[i]);
     }
     if inserted > 0 {
-        *points = out;
+        std::mem::swap(points, &mut scratch.out);
     }
     inserted
 }
@@ -648,25 +811,25 @@ fn interpolate_nans(profile: &mut [f64]) -> usize {
 /// window by more than the threshold is replaced by that median.
 /// Detection runs on the original series (replacements do not cascade),
 /// which keeps the pass order-independent and idempotent on clean data.
-fn despike(profile: &mut [f64], cfg: &IngestConfig) -> usize {
+fn despike(profile: &mut [f64], cfg: &IngestConfig, scratch: &mut IngestScratch) -> usize {
     let n = profile.len();
     let w = cfg.spike_window.max(3) | 1; // force odd
     if n < w {
         return 0;
     }
-    let original = profile.to_vec();
+    scratch.original.clear();
+    scratch.original.extend_from_slice(profile);
     let half = w / 2;
     let mut fixed = 0usize;
-    let mut window = Vec::with_capacity(w);
-    for i in 0..n {
+    for (i, slot) in profile.iter_mut().enumerate() {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
-        window.clear();
-        window.extend_from_slice(&original[lo..hi]);
-        window.sort_by(f64::total_cmp);
-        let med = window[window.len() / 2];
-        if (original[i] - med).abs() > cfg.spike_threshold_m {
-            profile[i] = med;
+        scratch.window.clear();
+        scratch.window.extend_from_slice(&scratch.original[lo..hi]);
+        scratch.window.sort_by(f64::total_cmp);
+        let med = scratch.window[scratch.window.len() / 2];
+        if (scratch.original[i] - med).abs() > cfg.spike_threshold_m {
+            *slot = med;
             fixed += 1;
         }
     }
@@ -678,7 +841,7 @@ mod tests {
     use super::*;
     use faultsim::{corrupt_track, FaultKind, FaultPlan, Payload};
     use geoprim::LatLon;
-    use gpxfile::{Track, TrackSegment};
+    use gpxfile::{Track, TrackPoint, TrackSegment};
     use proptest::prelude::*;
 
     fn sample_gpx(n: usize) -> Gpx {
@@ -709,6 +872,19 @@ mod tests {
         let (d, profile) = ingest_one(&TrackSource::Parsed(gpx.clone()), &IngestConfig::default());
         assert_eq!(d, Disposition::Clean);
         let clean = gpx.elevation_profile();
+        let got = profile.unwrap();
+        assert_eq!(got.len(), clean.len());
+        assert!(got.iter().zip(&clean).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn streaming_clean_bytes_pass_through_byte_identical() {
+        let bytes = sample_gpx(120).to_xml().into_bytes();
+        let reparsed = Gpx::parse_bytes(&bytes).unwrap();
+        let mut ing = StreamingIngest::default();
+        let (d, profile) = ing.ingest_bytes(&bytes);
+        assert_eq!(d, Disposition::Clean);
+        let clean = reparsed.elevation_profile();
         let got = profile.unwrap();
         assert_eq!(got.len(), clean.len());
         assert!(got.iter().zip(&clean).all(|(a, b)| a.to_bits() == b.to_bits()));
@@ -836,6 +1012,59 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_dom_path_on_faulted_corpus() {
+        // The central parity invariant: a reused StreamingIngest and the
+        // per-call DOM path agree on disposition AND profile bits for
+        // every faulted source, raw or parsed.
+        let gpx = sample_gpx(160);
+        let cfg = IngestConfig::default();
+        let mut ing = StreamingIngest::new(cfg.clone());
+        for seed in [0u64, 21, 33, 77] {
+            let plan = FaultPlan::uniform(0.6, seed);
+            for i in 0..16 {
+                let src = to_source(corrupt_track(&plan, i, &gpx).payload);
+                let (dom_d, dom_p) = ingest_one(&src, &cfg);
+                let (str_d, str_p) = ing.ingest_source(&src);
+                assert_eq!(dom_d, str_d, "disposition diverged (seed {seed}, track {i})");
+                match (dom_p, str_p) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.len(), y.len());
+                        assert!(
+                            x.iter().zip(&y).all(|(p, q)| p.to_bits() == q.to_bits()),
+                            "profile bits diverged (seed {seed}, track {i})"
+                        );
+                    }
+                    (None, None) => {}
+                    (x, y) => panic!("profile presence diverged: {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_batch_matches_executor_batch() {
+        let gpx = sample_gpx(160);
+        let plan = FaultPlan::uniform(0.5, 21);
+        let sources: Vec<TrackSource> = (0..24)
+            .map(|i| to_source(corrupt_track(&plan, i, &gpx).payload))
+            .collect();
+        let cfg = IngestConfig::default();
+        let (dom_profiles, dom_report) = ingest_batch(&sources, &cfg, &Executor::new(4));
+        let (str_profiles, str_report) = StreamingIngest::new(cfg).ingest_batch(&sources);
+        assert_eq!(dom_report, str_report);
+        assert_eq!(dom_profiles.len(), str_profiles.len());
+        for (a, b) in dom_profiles.iter().zip(&str_profiles) {
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert!(x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()));
+                }
+                (None, None) => {}
+                _ => panic!("profile presence diverged between batch paths"),
+            }
+        }
+    }
+
+    #[test]
     fn report_accounts_for_every_track() {
         let gpx = sample_gpx(160);
         let plan = FaultPlan::uniform(0.6, 33);
@@ -919,6 +1148,18 @@ mod tests {
             let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
             let (d, p) = ingest_one(&TrackSource::Raw(bytes), &IngestConfig::default());
             prop_assert_eq!(p.is_none(), matches!(d, Disposition::Quarantined(_)));
+        }
+
+        #[test]
+        fn streaming_agrees_with_dom_on_arbitrary_bytes(
+            bytes in prop::collection::vec(0u32..=255, 0..256),
+        ) {
+            let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+            let cfg = IngestConfig::default();
+            let dom = ingest_one(&TrackSource::Raw(bytes.clone()), &cfg);
+            let stream = StreamingIngest::new(cfg).ingest_bytes(&bytes);
+            prop_assert_eq!(dom.0, stream.0);
+            prop_assert_eq!(dom.1.is_some(), stream.1.is_some());
         }
 
         #[test]

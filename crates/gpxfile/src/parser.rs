@@ -1,7 +1,13 @@
-//! GPX parsing on top of the [`crate::xml`] pull parser.
+//! GPX parsing on top of the [`crate::stream`] borrowing event reader.
+//!
+//! `Gpx::parse` is now a thin tree-builder: it drives the zero-copy
+//! [`StreamReader`] and only materializes the `String`s the document
+//! model actually keeps (creator, track names, timestamps) — element
+//! names, attribute scans, and numeric literals never allocate.
 
 use crate::model::{Gpx, Track, TrackPoint, TrackSegment};
-use crate::xml::{XmlEvent, XmlReader};
+use crate::stream::{parse_f64, StreamEvent, StreamReader};
+use crate::xml::decode_entities;
 use crate::GpxError;
 use geoprim::LatLon;
 
@@ -20,10 +26,10 @@ impl Gpx {
     /// - [`GpxError::BadTrackPoint`] when a `<trkpt>` lacks valid
     ///   `lat`/`lon` attributes or its `<ele>` is not a number.
     pub fn parse(src: &str) -> Result<Gpx, GpxError> {
-        let mut reader = XmlReader::new(src);
+        let mut reader = StreamReader::new(src);
         let mut gpx: Option<Gpx> = None;
         // Explicit element path, e.g. ["gpx", "trk", "trkseg", "trkpt"].
-        let mut path: Vec<String> = Vec::new();
+        let mut path: Vec<&str> = Vec::new();
         let mut cur_track: Option<Track> = None;
         let mut cur_segment: Option<TrackSegment> = None;
         let mut cur_point: Option<TrackPoint> = None;
@@ -31,23 +37,22 @@ impl Gpx {
 
         while let Some(event) = reader.next_event()? {
             match event {
-                XmlEvent::Start { name, attributes } => {
+                StreamEvent::Start { name, attrs } => {
                     if path.is_empty() {
                         if name != "gpx" {
                             return Err(GpxError::NotGpx);
                         }
-                        let creator = attributes
-                            .iter()
-                            .find(|(k, _)| k == "creator")
-                            .map(|(_, v)| v.clone())
-                            .unwrap_or_default();
+                        let creator = match attrs.iter().find(|(k, _)| *k == "creator") {
+                            Some(&(_, v)) => decode_entities(v)?.into_owned(),
+                            None => String::new(),
+                        };
                         gpx = Some(Gpx::new(creator));
                     } else {
-                        match (path_tail(&path), name.as_str()) {
+                        match (path_tail(&path), name) {
                             ("gpx", "trk") => cur_track = Some(Track::default()),
                             ("trk", "trkseg") => cur_segment = Some(TrackSegment::default()),
                             ("trkseg", "trkpt") => {
-                                cur_point = Some(parse_trkpt(&attributes)?);
+                                cur_point = Some(parse_trkpt(attrs)?);
                             }
                             _ => {}
                         }
@@ -55,14 +60,14 @@ impl Gpx {
                     path.push(name);
                     text.clear();
                 }
-                XmlEvent::Text(t) => {
-                    text.push_str(&t);
+                StreamEvent::Text(t) => {
+                    text.push_str(&decode_entities(t)?);
                 }
-                XmlEvent::End { name } => {
-                    match name.as_str() {
+                StreamEvent::End { name } => {
+                    match name {
                         "ele" if path_parent(&path) == "trkpt" => {
                             if let Some(p) = cur_point.as_mut() {
-                                let v: f64 = text.trim().parse().map_err(|_| {
+                                let v: f64 = parse_f64(text.trim()).map_err(|_| {
                                     GpxError::BadTrackPoint {
                                         reason: format!("unparsable <ele>: {:?}", text.trim()),
                                     }
@@ -129,33 +134,31 @@ impl Gpx {
     }
 }
 
-fn path_tail(path: &[String]) -> &str {
-    path.last().map(String::as_str).unwrap_or("")
+fn path_tail<'p>(path: &[&'p str]) -> &'p str {
+    path.last().copied().unwrap_or("")
 }
 
 /// The name of the element *containing* the element currently being
 /// closed (the path still includes the closing element itself).
-fn path_parent(path: &[String]) -> &str {
+fn path_parent<'p>(path: &[&'p str]) -> &'p str {
     if path.len() >= 2 {
-        &path[path.len() - 2]
+        path[path.len() - 2]
     } else {
         ""
     }
 }
 
-fn parse_trkpt(attributes: &[(String, String)]) -> Result<TrackPoint, GpxError> {
+fn parse_trkpt(attrs: &[(&str, &str)]) -> Result<TrackPoint, GpxError> {
     let get = |key: &str| {
-        attributes
+        attrs
             .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
             .ok_or_else(|| GpxError::BadTrackPoint { reason: format!("missing {key}") })
     };
-    let lat: f64 = get("lat")?
-        .parse()
+    let lat: f64 = parse_f64(&decode_entities(get("lat")?)?)
         .map_err(|_| GpxError::BadTrackPoint { reason: "unparsable lat".into() })?;
-    let lon: f64 = get("lon")?
-        .parse()
+    let lon: f64 = parse_f64(&decode_entities(get("lon")?)?)
         .map_err(|_| GpxError::BadTrackPoint { reason: "unparsable lon".into() })?;
     let coord = LatLon::validated(lat, lon)
         .map_err(|e| GpxError::BadTrackPoint { reason: e.to_string() })?;
@@ -253,5 +256,11 @@ mod tests {
             <trk><trkseg><trkpt lat="3" lon="4"><ele>7</ele></trkpt></trkseg></trk></gpx>"#;
         let g = Gpx::parse(src).unwrap();
         assert_eq!(g.elevation_profile(), vec![7.0]);
+    }
+
+    #[test]
+    fn decodes_entities_in_creator() {
+        let g = Gpx::parse(r#"<gpx creator="a &amp; b"></gpx>"#).unwrap();
+        assert_eq!(g.creator, "a & b");
     }
 }

@@ -6,6 +6,14 @@
 //! support DTDs, CDATA sections, processing instructions beyond the
 //! declaration, or namespaces beyond treating prefixed names opaquely —
 //! none of which occur in fitness-tracker GPX exports.
+//!
+//! The tokenizer itself lives in [`crate::stream`] and yields events
+//! borrowing from the input buffer; [`XmlReader`] is the owned-event
+//! convenience layer on top of it (decoded `String` names, attributes,
+//! and text), with an error lattice identical to the borrowing reader's.
+
+use crate::stream::{find_byte, StreamEvent, StreamReader};
+use std::borrow::Cow;
 
 /// One parsing event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +83,12 @@ impl std::fmt::Display for XmlError {
 
 impl std::error::Error for XmlError {}
 
-/// A pull parser yielding [`XmlEvent`]s over a `&str`.
+/// A pull parser yielding owned [`XmlEvent`]s over a `&str`.
+///
+/// This is a thin decoding wrapper over [`StreamReader`]: every event
+/// the borrowing reader yields is materialized into owned `String`s
+/// with entities decoded. Use [`StreamReader`] directly when the
+/// allocations matter.
 ///
 /// # Examples
 ///
@@ -94,23 +107,18 @@ impl std::error::Error for XmlError {}
 /// ```
 #[derive(Debug)]
 pub struct XmlReader<'a> {
-    src: &'a [u8],
-    pos: usize,
-    /// Stack of open element names (for well-formedness checking).
-    stack: Vec<String>,
-    /// Synthesized `End` event pending after a self-closing tag.
-    pending_end: Option<String>,
+    inner: StreamReader<'a>,
 }
 
 impl<'a> XmlReader<'a> {
     /// Creates a reader over an XML document.
     pub fn new(src: &'a str) -> Self {
-        Self { src: src.as_bytes(), pos: 0, stack: Vec::new(), pending_end: None }
+        Self { inner: StreamReader::new(src) }
     }
 
     /// Current byte offset (for diagnostics).
     pub fn offset(&self) -> usize {
-        self.pos
+        self.inner.offset()
     }
 
     /// Returns the next event, or `None` at end of a well-formed document.
@@ -119,224 +127,98 @@ impl<'a> XmlReader<'a> {
     ///
     /// Any [`XmlError`]; after an error, the reader state is unspecified.
     pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
-        if let Some(name) = self.pending_end.take() {
-            self.stack.pop();
-            return Ok(Some(XmlEvent::End { name }));
-        }
-        loop {
-            if self.pos >= self.src.len() {
-                if self.stack.pop().is_some() {
-                    return Err(XmlError::UnexpectedEof { context: "unclosed element" });
-                }
-                return Ok(None);
+        Ok(match self.inner.next_event()? {
+            None => None,
+            Some(StreamEvent::Start { name, attrs }) => {
+                let attributes = attrs
+                    .iter()
+                    .map(|&(k, v)| Ok((k.to_owned(), decode_entities(v)?.into_owned())))
+                    .collect::<Result<Vec<_>, XmlError>>()?;
+                Some(XmlEvent::Start { name: name.to_owned(), attributes })
             }
-            if self.src[self.pos] == b'<' {
-                if self.starts_with("<?") {
-                    self.skip_until("?>")?;
-                    continue;
-                }
-                if self.starts_with("<!--") {
-                    self.skip_until("-->")?;
-                    continue;
-                }
-                if self.starts_with("<!") {
-                    // DOCTYPE etc. — skip to the matching '>'.
-                    self.skip_until(">")?;
-                    continue;
-                }
-                if self.starts_with("</") {
-                    return self.parse_end_tag().map(Some);
-                }
-                return self.parse_start_tag().map(Some);
-            }
-            // Text node.
-            let start = self.pos;
-            while self.pos < self.src.len() && self.src[self.pos] != b'<' {
-                self.pos += 1;
-            }
-            let raw = std::str::from_utf8(&self.src[start..self.pos])
-                .map_err(|_| XmlError::Malformed { offset: start, reason: "invalid utf-8" })?;
-            if self.stack.is_empty() && raw.trim().is_empty() {
-                continue; // whitespace between prolog and root
-            }
-            return Ok(Some(XmlEvent::Text(decode_entities(raw)?)));
-        }
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.src[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
-        let hay = &self.src[self.pos..];
-        match find_sub(hay, end.as_bytes()) {
-            Some(i) => {
-                self.pos += i + end.len();
-                Ok(())
-            }
-            None => Err(XmlError::UnexpectedEof { context: "markup" }),
-        }
-    }
-
-    fn parse_end_tag(&mut self) -> Result<XmlEvent, XmlError> {
-        self.pos += 2; // consume "</"
-        let name = self.read_name()?;
-        self.skip_ws();
-        if self.pos >= self.src.len() || self.src[self.pos] != b'>' {
-            return Err(XmlError::Malformed { offset: self.pos, reason: "expected '>'" });
-        }
-        self.pos += 1;
-        match self.stack.pop() {
-            Some(open) if open == name => Ok(XmlEvent::End { name }),
-            Some(open) => Err(XmlError::MismatchedTag { expected: open, found: name }),
-            None => Err(XmlError::Malformed {
-                offset: self.pos,
-                reason: "closing tag with no open element",
-            }),
-        }
-    }
-
-    fn parse_start_tag(&mut self) -> Result<XmlEvent, XmlError> {
-        self.pos += 1; // consume '<'
-        let name = self.read_name()?;
-        let mut attributes = Vec::new();
-        loop {
-            self.skip_ws();
-            let Some(&b) = self.src.get(self.pos) else {
-                return Err(XmlError::UnexpectedEof { context: "start tag" });
-            };
-            match b {
-                b'>' => {
-                    self.pos += 1;
-                    self.stack.push(name.clone());
-                    return Ok(XmlEvent::Start { name, attributes });
-                }
-                b'/' => {
-                    if !self.starts_with("/>") {
-                        return Err(XmlError::Malformed {
-                            offset: self.pos,
-                            reason: "expected '/>'",
-                        });
-                    }
-                    self.pos += 2;
-                    self.stack.push(name.clone());
-                    self.pending_end = Some(name.clone());
-                    return Ok(XmlEvent::Start { name, attributes });
-                }
-                _ => {
-                    let key = self.read_name()?;
-                    self.skip_ws();
-                    if self.src.get(self.pos) != Some(&b'=') {
-                        return Err(XmlError::Malformed {
-                            offset: self.pos,
-                            reason: "expected '=' in attribute",
-                        });
-                    }
-                    self.pos += 1;
-                    self.skip_ws();
-                    let quote = match self.src.get(self.pos) {
-                        Some(&q @ (b'"' | b'\'')) => q,
-                        None => {
-                            return Err(XmlError::UnexpectedEof { context: "attribute value" })
-                        }
-                        _ => {
-                            return Err(XmlError::Malformed {
-                                offset: self.pos,
-                                reason: "expected quoted attribute value",
-                            })
-                        }
-                    };
-                    self.pos += 1;
-                    let start = self.pos;
-                    while self.pos < self.src.len() && self.src[self.pos] != quote {
-                        self.pos += 1;
-                    }
-                    if self.pos >= self.src.len() {
-                        return Err(XmlError::UnexpectedEof { context: "attribute value" });
-                    }
-                    let raw = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| {
-                        XmlError::Malformed { offset: start, reason: "invalid utf-8" }
-                    })?;
-                    self.pos += 1; // closing quote
-                    attributes.push((key, decode_entities(raw)?));
-                }
-            }
-        }
-    }
-
-    fn read_name(&mut self) -> Result<String, XmlError> {
-        let start = self.pos;
-        while self.pos < self.src.len() && is_name_byte(self.src[self.pos]) {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(XmlError::Malformed { offset: start, reason: "expected a name" });
-        }
-        Ok(std::str::from_utf8(&self.src[start..self.pos])
-            .map_err(|_| XmlError::Malformed { offset: start, reason: "invalid utf-8" })?
-            .to_owned())
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
+            Some(StreamEvent::End { name }) => Some(XmlEvent::End { name: name.to_owned() }),
+            Some(StreamEvent::Text(t)) => Some(XmlEvent::Text(decode_entities(t)?.into_owned())),
+        })
     }
 }
 
-fn is_name_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.')
+/// Resolves one entity body (the text between `&` and `;`) to its
+/// character, or `None` when the reference is unknown/invalid.
+fn resolve_entity(entity: &str) -> Option<char> {
+    match entity {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+            u32::from_str_radix(&entity[2..], 16).ok().and_then(char::from_u32)
+        }
+        _ if entity.starts_with('#') => entity[1..].parse::<u32>().ok().and_then(char::from_u32),
+        _ => None,
+    }
 }
 
-fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
-    hay.windows(needle.len()).position(|w| w == needle)
+/// Validates every `&entity;` reference in `s` without building the
+/// decoded text — the streaming reader's scan-time half of
+/// [`decode_entities`], producing the identical errors.
+///
+/// # Errors
+///
+/// [`XmlError::UnknownEntity`] exactly when [`decode_entities`] would
+/// fail on the same input.
+pub fn check_entities(s: &str) -> Result<(), XmlError> {
+    let mut rest = s;
+    while let Some(i) = find_byte(rest.as_bytes(), b'&') {
+        rest = &rest[i + 1..];
+        let Some(j) = rest.find(';') else {
+            return Err(XmlError::UnknownEntity { entity: rest.chars().take(8).collect() });
+        };
+        let entity = &rest[..j];
+        if resolve_entity(entity).is_none() {
+            return Err(XmlError::UnknownEntity { entity: entity.to_owned() });
+        }
+        rest = &rest[j + 1..];
+    }
+    Ok(())
 }
 
-/// Decodes the five predefined entities plus decimal/hex character refs.
-pub fn decode_entities(s: &str) -> Result<String, XmlError> {
-    if !s.contains('&') {
-        return Ok(s.to_owned());
+/// Decodes the five predefined entities plus decimal/hex character
+/// refs. Returns the input borrowed (no allocation) when it contains no
+/// `&` at all.
+///
+/// # Errors
+///
+/// [`XmlError::UnknownEntity`] for unresolvable references.
+pub fn decode_entities(s: &str) -> Result<Cow<'_, str>, XmlError> {
+    if find_byte(s.as_bytes(), b'&').is_none() {
+        return Ok(Cow::Borrowed(s));
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
-    while let Some(i) = rest.find('&') {
+    while let Some(i) = find_byte(rest.as_bytes(), b'&') {
         out.push_str(&rest[..i]);
         rest = &rest[i + 1..];
         let Some(j) = rest.find(';') else {
             return Err(XmlError::UnknownEntity { entity: rest.chars().take(8).collect() });
         };
         let entity = &rest[..j];
-        match entity {
-            "amp" => out.push('&'),
-            "lt" => out.push('<'),
-            "gt" => out.push('>'),
-            "quot" => out.push('"'),
-            "apos" => out.push('\''),
-            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let cp = u32::from_str_radix(&entity[2..], 16)
-                    .ok()
-                    .and_then(char::from_u32)
-                    .ok_or_else(|| XmlError::UnknownEntity { entity: entity.to_owned() })?;
-                out.push(cp);
-            }
-            _ if entity.starts_with('#') => {
-                let cp = entity[1..]
-                    .parse::<u32>()
-                    .ok()
-                    .and_then(char::from_u32)
-                    .ok_or_else(|| XmlError::UnknownEntity { entity: entity.to_owned() })?;
-                out.push(cp);
-            }
-            _ => return Err(XmlError::UnknownEntity { entity: entity.to_owned() }),
+        match resolve_entity(entity) {
+            Some(c) => out.push(c),
+            None => return Err(XmlError::UnknownEntity { entity: entity.to_owned() }),
         }
         rest = &rest[j + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
-/// Encodes text content for embedding in XML.
-pub fn encode_entities(s: &str) -> String {
+/// Encodes text content for embedding in XML. Returns the input
+/// borrowed (no allocation) when nothing needs escaping.
+pub fn encode_entities(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        return Cow::Borrowed(s);
+    }
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -348,7 +230,7 @@ pub fn encode_entities(s: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 #[cfg(test)]
@@ -422,5 +304,20 @@ mod tests {
         let ev = events("<a x='1 2'/>").unwrap();
         assert!(matches!(&ev[0], XmlEvent::Start { attributes, .. }
             if attributes[0].1 == "1 2"));
+    }
+
+    #[test]
+    fn codec_borrows_when_nothing_to_do() {
+        assert!(matches!(decode_entities("plain text").unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(encode_entities("plain text"), Cow::Borrowed(_)));
+        assert!(matches!(decode_entities("a &amp; b").unwrap(), Cow::Owned(_)));
+        assert!(matches!(encode_entities("a & b"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn check_matches_decode() {
+        for s in ["plain", "a &amp; b", "&bogus;", "&unterminated", "&#65;", "&#x4G;", "&#xffffffff;"] {
+            assert_eq!(check_entities(s).err(), decode_entities(s).err(), "on {s:?}");
+        }
     }
 }

@@ -1,0 +1,109 @@
+//! Bit-identity coverage for the streaming reader's fast float parser:
+//! `gpxfile::stream::parse_f64` must agree with `str::parse::<f64>` on
+//! every input — same bits on success, error exactly when `str::parse`
+//! errors.
+
+use gpxfile::stream::parse_f64;
+use proptest::prelude::*;
+
+/// Asserts the two parsers agree on one literal.
+fn assert_agrees(s: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+    let want = s.parse::<f64>();
+    let got = parse_f64(s);
+    match (&want, &got) {
+        (Ok(w), Ok(g)) => {
+            prop_assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "bit mismatch on {:?}: std {:?} vs fast {:?}",
+                s,
+                w,
+                g
+            );
+        }
+        (Err(_), Err(_)) => {}
+        _ => prop_assert!(false, "Ok/Err disagreement on {:?}: std {:?} vs fast {:?}", s, want, got),
+    }
+    Ok(())
+}
+
+#[test]
+fn adversarial_literals_are_bit_identical() {
+    for s in [
+        // Signs, zeros, and the negative-zero bit.
+        "0", "-0", "+0", "0.0", "-0.0", "+0.0", "-0.000e7", "-0e-22",
+        // Leading '+' and bare fraction forms std accepts.
+        "+38.8895", "+.5", "-.5", ".5", "1.", "5.e2",
+        // Typical GPX coordinates/elevations.
+        "38.8895", "-77.0353", "123.4", "18.0", "1609.344", "12.5000000", "00012.5",
+        // Exact fast-path boundary cases: 15 vs 16 significant digits,
+        // exponent edges ±22.
+        "999999999999999", "9999999999999999", "123456789012345", "1234567890123456",
+        "1e22", "1e-22", "1e23", "1e-23", "5e22", "5e-22",
+        // Overlong fractions (fall back, must stay identical).
+        "38.123456789012345678901234567890", "0.30000000000000004", "2.225073858507201e-308",
+        // Subnormals and extremes.
+        "5e-324", "4.9406564584124654e-324", "2.2250738585072014e-308",
+        "1.7976931348623157e308", "1e308", "-1e308", "1e309", "-1e309", "1e-309",
+        "0.000000000000000000001",
+        // Huge explicit exponents (saturating fallback).
+        "1e99999", "1e-99999", "1e2147483648",
+        // Things std accepts that look odd.
+        "inf", "-inf", "+inf", "infinity", "NaN", "nan", "-NaN",
+        // Syntax errors.
+        "", "+", "-", ".", "e5", "1e", "1e+", "1..2", "1.2.3", "--1", "1,5", " 1", "1 ",
+        "0x10", "1_000",
+    ] {
+        assert_agrees(s).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Round-trip: any finite f64, formatted every way Rust formats
+    /// floats, re-parses to the same bits through both parsers.
+    #[test]
+    fn formatted_f64_roundtrips(bits in 0u64..u64::MAX) {
+        let v = f64::from_bits(bits);
+        for s in [format!("{v}"), format!("{v:?}"), format!("{v:e}"), format!("{v:.7}"), format!("{v:.1}")] {
+            assert_agrees(&s)?;
+        }
+    }
+
+    /// Grammar-driven literals: digits around an optional dot with an
+    /// optional exponent, covering the fast path and every fallback.
+    #[test]
+    fn constructed_literals_agree(
+        sign in 0u32..3,
+        int_digits in prop::collection::vec(0u32..10, 0..22),
+        frac in prop::option::of(prop::collection::vec(0u32..10, 0..22)),
+        exp in prop::option::of((0u32..3, 0u32..400)),
+    ) {
+        let mut s = String::new();
+        match sign {
+            1 => s.push('-'),
+            2 => s.push('+'),
+            _ => {}
+        }
+        for d in &int_digits {
+            s.push(char::from(b'0' + *d as u8));
+        }
+        if let Some(frac) = &frac {
+            s.push('.');
+            for d in frac {
+                s.push(char::from(b'0' + *d as u8));
+            }
+        }
+        if let Some((esign, emag)) = exp {
+            s.push('e');
+            match esign {
+                1 => s.push('-'),
+                2 => s.push('+'),
+                _ => {}
+            }
+            s.push_str(&emag.to_string());
+        }
+        assert_agrees(&s)?;
+    }
+}

@@ -1,0 +1,109 @@
+//! Streaming-vs-DOM parity over every committed GPX fixture: for each
+//! corpus file, `PointBuf::fill_from_bytes` (the DOM-free walk) must
+//! produce either the exact same error as `Gpx::parse_bytes` or the
+//! exact same flattened point sequence — coordinates and elevations
+//! compared by `to_bits`, timestamps byte-for-byte.
+
+use gpxfile::stream::PointBuf;
+use gpxfile::Gpx;
+use std::path::Path;
+
+fn assert_parity(name: &str, bytes: &[u8]) {
+    let dom = Gpx::parse_bytes(bytes);
+    let mut buf = PointBuf::default();
+    let stream = buf.fill_from_bytes(bytes);
+    match (dom, stream) {
+        (Err(d), Err(s)) => assert_eq!(d, s, "{name}: error class diverged"),
+        (Ok(gpx), Ok(())) => {
+            let dom_points: Vec<_> = gpx
+                .tracks
+                .iter()
+                .flat_map(|t| &t.segments)
+                .flat_map(|s| &s.points)
+                .collect();
+            assert_eq!(
+                buf.points().len(),
+                dom_points.len(),
+                "{name}: flattened point count diverged"
+            );
+            for (i, (f, p)) in buf.points().iter().zip(&dom_points).enumerate() {
+                assert_eq!(
+                    f.coord.lat.to_bits(),
+                    p.coord.lat.to_bits(),
+                    "{name}: lat bits diverged at point {i}"
+                );
+                assert_eq!(
+                    f.coord.lon.to_bits(),
+                    p.coord.lon.to_bits(),
+                    "{name}: lon bits diverged at point {i}"
+                );
+                assert_eq!(
+                    f.elevation_m.map(f64::to_bits),
+                    p.elevation_m.map(f64::to_bits),
+                    "{name}: elevation bits diverged at point {i}"
+                );
+                assert_eq!(
+                    buf.time_str(f),
+                    p.time.as_deref(),
+                    "{name}: timestamp diverged at point {i}"
+                );
+            }
+        }
+        (dom, stream) => {
+            panic!("{name}: DOM {dom:?} vs streaming {stream:?} disagree on acceptance")
+        }
+    }
+}
+
+#[test]
+fn every_committed_fixture_is_bit_identical_across_paths() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut seen = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("gpx") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("fixture readable");
+        assert_parity(&path.file_name().unwrap().to_string_lossy(), &bytes);
+        seen += 1;
+    }
+    assert!(seen >= 18, "expected the committed corpus (≥18 fixtures), found {seen}");
+}
+
+#[test]
+fn reused_buffer_keeps_parity_across_fixtures() {
+    // One PointBuf across the whole corpus: reuse must not leak state
+    // from a previous document (the StreamingIngest usage pattern).
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    let mut buf = PointBuf::default();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("gpx") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("fixture readable");
+        let dom = Gpx::parse_bytes(&bytes);
+        let stream = buf.fill_from_bytes(&bytes);
+        assert_eq!(dom.is_ok(), stream.is_ok(), "{path:?}: acceptance diverged under reuse");
+        if let Ok(gpx) = dom {
+            let dom_profile: Vec<u64> =
+                gpx.elevation_profile().iter().map(|e| e.to_bits()).collect();
+            let stream_profile: Vec<u64> = buf
+                .points()
+                .iter()
+                .filter_map(|p| p.elevation_m)
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(dom_profile, stream_profile, "{path:?}: profile diverged under reuse");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Pins the entity codec's copy-on-write contract: when the input
+//! contains nothing to decode or escape, `decode_entities` /
+//! `encode_entities` return the input borrowed and perform exactly
+//! zero heap allocations. Same counting-allocator pattern as
+//! `crates/serve/tests/zero_alloc.rs`: its own integration-test binary
+//! so the process-wide counter sees only this file's work.
+
+use gpxfile::stream::parse_f64;
+use gpxfile::xml::{decode_entities, encode_entities};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::borrow::Cow;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn entity_fast_paths_allocate_nothing() {
+    // Realistic no-entity payloads: timestamps, names, numbers — what
+    // almost every GPX value is.
+    let inputs =
+        ["2020-01-11T08:00:00Z", "38.8895", "-77.0353", "morning run", "", "plain text value"];
+
+    // The counter is warm from test-harness startup; measure a tight
+    // window around the codec alone.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        for s in inputs {
+            let decoded = decode_entities(black_box(s)).expect("no entities to fail on");
+            assert!(matches!(decoded, Cow::Borrowed(_)));
+            black_box(&decoded);
+            let encoded = encode_entities(black_box(s));
+            assert!(matches!(encoded, Cow::Borrowed(_)));
+            black_box(&encoded);
+            // The fast float path is allocation-free too.
+            let _ = black_box(parse_f64(black_box(s)));
+        }
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "no-entity codec fast path allocated {allocs} times over 600 round trips"
+    );
+
+    // Sanity: the slow path still decodes (and is allowed to allocate).
+    assert_eq!(decode_entities("a &amp; b").unwrap(), "a & b");
+    assert_eq!(encode_entities("a & b"), "a &amp; b");
+}

@@ -9,7 +9,10 @@
 //! - the forest vote histogram,
 //! - the dense scatter row the forest's trees index into (scattered
 //!   from the sparse BoW before voting, re-zeroed after),
-//! - the MLP's [`neuralnet::InferScratch`] (hidden + logit buffers).
+//! - the MLP's [`neuralnet::InferScratch`] (hidden + logit buffers),
+//! - the streaming ingester ([`elev_core::ingest::StreamingIngest`])
+//!   whose point buffer, timestamp arena, and repair scratch take
+//!   uploads from raw bytes to an elevation profile with no DOM.
 //!
 //! After [`warm`](InferenceArena::warm) (or one cold request), every
 //! classify call reuses these buffers: the classify path performs
@@ -17,6 +20,7 @@
 //! allocator in `crates/serve/tests/zero_alloc.rs` and reported by the
 //! serve bench.
 
+use elev_core::ingest::StreamingIngest;
 use neuralnet::InferScratch;
 
 /// Reusable classification scratch for one worker.
@@ -31,6 +35,8 @@ pub struct InferenceArena {
     pub(crate) dense: Vec<f32>,
     /// MLP hidden/logit buffers.
     pub(crate) scratch: InferScratch,
+    /// Streaming (DOM-free) upload ingestion with reusable buffers.
+    pub(crate) ingest: StreamingIngest,
 }
 
 impl InferenceArena {

@@ -19,7 +19,6 @@ use classicml::{ForestConfig, RandomForest, SvmClassifier, SvmConfig};
 use datasets::Dataset;
 use elev_core::experiments::{Corpora, ExperimentScale};
 use elev_core::featcache::{adopt_pipeline, pipeline_for, SharedPipeline};
-use elev_core::ingest::{ingest_one, IngestConfig, TrackSource};
 use elev_core::report::{IngestSummary, LeakageReport, ModelVote, TaskReport};
 use exec::mix_seed;
 use neuralnet::{models, train_sparse, FlatMlp, TrainConfig};
@@ -365,9 +364,14 @@ impl ModelBundle {
 
     /// The full leakage report for raw uploaded bytes: quarantine
     /// ingestion → featurization → every task's classification.
+    ///
+    /// Ingestion takes the streaming path — the arena's
+    /// [`elev_core::ingest::StreamingIngest`] reads the bytes DOM-free
+    /// with reused buffers — which is bit-identical to the offline
+    /// `ingest_one` path (pinned by the conformance suite's golden
+    /// served reports and stream-parity fuzz campaign).
     pub fn leakage_report(&self, raw: &[u8], arena: &mut InferenceArena) -> LeakageReport {
-        let (disposition, profile) =
-            ingest_one(&TrackSource::Raw(raw.to_vec()), &IngestConfig::default());
+        let (disposition, profile) = arena.ingest.ingest_bytes(raw);
         match profile {
             None => LeakageReport {
                 ingest: IngestSummary::of(&disposition, 0),

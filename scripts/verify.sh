@@ -114,10 +114,23 @@ if has bench; then
         if command -v jq >/dev/null 2>&1; then
             jq -e --arg s "$suite" \
                 '.suite == $s and (.benches | length > 0)' "$json" >/dev/null
+            if [ "$suite" = kernels ]; then
+                # The streaming-ingestion pair must be present and paired
+                # (a baseline time alongside the optimized time).
+                jq -e '[.benches[]
+                        | select(.name | startswith("ingest_throughput_"))
+                        | select(.baseline_s != null and .speedup != null)]
+                       | length >= 2' "$json" >/dev/null
+            fi
         else
             suite="$suite" json="$json" python3 -c 'import json, os
 r = json.load(open(os.environ["json"]))
-assert r["suite"] == os.environ["suite"] and r["benches"]'
+assert r["suite"] == os.environ["suite"] and r["benches"]
+if os.environ["suite"] == "kernels":
+    pairs = [b for b in r["benches"]
+             if b["name"].startswith("ingest_throughput_")
+             and b["baseline_s"] is not None and b["speedup"] is not None]
+    assert len(pairs) >= 2, "missing ingest_throughput bench pairs"'
         fi
         # The smoke overwrites the committed full-mode numbers; restore.
         if [ -n "$saved" ]; then
