@@ -13,20 +13,28 @@
 //! batches, so the driver simultaneously proves the panic-isolation
 //! contract: no input may panic past `try_map`'s boundary.
 //!
-//! Two campaigns share the machinery: the GPX campaign drives the
-//! parser and the ingestion pipeline, and the HTTP campaign
+//! Four campaigns share the machinery: the GPX campaign drives the
+//! parser and the ingestion pipeline; the HTTP campaign
 //! ([`run_http_campaign`]) drives the inference server's request
 //! parser (`serve::http`) with mutated request framing — same
 //! seed-indexed mutation operators, a token set steering toward
 //! request-line and header damage, and [`serve::http::HttpError::name`]
-//! values as the histogram keys.
+//! values as the histogram keys; the stream-parity campaign
+//! ([`run_stream_parity_campaign`]) judges DOM vs streaming ingestion
+//! on every mutant; and the connection-fault chaos campaign
+//! ([`run_connfault_campaign`]) pushes seed-scripted
+//! `faultsim::FlakyConn` mutants — truncated heads, mid-body resets,
+//! slowloris drip — through a **live** server and checks the observed
+//! transport outcome against the script's pure prediction.
 
 use elev_core::ingest::{ingest_one, Disposition, IngestConfig, StreamingIngest, TrackSource};
+use faultsim::{ConnScript, FlakyConn, NetFaultKind, NetFaultPlan, SendOutcome, Teardown};
 use gpxfile::xml::XmlError;
 use gpxfile::{Gpx, GpxError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +56,12 @@ impl FuzzConfig {
     /// seed stream, so the two campaigns never share mutants.
     pub fn http() -> Self {
         Self { seed: 0x477F, iterations: 10_000 }
+    }
+
+    /// The pinned configuration of the connection-fault chaos
+    /// campaign (again its own seed stream).
+    pub fn connfault() -> Self {
+        Self { seed: 0xC0FA, iterations: 10_000 }
     }
 }
 
@@ -393,6 +407,193 @@ pub fn classify_http(doc: &[u8]) -> String {
         },
         Err(e) => format!("http.{}", e.name()),
     }
+}
+
+// ---- connection-fault chaos campaign -----------------------------------
+
+/// The connection-fault plan the chaos campaign runs: three quarters
+/// of connections faulted, every kind enabled, stalls capped far
+/// below the server's deadlines so fault outcomes stay deterministic.
+pub fn connfault_plan(seed: u64) -> NetFaultPlan {
+    NetFaultPlan {
+        seed,
+        rate: 0.75,
+        kinds: NetFaultKind::ALL.to_vec(),
+        max_delay_micros: 300,
+    }
+}
+
+/// The request every chaos connection carries: a well-formed
+/// single-shot `POST /v1/report` with the clean 30-point
+/// [`seed_doc`] body (so a fully delivered request must yield the
+/// offline `200` report byte-for-byte).
+pub fn connfault_request() -> Vec<u8> {
+    let body = seed_doc();
+    let mut req = format!(
+        "POST /v1/report HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(&body);
+    req
+}
+
+/// The pure outcome prediction for one scripted connection — computed
+/// from the script alone, before any socket exists. The campaign's
+/// health criterion is that the live server's observed behaviour
+/// matches this for every mutant.
+pub fn connfault_class(script: &ConnScript, head_len: usize) -> &'static str {
+    match (script.cut, script.teardown) {
+        (None, _) => "ok.delivered",
+        (Some(0), Teardown::Fin) => "cut.head.silent",
+        (Some(at), Teardown::Fin) if at < head_len => "cut.head.400",
+        (Some(_), Teardown::Fin) => "cut.body.400",
+        (Some(_), Teardown::Reset) => "reset.body",
+    }
+}
+
+/// Drives one scripted connection against the live server and names
+/// what actually happened on the wire.
+fn observe_connfault(
+    addr: SocketAddr,
+    script: ConnScript,
+    request: &[u8],
+    head_len: usize,
+    expected: &(u16, String),
+) -> String {
+    let err_class = |what: &str, e: &std::io::Error| format!("{what}.{:?}", e.kind());
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return err_class("connect_error", &e),
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
+    let teardown = script.teardown;
+    let mut conn = FlakyConn::new(stream, script);
+    let outcome = match conn.send(request, head_len) {
+        Ok(outcome) => outcome,
+        Err(e) => return err_class("send_error", &e),
+    };
+    match (outcome, teardown) {
+        (SendOutcome::Cut { .. }, Teardown::Reset) => {
+            // Abortive drop: no half-close, no read. Any byte the
+            // server sends afterwards is answered by the dead socket
+            // with an RST — the closest stable std gets to
+            // `SO_LINGER 0`. The outcome is unobservable from this
+            // side, so the class is the script's by construction; the
+            // campaign's reset assertions live in the server's health
+            // counters (zero panics, zero leaked workers).
+            drop(conn);
+            "reset.body".into()
+        }
+        (SendOutcome::Cut { .. }, Teardown::Fin) => {
+            // Half-close so the server reads EOF, then collect its
+            // verdict (if any).
+            let _ = conn.get_ref().shutdown(std::net::Shutdown::Write);
+            let bytes = match conn.recv_to_end() {
+                Ok(b) => b,
+                Err(e) => return err_class("recv_error", &e),
+            };
+            if bytes.is_empty() {
+                "cut.head.silent".into()
+            } else if bytes.starts_with(b"HTTP/1.1 400 ") {
+                let text = String::from_utf8_lossy(&bytes);
+                if text.contains("missing_terminator") {
+                    "cut.head.400".into()
+                } else if text.contains("bad_content_length") {
+                    "cut.body.400".into()
+                } else {
+                    format!("cut.unexpected_400:{text}")
+                }
+            } else {
+                format!("cut.unexpected:{}", String::from_utf8_lossy(&bytes[..bytes.len().min(32)]))
+            }
+        }
+        (SendOutcome::Delivered, _) => {
+            let bytes = match conn.recv_to_end() {
+                Ok(b) => b,
+                Err(e) => return err_class("recv_error", &e),
+            };
+            let text = String::from_utf8_lossy(&bytes);
+            let status_line = format!("HTTP/1.1 {} ", expected.0);
+            if text.starts_with(&status_line) && text.ends_with(expected.1.as_str()) {
+                "ok.delivered".into()
+            } else {
+                format!("ok.unexpected:{}", &text[..text.len().min(48)])
+            }
+        }
+    }
+}
+
+/// Runs the connection-fault chaos campaign against a **live** server
+/// at `addr`: every iteration scripts one [`FlakyConn`] from the
+/// seed-indexed plan, drives a real TCP connection through it, and
+/// buckets `predicted == observed` agreement under the predicted
+/// class — any disagreement lands in a `diverged.<pred>!=<obs>` key,
+/// and a healthy campaign has none.
+///
+/// `expected` is the offline `(status, body)` for
+/// [`connfault_request`]'s GPX payload; `client_threads` shards
+/// iterations round-robin (the histogram must not depend on it).
+pub fn run_connfault_campaign(
+    cfg: &FuzzConfig,
+    addr: SocketAddr,
+    expected: &(u16, String),
+    client_threads: usize,
+) -> FuzzReport {
+    let plan = connfault_plan(cfg.seed);
+    let request = connfault_request();
+    let head_len = serve::http::find_head_end(&request).expect("request has a head");
+    let threads = client_threads.max(1);
+    let mut shards: Vec<(BTreeMap<String, u64>, Vec<u64>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let plan = &plan;
+                let request = &request;
+                scope.spawn(move || {
+                    let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
+                    let mut panics = Vec::new();
+                    let mut i = t as u64;
+                    while i < cfg.iterations {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let script = plan.script(i, head_len, request.len());
+                                let predicted = connfault_class(&script, head_len);
+                                let observed =
+                                    observe_connfault(addr, script, request, head_len, expected);
+                                if observed == predicted {
+                                    predicted.to_owned()
+                                } else {
+                                    format!("diverged.{predicted}!={observed}")
+                                }
+                            }));
+                        match outcome {
+                            Ok(class) => *histogram.entry(class).or_insert(0) += 1,
+                            Err(_) => panics.push(i),
+                        }
+                        i += threads as u64;
+                    }
+                    (histogram, panics)
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("chaos shard thread"));
+        }
+    });
+    let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
+    let mut panics = Vec::new();
+    for (shard_hist, shard_panics) in shards {
+        for (class, count) in shard_hist {
+            *histogram.entry(class).or_insert(0) += count;
+        }
+        panics.extend(shard_panics);
+    }
+    panics.sort_unstable();
+    FuzzReport { iterations: cfg.iterations, histogram, panics }
 }
 
 /// Minimizes a failing document while preserving its error class:

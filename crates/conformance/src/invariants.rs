@@ -621,6 +621,7 @@ impl Invariant for ServedEqualsOffline {
             workers: 2,
             model_dir: None,
             reload_poll: std::time::Duration::from_millis(200),
+            ..ServeConfig::from_env()
         };
         let server =
             Server::start(served, &cfg).map_err(|e| format!("server failed to start: {e}"))?;

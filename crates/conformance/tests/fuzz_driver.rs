@@ -4,8 +4,9 @@
 //! isolation boundary.
 
 use conformance::fuzz::{
-    classify, classify_http, classify_stream, minimize, mutate, mutate_http, run_campaign,
-    run_http_campaign, run_stream_parity_campaign, FuzzConfig,
+    classify, classify_http, classify_stream, connfault_request, minimize, mutate, mutate_http,
+    run_campaign, run_connfault_campaign, run_http_campaign, run_stream_parity_campaign,
+    FuzzConfig,
 };
 use std::time::Instant;
 
@@ -125,6 +126,90 @@ fn http_campaign_runs_clean_and_deterministic() {
     // Same seed → same histogram at any worker count.
     let again = run_http_campaign(&cfg, &exec::Executor::new(1));
     assert_eq!(report.histogram, again.histogram, "HTTP campaign is not deterministic");
+}
+
+#[test]
+fn connfault_chaos_campaign_runs_clean() {
+    // The fourth campaign: 10k seed-scripted FlakyConn mutants —
+    // truncated heads, mid-body cuts and resets, slowloris drip,
+    // chopped writes — through a LIVE server. Healthy means: zero
+    // panics, every observed transport outcome matches the script's
+    // pure prediction (empty diverged bucket), no worker leaked or
+    // restarted, and the server still serves byte-identical reports
+    // afterwards.
+    use serve::client::HttpClient;
+    use serve::{BundleConfig, InferenceArena, ModelBundle, ServeConfig, Server};
+    use std::time::Duration;
+
+    let cfg = FuzzConfig::connfault();
+    assert!(cfg.iterations >= 10_000, "CI campaign must run at least 10k iterations");
+
+    let bundle = ModelBundle::train(cfg.seed, &BundleConfig::tiny());
+    let served = ModelBundle::from_records(bundle.to_records()).expect("registry round trip");
+    let request = connfault_request();
+    let head_len = serve::http::find_head_end(&request).expect("head");
+    let mut arena = InferenceArena::new();
+    let expected = bundle.report_json(&request[head_len..], &mut arena);
+    assert_eq!(expected.0, 200, "the chaos request must be a clean 200 report: {}", expected.1);
+
+    // Deep queue + workers >= client shards: the campaign must never
+    // shed (shedding determinism has its own tests), so every mutant's
+    // outcome is decided by its script alone.
+    let serve_cfg = ServeConfig { port: 0, workers: 4, queue_depth: 4096, ..ServeConfig::from_env() };
+    let server = Server::start(served, &serve_cfg).expect("bind");
+
+    let started = Instant::now();
+    let report = run_connfault_campaign(&cfg, server.addr(), &expected, 4);
+    println!("{}", report.render());
+    println!("elapsed: {:?}", started.elapsed());
+
+    assert!(
+        report.panics.is_empty(),
+        "connection mutants escaped the isolation boundary at iterations {:?}",
+        report.panics
+    );
+    let diverged: Vec<&String> =
+        report.histogram.keys().filter(|k| k.starts_with("diverged.")).collect();
+    assert!(
+        diverged.is_empty(),
+        "live server behaviour diverged from the scripts' predictions: {diverged:?}\n{}",
+        report.render()
+    );
+    for class in ["ok.delivered", "cut.head.400", "cut.body.400", "reset.body"] {
+        assert!(
+            report.histogram.contains_key(class),
+            "campaign never produced {class}:\n{}",
+            report.render()
+        );
+    }
+
+    // Thread-count independence: a shorter replay must produce the
+    // identical histogram at 1 and at 4 client threads.
+    let replay = FuzzConfig { iterations: 2_000, ..cfg };
+    let at_one = run_connfault_campaign(&replay, server.addr(), &expected, 1);
+    let at_four = run_connfault_campaign(&replay, server.addr(), &expected, 4);
+    assert_eq!(
+        at_one.histogram, at_four.histogram,
+        "chaos histogram depends on the client thread count"
+    );
+
+    // No leaks: every connection accounted for, no worker ever
+    // panicked or needed a restart, nothing was shed.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.health().active > 0 {
+        assert!(Instant::now() < deadline, "connections leaked: {:?}", server.health());
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let health = server.health();
+    assert_eq!(health.worker_panics, 0, "a chaos mutant panicked a handler: {health:?}");
+    assert_eq!(health.workers_restarted, 0, "a chaos mutant killed a worker: {health:?}");
+    assert_eq!(health.shed(), 0, "the chaos campaign was shed: {health:?}");
+
+    // The battered server still serves the golden path byte-for-byte.
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    let resp = client.post("/v1/report", &request[head_len..]).expect("post");
+    assert_eq!((resp.status, resp.text()), expected, "post-chaos report drifted");
+    server.shutdown();
 }
 
 #[test]

@@ -14,7 +14,11 @@
 //! - **DEM voids** ([`dem::punch_voids`]): SRTM-style NODATA holes in a
 //!   raster grid;
 //! - **flaky elevation service** ([`FlakyElevationService`]): transient
-//!   per-request failures with deterministic retry/backoff accounting.
+//!   per-request failures with deterministic retry/backoff accounting;
+//! - **connection faults** ([`netfault`]): seed-indexed partial
+//!   writes, injected delays, mid-body cuts/resets and slowloris
+//!   header drip applied to any `Read + Write` stream via
+//!   [`FlakyConn`] under a [`NetFaultPlan`].
 //!
 //! Every decision derives from `(plan seed, stable index)` through
 //! [`exec::mix_seed`], never from shared mutable state, so a fixed
@@ -46,10 +50,12 @@
 pub mod dem;
 mod flaky;
 mod inject;
+pub mod netfault;
 mod plan;
 
 pub use flaky::{FlakyElevationService, FlakyStats, ServiceError};
 pub use inject::{corrupt_track, synth_timestamp, CorruptedTrack, Payload};
+pub use netfault::{ConnScript, FlakyConn, NetFaultKind, NetFaultPlan, SendOutcome, Teardown};
 pub use plan::{FaultKind, FaultPlan};
 
 /// A deterministic uniform draw in `[0, 1)` from `(seed, a, b)`.

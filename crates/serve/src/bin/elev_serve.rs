@@ -9,7 +9,10 @@
 //! Flags: `--port P` (default 0 = ephemeral), `--workers N` (default
 //! `ELEV_SERVE_WORKERS` or 4), `--model-dir DIR`, `--seed S` (default
 //! 0xE1EF, bootstrap only), `--port-file F` (write the bound port for
-//! scripts), `--bootstrap`, `--smoke FILE`.
+//! scripts), `--bootstrap`, `--smoke FILE`, `--deadline-ms MS`
+//! (per-request budget, default `ELEV_SERVE_DEADLINE_MS` or 5000),
+//! `--queue-depth N` (admission bound, default
+//! `ELEV_SERVE_QUEUE_DEPTH` or 64).
 
 use serve::bundle::{BundleConfig, ModelBundle};
 use serve::registry;
@@ -25,6 +28,8 @@ struct Args {
     port_file: Option<PathBuf>,
     bootstrap: bool,
     smoke: Option<PathBuf>,
+    deadline_ms: Option<u64>,
+    queue_depth: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         port_file: None,
         bootstrap: false,
         smoke: None,
+        deadline_ms: None,
+        queue_depth: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,6 +58,16 @@ fn parse_args() -> Result<Args, String> {
             "--port-file" => args.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--bootstrap" => args.bootstrap = true,
             "--smoke" => args.smoke = Some(PathBuf::from(value("--smoke")?)),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--queue-depth" => {
+                args.queue_depth = Some(
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -60,8 +77,20 @@ fn parse_args() -> Result<Args, String> {
 fn load_or_train(args: &Args) -> Result<ModelBundle, String> {
     if let Some(dir) = &args.model_dir {
         if dir.join(registry::MANIFEST).exists() {
-            let records = registry::load_dir(dir).map_err(|e| format!("registry: {e}"))?;
-            return ModelBundle::from_records(records).map_err(|e| format!("bundle: {e}"));
+            // The crash-safe loader: every file verified against its
+            // manifest line, with automatic fallback to the last-good
+            // generation when the current publish is torn.
+            let load = registry::load_generation(dir).map_err(|e| format!("registry: {e}"))?;
+            if load.fell_back {
+                eprintln!(
+                    "registry generation torn; serving last-good generation {}",
+                    load.generation
+                );
+                for (file, err) in &load.errors {
+                    eprintln!("  {file}: {err}");
+                }
+            }
+            return ModelBundle::from_records(load.records).map_err(|e| format!("bundle: {e}"));
         }
     }
     eprintln!("no registry found; training a quick bundle (seed {:#x})", args.seed);
@@ -97,6 +126,13 @@ fn run() -> Result<(), String> {
         cfg.workers = w;
     }
     cfg.model_dir = args.model_dir.clone();
+    if let Some(ms) = args.deadline_ms {
+        cfg.request_deadline = std::time::Duration::from_millis(ms);
+        cfg.header_deadline = cfg.request_deadline.min(std::time::Duration::from_secs(2));
+    }
+    if let Some(depth) = args.queue_depth {
+        cfg.queue_depth = depth;
+    }
     let server = Server::start(bundle, &cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = server.addr();
     if let Some(path) = &args.port_file {

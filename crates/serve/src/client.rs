@@ -4,16 +4,51 @@
 //! harness, the conformance "served == offline" invariant, the verify
 //! smoke tier, and the bench load generator all use it. Keep-alive is
 //! the default, so one client = one connection = a stream of requests.
+//!
+//! Timeouts are configurable ([`ClientConfig`]) so deadline tests can
+//! use tight values; the default 5 s can be overridden fleet-wide via
+//! `ELEV_CLIENT_TIMEOUT_MS`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Client-side socket deadlines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Read timeout (per `read` call).
+    pub read_timeout: Duration,
+    /// Write timeout (per `write` call).
+    pub write_timeout: Duration,
+}
+
+impl ClientConfig {
+    /// Both timeouts from `ELEV_CLIENT_TIMEOUT_MS` (default 5000).
+    pub fn from_env() -> Self {
+        let ms = exec::env_budget("ELEV_CLIENT_TIMEOUT_MS", || 5000) as u64;
+        let t = Duration::from_millis(ms);
+        Self { read_timeout: t, write_timeout: t }
+    }
+
+    /// Equal tight deadlines on both directions.
+    pub fn tight(timeout: Duration) -> Self {
+        Self { read_timeout: timeout, write_timeout: timeout }
+    }
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
 
 /// A parsed response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code from the status line.
     pub status: u16,
+    /// Response headers in wire order (names lowercased).
+    pub headers: Vec<(String, String)>,
     /// Response body (exactly `Content-Length` bytes).
     pub body: Vec<u8>,
 }
@@ -22,6 +57,12 @@ impl Response {
     /// The body as UTF-8 (every in-tree response is JSON).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
     }
 }
 
@@ -32,16 +73,25 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects (5 s timeouts on both directions).
+    /// Connects with environment-default timeouts.
     ///
     /// # Errors
     ///
     /// Propagates connect/configure I/O errors.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with(addr, &ClientConfig::from_env())
+    }
+
+    /// Connects with explicit timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure I/O errors.
+    pub fn connect_with(addr: SocketAddr, cfg: &ClientConfig) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
         Ok(Self { stream, buf: Vec::with_capacity(4096) })
     }
 
@@ -96,10 +146,14 @@ impl HttpClient {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("no status code"))?;
-        let content_length: usize = lines
+        let headers: Vec<(String, String)> = lines
             .filter_map(|l| l.split_once(':'))
-            .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
-            .and_then(|(_, v)| v.trim().parse().ok())
+            .map(|(name, v)| (name.to_ascii_lowercase(), v.trim().to_owned()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(name, _)| name == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(0);
 
         let total = head_end + content_length;
@@ -111,6 +165,6 @@ impl HttpClient {
         }
         let body = self.buf[head_end..total].to_vec();
         self.buf.drain(..total);
-        Ok(Response { status, body })
+        Ok(Response { status, headers, body })
     }
 }

@@ -247,23 +247,38 @@ fn parse_decimal(v: &[u8]) -> Option<usize> {
 /// Renders a response with deterministic headers (no `Date`, fixed
 /// order) — byte-stable output is part of the serving contract.
 pub fn render_response(status: u16, body: &str) -> Vec<u8> {
+    render_response_with(status, body, &[])
+}
+
+/// [`render_response`] with extra headers inserted between
+/// `Content-Length` and the terminator, in the order given. With no
+/// extras the output is byte-identical to [`render_response`] — the
+/// overload paths (`503` + `Retry-After`, drain's `Connection: close`)
+/// ride this without disturbing any golden response bytes.
+pub fn render_response_with(status: u16, body: &str, extra: &[(&str, &str)]) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let mut out = Vec::with_capacity(body.len() + 128);
+    let mut out = Vec::with_capacity(body.len() + 160);
     out.extend_from_slice(
         format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         )
         .as_bytes(),
     );
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body.as_bytes());
     out
 }
@@ -366,5 +381,24 @@ mod tests {
             a,
             b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}"
         );
+    }
+
+    #[test]
+    fn extra_headers_render_in_order_and_empty_extras_match_plain() {
+        assert_eq!(render_response_with(422, "{}", &[]), render_response(422, "{}"));
+        let shed = render_response_with(
+            503,
+            "{\"error\": \"overloaded\"}",
+            &[("Retry-After", "1"), ("Connection", "close")],
+        );
+        assert_eq!(
+            shed,
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+              Content-Length: 23\r\nRetry-After: 1\r\nConnection: close\r\n\r\n\
+              {\"error\": \"overloaded\"}"
+                .as_slice()
+        );
+        let timeout = render_response(408, "{\"error\": \"request_timeout\"}");
+        assert!(timeout.starts_with(b"HTTP/1.1 408 Request Timeout\r\n"));
     }
 }

@@ -39,5 +39,6 @@ pub mod server;
 
 pub use arena::InferenceArena;
 pub use bundle::{BundleConfig, ModelBundle, TaskModels};
-pub use registry::{ModelKind, ModelRecord, RegistryError};
-pub use server::{ServeConfig, Server};
+pub use client::{ClientConfig, HttpClient};
+pub use registry::{GenerationLoad, Manifest, ManifestEntry, ModelKind, ModelRecord, RegistryError};
+pub use server::{ConnError, HealthSnapshot, ServeConfig, Server};

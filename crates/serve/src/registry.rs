@@ -16,9 +16,18 @@
 //! corruption modes (truncated, bad checksum, wrong version) map to
 //! three distinct [`RegistryError`] variants.
 //!
-//! A directory of records carries a `manifest.txt` (one line per
-//! record, written last), which doubles as the hot-reload signal: the
-//! server polls its mtime and swaps the bundle when it changes.
+//! A directory of records carries a `manifest.txt` (a `generation N`
+//! header plus one line per record, written last), which doubles as
+//! the hot-reload signal: the server polls its mtime and swaps the
+//! bundle when it changes.
+//!
+//! Publishes are crash-safe: every file lands via
+//! [`atomic_write`] (write a sibling temp file, `fsync`, rename), the
+//! previous manifest is preserved as [`MANIFEST_PREV`] before the new
+//! one replaces it, and [`load_generation`] verifies every record's
+//! length and FNV against its manifest line before decoding — on any
+//! mismatch it falls back to the last-good generation and reports the
+//! torn files as distinct structured [`RegistryError`]s.
 
 use classicml::{RandomForest, SvmClassifier};
 use neuralnet::{ArchSpec, FlatMlp};
@@ -439,14 +448,41 @@ pub fn file_name(record: &ModelRecord) -> String {
     format!("{}@{}.elevmdl", record.name, record.version)
 }
 
-/// Writes one record into `dir`.
+/// Crash-safe file write: the bytes land in a sibling `.tmp` file,
+/// are fsynced, then renamed over `path`. A crash at any point leaves
+/// either the old content or the new content at `path`, never a torn
+/// prefix; leftover `.tmp` files are ignored by every loader.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as [`RegistryError::Io`].
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), RegistryError> {
+    let io = |e: std::io::Error| RegistryError::Io(e.to_string());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = fs::File::create(&tmp).map_err(io)?;
+    f.write_all(bytes).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(io)?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Writes one record into `dir` (atomically, see [`atomic_write`]).
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors as [`RegistryError::Io`].
 pub fn save_record(dir: &Path, record: &ModelRecord) -> Result<PathBuf, RegistryError> {
     let path = dir.join(file_name(record));
-    fs::write(&path, encode_record(record)).map_err(|e| RegistryError::Io(e.to_string()))?;
+    atomic_write(&path, &encode_record(record))?;
     Ok(path)
 }
 
@@ -464,15 +500,29 @@ pub fn load_record(path: &Path) -> Result<ModelRecord, RegistryError> {
 /// The manifest file name a registry directory carries.
 pub const MANIFEST: &str = "manifest.txt";
 
+/// The previous generation's manifest, preserved by [`save_dir`] so a
+/// torn publish can fall back to the last-good file set.
+pub const MANIFEST_PREV: &str = "manifest.prev.txt";
+
 /// Writes `records` into `dir` (created if missing) plus a
 /// `manifest.txt`, written last so its mtime bump is the hot-reload
-/// signal.
+/// signal. Every file lands via [`atomic_write`]; the outgoing
+/// manifest (if any) is preserved as [`MANIFEST_PREV`] first, and the
+/// new manifest's `generation` header is the old one plus one.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors as [`RegistryError::Io`].
 pub fn save_dir(dir: &Path, records: &[ModelRecord]) -> Result<(), RegistryError> {
     fs::create_dir_all(dir).map_err(|e| RegistryError::Io(e.to_string()))?;
+    let manifest = dir.join(MANIFEST);
+    let generation = match fs::read_to_string(&manifest) {
+        Ok(text) => {
+            atomic_write(&dir.join(MANIFEST_PREV), text.as_bytes())?;
+            parse_manifest(&text).map_or(0, |m| m.generation) + 1
+        }
+        Err(_) => 1,
+    };
     let mut lines = Vec::with_capacity(records.len());
     for record in records {
         let path = save_record(dir, record)?;
@@ -489,12 +539,179 @@ pub fn save_dir(dir: &Path, records: &[ModelRecord]) -> Result<(), RegistryError
         ));
     }
     lines.sort();
-    let manifest = dir.join(MANIFEST);
-    let mut f = fs::File::create(&manifest).map_err(|e| RegistryError::Io(e.to_string()))?;
+    let mut text = format!("generation {generation}\n");
     for line in &lines {
-        writeln!(f, "{line}").map_err(|e| RegistryError::Io(e.to_string()))?;
+        text.push_str(line);
+        text.push('\n');
     }
-    Ok(())
+    atomic_write(&manifest, text.as_bytes())
+}
+
+/// One manifest entry: the file it names and the integrity facts the
+/// loader verifies before decoding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ManifestEntry {
+    /// Record file name (`<name>@<version>.elevmdl`).
+    pub file: String,
+    /// Expected file length in bytes.
+    pub bytes: usize,
+    /// Expected FNV-1a-64 of the whole file.
+    pub fnv: u64,
+}
+
+/// A parsed `manifest.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Publish generation (monotonic; pre-header manifests read as 0).
+    pub generation: u64,
+    /// Entries sorted by file name.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Parses manifest text (header optional for pre-generation files).
+///
+/// # Errors
+///
+/// [`RegistryError::Malformed`] naming the first unparseable line — a
+/// torn manifest write must read as an error, never as a shorter
+/// valid manifest.
+pub fn parse_manifest(text: &str) -> Result<Manifest, RegistryError> {
+    let bad = |line: &str, what: &str| {
+        RegistryError::Malformed(format!("manifest line {line:?}: {what}"))
+    };
+    let mut generation = 0u64;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 {
+            if let Some(g) = line.strip_prefix("generation ") {
+                generation =
+                    g.parse().map_err(|_| bad(line, "generation is not an integer"))?;
+                continue;
+            }
+        }
+        let mut fields = line.split(' ');
+        let id = fields.next().filter(|s| !s.is_empty()).ok_or_else(|| bad(line, "empty"))?;
+        if !id.contains('@') {
+            return Err(bad(line, "missing name@version"));
+        }
+        let mut bytes = None;
+        let mut fnv = None;
+        for field in fields {
+            if let Some(v) = field.strip_prefix("bytes=") {
+                bytes = Some(v.parse().map_err(|_| bad(line, "bad bytes="))?);
+            } else if let Some(v) = field.strip_prefix("fnv1a64=") {
+                let hex = v.strip_prefix("0x").ok_or_else(|| bad(line, "bad fnv1a64="))?;
+                fnv = Some(
+                    u64::from_str_radix(hex, 16).map_err(|_| bad(line, "bad fnv1a64="))?,
+                );
+            }
+        }
+        entries.push(ManifestEntry {
+            file: format!("{id}.elevmdl"),
+            bytes: bytes.ok_or_else(|| bad(line, "missing bytes="))?,
+            fnv: fnv.ok_or_else(|| bad(line, "missing fnv1a64="))?,
+        });
+    }
+    entries.sort();
+    Ok(Manifest { generation, entries })
+}
+
+/// What [`load_generation`] actually loaded.
+#[derive(Debug)]
+pub struct GenerationLoad {
+    /// Records of the served generation, in manifest order.
+    pub records: Vec<ModelRecord>,
+    /// Generation number of the manifest the records came from.
+    pub generation: u64,
+    /// True when the current manifest's file set was torn and the
+    /// previous generation was served instead.
+    pub fell_back: bool,
+    /// Per-file errors from the torn generation (empty on a clean
+    /// load) — each torn file keeps its distinct error class.
+    pub errors: Vec<(String, RegistryError)>,
+}
+
+fn load_manifest_records(
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<Vec<ModelRecord>, Vec<(String, RegistryError)>> {
+    let mut records = Vec::with_capacity(manifest.entries.len());
+    let mut errors = Vec::new();
+    for entry in &manifest.entries {
+        let path = dir.join(&entry.file);
+        let loaded = fs::read(&path).map_err(|e| RegistryError::Io(e.to_string())).and_then(
+            |bytes| {
+                if bytes.len() < entry.bytes {
+                    return Err(RegistryError::Truncated {
+                        offset: bytes.len(),
+                        needed: entry.bytes - bytes.len(),
+                        len: bytes.len(),
+                    });
+                }
+                let computed = fnv1a64(&bytes);
+                if bytes.len() != entry.bytes || computed != entry.fnv {
+                    return Err(RegistryError::ChecksumMismatch {
+                        stored: entry.fnv,
+                        computed,
+                    });
+                }
+                decode_record(&bytes)
+            },
+        );
+        match loaded {
+            Ok(record) => records.push(record),
+            Err(e) => errors.push((entry.file.clone(), e)),
+        }
+    }
+    if errors.is_empty() {
+        Ok(records)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Loads the registry the crash-safe way: parse `manifest.txt`,
+/// verify every listed file's length and FNV against its manifest
+/// line, and decode. If anything about the current generation is torn
+/// — unparseable manifest, missing file, short file, flipped bytes —
+/// fall back to [`MANIFEST_PREV`] and serve the last-good generation,
+/// reporting the torn files' distinct errors in
+/// [`GenerationLoad::errors`].
+///
+/// # Errors
+///
+/// The current generation's first error when no previous generation
+/// exists or the fallback is itself unloadable.
+pub fn load_generation(dir: &Path) -> Result<GenerationLoad, RegistryError> {
+    let manifest_text =
+        fs::read_to_string(dir.join(MANIFEST)).map_err(|e| RegistryError::Io(e.to_string()));
+    let current = manifest_text.and_then(|text| {
+        let manifest = parse_manifest(&text)?;
+        Ok((manifest.generation, load_manifest_records(dir, &manifest)))
+    });
+    let errors = match current {
+        Ok((generation, Ok(records))) => {
+            return Ok(GenerationLoad { records, generation, fell_back: false, errors: Vec::new() })
+        }
+        Ok((_, Err(errors))) => errors,
+        Err(e) => vec![(MANIFEST.to_owned(), e)],
+    };
+    let fallback = fs::read_to_string(dir.join(MANIFEST_PREV))
+        .map_err(|e| RegistryError::Io(e.to_string()))
+        .and_then(|text| {
+            let manifest = parse_manifest(&text)?;
+            load_manifest_records(dir, &manifest)
+                .map(|records| (manifest.generation, records))
+                .map_err(|mut errs| errs.swap_remove(0).1)
+        });
+    match fallback {
+        Ok((generation, records)) => {
+            Ok(GenerationLoad { records, generation, fell_back: true, errors })
+        }
+        // No last-good generation: surface the torn generation's first
+        // error (the fallback miss is secondary).
+        Err(_) => Err(errors.into_iter().next().expect("at least one error").1),
+    }
 }
 
 /// Loads every `.elevmdl` record in `dir`, sorted by file name (so

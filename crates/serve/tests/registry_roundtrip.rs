@@ -159,8 +159,13 @@ fn directory_roundtrip_preserves_reports() {
 
     let manifest =
         std::fs::read_to_string(dir.0.join(registry::MANIFEST)).expect("manifest exists");
-    assert_eq!(manifest.lines().count(), 6, "one manifest line per record:\n{manifest}");
-    for line in manifest.lines() {
+    assert_eq!(
+        manifest.lines().count(),
+        7,
+        "generation header + one manifest line per record:\n{manifest}"
+    );
+    assert_eq!(manifest.lines().next(), Some("generation 1"), "first publish is generation 1");
+    for line in manifest.lines().skip(1) {
         assert!(line.contains(" fnv1a64=0x"), "manifest line lacks checksum: {line}");
     }
 
@@ -187,6 +192,7 @@ fn manifest_mtime_change_hot_reloads() {
         workers: 1,
         model_dir: Some(dir.0.clone()),
         reload_poll: Duration::from_millis(50),
+        ..ServeConfig::from_env()
     };
     let server = Server::start(served, &cfg).expect("bind");
     let mut client = HttpClient::connect(server.addr()).expect("connect");

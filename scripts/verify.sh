@@ -7,12 +7,13 @@
 # invariant suite, and the deterministic fuzz driver.
 #
 # Usage: scripts/verify.sh [tier...]
-#   tiers: build clippy test conformance serve bench smoke (default: all)
+#   tiers: build clippy test conformance serve overload bench smoke
+#   (default: all)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tiers="${*:-build clippy test conformance serve bench smoke}"
+tiers="${*:-build clippy test conformance serve overload bench smoke}"
 
 has() {
     case " $tiers " in *" $1 "*) return 0 ;; *) return 1 ;; esac
@@ -100,6 +101,105 @@ open(os.environ["out"], "wb").write(body + b"\n")
     echo "serve: live report byte-matches offline report"
 fi
 
+if has overload; then
+    echo "== overload (4x burst: bounded latency + shed accounting) =="
+    # A deliberately starved server (1 worker, queue depth 2) under a
+    # 4x fresh-connection burst: accepted requests must stay bounded
+    # by the deadline, the excess must come back 503 + Retry-After,
+    # and /v1/health's shed counters must match the client ledger.
+    dir="$(mktemp -d)"
+    ./target/release/elev-serve --bootstrap --model-dir "$dir"
+    gpx="$dir/upload.gpx"
+    {
+        printf '<?xml version="1.0" encoding="UTF-8"?>\n'
+        printf '<gpx version="1.1" creator="verify">\n<trk><trkseg>\n'
+        i=0
+        while [ "$i" -lt 40 ]; do
+            printf '<trkpt lat="38.%04d" lon="-77.0353"><ele>%d.5</ele></trkpt>\n' \
+                "$i" $((100 + i))
+            i=$((i + 1))
+        done
+        printf '</trkseg></trk></gpx>\n'
+    } > "$gpx"
+
+    ./target/release/elev-serve --model-dir "$dir" --workers 1 \
+        --queue-depth 2 --port-file "$dir/port" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+    i=0
+    while [ ! -s "$dir/port" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    test -s "$dir/port"
+
+    port="$(cat "$dir/port")" gpx="$gpx" python3 -c '
+import http.client, json, os, socket, threading, time
+
+port = int(os.environ["port"])
+body = open(os.environ["gpx"], "rb").read()
+head = ("POST /v1/report HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+        "Content-Length: %d\r\n\r\n" % len(body)).encode()
+lock = threading.Lock()
+served, shed, resets, latencies = [0], [0], [0], []
+
+def client(n_requests):
+    for _ in range(n_requests):
+        t = time.monotonic()
+        try:
+            s = socket.create_connection(("127.0.0.1", port), timeout=10)
+            s.sendall(head + body)
+            buf = b""
+            while True:
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+            s.close()
+        except OSError:
+            buf = b""
+        status = buf.split(b" ", 2)[1] if buf.startswith(b"HTTP/1.1 ") else b""
+        with lock:
+            if status == b"503":
+                assert b"\r\nRetry-After: 1\r\n" in buf, buf[:200]
+                shed[0] += 1
+            elif status:
+                assert status == b"200", buf[:200]
+                served[0] += 1
+                latencies.append(time.monotonic() - t)
+            else:
+                resets[0] += 1
+
+threads = [threading.Thread(target=client, args=(25,)) for _ in range(4)]
+for t in threads: t.start()
+for t in threads: t.join()
+
+assert served[0] + shed[0] + resets[0] == 100
+assert served[0] > 0, "burst starved every request"
+assert shed[0] + resets[0] > 0, "4x burst into queue depth 2 never shed"
+latencies.sort()
+p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+assert p99 < 5.0, "accepted p99 %.3fs blew the 5s deadline" % p99
+
+c = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+c.request("GET", "/v1/health")
+r = c.getresponse()
+health = json.loads(r.read())
+assert r.status == 200, health
+observed = shed[0] + resets[0]
+counted = health["shed_queue"] + health["shed_ip_cap"]
+assert counted == observed, (counted, observed, health)
+assert health["accepted"] == served[0] + 1, (health["accepted"], served[0])
+assert health["worker_panics"] == 0 and health["workers_restarted"] == 0, health
+print("overload: %d served (p99 %.1f ms), %d shed (503=%d, reset=%d), "
+      "health ledger exact" % (served[0], p99 * 1e3, observed, shed[0], resets[0]))
+'
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -rf "$dir"
+fi
+
 if has bench; then
     echo "== bench smoke (BENCH_QUICK=1) =="
     for suite in kernels train serve; do
@@ -122,6 +222,16 @@ if has bench; then
                         | select(.baseline_s != null and .speedup != null)]
                        | length >= 2' "$json" >/dev/null
             fi
+            if [ "$suite" = serve ]; then
+                # The overload entries are part of the CI artifact: a
+                # bounded accepted-p99 and a nonzero shed rate.
+                jq -e '([.benches[] | select(.name == "served_overload_4x_p99")]
+                        | length == 1)
+                       and ([.benches[]
+                             | select(.name == "served_overload_4x_shed_rate")
+                             | select(.optimized_s > 0)]
+                            | length == 1)' "$json" >/dev/null
+            fi
         else
             suite="$suite" json="$json" python3 -c 'import json, os
 r = json.load(open(os.environ["json"]))
@@ -130,7 +240,12 @@ if os.environ["suite"] == "kernels":
     pairs = [b for b in r["benches"]
              if b["name"].startswith("ingest_throughput_")
              and b["baseline_s"] is not None and b["speedup"] is not None]
-    assert len(pairs) >= 2, "missing ingest_throughput bench pairs"'
+    assert len(pairs) >= 2, "missing ingest_throughput bench pairs"
+if os.environ["suite"] == "serve":
+    names = {b["name"]: b for b in r["benches"]}
+    assert "served_overload_4x_p99" in names, "missing overload p99 entry"
+    shed = names.get("served_overload_4x_shed_rate")
+    assert shed and shed["optimized_s"] > 0, "missing/zero overload shed rate"'
         fi
         # The smoke overwrites the committed full-mode numbers; restore.
         if [ -n "$saved" ]; then
