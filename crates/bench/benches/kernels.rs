@@ -354,6 +354,106 @@ fn main() {
         },
     ));
 
+    // --- Population corpus generation: one 64-athlete shard of the
+    // streaming generator (habit models + trajectories + elevation
+    // profiles from the seed tree). No baseline: there was no prior
+    // bulk generator — the entry pins absolute corpus throughput.
+    let pop = {
+        let mut p = routegen::PopulationConfig::new(64, 42);
+        p.shard_size = 64;
+        p
+    };
+    let terrain = pop.terrain();
+    let shard = pop.generate_shard(&terrain, 0);
+    let (gen_tracks, gen_points) = (shard.tracks(), shard.points());
+    // lat + lon + elevation as f64 per point.
+    let gen_mb = (gen_points * 24) as f64 / 1e6;
+    let mut b = entry(
+        "corpus_gen_shard64",
+        samples,
+        "",
+        None::<fn()>,
+        || {
+            black_box(pop.generate_shard(&terrain, 0));
+        },
+    );
+    b.note = format!(
+        "one {}-athlete population shard ({} tracks, {} points, ~{:.2} MB of \
+         track data): {:.0} tracks/s, {:.1} MB/s; regeneration is bit-identical \
+         at any shard order and thread count (corpus.shard golden)",
+        pop.shard_size,
+        gen_tracks,
+        gen_points,
+        gen_mb,
+        gen_tracks as f64 / b.optimized_s,
+        gen_mb / b.optimized_s,
+    );
+    benches.push(b);
+
+    // --- Feature-store streaming: re-featurizing the shard's profiles
+    // every sweep (the pre-featstore path) vs streaming the same CSR
+    // rows back from the checksummed shard file via pread.
+    {
+        let profiles: Vec<Vec<f64>> = shard
+            .athletes
+            .iter()
+            .flat_map(|a| &a.activities)
+            .map(|act| act.elevation_profile())
+            .collect();
+        let store_pipeline =
+            TextPipeline::fit(Discretizer::Floor, 4, FeatureSelection::standard(), &profiles);
+        let dir = std::env::temp_dir().join(format!("elev-bench-fst-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut w =
+            featstore::ShardWriter::create(&dir, 0, store_pipeline.n_features() as u64, 42)
+                .expect("create shard");
+        for athlete in &shard.athletes {
+            for (ai, act) in athlete.activities.iter().enumerate() {
+                let sv = store_pipeline.transform_sparse(&act.elevation_profile());
+                w.append_row(
+                    athlete.habits.id,
+                    athlete.habits.city_index as u32,
+                    ai as u32,
+                    sv.indices(),
+                    sv.values(),
+                )
+                .expect("append row");
+            }
+        }
+        let meta = w.finish().expect("finish shard");
+        let path = dir.join(&meta.file);
+        let file_mb = meta.bytes as f64 / 1e6;
+        let mut b = entry(
+            "featstore_read_shard64",
+            samples,
+            "",
+            Some(|| {
+                for p in &profiles {
+                    black_box(store_pipeline.transform_sparse(p));
+                }
+            }),
+            || {
+                let mut r = featstore::ShardReader::open(&path).expect("open shard");
+                let mut row = featstore::RowBuf::default();
+                while r.next_row(&mut row).expect("next row") {
+                    black_box(&row);
+                }
+            },
+        );
+        b.note = format!(
+            "{} CSR rows, {:.2} MB shard file: streaming reads {:.1} MB/s \
+             (checksum-verified, zero-copy into a reused RowBuf); baseline \
+             re-featurizes the same {} profiles through transform_sparse",
+            meta.rows,
+            file_mb,
+            file_mb / b.optimized_s,
+            profiles.len(),
+        );
+        benches.push(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     let report = BenchReport {
         suite: "kernels".to_owned(),
         quick,

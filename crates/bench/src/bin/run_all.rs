@@ -119,6 +119,33 @@ fn main() {
     println!("robustness: accuracy vs corruption rate (quarantine ingestion) [{:?}]:", t.elapsed());
     rob_table.print();
 
+    // Scaling: re-identification accuracy vs candidate-population size
+    // over the sharded feature store (quick slice; scale_sweep runs the
+    // full ladder and writes results/scale_population.json).
+    let t = Instant::now();
+    let pop_size = if scale == ExperimentScale::full() { 10_000 } else { 600 };
+    let mut scale_cfg = elev_core::scale::ScaleConfig::new(pop_size, seed);
+    scale_cfg.store_dir = std::path::PathBuf::from(format!("target/featstore_runall_{pop_size}"));
+    let exec = exec::Executor::from_env();
+    let scaling = elev_core::scale::scale_sweep(&scale_cfg, &exec).expect("scale sweep");
+    let mut scale_table = TextTable::new(&["athletes", "TM-1 top-1", "TM-1 top-3", "TM-3 top-1"]);
+    for p in &scaling.points {
+        scale_table.row(vec![
+            p.athletes.to_string(),
+            pct(p.tm1_top1),
+            pct(p.tm1_top3),
+            pct(p.tm3_top1),
+        ]);
+    }
+    println!();
+    println!(
+        "scaling: re-identification vs candidate-pool size ({} probes, {} stored rows) [{:?}]:",
+        scaling.probes,
+        scaling.store_rows,
+        t.elapsed()
+    );
+    scale_table.print();
+
     let lo = lows.iter().copied().fold(1.0f64, f64::min);
     let hi = highs.iter().copied().fold(0.0f64, f64::max);
     println!();

@@ -1,0 +1,93 @@
+//! Scale sweep: re-identification accuracy vs candidate-population
+//! size over the sharded feature store (not a paper artifact — this
+//! probes how the paper's attacks degrade toward fitness-app scale).
+//!
+//! Environment knobs on top of the usual `ELEV_*` set:
+//!
+//! - `ELEV_POP_SIZE` — total athletes (default 10 000);
+//! - `ELEV_SHARD_SIZE` — athletes per shard (default 1024);
+//! - `ELEV_STORE_DIR` — feature-store directory (default
+//!   `target/featstore`; reused when the config fingerprint matches).
+//!
+//! Flags:
+//!
+//! - `--digests` — regenerate every population shard, print one
+//!   `shard <index> <fingerprint>` line per shard (always sorted by
+//!   index, regardless of compute order), and exit. `scripts/verify.sh`
+//!   diffs this output across thread counts and regeneration orders.
+//! - `--reverse` — with `--digests`, regenerate the shards in reverse
+//!   order (the printed lines must not change).
+
+use bench::{pct, start, TextTable};
+use elev_core::scale::{scale_sweep, shard_fingerprints, ScaleConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let digests = args.iter().any(|a| a == "--digests");
+    let reverse = args.iter().any(|a| a == "--reverse");
+    let exec = exec::Executor::from_env();
+
+    if digests {
+        // No banner: the output is diffed byte-for-byte by verify.sh.
+        let seed = bench::seed_from_env();
+        let cfg = ScaleConfig::from_env(seed);
+        let pop = &cfg.population;
+        let fps: Vec<u64> = if reverse {
+            let terrain = pop.terrain();
+            let mut pairs: Vec<(usize, u64)> = (0..pop.n_shards())
+                .rev()
+                .map(|s| (s, pop.generate_shard(&terrain, s).fingerprint()))
+                .collect();
+            pairs.sort_by_key(|&(s, _)| s);
+            pairs.into_iter().map(|(_, f)| f).collect()
+        } else {
+            shard_fingerprints(pop, &exec)
+        };
+        for (s, f) in fps.iter().enumerate() {
+            println!("shard {s:05} {f:016x}");
+        }
+        return;
+    }
+
+    let (seed, _) = start("scale_sweep", "accuracy vs candidate-population size (scaling)");
+    let cfg = ScaleConfig::from_env(seed);
+    println!(
+        "population {} athletes over {} shards of {} (seed tree root {seed}), store {}",
+        cfg.population.athletes,
+        cfg.population.n_shards(),
+        cfg.population.shard_size,
+        cfg.store_dir.display()
+    );
+    let t0 = Instant::now();
+    let report = scale_sweep(&cfg, &exec).expect("scale sweep");
+    println!(
+        "store: {} rows x {} features; {} stratified probes",
+        report.store_rows, report.n_cols, report.probes
+    );
+    println!();
+
+    let mut table =
+        TextTable::new(&["athletes", "tracks", "TM-1 top-1", "TM-1 top-3", "TM-3 top-1"]);
+    for p in &report.points {
+        table.row(vec![
+            p.athletes.to_string(),
+            p.tracks.to_string(),
+            pct(p.tm1_top1),
+            pct(p.tm1_top3),
+            pct(p.tm3_top1),
+        ]);
+    }
+    println!("re-identification accuracy vs candidate-pool size:");
+    table.print();
+    println!();
+
+    let json = report.to_json();
+    println!("scale-report-json:");
+    println!("{json}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/scale_population.json");
+    std::fs::write(path, format!("{json}\n")).expect("write scale_population.json");
+    println!();
+    println!("wrote {path}");
+    println!("total wall time {:?}", t0.elapsed());
+}

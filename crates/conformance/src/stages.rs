@@ -34,7 +34,7 @@ pub struct StageArtifact {
 }
 
 /// Every registered stage name, in pipeline order.
-pub const STAGE_NAMES: [&str; 10] = [
+pub const STAGE_NAMES: [&str; 11] = [
     "routegen.tracks",
     "gpx.bytes",
     "ingest.clean",
@@ -45,6 +45,7 @@ pub const STAGE_NAMES: [&str; 10] = [
     "metrics.robustness",
     "serve.report",
     "ingest.stream",
+    "corpus.shard",
 ];
 
 /// The scale every conformance artifact is computed at: small enough
@@ -389,8 +390,52 @@ pub fn compute_stages(seed: u64) -> Vec<StageArtifact> {
         });
     }
 
+    // Stage 11: the quick-scale population corpus — shard 0 of the
+    // streaming generator, digested content-first (habit models,
+    // trajectories, elevation profiles by bit pattern) plus the
+    // canonical shard fingerprint. This pins the entire seed tree:
+    // a change to the city/cadence domains, the per-(city, athlete)
+    // seeding, or the habit-model defaults breaks this golden.
+    {
+        let pop = conformance_population(seed);
+        let terrain = pop.terrain();
+        let shard = pop.generate_shard(&terrain, 0);
+        let mut d = Digest::new();
+        d.u64(pop.fingerprint()).usize(shard.athletes.len());
+        for a in &shard.athletes {
+            d.u64(a.habits.id).str(a.habits.city.abbrev()).usize(a.habits.weekly_cadence);
+            d.usize(a.activities.len());
+            for act in &a.activities {
+                d.f64s(&act.elevation_profile());
+            }
+        }
+        d.u64(shard.fingerprint());
+        out.push(StageArtifact {
+            name: "corpus.shard",
+            digest: d.finish(),
+            summary: format!(
+                "shard 0/{}: {} athletes, {} tracks, {} points, fingerprint {:016x}",
+                pop.n_shards(),
+                shard.athletes.len(),
+                shard.tracks(),
+                shard.points(),
+                shard.fingerprint()
+            ),
+        });
+    }
+
     debug_assert_eq!(out.len(), STAGE_NAMES.len());
     out
+}
+
+/// The quick-scale population the `corpus.shard` stage and the
+/// shard-regeneration invariant share: 4 small shards, big enough to
+/// hit several metros and cadences, small enough to regenerate in
+/// milliseconds.
+pub fn conformance_population(seed: u64) -> routegen::PopulationConfig {
+    let mut pop = routegen::PopulationConfig::new(48, seed);
+    pop.shard_size = 12;
+    pop
 }
 
 /// Duplicates every second `<trkpt` line of a serialized GPX document

@@ -58,6 +58,7 @@ pub mod image;
 pub mod ingest;
 pub mod report;
 pub mod robustness;
+pub mod scale;
 pub mod spectral;
 pub mod text;
 pub mod threat;

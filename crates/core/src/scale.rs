@@ -1,0 +1,662 @@
+//! Accuracy-vs-population scale sweeps over the sharded corpus.
+//!
+//! The paper measures its attacks against paper-scale candidate pools
+//! (hundreds of tracks, 10 cities), which leaves open the realism
+//! question: how does location leakage degrade as the candidate
+//! population grows toward fitness-app scale? This module answers it
+//! with the two big-corpus substrates:
+//!
+//! - [`routegen::PopulationConfig`] streams millions of synthetic
+//!   athletes shard-by-shard under a fixed seed tree (prefix-stable,
+//!   so every population size is a prefix of the next);
+//! - [`featstore`] persists each shard's BoW features once, as
+//!   checksummed CSR records, so repeated sweeps stream from disk
+//!   instead of re-featurizing.
+//!
+//! The attack at scale is *re-identification*: the adversary holds the
+//! feature rows of every candidate athlete's history and observes one
+//! fresh elevation profile (the probe — the athlete's next activity,
+//! drawn from the same seed tree). Nearest-neighbour cosine matching
+//! over the stored rows then scores two threat models at once:
+//!
+//! - **TM-1 (athlete)**: does the best match belong to the probe's
+//!   athlete? (top-1 / top-3) — the user-level attack, which must
+//!   degrade as the candidate pool grows;
+//! - **TM-3 (city)**: does the best match come from the probe's home
+//!   city? — the city-level attack, which stays comparatively flat
+//!   because city relief is population-independent.
+//!
+//! The scan is shard-parallel on the two-level `exec` budget and
+//! bit-identical at any thread count and shard order: per-row scores
+//! are pure, per-shard partials are merged in shard order, and ties
+//! break on `(score, athlete)` with total ordering.
+
+use exec::Executor;
+use featstore::{
+    FeatureStore, RowBuf, ShardEntry, ShardWriter, StoreError, StoreManifest, MANIFEST,
+};
+use routegen::PopulationConfig;
+use sparsemat::SparseVec;
+use std::path::{Path, PathBuf};
+use textrep::{Discretizer, FeatureSelection};
+
+/// The fixed featurization every scale corpus uses: the paper's
+/// user-dataset setting (plain floor discretization, 4-grams,
+/// standard selection), fitted once on shard 0 — a prefix of every
+/// population size, so the vocabulary never depends on how large the
+/// sweep is.
+pub const SCALE_NGRAM: usize = 4;
+
+/// Domain separator mixed into the store fingerprint for the
+/// featurization config.
+const FEAT_DOMAIN: u64 = 0xFEA7_5702;
+
+/// Configuration of a scale sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// The population (its `athletes` field is the largest sweep size).
+    pub population: PopulationConfig,
+    /// Ascending candidate-pool sizes (athlete counts); the sweep
+    /// reports one point per size.
+    pub pop_sizes: Vec<usize>,
+    /// Probe athletes drawn per city, stratified, from ids below the
+    /// smallest population size (so every probe is a candidate at
+    /// every size).
+    pub probes_per_city: usize,
+    /// Feature-store directory.
+    pub store_dir: PathBuf,
+}
+
+impl ScaleConfig {
+    /// A sweep over `athletes` candidates rooted at `seed`, with the
+    /// canonical half-decade size ladder and a `target/featstore`
+    /// store (override via [`from_env`](Self::from_env)).
+    pub fn new(athletes: usize, seed: u64) -> Self {
+        Self {
+            population: PopulationConfig::new(athletes, seed),
+            pop_sizes: population_ladder(athletes),
+            probes_per_city: 8,
+            store_dir: PathBuf::from("target/featstore"),
+        }
+    }
+
+    /// Reads the scale knobs: `ELEV_POP_SIZE` (total athletes, default
+    /// 10 000), `ELEV_SHARD_SIZE` (athletes per shard, default 1024),
+    /// `ELEV_STORE_DIR` (store path, default `target/featstore`).
+    pub fn from_env(seed: u64) -> Self {
+        let athletes = exec::env_budget("ELEV_POP_SIZE", || 10_000);
+        let shard_size = exec::env_budget("ELEV_SHARD_SIZE", || 1_024);
+        let mut cfg = Self::new(athletes, seed);
+        cfg.population.shard_size = shard_size;
+        if let Ok(dir) = std::env::var("ELEV_STORE_DIR") {
+            if !dir.trim().is_empty() {
+                cfg.store_dir = PathBuf::from(dir);
+            }
+        }
+        cfg
+    }
+
+    /// The store fingerprint: population config plus featurization
+    /// config, so a store built for a different corpus or vocabulary
+    /// is never silently reused.
+    pub fn store_fingerprint(&self) -> u64 {
+        exec::mix_seed(self.population.fingerprint() ^ FEAT_DOMAIN, SCALE_NGRAM as u64)
+    }
+}
+
+/// The canonical 1–3 half-decade ladder capped at `max`:
+/// `100, 300, 1000, 3000, …, max` (always ends exactly at `max`).
+pub fn population_ladder(max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut d = 100usize;
+    loop {
+        for s in [d, 3 * d] {
+            if s < max {
+                sizes.push(s);
+            }
+        }
+        if 10 * d > max {
+            break;
+        }
+        d *= 10;
+    }
+    if sizes.last() != Some(&max) {
+        sizes.push(max);
+    }
+    sizes
+}
+
+fn fit_pipeline(pop: &PopulationConfig) -> crate::featcache::SharedPipeline {
+    let terrain = pop.terrain();
+    let shard0 = pop.generate_shard(&terrain, 0);
+    let profiles: Vec<Vec<f64>> = shard0
+        .athletes
+        .iter()
+        .flat_map(|a| &a.activities)
+        .map(|act| act.elevation_profile())
+        .collect();
+    crate::featcache::pipeline_for(
+        &profiles,
+        Discretizer::Floor,
+        SCALE_NGRAM,
+        FeatureSelection::standard(),
+    )
+}
+
+/// Outcome of [`build_store`]: shape of the published store and
+/// whether an existing build was reused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreBuildReport {
+    /// Feature-space width.
+    pub n_cols: usize,
+    /// Total feature rows (tracks) across all shards.
+    pub rows: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// Total shard-file bytes.
+    pub bytes: u64,
+    /// `true` when a matching published store was reused as-is.
+    pub reused: bool,
+}
+
+/// Featurizes the population shard-parallel into `cfg.store_dir`,
+/// computing each shard once: a published store whose manifest matches
+/// the config fingerprint is reused without touching the corpus.
+///
+/// # Errors
+///
+/// Any [`StoreError`] from shard writing or manifest publishing.
+pub fn build_store(cfg: &ScaleConfig, exec: &Executor) -> Result<StoreBuildReport, StoreError> {
+    let pop = &cfg.population;
+    let fingerprint = cfg.store_fingerprint();
+    if let Ok(store) = FeatureStore::open(&cfg.store_dir) {
+        let m = store.manifest();
+        if m.config == fingerprint
+            && m.athletes == pop.athletes as u64
+            && m.shard_size == pop.shard_size as u64
+        {
+            let bytes = m
+                .shards
+                .iter()
+                .filter_map(|s| std::fs::metadata(cfg.store_dir.join(&s.file)).ok())
+                .map(|md| md.len())
+                .sum();
+            return Ok(StoreBuildReport {
+                n_cols: m.n_cols as usize,
+                rows: store.rows(),
+                shards: m.shards.len(),
+                bytes,
+                reused: true,
+            });
+        }
+    }
+    std::fs::create_dir_all(&cfg.store_dir).map_err(|e| StoreError::Io(e.to_string()))?;
+
+    let pipeline = fit_pipeline(pop);
+    let n_cols = pipeline.pipeline().n_features();
+    let terrain = pop.terrain();
+    let shard_ids: Vec<usize> = (0..pop.n_shards()).collect();
+    let metas = exec.map(&shard_ids, |_, &s| -> Result<featstore::ShardMeta, StoreError> {
+        let shard = pop.generate_shard(&terrain, s);
+        let mut w = ShardWriter::create(&cfg.store_dir, s, n_cols as u64, fingerprint)?;
+        for athlete in &shard.athletes {
+            for (ai, act) in athlete.activities.iter().enumerate() {
+                let sv = pipeline.pipeline().transform_sparse(&act.elevation_profile());
+                w.append_row(
+                    athlete.habits.id,
+                    athlete.habits.city_index as u32,
+                    ai as u32,
+                    sv.indices(),
+                    sv.values(),
+                )?;
+            }
+        }
+        w.finish()
+    });
+    let metas: Vec<featstore::ShardMeta> = metas.into_iter().collect::<Result<_, _>>()?;
+
+    let manifest = StoreManifest {
+        config: fingerprint,
+        n_cols: n_cols as u64,
+        shard_size: pop.shard_size as u64,
+        athletes: pop.athletes as u64,
+        shards: metas
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ShardEntry { index: i, file: m.file.clone(), rows: m.rows })
+            .collect(),
+    };
+    FeatureStore::publish_manifest(&cfg.store_dir, &manifest)?;
+    Ok(StoreBuildReport {
+        n_cols,
+        rows: metas.iter().map(|m| m.rows).sum(),
+        shards: metas.len(),
+        bytes: metas.iter().map(|m| m.bytes).sum(),
+        reused: false,
+    })
+}
+
+/// One probe: a fresh (held-out) activity of a candidate athlete.
+#[derive(Debug, Clone)]
+struct Probe {
+    athlete: u64,
+    city: u32,
+    features: SparseVec,
+    norm: f32,
+}
+
+/// One candidate hit during matching.
+#[derive(Debug, Clone, Copy)]
+struct Hit {
+    score: f32,
+    athlete: u64,
+    city: u32,
+}
+
+/// Total, deterministic hit ordering: score desc, then athlete asc.
+fn hit_before(a: &Hit, b: &Hit) -> bool {
+    match a.score.total_cmp(&b.score) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.athlete < b.athlete,
+    }
+}
+
+/// Inserts `hit` into a top-k list of *distinct athletes* (an
+/// athlete's best-scoring track represents them).
+fn push_topk(top: &mut Vec<Hit>, hit: Hit, k: usize) {
+    if let Some(existing) = top.iter_mut().find(|h| h.athlete == hit.athlete) {
+        if hit_before(&hit, existing) {
+            *existing = hit;
+        }
+    } else {
+        top.push(hit);
+    }
+    top.sort_by(|a, b| if hit_before(a, b) { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater });
+    top.truncate(k);
+}
+
+/// Merge-join dot product of two sorted sparse vectors.
+fn sparse_dot(a_idx: &[u32], a_val: &[f32], b_idx: &[u32], b_val: &[f32]) -> f32 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0f32);
+    while i < a_idx.len() && j < b_idx.len() {
+        match a_idx[i].cmp(&b_idx[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a_val[i] * b_val[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+fn l2(values: &[f32]) -> f32 {
+    values.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// One accuracy point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Candidate-pool size (athletes).
+    pub athletes: usize,
+    /// History tracks in the pool at this size.
+    pub tracks: u64,
+    /// TM-1: probe matched to its own athlete, top-1.
+    pub tm1_top1: f64,
+    /// TM-1: probe's athlete within the top-3 distinct candidates.
+    pub tm1_top3: f64,
+    /// TM-3: best match shares the probe's home city.
+    pub tm3_top1: f64,
+}
+
+/// The full sweep result (one JSON artifact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Athletes per shard.
+    pub shard_size: usize,
+    /// Feature-space width.
+    pub n_cols: usize,
+    /// Total feature rows in the store.
+    pub store_rows: u64,
+    /// Probe count (stratified across cities).
+    pub probes: usize,
+    /// One point per population size, ascending.
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScaleReport {
+    /// Stable machine-readable rendering (consumed by `verify.sh` and
+    /// committed as the experiment artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"suite\": \"scale_population\", \"seed\": {}, \"shard_size\": {}, \
+             \"n_cols\": {}, \"store_rows\": {}, \"probes\": {}, \"points\": [",
+            self.seed, self.shard_size, self.n_cols, self.store_rows, self.probes
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"athletes\": {}, \"tracks\": {}, \"tm1_top1\": {:.6}, \
+                 \"tm1_top3\": {:.6}, \"tm3_top1\": {:.6}}}",
+                p.athletes, p.tracks, p.tm1_top1, p.tm1_top3, p.tm3_top1
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Builds the stratified probe set: for each city, the first
+/// `probes_per_city` athletes (by global id) living there among ids
+/// below the smallest population size; each contributes their *next*
+/// activity beyond the stored history.
+fn build_probes(cfg: &ScaleConfig, pipeline: &crate::featcache::SharedPipeline) -> Vec<Probe> {
+    let pop = &cfg.population;
+    let terrain = pop.terrain();
+    let min_size = *cfg.pop_sizes.first().expect("at least one population size") as u64;
+    let mut per_city = vec![0usize; pop.cities.len()];
+    let mut picks = Vec::new();
+    for id in 0..min_size.min(pop.athletes as u64) {
+        let habits = pop.habits(id);
+        if per_city[habits.city_index] < cfg.probes_per_city {
+            per_city[habits.city_index] += 1;
+            picks.push(habits);
+        }
+    }
+    picks
+        .into_iter()
+        .map(|habits| {
+            let mut acts =
+                pop.athlete_activities(&terrain, habits.id, habits.weekly_cadence + 1);
+            let probe_act = acts.pop().expect("cadence + 1 activities");
+            let features = pipeline.pipeline().transform_sparse(&probe_act.elevation_profile());
+            let norm = l2(features.values());
+            Probe { athlete: habits.id, city: habits.city_index as u32, features, norm }
+        })
+        .collect()
+}
+
+/// Per-probe, per-population-size top-3 hit lists.
+type TopHits = Vec<Vec<Vec<Hit>>>;
+
+/// Scans one shard: for every probe and every population size, the
+/// top-3 distinct-athlete hits among the shard's rows with
+/// `athlete < size`, plus the shard's per-size row counts.
+fn scan_shard(
+    store: &FeatureStore,
+    shard: usize,
+    probes: &[Probe],
+    sizes: &[usize],
+    row: &mut RowBuf,
+) -> Result<(TopHits, Vec<u64>), StoreError> {
+    let mut top: TopHits = vec![vec![Vec::with_capacity(4); sizes.len()]; probes.len()];
+    let mut tracks = vec![0u64; sizes.len()];
+    let mut reader = store.reader(shard)?;
+    while reader.next_row(row)? {
+        let first_size = match sizes.iter().position(|&s| row.athlete < s as u64) {
+            Some(i) => i,
+            None => continue,
+        };
+        for t in &mut tracks[first_size..] {
+            *t += 1;
+        }
+        let row_norm = l2(&row.values);
+        if row_norm == 0.0 {
+            continue;
+        }
+        for (pi, probe) in probes.iter().enumerate() {
+            let dot = sparse_dot(
+                probe.features.indices(),
+                probe.features.values(),
+                &row.indices,
+                &row.values,
+            );
+            if dot <= 0.0 {
+                continue;
+            }
+            let hit =
+                Hit { score: dot / (probe.norm * row_norm), athlete: row.athlete, city: row.city };
+            for per_size in top[pi].iter_mut().skip(first_size) {
+                push_topk(per_size, hit, 3);
+            }
+        }
+    }
+    Ok((top, tracks))
+}
+
+/// Runs the accuracy-vs-population sweep, shard-parallel, streaming
+/// features from the published store ([`build_store`] runs first and
+/// reuses a matching store).
+///
+/// # Errors
+///
+/// Any [`StoreError`] from the store build or the shard scans.
+///
+/// # Panics
+///
+/// Panics if `cfg.pop_sizes` is empty.
+pub fn scale_sweep(cfg: &ScaleConfig, exec: &Executor) -> Result<ScaleReport, StoreError> {
+    assert!(!cfg.pop_sizes.is_empty(), "sweep needs at least one population size");
+    let build = build_store(cfg, exec)?;
+    let store = FeatureStore::open(&cfg.store_dir)?;
+    let pipeline = fit_pipeline(&cfg.population);
+    let probes = build_probes(cfg, &pipeline);
+    let sizes = &cfg.pop_sizes;
+
+    let shard_ids: Vec<usize> = (0..store.manifest().shards.len()).collect();
+    let partials = exec.map_with(
+        &shard_ids,
+        RowBuf::default,
+        |row, _, &s| scan_shard(&store, s, &probes, sizes, row),
+    );
+
+    // Merge per-shard partials in shard order (deterministic at any
+    // thread count: the partials vector is indexed by shard).
+    let mut merged: TopHits = vec![vec![Vec::with_capacity(4); sizes.len()]; probes.len()];
+    let mut tracks = vec![0u64; sizes.len()];
+    for partial in partials {
+        let (top, shard_tracks) = partial?;
+        for (si, t) in shard_tracks.iter().enumerate() {
+            tracks[si] += t;
+        }
+        for (pi, per_probe) in top.into_iter().enumerate() {
+            for (si, hits) in per_probe.into_iter().enumerate() {
+                for h in hits {
+                    push_topk(&mut merged[pi][si], h, 3);
+                }
+            }
+        }
+    }
+
+    let points = sizes
+        .iter()
+        .enumerate()
+        .map(|(si, &size)| {
+            let (mut t1, mut t3, mut c1) = (0usize, 0usize, 0usize);
+            for (pi, probe) in probes.iter().enumerate() {
+                let top = &merged[pi][si];
+                if top.first().is_some_and(|h| h.athlete == probe.athlete) {
+                    t1 += 1;
+                }
+                if top.iter().any(|h| h.athlete == probe.athlete) {
+                    t3 += 1;
+                }
+                if top.first().is_some_and(|h| h.city == probe.city) {
+                    c1 += 1;
+                }
+            }
+            let n = probes.len().max(1) as f64;
+            ScalePoint {
+                athletes: size,
+                tracks: tracks[si],
+                tm1_top1: t1 as f64 / n,
+                tm1_top3: t3 as f64 / n,
+                tm3_top1: c1 as f64 / n,
+            }
+        })
+        .collect();
+
+    Ok(ScaleReport {
+        seed: cfg.population.seed,
+        shard_size: cfg.population.shard_size,
+        n_cols: build.n_cols,
+        store_rows: build.rows,
+        probes: probes.len(),
+        points,
+    })
+}
+
+/// Regenerates every population shard and returns its fingerprint —
+/// the digest surface the `scale` verify tier diffs across thread
+/// counts and regeneration orders.
+pub fn shard_fingerprints(pop: &PopulationConfig, exec: &Executor) -> Vec<u64> {
+    let terrain = pop.terrain();
+    let shard_ids: Vec<usize> = (0..pop.n_shards()).collect();
+    exec.map(&shard_ids, |_, &s| pop.generate_shard(&terrain, s).fingerprint())
+}
+
+/// Removes a store directory if (and only if) it looks like one —
+/// refuses paths without a parseable manifest so a mistyped
+/// `ELEV_STORE_DIR` never deletes unrelated data.
+///
+/// # Errors
+///
+/// [`StoreError::Malformed`] when the directory exists but has no
+/// valid manifest; [`StoreError::Io`] on removal failure.
+pub fn remove_store(dir: &Path) -> Result<(), StoreError> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    if FeatureStore::open(dir).is_err() {
+        return Err(StoreError::Malformed(format!(
+            "{} does not contain a feature-store manifest ({MANIFEST}); refusing to remove",
+            dir.display()
+        )));
+    }
+    std::fs::remove_dir_all(dir).map_err(|e| StoreError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(tag: &str, athletes: usize) -> ScaleConfig {
+        let mut cfg = ScaleConfig::new(athletes, 77);
+        cfg.population.shard_size = 8;
+        cfg.pop_sizes = vec![athletes / 2, athletes];
+        cfg.probes_per_city = 2;
+        cfg.store_dir = std::env::temp_dir()
+            .join(format!("elev-scale-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+        cfg
+    }
+
+    #[test]
+    fn ladder_is_half_decade_and_capped() {
+        assert_eq!(population_ladder(10_000), vec![100, 300, 1_000, 3_000, 10_000]);
+        assert_eq!(
+            population_ladder(1_000_000),
+            vec![100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000]
+        );
+        assert_eq!(population_ladder(2_500), vec![100, 300, 1_000, 2_500]);
+        assert_eq!(population_ladder(50), vec![50]);
+    }
+
+    #[test]
+    fn store_builds_streams_and_reuses() {
+        let cfg = tiny_cfg("build", 24);
+        let exec = Executor::new(2);
+        let build = build_store(&cfg, &exec).expect("build");
+        assert!(!build.reused);
+        assert_eq!(build.shards, 3);
+        assert!(build.rows >= 24, "each athlete contributes >= 1 track");
+
+        // Every row must stream back clean and in ascending athlete order.
+        let store = FeatureStore::open(&cfg.store_dir).expect("open");
+        let mut row = RowBuf::default();
+        let mut seen = 0u64;
+        let mut last = None::<u64>;
+        for s in 0..build.shards {
+            let mut r = store.reader(s).expect("reader");
+            while r.next_row(&mut row).expect("row") {
+                assert!(last.is_none_or(|l| row.athlete >= l), "rows out of order");
+                last = Some(row.athlete);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, build.rows);
+
+        // A second build reuses the published store untouched.
+        let again = build_store(&cfg, &exec).expect("rebuild");
+        assert!(again.reused);
+        assert_eq!((again.rows, again.n_cols), (build.rows, build.n_cols));
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn sweep_is_thread_and_order_invariant() {
+        let cfg = tiny_cfg("sweep", 24);
+        let base = scale_sweep(&cfg, &Executor::new(1)).expect("sweep t1");
+        let wide = scale_sweep(&cfg, &Executor::new(4)).expect("sweep t4");
+        assert_eq!(base, wide, "sweep must be bit-identical at any thread count");
+        assert_eq!(base.points.len(), 2);
+        // Larger pools can only keep or lose TM-1 accuracy, and the
+        // smaller pool's tracks are a strict subset.
+        assert!(base.points[0].tracks <= base.points[1].tracks);
+        assert!(base.points[0].tm1_top1 >= base.points[1].tm1_top1 - 1e-12);
+        let json = base.to_json();
+        assert!(json.contains("\"points\": ["));
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn probes_reidentify_in_small_pools() {
+        // With a handful of athletes, favourite-route reuse should let
+        // cosine matching re-identify most probes — the attack has to
+        // actually work before its degradation curve means anything.
+        let cfg = tiny_cfg("reid", 16);
+        let report = scale_sweep(&cfg, &Executor::new(2)).expect("sweep");
+        let p0 = &report.points[0];
+        assert!(
+            p0.tm1_top3 >= 0.5,
+            "TM-1 top-3 {:.2} at pool {} — matching is broken",
+            p0.tm1_top3,
+            p0.athletes
+        );
+        assert!(p0.tm3_top1 >= p0.tm1_top1, "city accuracy cannot trail athlete accuracy");
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn shard_fingerprints_are_executor_invariant() {
+        let pop = {
+            let mut p = PopulationConfig::new(20, 5);
+            p.shard_size = 4;
+            p
+        };
+        let a = shard_fingerprints(&pop, &Executor::new(1));
+        let b = shard_fingerprints(&pop, &Executor::new(4));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn remove_store_refuses_foreign_directories() {
+        let dir = std::env::temp_dir().join(format!("elev-notastore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("data.txt"), "precious").expect("write");
+        assert_eq!(remove_store(&dir).unwrap_err().name(), "malformed");
+        assert!(dir.join("data.txt").exists(), "foreign data must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(remove_store(&dir).is_ok(), "missing dir is a no-op");
+    }
+}

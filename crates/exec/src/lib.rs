@@ -194,6 +194,70 @@ impl Executor {
         })
     }
 
+    /// Like [`map`](Self::map), but threads a per-worker scratch state
+    /// through the tasks: each worker calls `init()` exactly once and
+    /// passes the resulting value, by `&mut`, to every task it runs.
+    ///
+    /// This is the right primitive for streaming scans where each task
+    /// needs a reusable buffer (a decode scratch, a file-read buffer)
+    /// that is expensive to build per item: the scratch amortizes over
+    /// the worker's whole share of the input. Determinism contract:
+    /// the scratch must be *scratch* — `f`'s result must depend only on
+    /// `(index, item)`, never on which tasks previously borrowed the
+    /// state — and then the output is bit-identical at any thread
+    /// count, exactly like `map`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `init` and `f`.
+    pub fn map_with<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
+        }
+
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let child_fanout = current_fanout().saturating_mul(workers);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    FANOUT.with(|c| c.set(child_fanout));
+                    let mut state = init();
+                    while let Some(i) = next_task(queues, w) {
+                        if tx.send((i, f(&mut state, i, &items[i]))).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("every index produced exactly one result"))
+                .collect()
+        })
+    }
+
     /// Like [`map`](Self::map), but isolates panics: each task runs
     /// under [`std::panic::catch_unwind`], a panicking task yields
     /// `Err(TaskPanic)` in its slot, and every other task still runs
@@ -333,6 +397,42 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_with_matches_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..53).collect();
+        let compute = |i: usize, x: u64| (x.wrapping_mul(0x9E3779B97F4A7C15)) ^ (i as u64);
+        let base = Executor::new(1).map(&items, |i, &x| compute(i, x));
+        for threads in [1, 2, 3, 4, 8] {
+            let out = Executor::new(threads).map_with(
+                &items,
+                || Vec::<u64>::with_capacity(8),
+                |scratch, i, &x| {
+                    // The scratch is used but never influences the result.
+                    scratch.clear();
+                    scratch.push(x);
+                    compute(i, scratch[0])
+                },
+            );
+            assert_eq!(out, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_builds_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        let out = Executor::new(4).map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, i, &x| i as u32 + x,
+        );
+        assert_eq!(out.len(), 256);
+        assert!(inits.load(Ordering::Relaxed) <= 4, "more states than workers");
+        assert!(inits.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

@@ -1,0 +1,830 @@
+//! On-disk columnar feature store: append-only CSR shards.
+//!
+//! The scale experiments featurize millions of tracks; featurization
+//! is by far the most expensive stage, so it is computed **once** and
+//! every sweep streams the result from disk. The container follows the
+//! `.elevmdl` framing discipline (`serve::registry`): little-endian,
+//! length-prefixed, FNV-1a-64 checksummed, with every corruption mode
+//! mapped onto a distinct structured error.
+//!
+//! # Shard layout
+//!
+//! One shard file (`shard-NNNNN.fst`) holds the sparse feature rows of
+//! one population shard, in ascending athlete order:
+//!
+//! ```text
+//! header   MAGIC(8) | version u32 | shard_index u64 | n_cols u64
+//!          | config u64 | fnv u64 over the preceding 36 bytes
+//! record*  len u32 | payload | fnv u64 over payload
+//!          payload = tag u32 (ROW) | athlete u64 | city u32
+//!                  | activity u32 | nnz u32 | indices nnz×u32
+//!                  | values nnz×f32
+//! footer   len u32 | payload | fnv u64 over payload
+//!          payload = tag u32 (FOOTER) | rows u64
+//!                  | fnv u64 over every preceding file byte
+//! ```
+//!
+//! The footer makes truncation at a *record boundary* detectable (the
+//! file would otherwise just look shorter), and its whole-file
+//! checksum catches corruption in bytes a lazy reader skipped.
+//!
+//! # Reading
+//!
+//! [`ShardReader`] streams records with positioned (`pread`-style)
+//! reads into caller-owned scratch ([`RowBuf`]) — bounded memory, zero
+//! steady-state allocations, no interior seek state shared between
+//! readers of the same file. Checksums are verified **before** any
+//! length field beyond the fixed header is trusted, mirroring the
+//! registry's decode order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Shard files start with these bytes.
+pub const MAGIC: &[u8; 8] = b"ELEVFST\x01";
+
+/// Container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte length of the fixed shard header (magic + version +
+/// shard index + columns + config fingerprint + header checksum).
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+/// Store manifest file name, written last on publish.
+pub const MANIFEST: &str = "store.txt";
+
+const TAG_ROW: u32 = 1;
+const TAG_FOOTER: u32 = 2;
+
+/// FNV-1a-64 over `bytes` — the store's integrity checksum (corruption
+/// detection, not tampering).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv1a64_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything that can go wrong reading or writing a store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Filesystem error (message carries the OS detail).
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The container format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The file ends before a record (or the footer) it promised.
+    Truncated {
+        /// Byte offset where the reader stopped.
+        offset: usize,
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Actual file length.
+        len: usize,
+    },
+    /// A stored checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the content.
+        computed: u64,
+    },
+    /// A record parsed but its content is invalid (unknown tag, index
+    /// out of range, row count drift, trailing bytes...).
+    Malformed(String),
+}
+
+impl StoreError {
+    /// Stable lowercase class name for tests and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreError::Io(_) => "io",
+            StoreError::BadMagic => "bad_magic",
+            StoreError::UnsupportedVersion { .. } => "unsupported_version",
+            StoreError::Truncated { .. } => "truncated",
+            StoreError::ChecksumMismatch { .. } => "checksum_mismatch",
+            StoreError::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "io error: {m}"),
+            StoreError::BadMagic => f.write_str("not a feature-store shard (bad magic)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported shard version {found} (expected {FORMAT_VERSION})")
+            }
+            StoreError::Truncated { offset, needed, len } => {
+                write!(f, "truncated at offset {offset}: needed {needed} more bytes of {len}")
+            }
+            StoreError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
+            StoreError::Malformed(m) => write!(f, "malformed shard: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+/// Canonical file name of shard `index`.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:05}.fst")
+}
+
+// ---- writing -----------------------------------------------------------
+
+/// Append-only writer for one shard file.
+///
+/// Records are buffered, checksummed, and written in order; nothing is
+/// visible to readers until [`finish`](Self::finish) writes the
+/// footer, fsyncs, and atomically renames the temp file into place —
+/// the registry's crash-safe publish discipline.
+#[derive(Debug)]
+pub struct ShardWriter {
+    file: std::io::BufWriter<File>,
+    tmp: PathBuf,
+    path: PathBuf,
+    n_cols: u64,
+    rows: u64,
+    offset: u64,
+    content_fnv: u64,
+}
+
+impl ShardWriter {
+    /// Creates the shard file `shard_file_name(index)` under `dir`
+    /// (via a hidden temp name until [`finish`](Self::finish)).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn create(dir: &Path, index: usize, n_cols: u64, config: u64) -> Result<Self, StoreError> {
+        let path = dir.join(shard_file_name(index));
+        let tmp = dir.join(format!(".{}.tmp", shard_file_name(index)));
+        let file = File::create(&tmp).map_err(io_err)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&(index as u64).to_le_bytes());
+        header.extend_from_slice(&n_cols.to_le_bytes());
+        header.extend_from_slice(&config.to_le_bytes());
+        let fnv = fnv1a64(&header);
+        header.extend_from_slice(&fnv.to_le_bytes());
+        let mut w = Self {
+            file: std::io::BufWriter::new(file),
+            tmp,
+            path,
+            n_cols,
+            rows: 0,
+            offset: 0,
+            content_fnv: 0xcbf2_9ce4_8422_2325,
+        };
+        w.write_raw(&header)?;
+        Ok(w)
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file.write_all(bytes).map_err(io_err)?;
+        self.content_fnv = fnv1a64_continue(self.content_fnv, bytes);
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut rec = Vec::with_capacity(4 + payload.len() + 8);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        self.write_raw(&rec)
+    }
+
+    /// Appends one sparse feature row.
+    ///
+    /// Returns the byte offset just past the appended record (the
+    /// record boundaries, which the torn-write tests cut at).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] if `indices`/`values` disagree in
+    /// length or an index is out of column range; [`StoreError::Io`]
+    /// on write failure.
+    pub fn append_row(
+        &mut self,
+        athlete: u64,
+        city: u32,
+        activity: u32,
+        indices: &[u32],
+        values: &[f32],
+    ) -> Result<u64, StoreError> {
+        if indices.len() != values.len() {
+            return Err(StoreError::Malformed(format!(
+                "row has {} indices but {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| u64::from(i) >= self.n_cols) {
+            return Err(StoreError::Malformed(format!(
+                "index {bad} out of range for {} columns",
+                self.n_cols
+            )));
+        }
+        let mut p = Vec::with_capacity(4 + 8 + 4 + 4 + 4 + indices.len() * 8);
+        p.extend_from_slice(&TAG_ROW.to_le_bytes());
+        p.extend_from_slice(&athlete.to_le_bytes());
+        p.extend_from_slice(&city.to_le_bytes());
+        p.extend_from_slice(&activity.to_le_bytes());
+        p.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+        for &i in indices {
+            p.extend_from_slice(&i.to_le_bytes());
+        }
+        for &v in values {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_record(&p)?;
+        self.rows += 1;
+        Ok(self.offset)
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Writes the footer, fsyncs, and atomically publishes the file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write, sync, or rename failure.
+    pub fn finish(mut self) -> Result<ShardMeta, StoreError> {
+        let mut p = Vec::with_capacity(4 + 8 + 8);
+        p.extend_from_slice(&TAG_FOOTER.to_le_bytes());
+        p.extend_from_slice(&self.rows.to_le_bytes());
+        p.extend_from_slice(&self.content_fnv.to_le_bytes());
+        self.write_record(&p)?;
+        self.file.flush().map_err(io_err)?;
+        self.file.get_ref().sync_all().map_err(io_err)?;
+        std::fs::rename(&self.tmp, &self.path).map_err(io_err)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(ShardMeta {
+            file: self
+                .path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            rows: self.rows,
+            bytes: self.offset,
+        })
+    }
+}
+
+/// Summary of a published shard file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// File name under the store directory.
+    pub file: String,
+    /// Feature rows in the shard.
+    pub rows: u64,
+    /// Total file bytes (including the footer).
+    pub bytes: u64,
+}
+
+// ---- reading -----------------------------------------------------------
+
+/// One decoded feature row; reused across [`ShardReader::next_row`]
+/// calls so steady-state reading allocates nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowBuf {
+    /// Global athlete id the row belongs to.
+    pub athlete: u64,
+    /// Home-city label (index into the population's city list).
+    pub city: u32,
+    /// Activity index within the athlete's stream.
+    pub activity: u32,
+    /// Sorted feature indices.
+    pub indices: Vec<u32>,
+    /// Feature values, parallel to `indices`.
+    pub values: Vec<f32>,
+}
+
+/// Streaming reader over one shard file using positioned reads.
+#[derive(Debug)]
+pub struct ShardReader {
+    file: File,
+    len: u64,
+    offset: u64,
+    /// Header fields.
+    shard_index: u64,
+    n_cols: u64,
+    config: u64,
+    rows_seen: u64,
+    done: bool,
+    content_fnv: u64,
+    scratch: Vec<u8>,
+}
+
+impl ShardReader {
+    /// Opens a shard file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::BadMagic`] /
+    /// [`StoreError::UnsupportedVersion`] /
+    /// [`StoreError::Truncated`] / [`StoreError::ChecksumMismatch`].
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path).map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        let mut header = [0u8; HEADER_LEN];
+        if (len as usize) < HEADER_LEN {
+            // Even a torn header must classify: magic first, then size.
+            let mut prefix = vec![0u8; len as usize];
+            read_exact_at(&file, &mut prefix, 0)?;
+            if len >= 8 && &prefix[..8] != MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            return Err(StoreError::Truncated {
+                offset: 0,
+                needed: HEADER_LEN - len as usize,
+                len: len as usize,
+            });
+        }
+        read_exact_at(&file, &mut header, 0)?;
+        if &header[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let stored = u64::from_le_bytes(header[HEADER_LEN - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a64(&header[..HEADER_LEN - 8]);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Self {
+            file,
+            len,
+            offset: HEADER_LEN as u64,
+            shard_index: u64::from_le_bytes(header[12..20].try_into().expect("8 bytes")),
+            n_cols: u64::from_le_bytes(header[20..28].try_into().expect("8 bytes")),
+            config: u64::from_le_bytes(header[28..36].try_into().expect("8 bytes")),
+            rows_seen: 0,
+            done: false,
+            content_fnv: fnv1a64(&header),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Shard index recorded in the header.
+    pub fn shard_index(&self) -> u64 {
+        self.shard_index
+    }
+
+    /// Feature-space width recorded in the header.
+    pub fn n_cols(&self) -> u64 {
+        self.n_cols
+    }
+
+    /// Population-config fingerprint recorded in the header.
+    pub fn config(&self) -> u64 {
+        self.config
+    }
+
+    fn truncated(&self, needed: usize) -> StoreError {
+        StoreError::Truncated {
+            offset: self.offset as usize,
+            needed,
+            len: self.len as usize,
+        }
+    }
+
+    /// Decodes the next row into `row`, returning `false` once the
+    /// footer has been reached and verified.
+    ///
+    /// # Errors
+    ///
+    /// Every corruption mode maps onto a distinct [`StoreError`]: a
+    /// cut anywhere — mid-record or exactly at a record boundary
+    /// (missing footer) — reads as [`StoreError::Truncated`]; flipped
+    /// bytes as [`StoreError::ChecksumMismatch`]; structural nonsense
+    /// as [`StoreError::Malformed`].
+    pub fn next_row(&mut self, row: &mut RowBuf) -> Result<bool, StoreError> {
+        if self.done {
+            return Ok(false);
+        }
+        let remaining = (self.len - self.offset) as usize;
+        if remaining == 0 {
+            // Clean EOF without a footer: a publish killed exactly at
+            // a record boundary. Still truncation.
+            return Err(self.truncated(4));
+        }
+        if remaining < 4 {
+            return Err(self.truncated(4 - remaining));
+        }
+        let mut len4 = [0u8; 4];
+        read_exact_at(&self.file, &mut len4, self.offset)?;
+        let payload_len = u32::from_le_bytes(len4) as usize;
+        if remaining < 4 + payload_len + 8 {
+            return Err(self.truncated(4 + payload_len + 8 - remaining));
+        }
+        // Read payload + trailing checksum, verify before decoding any
+        // interior length field.
+        self.scratch.clear();
+        self.scratch.resize(payload_len + 8, 0);
+        read_exact_at(&self.file, &mut self.scratch, self.offset + 4)?;
+        let (payload, fnv8) = self.scratch.split_at(payload_len);
+        let stored = u64::from_le_bytes(fnv8.try_into().expect("8 bytes"));
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
+        let pre_record_fnv = self.content_fnv;
+        self.content_fnv = fnv1a64_continue(self.content_fnv, &len4);
+        self.content_fnv = fnv1a64_continue(self.content_fnv, &self.scratch);
+        self.offset += 4 + self.scratch.len() as u64;
+
+        let mut d = PayloadDec { buf: payload, pos: 0 };
+        match d.u32()? {
+            TAG_ROW => {
+                row.athlete = d.u64()?;
+                row.city = d.u32()?;
+                row.activity = d.u32()?;
+                let nnz = d.u32()? as usize;
+                row.indices.clear();
+                row.values.clear();
+                for _ in 0..nnz {
+                    let i = d.u32()?;
+                    if u64::from(i) >= self.n_cols {
+                        return Err(StoreError::Malformed(format!(
+                            "index {i} out of range for {} columns",
+                            self.n_cols
+                        )));
+                    }
+                    row.indices.push(i);
+                }
+                for _ in 0..nnz {
+                    row.values.push(f32::from_bits(d.u32()?));
+                }
+                d.end()?;
+                self.rows_seen += 1;
+                Ok(true)
+            }
+            TAG_FOOTER => {
+                let rows = d.u64()?;
+                let whole = d.u64()?;
+                d.end()?;
+                if rows != self.rows_seen {
+                    return Err(StoreError::Malformed(format!(
+                        "footer promises {rows} rows, shard contains {}",
+                        self.rows_seen
+                    )));
+                }
+                if whole != pre_record_fnv {
+                    return Err(StoreError::ChecksumMismatch {
+                        stored: whole,
+                        computed: pre_record_fnv,
+                    });
+                }
+                if self.offset != self.len {
+                    return Err(StoreError::Malformed(format!(
+                        "{} trailing bytes after footer",
+                        self.len - self.offset
+                    )));
+                }
+                self.done = true;
+                Ok(false)
+            }
+            tag => Err(StoreError::Malformed(format!("unknown record tag {tag}"))),
+        }
+    }
+
+    /// Reads (and integrity-checks) the whole shard, returning the row
+    /// count — the cheap full-file validation pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`StoreError`] from [`next_row`](Self::next_row).
+    pub fn validate(mut self) -> Result<u64, StoreError> {
+        let mut row = RowBuf::default();
+        while self.next_row(&mut row)? {}
+        Ok(self.rows_seen)
+    }
+}
+
+/// Positioned read: `pread` on unix, seek+read elsewhere.
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset).map_err(io_err)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+        f.read_exact(buf).map_err(io_err)
+    }
+}
+
+struct PayloadDec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl PayloadDec<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(StoreError::Malformed(format!(
+                "payload ends at {} of a {n}-byte field",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn end(&self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---- the store directory ----------------------------------------------
+
+/// One shard entry in the store manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Shard index.
+    pub index: usize,
+    /// File name under the store directory.
+    pub file: String,
+    /// Feature rows in the shard.
+    pub rows: u64,
+}
+
+/// The parsed store manifest (`store.txt`), written last on publish so
+/// a complete manifest implies complete shard files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Population-config fingerprint the store was built from.
+    pub config: u64,
+    /// Feature-space width shared by every shard.
+    pub n_cols: u64,
+    /// Athletes per shard.
+    pub shard_size: u64,
+    /// Total athletes featurized.
+    pub athletes: u64,
+    /// Shard entries in ascending index order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl StoreManifest {
+    /// Renders the manifest text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("elevfst v1\n");
+        out.push_str(&format!("config {:016x}\n", self.config));
+        out.push_str(&format!("n_cols {}\n", self.n_cols));
+        out.push_str(&format!("shard_size {}\n", self.shard_size));
+        out.push_str(&format!("athletes {}\n", self.athletes));
+        out.push_str(&format!("shards {}\n", self.shards.len()));
+        for s in &self.shards {
+            out.push_str(&format!("{} {} {}\n", s.index, s.file, s.rows));
+        }
+        out
+    }
+
+    /// Parses manifest text.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] on any structural defect.
+    pub fn parse(text: &str) -> Result<Self, StoreError> {
+        let mut lines = text.lines();
+        let bad = |m: &str| StoreError::Malformed(format!("manifest: {m}"));
+        if lines.next() != Some("elevfst v1") {
+            return Err(bad("missing or unsupported header line"));
+        }
+        let mut field = |name: &str| -> Result<String, StoreError> {
+            let line = lines.next().ok_or_else(|| bad(&format!("missing {name}")))?;
+            line.strip_prefix(&format!("{name} "))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("expected `{name} ...`, got `{line}`")))
+        };
+        let config = u64::from_str_radix(&field("config")?, 16)
+            .map_err(|_| bad("config is not hex"))?;
+        let n_cols = field("n_cols")?.parse().map_err(|_| bad("n_cols"))?;
+        let shard_size = field("shard_size")?.parse().map_err(|_| bad("shard_size"))?;
+        let athletes = field("athletes")?.parse().map_err(|_| bad("athletes"))?;
+        let count: usize = field("shards")?.parse().map_err(|_| bad("shards"))?;
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| bad("manifest ends mid shard list"))?;
+            let mut parts = line.split_whitespace();
+            let index = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(&format!("bad shard line `{line}`")))?;
+            let file = parts
+                .next()
+                .ok_or_else(|| bad(&format!("bad shard line `{line}`")))?
+                .to_owned();
+            let rows = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(&format!("bad shard line `{line}`")))?;
+            if parts.next().is_some() {
+                return Err(bad(&format!("trailing fields in `{line}`")));
+            }
+            shards.push(ShardEntry { index, file, rows });
+        }
+        if shards.iter().enumerate().any(|(i, s)| s.index != i) {
+            return Err(bad("shard indices are not dense ascending"));
+        }
+        Ok(Self { config, n_cols, shard_size, athletes, shards })
+    }
+}
+
+/// An opened feature store: a directory of shard files plus the parsed
+/// manifest.
+#[derive(Debug, Clone)]
+pub struct FeatureStore {
+    dir: PathBuf,
+    manifest: StoreManifest,
+}
+
+impl FeatureStore {
+    /// Opens a published store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the manifest is unreadable,
+    /// [`StoreError::Malformed`] if it does not parse.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(dir.join(MANIFEST)).map_err(io_err)?;
+        Ok(Self { dir: dir.to_path_buf(), manifest: StoreManifest::parse(&text)? })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &StoreManifest {
+        &self.manifest
+    }
+
+    /// Total feature rows across all shards.
+    pub fn rows(&self) -> u64 {
+        self.manifest.shards.iter().map(|s| s.rows).sum()
+    }
+
+    /// Opens a streaming reader over shard `index` and cross-checks
+    /// its header against the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from [`ShardReader::open`], plus
+    /// [`StoreError::Malformed`] when the header disagrees with the
+    /// manifest.
+    pub fn reader(&self, index: usize) -> Result<ShardReader, StoreError> {
+        let entry = self
+            .manifest
+            .shards
+            .get(index)
+            .ok_or_else(|| StoreError::Malformed(format!("no shard {index} in manifest")))?;
+        let r = ShardReader::open(&self.dir.join(&entry.file))?;
+        if r.shard_index() != index as u64
+            || r.n_cols() != self.manifest.n_cols
+            || r.config() != self.manifest.config
+        {
+            return Err(StoreError::Malformed(format!(
+                "shard {index} header disagrees with manifest (index {}, n_cols {}, config {:016x})",
+                r.shard_index(),
+                r.n_cols(),
+                r.config()
+            )));
+        }
+        Ok(r)
+    }
+
+    /// Publishes `manifest` under `dir` (atomic write, manifest last).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn publish_manifest(dir: &Path, manifest: &StoreManifest) -> Result<(), StoreError> {
+        let tmp = dir.join(".store.txt.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(io_err)?;
+            f.write_all(manifest.render().as_bytes()).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST)).map_err(io_err)?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("elev-fst-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = temp_dir("rt");
+        let mut w = ShardWriter::create(&dir, 0, 100, 0xABCD).expect("create");
+        w.append_row(7, 3, 0, &[1, 5, 99], &[1.0, 2.5, -3.0]).expect("row");
+        w.append_row(8, 4, 1, &[], &[]).expect("empty row");
+        let meta = w.finish().expect("finish");
+        assert_eq!(meta.rows, 2);
+
+        let mut r = ShardReader::open(&dir.join(&meta.file)).expect("open");
+        assert_eq!((r.shard_index(), r.n_cols(), r.config()), (0, 100, 0xABCD));
+        let mut row = RowBuf::default();
+        assert!(r.next_row(&mut row).expect("row 0"));
+        assert_eq!((row.athlete, row.city, row.activity), (7, 3, 0));
+        assert_eq!(row.indices, vec![1, 5, 99]);
+        assert_eq!(row.values, vec![1.0, 2.5, -3.0]);
+        assert!(r.next_row(&mut row).expect("row 1"));
+        assert_eq!(row.indices, Vec::<u32>::new());
+        assert!(!r.next_row(&mut row).expect("footer"));
+        assert!(!r.next_row(&mut row).expect("idempotent EOF"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_rejects_bad_rows() {
+        let dir = temp_dir("bad");
+        let mut w = ShardWriter::create(&dir, 0, 10, 0).expect("create");
+        assert_eq!(w.append_row(0, 0, 0, &[1], &[]).unwrap_err().name(), "malformed");
+        assert_eq!(w.append_row(0, 0, 0, &[10], &[1.0]).unwrap_err().name(), "malformed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_rejects() {
+        let m = StoreManifest {
+            config: 0xDEAD_BEEF,
+            n_cols: 512,
+            shard_size: 64,
+            athletes: 100,
+            shards: vec![
+                ShardEntry { index: 0, file: shard_file_name(0), rows: 128 },
+                ShardEntry { index: 1, file: shard_file_name(1), rows: 70 },
+            ],
+        };
+        let parsed = StoreManifest::parse(&m.render()).expect("parses");
+        assert_eq!(parsed, m);
+        assert!(StoreManifest::parse("elevfst v2\n").is_err());
+        assert!(StoreManifest::parse("").is_err());
+        let mut swapped = m.clone();
+        swapped.shards.swap(0, 1);
+        assert!(StoreManifest::parse(&swapped.render()).is_err(), "non-dense indices");
+    }
+}

@@ -1,0 +1,242 @@
+//! The feature-store record-format contracts, in the
+//! `registry_torn.rs` discipline:
+//!
+//! - **bit-exact round-trip** — random CSR shards survive
+//!   write → read → re-write with byte-identical files;
+//! - **the torn-write ladder** — a write killed at *every* record
+//!   boundary (and mid-record) reads as `Truncated`; flipped bytes as
+//!   `ChecksumMismatch`; foreign or future files as `BadMagic` /
+//!   `UnsupportedVersion`. No corruption mode ever decodes quietly.
+
+use featstore::{
+    fnv1a64, shard_file_name, FeatureStore, RowBuf, ShardEntry, ShardReader, ShardWriter,
+    StoreManifest, HEADER_LEN,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("elev-fst-torn-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A deterministic pseudo-random shard: `n_rows` rows over `n_cols`
+/// columns, plus the record-boundary offsets `append_row` reported.
+fn write_shard(
+    dir: &Path,
+    seed: u64,
+    n_rows: usize,
+    n_cols: u64,
+) -> (PathBuf, Vec<u64>, Vec<RowBuf>) {
+    let mut w = ShardWriter::create(dir, 0, n_cols, seed).expect("create");
+    let mut boundaries = vec![HEADER_LEN as u64];
+    let mut rows = Vec::new();
+    for r in 0..n_rows {
+        let mix = |i: u64| exec_mix(seed, r as u64 * 1_000 + i);
+        let nnz = (mix(0) % 9) as usize;
+        let mut indices: Vec<u32> = (0..nnz).map(|i| (mix(1 + i as u64) % n_cols) as u32).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let values: Vec<f32> =
+            (0..indices.len()).map(|i| f32::from_bits(0x3F00_0000 | (mix(100 + i as u64) as u32 & 0xFFFF))).collect();
+        let row = RowBuf {
+            athlete: r as u64,
+            city: (mix(2) % 10) as u32,
+            activity: (mix(3) % 4) as u32,
+            indices,
+            values,
+        };
+        boundaries
+            .push(w.append_row(row.athlete, row.city, row.activity, &row.indices, &row.values).expect("append"));
+        rows.push(row);
+    }
+    let meta = w.finish().expect("finish");
+    (dir.join(meta.file), boundaries, rows)
+}
+
+/// Local copy of `exec::mix_seed` so the test stays dependency-light.
+fn exec_mix(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn read_all(path: &Path) -> Result<Vec<RowBuf>, featstore::StoreError> {
+    let mut r = ShardReader::open(path)?;
+    let mut rows = Vec::new();
+    let mut buf = RowBuf::default();
+    while r.next_row(&mut buf)? {
+        rows.push(buf.clone());
+    }
+    Ok(rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Round-trip every shard bit-exact: decoded rows match what was
+    /// written, and re-encoding them reproduces the file byte for
+    /// byte.
+    #[test]
+    fn shards_roundtrip_bit_exact(seed in 0u64..10_000, n_rows in 0usize..24) {
+        let dir = TempDir::new(&format!("rt-{seed}-{n_rows}"));
+        let (path, _, written) = write_shard(&dir.0, seed, n_rows, 64);
+        let decoded = read_all(&path).expect("clean shard reads");
+        prop_assert_eq!(&decoded, &written);
+
+        // Re-encode: an independent writer fed the decoded rows must
+        // produce byte-identical output (the format has exactly one
+        // encoding per shard).
+        let dir2 = TempDir::new(&format!("rt2-{seed}-{n_rows}"));
+        let mut w = ShardWriter::create(&dir2.0, 0, 64, seed).expect("create");
+        for row in &decoded {
+            w.append_row(row.athlete, row.city, row.activity, &row.indices, &row.values)
+                .expect("append");
+        }
+        let meta = w.finish().expect("finish");
+        let a = std::fs::read(&path).expect("original bytes");
+        let b = std::fs::read(dir2.0.join(meta.file)).expect("re-encoded bytes");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The torn-write ladder: truncate at every record boundary —
+    /// where the file still looks superficially complete — and at
+    /// every mid-record cut; each rung must read as `Truncated`.
+    #[test]
+    fn torn_write_ladder_reads_truncated(seed in 0u64..10_000) {
+        let dir = TempDir::new(&format!("ladder-{seed}"));
+        let (path, boundaries, _) = write_shard(&dir.0, seed, 6, 64);
+        let original = std::fs::read(&path).expect("bytes");
+
+        let mut cuts: Vec<usize> = boundaries.iter().map(|&b| b as usize).collect();
+        // Mid-record and mid-header cuts ride along.
+        cuts.extend(boundaries.iter().map(|&b| b as usize + 2));
+        cuts.extend([0, 1, HEADER_LEN / 2, original.len() - 1]);
+        for cut in cuts {
+            prop_assert!(cut < original.len());
+            std::fs::write(&path, &original[..cut]).expect("tear");
+            let err = read_all(&path).expect_err("torn shard must not read clean");
+            prop_assert_eq!(
+                err.name(), "truncated",
+                "cut at {}: got {:?}", cut, err
+            );
+        }
+        std::fs::write(&path, &original).expect("restore");
+        prop_assert!(read_all(&path).is_ok());
+    }
+
+    /// Same length, flipped byte: a distinct error class. Every byte
+    /// region — header, record payload, record checksum, footer — is
+    /// covered by some checksum.
+    #[test]
+    fn flipped_bytes_read_checksum_mismatch(seed in 0u64..10_000) {
+        let dir = TempDir::new(&format!("flip-{seed}"));
+        let (path, boundaries, _) = write_shard(&dir.0, seed, 5, 64);
+        let original = std::fs::read(&path).expect("bytes");
+
+        // One flip inside each region: header tail, each record, the
+        // footer, and the final byte of the file.
+        let mut flips: Vec<usize> = vec![HEADER_LEN - 1];
+        flips.extend(boundaries.windows(2).map(|w| (w[0] as usize + w[1] as usize) / 2));
+        flips.push(*boundaries.last().unwrap() as usize + 5);
+        flips.push(original.len() - 1);
+        for flip in flips {
+            let mut bytes = original.clone();
+            bytes[flip] ^= 0x10;
+            std::fs::write(&path, &bytes).expect("flip");
+            let err = read_all(&path).expect_err("corrupt shard must not read clean");
+            prop_assert_eq!(
+                err.name(), "checksum_mismatch",
+                "flip at {}: got {:?}", flip, err
+            );
+        }
+    }
+}
+
+#[test]
+fn foreign_and_future_files_classify_distinctly() {
+    let dir = TempDir::new("classes");
+    let (path, _, _) = write_shard(&dir.0, 1, 3, 64);
+    let original = std::fs::read(&path).expect("bytes");
+
+    // Not a shard at all.
+    std::fs::write(&path, b"<?xml version=\"1.0\"?><gpx></gpx>").expect("write");
+    assert_eq!(ShardReader::open(&path).unwrap_err().name(), "bad_magic");
+
+    // A future container version with an internally consistent header:
+    // the version gate must fire, not the checksum.
+    let mut future = original.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let fnv = fnv1a64(&future[..HEADER_LEN - 8]);
+    future[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&fnv.to_le_bytes());
+    std::fs::write(&path, &future).expect("write");
+    assert!(matches!(
+        ShardReader::open(&path).unwrap_err(),
+        featstore::StoreError::UnsupportedVersion { found: 2 }
+    ));
+
+    // Deleted outright.
+    std::fs::remove_file(&path).expect("rm");
+    assert_eq!(ShardReader::open(&path).unwrap_err().name(), "io");
+}
+
+#[test]
+fn footer_pins_the_row_count() {
+    // A shard whose footer promises more rows than it holds — e.g. a
+    // concatenation accident — must classify as malformed, not read
+    // short.
+    let dir = TempDir::new("rowcount");
+    let (path, boundaries, _) = write_shard(&dir.0, 2, 4, 64);
+    let original = std::fs::read(&path).expect("bytes");
+
+    // Drop record 2 (cut [b1, b2)) and splice header+rest together,
+    // keeping the original footer.
+    let (b1, b2) = (boundaries[1] as usize, boundaries[2] as usize);
+    let mut spliced = original[..b1].to_vec();
+    spliced.extend_from_slice(&original[b2..]);
+    std::fs::write(&path, &spliced).expect("splice");
+    let err = read_all(&path).expect_err("spliced shard must not read clean");
+    // Either the row count or the whole-file checksum catches it —
+    // both are content errors, never a quiet short read.
+    assert!(
+        matches!(err.name(), "malformed" | "checksum_mismatch"),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn store_manifest_crosschecks_shard_headers() {
+    let dir = TempDir::new("store");
+    let (_, _, rows) = write_shard(&dir.0, 3, 4, 64);
+    let manifest = StoreManifest {
+        config: 3,
+        n_cols: 64,
+        shard_size: 8,
+        athletes: 4,
+        shards: vec![ShardEntry { index: 0, file: shard_file_name(0), rows: rows.len() as u64 }],
+    };
+    FeatureStore::publish_manifest(&dir.0, &manifest).expect("publish");
+    let store = FeatureStore::open(&dir.0).expect("open");
+    assert_eq!(store.rows(), rows.len() as u64);
+    assert_eq!(store.reader(0).expect("reader").validate().expect("validates"), rows.len() as u64);
+
+    // A manifest claiming a different config must refuse the shard.
+    let mut wrong = manifest.clone();
+    wrong.config = 999;
+    FeatureStore::publish_manifest(&dir.0, &wrong).expect("publish");
+    let store = FeatureStore::open(&dir.0).expect("open");
+    assert_eq!(store.reader(0).unwrap_err().name(), "malformed");
+}

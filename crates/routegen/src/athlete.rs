@@ -134,6 +134,39 @@ impl AthleteSimulator {
         Self { terrain, rng: StdRng::seed_from_u64(seed), config, metros: Vec::new() }
     }
 
+    /// Creates a simulator seeded from the `(master, city, athlete)`
+    /// seed tree: `mix_seed(mix_seed(master, city_index), athlete_id)`.
+    ///
+    /// This is the constructor the population generator uses. The old
+    /// pattern — one simulator seeded per *city*, its single RNG stream
+    /// shared by every athlete generated in that city — made athlete
+    /// `k+1` depend on how many draws athletes `0..k` consumed, so
+    /// adding an athlete (or one more activity) perturbed everyone
+    /// after it. Deriving the leaf seed per `(city, athlete)` makes
+    /// each athlete's entire activity stream a pure function of the
+    /// tree coordinates, independent of generation order, batch size,
+    /// and thread count.
+    pub fn for_athlete(terrain: SyntheticTerrain, master: u64, city_index: u64, athlete_id: u64) -> Self {
+        Self::for_athlete_with_config(terrain, master, city_index, athlete_id, AthleteConfig::default())
+    }
+
+    /// [`for_athlete`](Self::for_athlete) with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`with_config`](Self::with_config)).
+    pub fn for_athlete_with_config(
+        terrain: SyntheticTerrain,
+        master: u64,
+        city_index: u64,
+        athlete_id: u64,
+        config: AthleteConfig,
+    ) -> Self {
+        let city_seed = exec::mix_seed(master, city_index);
+        Self::with_config(terrain, exec::mix_seed(city_seed, athlete_id), config)
+    }
+
     /// The simulator's configuration.
     pub fn config(&self) -> &AthleteConfig {
         &self.config

@@ -17,17 +17,25 @@
 //!   [`SegmentDatabase::explore_segments`] query,
 //! - [`mining`]: the grid-decomposition mining pipeline of paper Fig. 4
 //!   (boundary → grid regions → top-10 per region → elevation profile
-//!   via the elevation service).
+//!   via the elevation service),
+//! - [`population`]: the streaming million-athlete population
+//!   generator — per-athlete habit models under a fixed seed tree,
+//!   generated shard-by-shard so any shard regenerates independently
+//!   and bit-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod athlete;
 pub mod mining;
+pub mod population;
 pub mod segments;
 pub mod walk;
 
 pub use athlete::{Activity, AthleteConfig, AthleteSimulator};
 pub use mining::{GridMiner, MinedSegment};
+pub use population::{
+    scale_athlete_config, AthleteHabits, AthleteRecord, PopulationConfig, PopulationShard,
+};
 pub use segments::{Segment, SegmentDatabase, SegmentParams, EXPLORE_TOP_K};
 pub use walk::{generate_route, gaussian, RouteKind, RouteParams};

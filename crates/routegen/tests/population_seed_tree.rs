@@ -1,0 +1,113 @@
+//! The seed-tree contracts of the streaming population generator:
+//!
+//! 1. **Prefix stability** — the population with `n` athletes is a
+//!    strict prefix of the one with `2n` under the same seed tree, so
+//!    accuracy-vs-population sweeps nest (property test);
+//! 2. **Per-(city, athlete) seeding** — the legacy pattern seeded one
+//!    simulator per *city* and let every athlete share its RNG stream,
+//!    so adding an athlete (or activity) perturbed everyone generated
+//!    after it. The tests pin both halves: the legacy stream really is
+//!    order-coupled (the "before"), and the seed-tree path is not (the
+//!    "after").
+
+use proptest::prelude::*;
+use routegen::{AthleteSimulator, PopulationConfig};
+use terrain::{CityId, SyntheticTerrain};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: `n` athletes are a strict prefix of `2n` (same seed
+    /// tree), athlete by athlete, bit for bit.
+    #[test]
+    fn population_n_is_strict_prefix_of_2n(n in 3usize..9, seed in 0u64..1_000) {
+        let small = PopulationConfig { shard_size: 4, ..PopulationConfig::new(n, seed) };
+        let big = PopulationConfig { shard_size: 4, ..PopulationConfig::new(2 * n, seed) };
+        let terrain = small.terrain();
+
+        let small_athletes: Vec<_> =
+            (0..n as u64).map(|id| small.generate_athlete(&terrain, id)).collect();
+        let big_athletes: Vec<_> =
+            (0..2 * n as u64).map(|id| big.generate_athlete(&terrain, id)).collect();
+
+        prop_assert_eq!(&big_athletes[..n], &small_athletes[..]);
+        // Strict prefix: the larger population actually continues.
+        prop_assert!(big_athletes.len() > small_athletes.len());
+
+        // The same nesting holds at shard granularity: every shard of
+        // the small population fingerprints identically in the big one
+        // (shard size divides n here, so shard boundaries align).
+        for s in 0..small.n_shards() {
+            if small.shard_range(s).end <= n as u64 && (s + 1) * small.shard_size <= n {
+                prop_assert_eq!(
+                    small.generate_shard(&terrain, s).fingerprint(),
+                    big.generate_shard(&terrain, s).fingerprint()
+                );
+            }
+        }
+    }
+}
+
+/// "Before": the legacy shared-stream API really couples athletes.
+/// One simulator per city means athlete B's activities depend on how
+/// many draws athlete A consumed — inserting one extra activity for A
+/// shifts everything B generates afterwards. This is the defect the
+/// seed tree fixes; the pin documents it so the contrast below stays
+/// honest.
+#[test]
+fn legacy_shared_stream_couples_athletes() {
+    let city = CityId::WashingtonDc;
+
+    // Run 1: athlete A records one activity, then athlete B records one.
+    let mut sim = AthleteSimulator::new(SyntheticTerrain::new(7), 1234);
+    let _a = sim.generate_one(city);
+    let b_without_insert = sim.generate_one(city);
+
+    // Run 2: same seed, but A records one *extra* activity first.
+    let mut sim = AthleteSimulator::new(SyntheticTerrain::new(7), 1234);
+    let _a = sim.generate_one(city);
+    let _a_extra = sim.generate_one(city);
+    let b_with_insert = sim.generate_one(city);
+
+    assert_ne!(
+        b_without_insert, b_with_insert,
+        "the legacy shared stream was expected to couple athletes; \
+         if this now passes, the before/after pin below is vacuous"
+    );
+}
+
+/// "After": with the seed tree threaded down to `(city, athlete)`,
+/// adding an athlete — or giving an existing athlete more activities —
+/// never perturbs anyone else.
+#[test]
+fn seed_tree_decouples_athletes() {
+    let cfg = PopulationConfig { shard_size: 8, ..PopulationConfig::new(6, 7) };
+    let bigger = PopulationConfig { athletes: 7, ..cfg.clone() };
+    let terrain = cfg.terrain();
+
+    // Adding athlete 6 leaves athletes 0..6 untouched.
+    for id in 0..6 {
+        assert_eq!(
+            cfg.generate_athlete(&terrain, id),
+            bigger.generate_athlete(&terrain, id),
+            "athlete {id} perturbed by a population extension"
+        );
+    }
+
+    // Extending athlete 2's stream (the probe draw) leaves athlete 3
+    // untouched: streams are per-leaf, not interleaved.
+    let before = cfg.generate_athlete(&terrain, 3);
+    let _probe = cfg.athlete_activities(&terrain, 2, 5);
+    assert_eq!(cfg.generate_athlete(&terrain, 3), before);
+
+    // And the direct constructor contract: per-(city, athlete) seeds,
+    // so the same coordinates always rebuild the same stream.
+    let a = AthleteSimulator::for_athlete(SyntheticTerrain::new(7), 42, 3, 11)
+        .generate_one(CityId::Miami);
+    let b = AthleteSimulator::for_athlete(SyntheticTerrain::new(7), 42, 3, 11)
+        .generate_one(CityId::Miami);
+    assert_eq!(a, b);
+    let c = AthleteSimulator::for_athlete(SyntheticTerrain::new(7), 42, 3, 12)
+        .generate_one(CityId::Miami);
+    assert_ne!(a, c, "distinct athletes must get distinct streams");
+}

@@ -7,13 +7,13 @@
 # invariant suite, and the deterministic fuzz driver.
 #
 # Usage: scripts/verify.sh [tier...]
-#   tiers: build clippy test conformance serve overload bench smoke
+#   tiers: build clippy test conformance serve overload bench scale smoke
 #   (default: all)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tiers="${*:-build clippy test conformance serve overload bench smoke}"
+tiers="${*:-build clippy test conformance serve overload bench scale smoke}"
 
 has() {
     case " $tiers " in *" $1 "*) return 0 ;; *) return 1 ;; esac
@@ -221,6 +221,17 @@ if has bench; then
                         | select(.name | startswith("ingest_throughput_"))
                         | select(.baseline_s != null and .speedup != null)]
                        | length >= 2' "$json" >/dev/null
+                # The scale-corpus entries: population-shard generation
+                # and feature-store streaming, both with MB/s in the note.
+                jq -e '([.benches[]
+                         | select(.name | startswith("corpus_gen"))
+                         | select(.note | test("MB/s"))]
+                        | length == 1)
+                       and ([.benches[]
+                             | select(.name | startswith("featstore_read"))
+                             | select(.baseline_s != null)
+                             | select(.note | test("MB/s"))]
+                            | length == 1)' "$json" >/dev/null
             fi
             if [ "$suite" = serve ]; then
                 # The overload entries are part of the CI artifact: a
@@ -241,6 +252,13 @@ if os.environ["suite"] == "kernels":
              if b["name"].startswith("ingest_throughput_")
              and b["baseline_s"] is not None and b["speedup"] is not None]
     assert len(pairs) >= 2, "missing ingest_throughput bench pairs"
+    gen = [b for b in r["benches"]
+           if b["name"].startswith("corpus_gen") and "MB/s" in b["note"]]
+    assert len(gen) == 1, "missing corpus_gen MB/s entry"
+    fst = [b for b in r["benches"]
+           if b["name"].startswith("featstore_read")
+           and b["baseline_s"] is not None and "MB/s" in b["note"]]
+    assert len(fst) == 1, "missing featstore_read MB/s entry"
 if os.environ["suite"] == "serve":
     names = {b["name"]: b for b in r["benches"]}
     assert "served_overload_4x_p99" in names, "missing overload p99 entry"
@@ -252,6 +270,49 @@ if os.environ["suite"] == "serve":
             mv "$saved" "$json"
         fi
     done
+fi
+
+if has scale; then
+    echo "== scale (10^4-athlete quick slice: shard digests + sweep artifact) =="
+    dir="$(mktemp -d)"
+    export ELEV_POP_SIZE=10000 ELEV_SHARD_SIZE=1024 ELEV_STORE_DIR="$dir/featstore"
+    cargo build -q --release -p bench --bin scale_sweep
+
+    # Every shard digest must be bit-identical at 1 vs 4 worker threads
+    # and under out-of-order (reversed) regeneration.
+    ELEV_THREADS=4 ./target/release/scale_sweep --digests > "$dir/digests_t4.txt"
+    ELEV_THREADS=1 ./target/release/scale_sweep --digests > "$dir/digests_t1.txt"
+    ELEV_THREADS=1 ./target/release/scale_sweep --digests --reverse > "$dir/digests_rev.txt"
+    cmp "$dir/digests_t4.txt" "$dir/digests_t1.txt"
+    cmp "$dir/digests_t4.txt" "$dir/digests_rev.txt"
+    n_shards="$(wc -l < "$dir/digests_t4.txt")"
+    echo "scale: $n_shards shard digests identical at 1/4 threads and reversed order"
+
+    # The sweep itself: must emit the JSON artifact with at least 4
+    # population sizes, each carrying both threat-model accuracies.
+    ./target/release/scale_sweep
+    json="results/scale_population.json"
+    test -s "$json"
+    if command -v jq >/dev/null 2>&1; then
+        jq -e '.suite == "scale_population"
+               and (.points | length >= 4)
+               and (.points
+                    | all(has("tm1_top1") and has("tm1_top3") and has("tm3_top1")))
+               and ([.points[].athletes] as $s | $s == ($s | sort))' \
+            "$json" >/dev/null
+    else
+        json="$json" python3 -c 'import json, os
+r = json.load(open(os.environ["json"]))
+assert r["suite"] == "scale_population"
+pts = r["points"]
+assert len(pts) >= 4, "sweep must cover >= 4 population sizes"
+assert all("tm1_top1" in p and "tm1_top3" in p and "tm3_top1" in p for p in pts)
+sizes = [p["athletes"] for p in pts]
+assert sizes == sorted(sizes), "population sizes must ascend"'
+    fi
+    unset ELEV_POP_SIZE ELEV_SHARD_SIZE ELEV_STORE_DIR
+    rm -rf "$dir"
+    echo "scale: sweep artifact OK ($json)"
 fi
 
 if has smoke; then
