@@ -1,0 +1,1054 @@
+//! Deterministic inverted-file (IVF) index over the feature store.
+//!
+//! The scale sweeps match one probe profile against every stored row —
+//! a brute-force cosine scan whose cost is linear in the candidate
+//! population. This crate gives the adversary the sublinear candidate
+//! retrieval the web-scale re-identification literature assumes: a
+//! seeded spherical k-means **codebook** quantizes every row to its
+//! nearest centroid, per-shard **posting lists** record which rows
+//! landed in each cell, and a query scores the centroids, scans only
+//! the `nprobe` closest lists, and rescores candidates with the exact
+//! sparse dot product. The brute-force scan stays as the exact
+//! reference path; recall against it is measured, not assumed.
+//!
+//! Everything is deterministic by construction:
+//!
+//! - **training** is pure in `(shard-0 rows, k, seed)`: seeded draws
+//!   come from `exec::mix_seed`, assignments run through the
+//!   order-preserving [`exec::Executor`] map, and centroid updates
+//!   accumulate serially in batch order — bit-identical at any
+//!   `ELEV_THREADS`, and prefix-stable because shard 0 is a prefix of
+//!   every population size;
+//! - **files** follow the `.elevmdl` framing discipline (magic /
+//!   version header, `len u32 | payload | FNV-1a-64` records, footer
+//!   with record count and whole-file checksum, manifest published
+//!   last via [`featstore::atomic_write`]), so torn writes classify as
+//!   the same structured [`StoreError`] classes the feature store
+//!   pins;
+//! - **queries** iterate centroids, entries, and probes in fixed
+//!   ascending order, so merged results are invariant to thread count
+//!   and shard order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use exec::Executor;
+use featstore::{
+    atomic_write, fnv1a64, fnv1a64_continue, FeatureStore, RowBuf, StoreError,
+};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// IVF sidecar files start with these bytes.
+pub const MAGIC: &[u8; 8] = b"ELEVANN\x01";
+
+/// Container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte length of the fixed sidecar header (magic + version + two
+/// u64 shape fields + config fingerprint + header checksum) — the
+/// same shape as the feature store's.
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+/// Index manifest file name, written last on publish.
+pub const ANN_MANIFEST: &str = "ann.txt";
+
+/// Codebook file name under the store directory.
+pub const CODEBOOK_FILE: &str = "codebook.ann";
+
+const TAG_CENTROID: u32 = 1;
+const TAG_LIST: u32 = 1;
+const TAG_FOOTER: u32 = 2;
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+/// Canonical posting-list sidecar file name of shard `index`.
+pub fn ann_shard_file_name(index: usize) -> String {
+    format!("shard-{index:05}.ivf")
+}
+
+/// L2 norm of a value slice.
+pub fn l2(values: &[f32]) -> f32 {
+    values.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+// ---- framing (the `.elevmdl` discipline, sidecar flavour) --------------
+
+/// Append-only writer for one framed sidecar file: buffered,
+/// checksummed records, footer + fsync + atomic rename on finish.
+struct FramedWriter {
+    file: std::io::BufWriter<File>,
+    tmp: PathBuf,
+    path: PathBuf,
+    offset: u64,
+    content_fnv: u64,
+    records: u64,
+}
+
+impl FramedWriter {
+    fn create(path: &Path, a: u64, b: u64, config: u64) -> Result<Self, StoreError> {
+        let dir = path
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+            .ok_or_else(|| StoreError::Io(format!("{} has no parent", path.display())))?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .ok_or_else(|| StoreError::Io(format!("{} has no file name", path.display())))?;
+        let tmp = dir.join(format!(".{name}.tmp"));
+        let file = File::create(&tmp).map_err(io_err)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&a.to_le_bytes());
+        header.extend_from_slice(&b.to_le_bytes());
+        header.extend_from_slice(&config.to_le_bytes());
+        let fnv = fnv1a64(&header);
+        header.extend_from_slice(&fnv.to_le_bytes());
+        let mut w = Self {
+            file: std::io::BufWriter::new(file),
+            tmp,
+            path: path.to_path_buf(),
+            offset: 0,
+            content_fnv: 0xcbf2_9ce4_8422_2325,
+            records: 0,
+        };
+        w.write_raw(&header)?;
+        Ok(w)
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file.write_all(bytes).map_err(io_err)?;
+        self.content_fnv = fnv1a64_continue(self.content_fnv, bytes);
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let mut rec = Vec::with_capacity(4 + payload.len() + 8);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        self.write_raw(&rec)?;
+        self.records += 1;
+        Ok(self.offset)
+    }
+
+    fn finish(mut self) -> Result<u64, StoreError> {
+        let mut p = Vec::with_capacity(4 + 8 + 8);
+        p.extend_from_slice(&TAG_FOOTER.to_le_bytes());
+        p.extend_from_slice(&self.records.to_le_bytes());
+        p.extend_from_slice(&self.content_fnv.to_le_bytes());
+        // The footer is not itself counted in `records`.
+        let mut rec = Vec::with_capacity(4 + p.len() + 8);
+        rec.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&p);
+        rec.extend_from_slice(&fnv1a64(&p).to_le_bytes());
+        self.write_raw(&rec)?;
+        self.file.flush().map_err(io_err)?;
+        self.file.get_ref().sync_all().map_err(io_err)?;
+        std::fs::rename(&self.tmp, &self.path).map_err(io_err)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(self.offset)
+    }
+}
+
+/// Streaming reader over one framed sidecar file; every corruption
+/// mode classifies exactly as the feature store's reader does.
+struct FramedReader {
+    file: File,
+    len: u64,
+    offset: u64,
+    a: u64,
+    b: u64,
+    config: u64,
+    records_seen: u64,
+    done: bool,
+    content_fnv: u64,
+}
+
+impl FramedReader {
+    fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path).map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        let mut header = [0u8; HEADER_LEN];
+        if (len as usize) < HEADER_LEN {
+            let mut prefix = vec![0u8; len as usize];
+            read_exact_at(&file, &mut prefix, 0)?;
+            if len >= 8 && &prefix[..8] != MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            return Err(StoreError::Truncated {
+                offset: 0,
+                needed: HEADER_LEN - len as usize,
+                len: len as usize,
+            });
+        }
+        read_exact_at(&file, &mut header, 0)?;
+        if &header[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let stored = u64::from_le_bytes(header[HEADER_LEN - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a64(&header[..HEADER_LEN - 8]);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Self {
+            file,
+            len,
+            offset: HEADER_LEN as u64,
+            a: u64::from_le_bytes(header[12..20].try_into().expect("8 bytes")),
+            b: u64::from_le_bytes(header[20..28].try_into().expect("8 bytes")),
+            config: u64::from_le_bytes(header[28..36].try_into().expect("8 bytes")),
+            records_seen: 0,
+            done: false,
+            content_fnv: fnv1a64(&header),
+        })
+    }
+
+    fn truncated(&self, needed: usize) -> StoreError {
+        StoreError::Truncated { offset: self.offset as usize, needed, len: self.len as usize }
+    }
+
+    /// Reads the next non-footer record payload into `payload`;
+    /// returns `false` once the footer has been reached and verified.
+    fn next_record(&mut self, payload: &mut Vec<u8>) -> Result<bool, StoreError> {
+        if self.done {
+            return Ok(false);
+        }
+        let remaining = (self.len - self.offset) as usize;
+        if remaining == 0 {
+            return Err(self.truncated(4));
+        }
+        if remaining < 4 {
+            return Err(self.truncated(4 - remaining));
+        }
+        let mut len4 = [0u8; 4];
+        read_exact_at(&self.file, &mut len4, self.offset)?;
+        let payload_len = u32::from_le_bytes(len4) as usize;
+        if remaining < 4 + payload_len + 8 {
+            return Err(self.truncated(4 + payload_len + 8 - remaining));
+        }
+        let mut scratch = vec![0u8; payload_len + 8];
+        read_exact_at(&self.file, &mut scratch, self.offset + 4)?;
+        let (body, fnv8) = scratch.split_at(payload_len);
+        let stored = u64::from_le_bytes(fnv8.try_into().expect("8 bytes"));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
+        let pre_record_fnv = self.content_fnv;
+        self.content_fnv = fnv1a64_continue(self.content_fnv, &len4);
+        self.content_fnv = fnv1a64_continue(self.content_fnv, &scratch);
+        self.offset += 4 + scratch.len() as u64;
+
+        let mut d = Dec { buf: body, pos: 0 };
+        let tag = d.u32()?;
+        if tag == TAG_FOOTER {
+            let records = d.u64()?;
+            let whole = d.u64()?;
+            d.end()?;
+            if records != self.records_seen {
+                return Err(StoreError::Malformed(format!(
+                    "footer promises {records} records, file contains {}",
+                    self.records_seen
+                )));
+            }
+            if whole != pre_record_fnv {
+                return Err(StoreError::ChecksumMismatch {
+                    stored: whole,
+                    computed: pre_record_fnv,
+                });
+            }
+            if self.offset != self.len {
+                return Err(StoreError::Malformed(format!(
+                    "{} trailing bytes after footer",
+                    self.len - self.offset
+                )));
+            }
+            self.done = true;
+            return Ok(false);
+        }
+        payload.clear();
+        payload.extend_from_slice(body);
+        self.records_seen += 1;
+        Ok(true)
+    }
+}
+
+/// Positioned read: `pread` on unix, seek+read elsewhere.
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset).map_err(io_err)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+        f.read_exact(buf).map_err(io_err)
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Dec<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(StoreError::Malformed(format!(
+                "payload ends at {} of a {n}-byte field",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn end(&self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---- the codebook ------------------------------------------------------
+
+const INIT_DOMAIN: u64 = 0xA55C_01DE;
+const BATCH_DOMAIN: u64 = 0xBA7C_4B17;
+
+/// Mini-batch refinement passes over the seeded initialization.
+const TRAIN_ITERS: usize = 6;
+
+/// Rows drawn per refinement pass (capped at the training-set size).
+const TRAIN_BATCH: usize = 2048;
+
+/// A spherical k-means codebook: `k` unit-norm dense centroids over
+/// the feature space. Training is a pure function of
+/// `(rows, n_cols, k, seed)` — see the crate docs for why that holds
+/// at any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    k: usize,
+    n_cols: usize,
+    centroids: Vec<f32>,
+}
+
+impl Codebook {
+    /// Trains `k` centroids on `rows` (normally the shard-0 rows of a
+    /// feature store). `k` is clamped to the number of usable
+    /// (nonzero-norm) rows; with no usable rows the codebook degrades
+    /// to a single zero centroid.
+    pub fn train(rows: &[RowBuf], n_cols: usize, k: usize, seed: u64, exec: &Executor) -> Self {
+        let usable: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| l2(&r.values) > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        let k = k.clamp(1, usable.len().max(1));
+        let mut centroids = vec![0f32; k * n_cols];
+        if usable.is_empty() {
+            return Self { k, n_cols, centroids };
+        }
+
+        // Seeded init: the first k distinct usable rows drawn from the
+        // mix_seed stream, L2-normalised onto the sphere.
+        let mut picked = std::collections::BTreeSet::new();
+        let (mut placed, mut draw) = (0usize, 0u64);
+        while placed < k {
+            let j = usable[(exec::mix_seed(seed ^ INIT_DOMAIN, draw) % usable.len() as u64) as usize];
+            draw += 1;
+            if !picked.insert(j) {
+                continue;
+            }
+            let row = &rows[j];
+            let inv = 1.0 / l2(&row.values);
+            let base = placed * n_cols;
+            for (i, &idx) in row.indices.iter().enumerate() {
+                centroids[base + idx as usize] = row.values[i] * inv;
+            }
+            placed += 1;
+        }
+
+        // Mini-batch refinement: assignment fans out through the
+        // order-preserving executor map; the centroid update
+        // accumulates serially in batch order, so the result is
+        // bit-identical at any thread count.
+        let batch = usable.len().min(TRAIN_BATCH);
+        for t in 0..TRAIN_ITERS {
+            let cb = Self { k, n_cols, centroids: centroids.clone() };
+            let batch_rows: Vec<usize> = (0..batch)
+                .map(|j| {
+                    let r = exec::mix_seed(seed ^ BATCH_DOMAIN ^ (t as u64 + 1), j as u64);
+                    usable[(r % usable.len() as u64) as usize]
+                })
+                .collect();
+            let assigned = exec.map(&batch_rows, |_, &j| cb.assign(&rows[j].indices, &rows[j].values));
+            let mut sums = vec![0f32; k * n_cols];
+            let mut counts = vec![0u64; k];
+            for (&j, &c) in batch_rows.iter().zip(&assigned) {
+                let row = &rows[j];
+                let inv = 1.0 / l2(&row.values);
+                let base = c as usize * n_cols;
+                for (i, &idx) in row.indices.iter().enumerate() {
+                    sums[base + idx as usize] += row.values[i] * inv;
+                }
+                counts[c as usize] += 1;
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    continue;
+                }
+                let slice = &mut sums[c * n_cols..(c + 1) * n_cols];
+                let norm = l2(slice);
+                if norm > 0.0 {
+                    for v in slice.iter_mut() {
+                        *v /= norm;
+                    }
+                    centroids[c * n_cols..(c + 1) * n_cols].copy_from_slice(slice);
+                }
+            }
+        }
+        Self { k, n_cols, centroids }
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Feature-space width.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    fn centroid_dot(&self, c: usize, indices: &[u32], values: &[f32]) -> f32 {
+        let base = c * self.n_cols;
+        indices
+            .iter()
+            .zip(values)
+            .map(|(&i, &v)| self.centroids[base + i as usize] * v)
+            .sum()
+    }
+
+    /// The cell a row quantizes to: highest centroid dot, ties to the
+    /// lowest centroid index.
+    pub fn assign(&self, indices: &[u32], values: &[f32]) -> u32 {
+        let (mut best, mut best_score) = (0u32, f32::NEG_INFINITY);
+        for c in 0..self.k {
+            let s = self.centroid_dot(c, indices, values);
+            if s > best_score {
+                best_score = s;
+                best = c as u32;
+            }
+        }
+        best
+    }
+
+    /// The `nprobe` centroids closest to a probe, score-descending
+    /// with ties broken on the lower centroid index.
+    pub fn top_centroids(&self, indices: &[u32], values: &[f32], nprobe: usize) -> Vec<u32> {
+        let mut scored: Vec<(f32, u32)> = (0..self.k)
+            .map(|c| (self.centroid_dot(c, indices, values), c as u32))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(nprobe.clamp(1, self.k));
+        scored.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Writes the codebook to `path` in the framed sidecar format,
+    /// stamped with the store config fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path, config: u64) -> Result<(), StoreError> {
+        let mut w = FramedWriter::create(path, self.k as u64, self.n_cols as u64, config)?;
+        for c in 0..self.k {
+            let mut p = Vec::with_capacity(4 + 4 + self.n_cols * 4);
+            p.extend_from_slice(&TAG_CENTROID.to_le_bytes());
+            p.extend_from_slice(&(c as u32).to_le_bytes());
+            for &v in &self.centroids[c * self.n_cols..(c + 1) * self.n_cols] {
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_record(&p)?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Loads a codebook from `path`, rejecting one built for a
+    /// different store config.
+    ///
+    /// # Errors
+    ///
+    /// The full [`StoreError`] corruption ladder, plus
+    /// [`StoreError::Malformed`] on a config mismatch.
+    pub fn load(path: &Path, config: u64) -> Result<Self, StoreError> {
+        let mut r = FramedReader::open(path)?;
+        if r.config != config {
+            return Err(StoreError::Malformed(format!(
+                "codebook built for config {:016x}, store has {config:016x}",
+                r.config
+            )));
+        }
+        let (k, n_cols) = (r.a as usize, r.b as usize);
+        let mut centroids = vec![0f32; k * n_cols];
+        let mut payload = Vec::new();
+        let mut next = 0usize;
+        while r.next_record(&mut payload)? {
+            let mut d = Dec { buf: &payload, pos: 0 };
+            let tag = d.u32()?;
+            if tag != TAG_CENTROID {
+                return Err(StoreError::Malformed(format!("unknown codebook tag {tag}")));
+            }
+            let c = d.u32()? as usize;
+            if c != next || c >= k {
+                return Err(StoreError::Malformed(format!(
+                    "centroid {c} out of sequence (expected {next} of {k})"
+                )));
+            }
+            for slot in centroids[c * n_cols..(c + 1) * n_cols].iter_mut() {
+                *slot = f32::from_bits(d.u32()?);
+            }
+            d.end()?;
+            next += 1;
+        }
+        if next != k {
+            return Err(StoreError::Malformed(format!(
+                "codebook holds {next} centroids, header promises {k}"
+            )));
+        }
+        Ok(Self { k, n_cols, centroids })
+    }
+}
+
+// ---- posting lists -----------------------------------------------------
+
+/// One row's entry in a posting list: where the full record lives
+/// (for exact rescoring) plus the fields matching needs without a
+/// read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostingEntry {
+    /// Byte offset of the row record in its shard file.
+    pub offset: u64,
+    /// Global athlete id.
+    pub athlete: u64,
+    /// Home-city label.
+    pub city: u32,
+    /// L2 norm of the row's values (for cosine denominators).
+    pub norm: f32,
+}
+
+/// Quantizes every row of store shard `shard` with `codebook`,
+/// returning one posting list per centroid (entries in row order).
+///
+/// # Errors
+///
+/// Any [`StoreError`] from streaming the shard.
+pub fn build_shard_postings(
+    store: &FeatureStore,
+    shard: usize,
+    codebook: &Codebook,
+) -> Result<Vec<Vec<PostingEntry>>, StoreError> {
+    let mut lists = vec![Vec::new(); codebook.k()];
+    let mut reader = store.reader(shard)?;
+    let mut row = RowBuf::default();
+    loop {
+        let offset = reader.stream_offset();
+        if !reader.next_row(&mut row)? {
+            break;
+        }
+        let c = codebook.assign(&row.indices, &row.values) as usize;
+        lists[c].push(PostingEntry {
+            offset,
+            athlete: row.athlete,
+            city: row.city,
+            norm: l2(&row.values),
+        });
+    }
+    Ok(lists)
+}
+
+/// Writes one shard's posting lists as a framed `.ivf` sidecar;
+/// returns the file's byte length.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure.
+pub fn write_postings(
+    path: &Path,
+    shard_index: usize,
+    config: u64,
+    lists: &[Vec<PostingEntry>],
+) -> Result<u64, StoreError> {
+    let mut w = FramedWriter::create(path, shard_index as u64, lists.len() as u64, config)?;
+    for (c, list) in lists.iter().enumerate() {
+        let mut p = Vec::with_capacity(4 + 4 + 4 + list.len() * 24);
+        p.extend_from_slice(&TAG_LIST.to_le_bytes());
+        p.extend_from_slice(&(c as u32).to_le_bytes());
+        p.extend_from_slice(&(list.len() as u32).to_le_bytes());
+        for e in list {
+            p.extend_from_slice(&e.offset.to_le_bytes());
+            p.extend_from_slice(&e.athlete.to_le_bytes());
+            p.extend_from_slice(&e.city.to_le_bytes());
+            p.extend_from_slice(&e.norm.to_le_bytes());
+        }
+        w.write_record(&p)?;
+    }
+    w.finish()
+}
+
+/// Reads one shard's posting lists back, cross-checking the header
+/// against the expected shard index, centroid count, and config.
+///
+/// # Errors
+///
+/// The full [`StoreError`] corruption ladder, plus
+/// [`StoreError::Malformed`] when the header disagrees with the
+/// expectation.
+pub fn read_postings(
+    path: &Path,
+    shard_index: usize,
+    k: usize,
+    config: u64,
+) -> Result<Vec<Vec<PostingEntry>>, StoreError> {
+    let mut r = FramedReader::open(path)?;
+    if r.a != shard_index as u64 || r.b != k as u64 || r.config != config {
+        return Err(StoreError::Malformed(format!(
+            "posting sidecar header (shard {}, k {}, config {:016x}) disagrees with \
+             expectation (shard {shard_index}, k {k}, config {config:016x})",
+            r.a, r.b, r.config
+        )));
+    }
+    let mut lists = vec![Vec::new(); k];
+    let mut payload = Vec::new();
+    let mut next = 0usize;
+    while r.next_record(&mut payload)? {
+        let mut d = Dec { buf: &payload, pos: 0 };
+        let tag = d.u32()?;
+        if tag != TAG_LIST {
+            return Err(StoreError::Malformed(format!("unknown posting tag {tag}")));
+        }
+        let c = d.u32()? as usize;
+        if c != next || c >= k {
+            return Err(StoreError::Malformed(format!(
+                "posting list {c} out of sequence (expected {next} of {k})"
+            )));
+        }
+        let count = d.u32()? as usize;
+        let list = &mut lists[c];
+        list.reserve(count);
+        for _ in 0..count {
+            list.push(PostingEntry {
+                offset: d.u64()?,
+                athlete: d.u64()?,
+                city: d.u32()?,
+                norm: f32::from_bits(d.u32()?),
+            });
+        }
+        d.end()?;
+        next += 1;
+    }
+    if next != k {
+        return Err(StoreError::Malformed(format!(
+            "sidecar holds {next} posting lists, header promises {k}"
+        )));
+    }
+    Ok(lists)
+}
+
+// ---- the index manifest ------------------------------------------------
+
+/// One shard's sidecar entry in the index manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnShardEntry {
+    /// Shard index.
+    pub index: usize,
+    /// Sidecar file name under the store directory.
+    pub file: String,
+    /// Posting entries across all of the sidecar's lists.
+    pub entries: u64,
+}
+
+/// The parsed index manifest (`ann.txt`), written last on publish so
+/// a complete manifest implies complete sidecars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnManifest {
+    /// Store config fingerprint the index was built over.
+    pub config: u64,
+    /// Store manifest generation the index covers.
+    pub generation: u64,
+    /// Centroids requested at build time (the codebook may clamp
+    /// lower when shard 0 has fewer usable rows).
+    pub k: u64,
+    /// Training seed.
+    pub seed: u64,
+    /// Feature-space width.
+    pub n_cols: u64,
+    /// Sidecar entries in ascending shard order.
+    pub shards: Vec<AnnShardEntry>,
+}
+
+impl AnnManifest {
+    /// Renders the manifest text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("elevann v1\n");
+        out.push_str(&format!("config {:016x}\n", self.config));
+        out.push_str(&format!("generation {}\n", self.generation));
+        out.push_str(&format!("k {}\n", self.k));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("n_cols {}\n", self.n_cols));
+        out.push_str(&format!("shards {}\n", self.shards.len()));
+        for s in &self.shards {
+            out.push_str(&format!("{} {} {}\n", s.index, s.file, s.entries));
+        }
+        out
+    }
+
+    /// Parses manifest text.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] on any structural defect.
+    pub fn parse(text: &str) -> Result<Self, StoreError> {
+        let mut lines = text.lines();
+        let bad = |m: &str| StoreError::Malformed(format!("ann manifest: {m}"));
+        if lines.next() != Some("elevann v1") {
+            return Err(bad("missing or unsupported header line"));
+        }
+        let mut field = |name: &str| -> Result<String, StoreError> {
+            let line = lines.next().ok_or_else(|| bad(&format!("missing {name}")))?;
+            line.strip_prefix(&format!("{name} "))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("expected `{name} ...`, got `{line}`")))
+        };
+        let config =
+            u64::from_str_radix(&field("config")?, 16).map_err(|_| bad("config is not hex"))?;
+        let generation = field("generation")?.parse().map_err(|_| bad("generation"))?;
+        let k = field("k")?.parse().map_err(|_| bad("k"))?;
+        let seed = field("seed")?.parse().map_err(|_| bad("seed"))?;
+        let n_cols = field("n_cols")?.parse().map_err(|_| bad("n_cols"))?;
+        let count: usize = field("shards")?.parse().map_err(|_| bad("shards"))?;
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| bad("manifest ends mid shard list"))?;
+            let mut parts = line.split_whitespace();
+            let index = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(&format!("bad shard line `{line}`")))?;
+            let file = parts
+                .next()
+                .ok_or_else(|| bad(&format!("bad shard line `{line}`")))?
+                .to_owned();
+            let entries = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(&format!("bad shard line `{line}`")))?;
+            if parts.next().is_some() {
+                return Err(bad(&format!("trailing fields in `{line}`")));
+            }
+            shards.push(AnnShardEntry { index, file, entries });
+        }
+        if shards.iter().enumerate().any(|(i, s)| s.index != i) {
+            return Err(bad("shard indices are not dense ascending"));
+        }
+        Ok(Self { config, generation, k, seed, n_cols, shards })
+    }
+}
+
+// ---- the index ---------------------------------------------------------
+
+/// An opened IVF index: the manifest plus the loaded codebook,
+/// rooted in the feature-store directory it indexes.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    dir: PathBuf,
+    manifest: AnnManifest,
+    codebook: Codebook,
+}
+
+impl AnnIndex {
+    /// Opens a published index under `dir` and loads its codebook.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when no manifest exists; any corruption
+    /// class from the manifest or codebook; [`StoreError::Malformed`]
+    /// when codebook and manifest disagree.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(dir.join(ANN_MANIFEST)).map_err(io_err)?;
+        let manifest = AnnManifest::parse(&text)?;
+        let codebook = Codebook::load(&dir.join(CODEBOOK_FILE), manifest.config)?;
+        if codebook.n_cols() as u64 != manifest.n_cols {
+            return Err(StoreError::Malformed(format!(
+                "codebook spans {} columns, manifest promises {}",
+                codebook.n_cols(),
+                manifest.n_cols
+            )));
+        }
+        Ok(Self { dir: dir.to_path_buf(), manifest, codebook })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &AnnManifest {
+        &self.manifest
+    }
+
+    /// The loaded codebook.
+    pub fn codebook(&self) -> &Codebook {
+        &self.codebook
+    }
+
+    /// Loads shard `shard`'s posting lists.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] for an unknown shard; any corruption
+    /// class from the sidecar.
+    pub fn postings(&self, shard: usize) -> Result<Vec<Vec<PostingEntry>>, StoreError> {
+        let entry = self
+            .manifest
+            .shards
+            .get(shard)
+            .ok_or_else(|| StoreError::Malformed(format!("no sidecar for shard {shard}")))?;
+        read_postings(&self.dir.join(&entry.file), shard, self.codebook.k(), self.manifest.config)
+    }
+
+    /// Ensures an index matching `store` at `(k, seed)` exists in the
+    /// store directory, building or incrementally extending as
+    /// needed; returns the index plus whether it was reused as-is.
+    ///
+    /// A published index is reused when config, `k`, `seed`, and
+    /// generation all match. When only new shards were appended (the
+    /// config still matches and the sidecar list is a prefix of the
+    /// store's shard list), sidecars for the new shards are built from
+    /// the frozen codebook — the incremental path. Anything else
+    /// rebuilds from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from reading the store or writing the index.
+    pub fn ensure(
+        store: &FeatureStore,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<(Self, bool), StoreError> {
+        let m = store.manifest();
+        if let Ok(idx) = Self::open(store.dir()) {
+            let compatible = idx.manifest.config == m.config
+                && idx.manifest.k == k as u64
+                && idx.manifest.seed == seed
+                && idx.manifest.n_cols == m.n_cols
+                && idx.manifest.shards.len() <= m.shards.len();
+            if compatible {
+                if idx.manifest.generation == m.generation
+                    && idx.manifest.shards.len() == m.shards.len()
+                {
+                    return Ok((idx, true));
+                }
+                if idx.manifest.shards.len() < m.shards.len() {
+                    return idx.extend(store, exec).map(|i| (i, false));
+                }
+            }
+        }
+        Self::build(store, k, seed, exec).map(|i| (i, false))
+    }
+
+    /// Builds the index from scratch: trains the codebook on shard-0
+    /// rows, writes every sidecar shard-parallel, publishes the
+    /// manifest last.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from reading the store or writing files.
+    pub fn build(
+        store: &FeatureStore,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<Self, StoreError> {
+        let m = store.manifest();
+        let rows = read_shard_rows(store, 0)?;
+        let codebook = Codebook::train(&rows, m.n_cols as usize, k, seed, exec);
+        codebook.save(&store.dir().join(CODEBOOK_FILE), m.config)?;
+
+        let shard_ids: Vec<usize> = (0..m.shards.len()).collect();
+        let entries = exec.map(&shard_ids, |_, &s| -> Result<u64, StoreError> {
+            let lists = build_shard_postings(store, s, &codebook)?;
+            let n: u64 = lists.iter().map(|l| l.len() as u64).sum();
+            write_postings(&store.dir().join(ann_shard_file_name(s)), s, m.config, &lists)?;
+            Ok(n)
+        });
+        let entries: Vec<u64> = entries.into_iter().collect::<Result<_, _>>()?;
+
+        let manifest = AnnManifest {
+            config: m.config,
+            generation: m.generation,
+            k: k as u64,
+            seed,
+            n_cols: m.n_cols,
+            shards: entries
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| AnnShardEntry {
+                    index: i,
+                    file: ann_shard_file_name(i),
+                    entries: n,
+                })
+                .collect(),
+        };
+        atomic_write(&store.dir().join(ANN_MANIFEST), manifest.render().as_bytes())?;
+        Ok(Self { dir: store.dir().to_path_buf(), manifest, codebook })
+    }
+
+    /// Extends the index over shards appended to the store since it
+    /// was built, quantizing them with the frozen codebook.
+    fn extend(mut self, store: &FeatureStore, exec: &Executor) -> Result<Self, StoreError> {
+        let m = store.manifest();
+        let codebook = &self.codebook;
+        let new_ids: Vec<usize> = (self.manifest.shards.len()..m.shards.len()).collect();
+        let entries = exec.map(&new_ids, |_, &s| -> Result<u64, StoreError> {
+            let lists = build_shard_postings(store, s, codebook)?;
+            let n: u64 = lists.iter().map(|l| l.len() as u64).sum();
+            write_postings(&store.dir().join(ann_shard_file_name(s)), s, m.config, &lists)?;
+            Ok(n)
+        });
+        let entries: Vec<u64> = entries.into_iter().collect::<Result<_, _>>()?;
+        for (&s, &n) in new_ids.iter().zip(&entries) {
+            self.manifest.shards.push(AnnShardEntry {
+                index: s,
+                file: ann_shard_file_name(s),
+                entries: n,
+            });
+        }
+        self.manifest.generation = m.generation;
+        atomic_write(&self.dir.join(ANN_MANIFEST), self.manifest.render().as_bytes())?;
+        Ok(self)
+    }
+}
+
+/// Streams every row of store shard `shard` into memory (the
+/// codebook's training set).
+///
+/// # Errors
+///
+/// Any [`StoreError`] from the shard reader.
+pub fn read_shard_rows(store: &FeatureStore, shard: usize) -> Result<Vec<RowBuf>, StoreError> {
+    let mut reader = store.reader(shard)?;
+    let mut rows = Vec::new();
+    let mut row = RowBuf::default();
+    while reader.next_row(&mut row)? {
+        rows.push(row.clone());
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic synthetic training rows: sparse, clustered by
+    /// construction (row i leans on index block `i % 4`).
+    fn synth_rows(n: usize, n_cols: usize, seed: u64) -> Vec<RowBuf> {
+        (0..n)
+            .map(|i| {
+                let block = (i % 4) * (n_cols / 4);
+                let mix = |j: u64| exec::mix_seed(seed, i as u64 * 100 + j);
+                let nnz = 2 + (mix(0) % 3) as usize;
+                let mut indices: Vec<u32> =
+                    (0..nnz).map(|j| (block + (mix(j as u64 + 1) as usize % (n_cols / 4))) as u32).collect();
+                indices.sort_unstable();
+                indices.dedup();
+                let values =
+                    (0..indices.len()).map(|j| 1.0 + (mix(50 + j as u64) % 8) as f32).collect();
+                RowBuf { athlete: i as u64, city: (i % 3) as u32, activity: 0, indices, values }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_is_thread_invariant_and_pure() {
+        let rows = synth_rows(64, 32, 9);
+        let a = Codebook::train(&rows, 32, 8, 42, &Executor::new(1));
+        let b = Codebook::train(&rows, 32, 8, 42, &Executor::new(4));
+        assert_eq!(a, b, "codebook must be bit-identical at any thread count");
+        let c = Codebook::train(&rows, 32, 8, 43, &Executor::new(1));
+        assert_ne!(a, c, "the seed must matter");
+    }
+
+    #[test]
+    fn training_clamps_k_and_survives_degenerate_input() {
+        let rows = synth_rows(3, 16, 1);
+        let cb = Codebook::train(&rows, 16, 8, 7, &Executor::new(2));
+        assert_eq!(cb.k(), 3, "k clamps to the usable row count");
+        let empty =
+            vec![RowBuf { athlete: 0, city: 0, activity: 0, indices: vec![], values: vec![] }];
+        let cb = Codebook::train(&empty, 16, 4, 7, &Executor::new(1));
+        assert_eq!(cb.k(), 1);
+        assert_eq!(cb.assign(&[], &[]), 0);
+    }
+
+    #[test]
+    fn top_centroids_order_is_total() {
+        let rows = synth_rows(40, 32, 3);
+        let cb = Codebook::train(&rows, 32, 6, 11, &Executor::new(2));
+        let probe = &rows[5];
+        let top = cb.top_centroids(&probe.indices, &probe.values, 4);
+        assert_eq!(top.len(), 4);
+        assert_eq!(top[0], cb.assign(&probe.indices, &probe.values));
+        let again = cb.top_centroids(&probe.indices, &probe.values, 4);
+        assert_eq!(top, again);
+        assert!(cb.top_centroids(&probe.indices, &probe.values, 100).len() == cb.k());
+    }
+
+    #[test]
+    fn ann_manifest_roundtrip_and_rejects() {
+        let m = AnnManifest {
+            config: 0xFEED,
+            generation: 2,
+            k: 64,
+            seed: 7,
+            n_cols: 512,
+            shards: vec![
+                AnnShardEntry { index: 0, file: ann_shard_file_name(0), entries: 9 },
+                AnnShardEntry { index: 1, file: ann_shard_file_name(1), entries: 4 },
+            ],
+        };
+        assert_eq!(AnnManifest::parse(&m.render()).expect("parses"), m);
+        assert!(AnnManifest::parse("elevann v2\n").is_err());
+        assert!(AnnManifest::parse("").is_err());
+        let mut swapped = m.clone();
+        swapped.shards.swap(0, 1);
+        assert!(AnnManifest::parse(&swapped.render()).is_err(), "non-dense indices");
+    }
+}

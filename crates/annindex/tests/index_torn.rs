@@ -1,0 +1,290 @@
+//! IVF sidecar format contracts, in the `registry_torn.rs` /
+//! `roundtrip_torn.rs` discipline:
+//!
+//! - **bit-exact round-trip** — posting lists and the codebook survive
+//!   write → read → re-write byte-identically, and every posting entry
+//!   addresses a row record that positioned reads decode;
+//! - **the torn-write ladder** — a write killed at every record
+//!   boundary (and mid-record) reads as `Truncated`; flipped bytes as
+//!   `ChecksumMismatch`; foreign or future files as `BadMagic` /
+//!   `UnsupportedVersion`;
+//! - **determinism** — the codebook is bit-identical at 1 vs 4
+//!   executor threads and depends only on shard-0 content, so an
+//!   index built incrementally over appended shards equals one built
+//!   from scratch.
+
+use annindex::{
+    ann_shard_file_name, read_postings, AnnIndex, Codebook, CODEBOOK_FILE, HEADER_LEN,
+};
+use exec::Executor;
+use featstore::{
+    shard_file_name, FeatureStore, RowBuf, ShardEntry, ShardWriter, StoreManifest,
+};
+use std::path::{Path, PathBuf};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("elev-ann-torn-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const N_COLS: u64 = 48;
+const CONFIG: u64 = 0x5EED_CAFE;
+
+fn synth_row(seed: u64, athlete: u64) -> RowBuf {
+    let mix = |j: u64| exec::mix_seed(seed, athlete * 1_000 + j);
+    let block = ((athlete % 4) * (N_COLS / 4)) as u32;
+    let nnz = 2 + (mix(0) % 3) as usize;
+    let mut indices: Vec<u32> =
+        (0..nnz).map(|j| block + (mix(j as u64 + 1) % (N_COLS / 4)) as u32).collect();
+    indices.sort_unstable();
+    indices.dedup();
+    let values = (0..indices.len()).map(|j| 1.0 + (mix(50 + j as u64) % 8) as f32).collect();
+    RowBuf { athlete, city: (athlete % 3) as u32, activity: 0, indices, values }
+}
+
+/// Publishes a synthetic feature store: `shards` shards of
+/// `per_shard` athletes, one row each.
+fn publish_store(dir: &Path, seed: u64, shards: usize, per_shard: usize) -> FeatureStore {
+    let mut entries = Vec::new();
+    for s in 0..shards {
+        let mut w = ShardWriter::create(dir, s, N_COLS, CONFIG).expect("create");
+        for a in 0..per_shard {
+            let row = synth_row(seed, (s * per_shard + a) as u64);
+            w.append_row(row.athlete, row.city, row.activity, &row.indices, &row.values)
+                .expect("append");
+        }
+        let meta = w.finish().expect("finish");
+        entries.push(ShardEntry { index: s, file: meta.file, rows: meta.rows });
+    }
+    let manifest = StoreManifest {
+        config: CONFIG,
+        n_cols: N_COLS,
+        shard_size: per_shard as u64,
+        athletes: (shards * per_shard) as u64,
+        generation: 1,
+        shards: entries,
+    };
+    FeatureStore::publish_manifest(dir, &manifest).expect("publish");
+    FeatureStore::open(dir).expect("open")
+}
+
+/// Walks a framed sidecar file's record boundaries by trusting only
+/// the length prefixes (valid for a clean file).
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut cuts = vec![HEADER_LEN];
+    let mut at = HEADER_LEN;
+    while at < bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        at += 4 + len + 8;
+        cuts.push(at);
+    }
+    assert_eq!(at, bytes.len(), "boundary walk must land exactly at EOF");
+    cuts
+}
+
+#[test]
+fn index_roundtrips_and_postings_address_real_rows() {
+    let dir = TempDir::new("rt");
+    let store = publish_store(&dir.0, 5, 2, 12);
+    let exec = Executor::new(2);
+    let idx = AnnIndex::build(&store, 4, 77, &exec).expect("build");
+    assert_eq!(idx.manifest().shards.len(), 2);
+
+    // Reopen from disk: manifest and codebook read back identically.
+    let reopened = AnnIndex::open(&dir.0).expect("open");
+    assert_eq!(reopened.manifest(), idx.manifest());
+
+    let mut row = RowBuf::default();
+    let mut seen = 0u64;
+    for s in 0..2 {
+        let lists = idx.postings(s).expect("postings");
+        assert_eq!(lists.len(), idx.codebook().k());
+        let mut reader = store.reader(s).expect("reader");
+        for (c, list) in lists.iter().enumerate() {
+            for e in list {
+                let next = reader.read_row_at(e.offset, &mut row).expect("row at offset");
+                assert!(next > e.offset);
+                assert_eq!(row.athlete, e.athlete, "entry must address its own row");
+                assert_eq!(row.city, e.city);
+                assert_eq!(idx.codebook().assign(&row.indices, &row.values), c as u32);
+                seen += 1;
+            }
+        }
+    }
+    assert_eq!(seen, 24, "every row lands in exactly one posting list");
+
+    // Re-writing the decoded lists reproduces the sidecar byte for
+    // byte (one encoding per index).
+    let lists = idx.postings(0).expect("postings");
+    let copy = dir.0.join("rewrite.ivf");
+    annindex::write_postings(&copy, 0, CONFIG, &lists).expect("rewrite");
+    let a = std::fs::read(dir.0.join(ann_shard_file_name(0))).expect("original");
+    let b = std::fs::read(&copy).expect("rewritten");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn torn_write_ladder_reads_truncated() {
+    let dir = TempDir::new("ladder");
+    let store = publish_store(&dir.0, 6, 1, 10);
+    let idx = AnnIndex::build(&store, 4, 1, &Executor::new(1)).expect("build");
+    let k = idx.codebook().k();
+
+    for target in [dir.0.join(ann_shard_file_name(0)), dir.0.join(CODEBOOK_FILE)] {
+        let original = std::fs::read(&target).expect("bytes");
+        let boundaries = record_boundaries(&original);
+        // The last boundary is EOF itself — the clean file, not a cut.
+        let cuttable = &boundaries[..boundaries.len() - 1];
+        let mut cuts = cuttable.to_vec();
+        cuts.extend(cuttable.iter().map(|b| b + 2));
+        cuts.extend([0, 1, HEADER_LEN / 2, original.len() - 1]);
+        for cut in cuts {
+            assert!(cut < original.len());
+            std::fs::write(&target, &original[..cut]).expect("tear");
+            let err = if target.ends_with(CODEBOOK_FILE) {
+                Codebook::load(&target, CONFIG).expect_err("torn codebook must not load")
+            } else {
+                read_postings(&target, 0, k, CONFIG).expect_err("torn sidecar must not read")
+            };
+            assert_eq!(err.name(), "truncated", "cut at {cut}: got {err:?}");
+        }
+        std::fs::write(&target, &original).expect("restore");
+    }
+    assert!(AnnIndex::open(&dir.0).is_ok(), "restored index reads clean");
+}
+
+#[test]
+fn flipped_bytes_read_checksum_mismatch() {
+    let dir = TempDir::new("flip");
+    let store = publish_store(&dir.0, 7, 1, 10);
+    let idx = AnnIndex::build(&store, 4, 2, &Executor::new(1)).expect("build");
+    let k = idx.codebook().k();
+
+    let target = dir.0.join(ann_shard_file_name(0));
+    let original = std::fs::read(&target).expect("bytes");
+    let boundaries = record_boundaries(&original);
+    let mut flips: Vec<usize> = vec![HEADER_LEN - 1];
+    flips.extend(boundaries.windows(2).map(|w| (w[0] + w[1]) / 2));
+    flips.push(original.len() - 1);
+    for flip in flips {
+        let mut bytes = original.clone();
+        bytes[flip] ^= 0x10;
+        std::fs::write(&target, &bytes).expect("flip");
+        let err = read_postings(&target, 0, k, CONFIG).expect_err("corrupt sidecar");
+        assert_eq!(err.name(), "checksum_mismatch", "flip at {flip}: got {err:?}");
+    }
+}
+
+#[test]
+fn foreign_and_future_files_classify_distinctly() {
+    let dir = TempDir::new("classes");
+    let store = publish_store(&dir.0, 8, 1, 6);
+    let idx = AnnIndex::build(&store, 2, 3, &Executor::new(1)).expect("build");
+    let k = idx.codebook().k();
+    let target = dir.0.join(ann_shard_file_name(0));
+    let original = std::fs::read(&target).expect("bytes");
+
+    // A feature-store shard is not an IVF sidecar.
+    std::fs::copy(dir.0.join(shard_file_name(0)), &target).expect("copy");
+    assert_eq!(read_postings(&target, 0, k, CONFIG).unwrap_err().name(), "bad_magic");
+
+    // A future container version with a consistent header checksum.
+    let mut future = original.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let fnv = featstore::fnv1a64(&future[..HEADER_LEN - 8]);
+    future[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&fnv.to_le_bytes());
+    std::fs::write(&target, &future).expect("write");
+    assert_eq!(read_postings(&target, 0, k, CONFIG).unwrap_err().name(), "unsupported_version");
+
+    // Deleted outright.
+    std::fs::remove_file(&target).expect("rm");
+    assert_eq!(read_postings(&target, 0, k, CONFIG).unwrap_err().name(), "io");
+
+    // A sidecar for the wrong shard index cross-checks as malformed.
+    std::fs::write(&target, &original).expect("restore");
+    assert_eq!(read_postings(&target, 1, k, CONFIG).unwrap_err().name(), "malformed");
+    assert_eq!(read_postings(&target, 0, k + 1, CONFIG).unwrap_err().name(), "malformed");
+    assert_eq!(read_postings(&target, 0, k, CONFIG ^ 1).unwrap_err().name(), "malformed");
+}
+
+#[test]
+fn codebook_is_thread_invariant_and_prefix_stable_across_stores() {
+    let small = TempDir::new("prefix-small");
+    let large = TempDir::new("prefix-large");
+    // Same shard-0 content; the large store has three more shards.
+    let store_small = publish_store(&small.0, 11, 1, 16);
+    let store_large = publish_store(&large.0, 11, 4, 16);
+
+    AnnIndex::build(&store_small, 4, 9, &Executor::new(1)).expect("build small");
+    AnnIndex::build(&store_large, 4, 9, &Executor::new(4)).expect("build large");
+
+    // Thread count and trailing shards must not leak into the
+    // codebook: the two files are byte-identical.
+    let a = std::fs::read(small.0.join(CODEBOOK_FILE)).expect("small codebook");
+    let b = std::fs::read(large.0.join(CODEBOOK_FILE)).expect("large codebook");
+    assert_eq!(a, b, "codebook must depend only on shard-0 content");
+
+    // And shard-0 sidecars agree too.
+    let a = std::fs::read(small.0.join(ann_shard_file_name(0))).expect("small sidecar");
+    let b = std::fs::read(large.0.join(ann_shard_file_name(0))).expect("large sidecar");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ensure_reuses_extends_and_rebuilds() {
+    let inc = TempDir::new("inc");
+    let full = TempDir::new("full");
+    let exec = Executor::new(2);
+
+    // Incremental path: 2 shards, index, append 2 more, ensure.
+    let mut store = publish_store(&inc.0, 13, 2, 8);
+    let (_, reused) = AnnIndex::ensure(&store, 4, 21, &exec).expect("build");
+    assert!(!reused);
+    let (_, reused) = AnnIndex::ensure(&store, 4, 21, &exec).expect("reuse");
+    assert!(reused, "unchanged store must reuse the index as-is");
+    let codebook_before = std::fs::read(inc.0.join(CODEBOOK_FILE)).expect("codebook");
+
+    let mut metas = Vec::new();
+    for s in 2..4 {
+        let mut w = ShardWriter::create(&inc.0, s, N_COLS, CONFIG).expect("create");
+        for a in 0..8 {
+            let row = synth_row(13, (s * 8 + a) as u64);
+            w.append_row(row.athlete, row.city, row.activity, &row.indices, &row.values)
+                .expect("append");
+        }
+        metas.push(w.finish().expect("finish"));
+    }
+    store.append_shards(CONFIG, 32, &metas).expect("append");
+    let (idx, reused) = AnnIndex::ensure(&store, 4, 21, &exec).expect("extend");
+    assert!(!reused);
+    assert_eq!(idx.manifest().shards.len(), 4);
+    assert_eq!(idx.manifest().generation, 2, "index tracks the store generation");
+    let codebook_after = std::fs::read(inc.0.join(CODEBOOK_FILE)).expect("codebook");
+    assert_eq!(codebook_before, codebook_after, "extension freezes the codebook");
+
+    // Build-all-at-once produces byte-identical sidecars.
+    let store_full = publish_store(&full.0, 13, 4, 8);
+    AnnIndex::build(&store_full, 4, 21, &exec).expect("build full");
+    for s in 0..4 {
+        let a = std::fs::read(inc.0.join(ann_shard_file_name(s))).expect("inc sidecar");
+        let b = std::fs::read(full.0.join(ann_shard_file_name(s))).expect("full sidecar");
+        assert_eq!(a, b, "shard {s} sidecar must not depend on the build path");
+    }
+
+    // A different seed is incompatible: ensure rebuilds from scratch.
+    let (idx2, reused) = AnnIndex::ensure(&store, 4, 22, &exec).expect("rebuild");
+    assert!(!reused);
+    assert_eq!(idx2.manifest().seed, 22);
+}

@@ -148,6 +148,61 @@ fn sparse_rows(n: usize, dim: usize, nnz: usize) -> (Vec<SparseVec>, Vec<u32>) {
     (rows, labels)
 }
 
+/// The exact scan's vocabulary-overlap prefilter (feature-index range
+/// and 512-bit bloom), mirrored from the matcher so the baseline
+/// times the shipped exact path, not a strawman.
+struct OverlapSig {
+    first: u32,
+    last: u32,
+    bloom: [u64; 8],
+}
+
+impl OverlapSig {
+    fn new(indices: &[u32]) -> Self {
+        let mut bloom = [0u64; 8];
+        for &i in indices {
+            bloom[(i as usize >> 6) % 8] |= 1u64 << (i & 63);
+        }
+        Self {
+            first: indices.first().copied().unwrap_or(u32::MAX),
+            last: indices.last().copied().unwrap_or(0),
+            bloom,
+        }
+    }
+
+    fn may_overlap(&self, other: &Self) -> bool {
+        if self.first > other.last || other.first > self.last {
+            return false;
+        }
+        self.bloom.iter().zip(&other.bloom).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// Top-3 distinct-athlete hits ordered score desc then athlete asc —
+/// the matcher's hit discipline.
+fn push_top3(top: &mut Vec<(f32, u64)>, score: f32, athlete: u64) {
+    let before = |a: &(f32, u64), b: &(f32, u64)| match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    };
+    if let Some(existing) = top.iter_mut().find(|e| e.1 == athlete) {
+        if before(&(score, athlete), existing) {
+            *existing = (score, athlete);
+        }
+    } else {
+        top.push((score, athlete));
+    }
+    top.sort_by(|a, b| {
+        if before(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    top.truncate(3);
+}
+
 fn deterministic_tensor(shape: &[usize], salt: u64) -> Tensor {
     let len: usize = shape.iter().product();
     let data: Vec<f32> = (0..len)
@@ -452,6 +507,161 @@ fn main() {
         );
         benches.push(b);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // --- Probe matching at population scale: the shipped exact scan
+    // (streaming every row, overlap-prefiltered dots) vs the
+    // deterministic IVF index (centroid routing + posting-list
+    // rescoring with the same exact dot). Both paths run over one
+    // published feature store built from the real population corpus;
+    // the pair is the sublinearity evidence for `ELEV_ANN`.
+    {
+        let n_athletes = if quick { 2_000 } else { 10_000 };
+        let tag = if quick { "2k" } else { "10k" };
+        let mut cfg = elev_core::scale::ScaleConfig::new(n_athletes, 42);
+        cfg.population.shard_size = 500;
+        cfg.store_dir =
+            std::env::temp_dir().join(format!("elev-bench-ann-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+        let exec = exec::Executor::from_env();
+        let build = elev_core::scale::build_store(&cfg, &exec).expect("build store");
+        let store = featstore::FeatureStore::open(&cfg.store_dir).expect("open store");
+
+        // Probe features live in the store's feature space: the same
+        // shard-0-fitted vocabulary `build_store` used.
+        let terrain = cfg.population.terrain();
+        let shard0 = cfg.population.generate_shard(&terrain, 0);
+        let fit_profiles: Vec<Vec<f64>> = shard0
+            .athletes
+            .iter()
+            .flat_map(|a| &a.activities)
+            .map(|act| act.elevation_profile())
+            .collect();
+        let pipeline =
+            TextPipeline::fit(Discretizer::Floor, 4, FeatureSelection::standard(), &fit_profiles);
+        assert_eq!(pipeline.n_features(), build.n_cols, "probe space != store space");
+
+        let n_probes = 32u64;
+        let probes: Vec<(Vec<u32>, Vec<f32>, f32)> = (0..n_probes)
+            .map(|id| {
+                let habits = cfg.population.habits(id);
+                let mut acts =
+                    cfg.population.athlete_activities(&terrain, id, habits.weekly_cadence + 1);
+                let held_out = acts.pop().expect("cadence + 1 activities");
+                let sv = pipeline.transform_sparse(&held_out.elevation_profile());
+                (sv.indices().to_vec(), sv.values().to_vec(), annindex::l2(sv.values()))
+            })
+            .collect();
+        let probe_sigs: Vec<OverlapSig> =
+            probes.iter().map(|(idx, _, _)| OverlapSig::new(idx)).collect();
+
+        // Each pass answers every query independently — the serving
+        // shape (one uploaded profile, one top-3 answer), which is
+        // where sublinearity pays: the exact path must stream the
+        // whole store per query, the IVF path only its probed lists.
+        let n_shards = store.manifest().shards.len();
+        let exact_query = |pi: usize, row: &mut featstore::RowBuf| {
+            let (pidx, pval, pnorm) = &probes[pi];
+            let mut top: Vec<(f32, u64)> = Vec::new();
+            for s in 0..n_shards {
+                let mut r = store.reader(s).expect("reader");
+                while r.next_row(row).expect("next row") {
+                    let rn = annindex::l2(&row.values);
+                    if rn == 0.0 || !probe_sigs[pi].may_overlap(&OverlapSig::new(&row.indices)) {
+                        continue;
+                    }
+                    let dot = sparsemat::dot_sorted(pidx, pval, &row.indices, &row.values);
+                    if dot > 0.0 {
+                        push_top3(&mut top, dot / (pnorm * rn), row.athlete);
+                    }
+                }
+            }
+            top
+        };
+
+        let (index, _) =
+            annindex::AnnIndex::ensure(&store, 64, cfg.population.seed, &exec).expect("index");
+        let probe_lists: Vec<Vec<u32>> = probes
+            .iter()
+            .map(|(idx, val, _)| index.codebook().top_centroids(idx, val, 8))
+            .collect();
+        let ann_query = |pi: usize, row: &mut featstore::RowBuf| {
+            let (pidx, pval, pnorm) = &probes[pi];
+            let mut top: Vec<(f32, u64)> = Vec::new();
+            let mut rescored = 0u64;
+            for s in 0..n_shards {
+                let lists = index.postings(s).expect("postings");
+                let mut r = store.reader(s).expect("reader");
+                for &c in &probe_lists[pi] {
+                    for e in &lists[c as usize] {
+                        if e.norm == 0.0 {
+                            continue;
+                        }
+                        r.read_row_at(e.offset, row).expect("positioned row");
+                        rescored += 1;
+                        let dot = sparsemat::dot_sorted(pidx, pval, &row.indices, &row.values);
+                        if dot > 0.0 {
+                            push_top3(&mut top, dot / (pnorm * e.norm), e.athlete);
+                        }
+                    }
+                }
+            }
+            (top, rescored)
+        };
+
+        // Recall accounting outside the timed region.
+        let mut row = featstore::RowBuf::default();
+        let mut rescored = 0u64;
+        let recall: f64 = (0..probes.len())
+            .map(|pi| {
+                let exact = exact_query(pi, &mut row);
+                let (ann, pairs) = ann_query(pi, &mut row);
+                rescored += pairs;
+                if exact.is_empty() {
+                    return 1.0;
+                }
+                let kept =
+                    exact.iter().filter(|(_, a)| ann.iter().any(|(_, b)| a == b)).count();
+                kept as f64 / exact.len() as f64
+            })
+            .sum::<f64>()
+            / probes.len() as f64;
+        assert!(recall >= 0.95, "IVF recall@3 {recall:.4} below the 0.95 floor");
+        let rows_total = build.rows * n_probes;
+
+        let mut b = entry(
+            &format!("ann_match_{tag}"),
+            samples,
+            "",
+            Some(|| {
+                let mut row = featstore::RowBuf::default();
+                for pi in 0..probes.len() {
+                    black_box(exact_query(pi, &mut row));
+                }
+            }),
+            || {
+                let mut row = featstore::RowBuf::default();
+                for pi in 0..probes.len() {
+                    black_box(ann_query(pi, &mut row));
+                }
+            },
+        );
+        let mib = build.bytes as f64 / (1024.0 * 1024.0);
+        let exact_s = b.baseline_s.expect("ann pair always has a baseline");
+        b.note = format!(
+            "{n_probes} independent queries against {} rows ({n_athletes} athletes, \
+             {:.1} MiB store): the exact scan streams every row per query \
+             ({:.1} MiB/s/query); IVF (64 centroids, 8 probed lists/query) rescores \
+             {rescored} of {rows_total} candidate pairs ({:.1}%) via positioned reads, \
+             recall@3 {recall:.4}; both paths are bit-identical at any thread count \
+             and shard order",
+            build.rows,
+            mib,
+            mib * n_probes as f64 / exact_s,
+            rescored as f64 * 100.0 / rows_total as f64,
+        );
+        benches.push(b);
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
     }
 
     let report = BenchReport {

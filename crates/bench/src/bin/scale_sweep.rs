@@ -7,7 +7,13 @@
 //! - `ELEV_POP_SIZE` — total athletes (default 10 000);
 //! - `ELEV_SHARD_SIZE` — athletes per shard (default 1024);
 //! - `ELEV_STORE_DIR` — feature-store directory (default
-//!   `target/featstore`; reused when the config fingerprint matches).
+//!   `target/featstore`; reused when the config fingerprint matches,
+//!   grown in place when only the athlete count increased);
+//! - `ELEV_ANN` — set to `1` to match probes through the deterministic
+//!   IVF index (sublinear candidate scan + exact rescoring) instead of
+//!   the exact brute-force scan, with recall@3 accounting;
+//! - `ELEV_ANN_CENTROIDS` / `ELEV_ANN_NPROBE` — IVF codebook size
+//!   (default 64) and posting lists scanned per probe (default 8).
 //!
 //! Flags:
 //!
@@ -81,6 +87,26 @@ fn main() {
     println!("re-identification accuracy vs candidate-pool size:");
     table.print();
     println!();
+
+    if let Some(ann) = &report.ann {
+        println!(
+            "IVF matching: {} centroids, {} probed lists/query; rescored {} of {} \
+             candidate pairs ({})",
+            ann.centroids,
+            ann.nprobe,
+            ann.rows_scanned,
+            ann.rows_total,
+            pct(ann.rows_scanned as f64 / ann.rows_total.max(1) as f64)
+        );
+        let recall: Vec<String> = report
+            .points
+            .iter()
+            .zip(&ann.recall3)
+            .map(|(p, r)| format!("{}: {}", p.athletes, pct(*r)))
+            .collect();
+        println!("recall@3 vs exact scan by pool size: {}", recall.join(", "));
+        println!();
+    }
 
     let json = report.to_json();
     println!("scale-report-json:");

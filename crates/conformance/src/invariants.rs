@@ -86,6 +86,7 @@ pub fn all_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(DespikeOffsetEquivariance),
         Box::new(ServedEqualsOffline),
         Box::new(ShardRegeneration),
+        Box::new(AnnExactAgreement),
     ]
 }
 
@@ -730,6 +731,90 @@ impl Invariant for ShardRegeneration {
             "{} shards fingerprint-identical in order, reversed, and at 1/4 threads (shard 0 = {:016x})",
             shards.len(),
             in_order[0]
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// 10. IVF matching agrees with the exact scan: over one published
+//     feature store, the ANN sweep is bit-identical at 1 and 4
+//     threads, counts exactly the tracks the exact sweep counts, and
+//     the exact path's JSON artifact is untouched by the index living
+//     alongside it in the store directory.
+// ---------------------------------------------------------------------
+
+struct AnnExactAgreement;
+
+impl Invariant for AnnExactAgreement {
+    fn name(&self) -> &'static str {
+        "ann-exact-agreement"
+    }
+    fn description(&self) -> &'static str {
+        "the IVF sweep is thread-invariant, track-exact, and leaves the exact-path artifact byte-identical"
+    }
+    fn check(&self, ctx: &InvariantCtx) -> Result<String, String> {
+        use elev_core::scale::{scale_sweep, AnnSettings, ScaleConfig};
+
+        let mut cfg = ScaleConfig::new(24, ctx.seed);
+        cfg.population.shard_size = 8;
+        cfg.pop_sizes = vec![12, 24];
+        cfg.probes_per_city = 2;
+        cfg.store_dir = std::env::temp_dir()
+            .join(format!("elev-conf-ann-{}-{}", ctx.seed, std::process::id()));
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+        let dir = cfg.store_dir.clone();
+        let fail = move |msg: String| {
+            let _ = std::fs::remove_dir_all(&dir);
+            msg
+        };
+
+        let mut exact_cfg = cfg.clone();
+        exact_cfg.ann = None;
+        let exact = scale_sweep(&exact_cfg, &exec::Executor::new(2))
+            .map_err(|e| fail(format!("exact sweep failed: {e}")))?;
+
+        cfg.ann = Some(AnnSettings { centroids: 8, nprobe: 3 });
+        let ann1 = scale_sweep(&cfg, &exec::Executor::new(1))
+            .map_err(|e| fail(format!("ANN sweep (1 thread) failed: {e}")))?;
+        let ann4 = scale_sweep(&cfg, &exec::Executor::new(4))
+            .map_err(|e| fail(format!("ANN sweep (4 threads) failed: {e}")))?;
+        if ann1 != ann4 {
+            return Err(fail("ANN sweep diverges between 1 and 4 threads".into()));
+        }
+        let info = ann1
+            .ann
+            .as_ref()
+            .ok_or_else(|| fail("ANN sweep reported no ANN accounting".into()))?;
+        if info.rows_scanned > info.rows_total {
+            return Err(fail(format!(
+                "ANN rescored {} of {} pairs — more than the exact scan",
+                info.rows_scanned, info.rows_total
+            )));
+        }
+        if info.recall3.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return Err(fail(format!("recall@3 out of [0, 1]: {:?}", info.recall3)));
+        }
+        let exact_tracks: Vec<u64> = exact.points.iter().map(|p| p.tracks).collect();
+        let ann_tracks: Vec<u64> = ann1.points.iter().map(|p| p.tracks).collect();
+        if exact_tracks != ann_tracks {
+            return Err(fail(format!(
+                "ANN track counts {ann_tracks:?} != exact {exact_tracks:?}"
+            )));
+        }
+
+        // Re-running the exact sweep against the store that now also
+        // holds the index must reproduce the first artifact byte for
+        // byte — the sidecars are invisible to the exact path.
+        let again = scale_sweep(&exact_cfg, &exec::Executor::new(2))
+            .map_err(|e| fail(format!("exact re-sweep failed: {e}")))?;
+        if again.to_json() != exact.to_json() {
+            return Err(fail("exact-path JSON changed after the index was built".into()));
+        }
+
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+        Ok(format!(
+            "{} probes: ANN thread-invariant, {}/{} pairs rescored, recall@3 {:?}, exact artifact untouched",
+            ann1.probes, info.rows_scanned, info.rows_total, info.recall3
         ))
     }
 }

@@ -34,7 +34,7 @@ pub struct StageArtifact {
 }
 
 /// Every registered stage name, in pipeline order.
-pub const STAGE_NAMES: [&str; 11] = [
+pub const STAGE_NAMES: [&str; 12] = [
     "routegen.tracks",
     "gpx.bytes",
     "ingest.clean",
@@ -46,6 +46,7 @@ pub const STAGE_NAMES: [&str; 11] = [
     "serve.report",
     "ingest.stream",
     "corpus.shard",
+    "ann.sweep",
 ];
 
 /// The scale every conformance artifact is computed at: small enough
@@ -424,8 +425,168 @@ pub fn compute_stages(seed: u64) -> Vec<StageArtifact> {
         });
     }
 
+    // Stage 12: IVF probe matching over the quick-scale corpus, all in
+    // memory — codebook training, posting-list assignment, probe
+    // routing, and exact rescoring, digested next to the brute-force
+    // reference hits. The on-disk sidecar framing is pinned by
+    // annindex's own torn-write suite; this digest pins the *math*:
+    // any drift in centroid seeding, assignment tie-breaks, or the
+    // rescoring order breaks this golden.
+    {
+        let pop = conformance_population(seed);
+        let terrain = pop.terrain();
+
+        // Vocabulary fitted on shard 0 only — the same discipline the
+        // feature store uses, so grown corpora share the feature space.
+        let shard0 = pop.generate_shard(&terrain, 0);
+        let fit_profiles: Vec<Vec<f64>> = shard0
+            .athletes
+            .iter()
+            .flat_map(|a| a.activities.iter().map(Activity::elevation_profile))
+            .collect();
+        let pipeline = TextPipeline::fit(
+            Discretizer::Floor,
+            4,
+            FeatureSelection::standard(),
+            &fit_profiles,
+        );
+
+        let mut rows: Vec<featstore::RowBuf> = Vec::new();
+        let mut shard0_rows = 0usize;
+        for s in 0..pop.n_shards() {
+            let shard = pop.generate_shard(&terrain, s);
+            for a in &shard.athletes {
+                for (ai, act) in a.activities.iter().enumerate() {
+                    let f = pipeline.transform_sparse(&act.elevation_profile());
+                    rows.push(featstore::RowBuf {
+                        athlete: a.habits.id,
+                        city: a.habits.city_index as u32,
+                        activity: ai as u32,
+                        indices: f.indices().to_vec(),
+                        values: f.values().to_vec(),
+                    });
+                }
+            }
+            if s == 0 {
+                shard0_rows = rows.len();
+            }
+        }
+
+        let (k, nprobe) = (16usize, 4usize);
+        let codebook = annindex::Codebook::train(
+            &rows[..shard0_rows],
+            pipeline.n_features(),
+            k,
+            seed,
+            &exec::Executor::from_env(),
+        );
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); codebook.k()];
+        let norms: Vec<f32> = rows.iter().map(|r| annindex::l2(&r.values)).collect();
+        for (ri, r) in rows.iter().enumerate() {
+            lists[codebook.assign(&r.indices, &r.values) as usize].push(ri);
+        }
+
+        let mut d = Digest::new();
+        d.usize(rows.len()).usize(codebook.k()).usize(nprobe).usize(pipeline.n_features());
+        for list in &lists {
+            d.usize(list.len());
+        }
+
+        let n_probes = 8u64;
+        let (mut recall_sum, mut rescored) = (0.0f64, 0usize);
+        for id in 0..n_probes {
+            let habits = pop.habits(id);
+            let mut acts = pop.athlete_activities(&terrain, id, habits.weekly_cadence + 1);
+            let probe = acts.pop().expect("cadence + 1 activities");
+            let f = pipeline.transform_sparse(&probe.elevation_profile());
+            let p_norm = annindex::l2(f.values());
+
+            let score =
+                |r: &featstore::RowBuf, rn: f32| {
+                    let dot = sparsemat::dot_sorted(f.indices(), f.values(), &r.indices, &r.values);
+                    if dot > 0.0 && rn > 0.0 {
+                        Some(dot / (p_norm * rn))
+                    } else {
+                        None
+                    }
+                };
+            let selected = codebook.top_centroids(f.indices(), f.values(), nprobe);
+            let mut ann_top: Vec<(f32, u64)> = Vec::new();
+            for &c in &selected {
+                for &ri in &lists[c as usize] {
+                    rescored += 1;
+                    if let Some(s) = score(&rows[ri], norms[ri]) {
+                        push_top3(&mut ann_top, s, rows[ri].athlete);
+                    }
+                }
+            }
+            let mut exact_top: Vec<(f32, u64)> = Vec::new();
+            for (ri, r) in rows.iter().enumerate() {
+                if let Some(s) = score(r, norms[ri]) {
+                    push_top3(&mut exact_top, s, r.athlete);
+                }
+            }
+            recall_sum += if exact_top.is_empty() {
+                1.0
+            } else {
+                let kept = exact_top
+                    .iter()
+                    .filter(|(_, a)| ann_top.iter().any(|(_, b)| a == b))
+                    .count();
+                kept as f64 / exact_top.len() as f64
+            };
+
+            d.u64(id);
+            for &c in &selected {
+                d.usize(c as usize);
+            }
+            for top in [&ann_top, &exact_top] {
+                d.usize(top.len());
+                for (s, a) in top.iter() {
+                    d.f32s(&[*s]).u64(*a);
+                }
+            }
+        }
+        let recall = recall_sum / n_probes as f64;
+        d.f64(recall);
+        out.push(StageArtifact {
+            name: "ann.sweep",
+            digest: d.finish(),
+            summary: format!(
+                "{n_probes} probes x k={k}/nprobe={nprobe} over {} rows: recall@3 {recall:.4}, {rescored} of {} pairs rescored",
+                rows.len(),
+                rows.len() * n_probes as usize
+            ),
+        });
+    }
+
     debug_assert_eq!(out.len(), STAGE_NAMES.len());
     out
+}
+
+/// Inserts into a top-3 list of distinct athletes ordered by score
+/// desc then athlete asc — the matcher's hit discipline.
+fn push_top3(top: &mut Vec<(f32, u64)>, score: f32, athlete: u64) {
+    let before = |a: &(f32, u64), b: &(f32, u64)| match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    };
+    if let Some(existing) = top.iter_mut().find(|e| e.1 == athlete) {
+        if before(&(score, athlete), existing) {
+            *existing = (score, athlete);
+        }
+    } else {
+        top.push((score, athlete));
+    }
+    top.sort_by(|a, b| {
+        if before(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    top.truncate(3);
 }
 
 /// The quick-scale population the `corpus.shard` stage and the

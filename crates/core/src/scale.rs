@@ -31,12 +31,13 @@
 //! are pure, per-shard partials are merged in shard order, and ties
 //! break on `(score, athlete)` with total ordering.
 
+use annindex::AnnIndex;
 use exec::Executor;
 use featstore::{
     FeatureStore, RowBuf, ShardEntry, ShardWriter, StoreError, StoreManifest, MANIFEST,
 };
 use routegen::PopulationConfig;
-use sparsemat::SparseVec;
+use sparsemat::{dot_sorted, SparseVec};
 use std::path::{Path, PathBuf};
 use textrep::{Discretizer, FeatureSelection};
 
@@ -50,6 +51,22 @@ pub const SCALE_NGRAM: usize = 4;
 /// Domain separator mixed into the store fingerprint for the
 /// featurization config.
 const FEAT_DOMAIN: u64 = 0xFEA7_5702;
+
+/// IVF matching knobs (the sweep runs the exact brute-force scan when
+/// these are absent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnSettings {
+    /// Centroids trained on shard-0 rows (`ELEV_ANN_CENTROIDS`).
+    pub centroids: usize,
+    /// Posting lists scanned per probe (`ELEV_ANN_NPROBE`).
+    pub nprobe: usize,
+}
+
+impl Default for AnnSettings {
+    fn default() -> Self {
+        Self { centroids: 64, nprobe: 8 }
+    }
+}
 
 /// Configuration of a scale sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +82,9 @@ pub struct ScaleConfig {
     pub probes_per_city: usize,
     /// Feature-store directory.
     pub store_dir: PathBuf,
+    /// `Some` switches matching to the IVF index (with recall@3
+    /// accounting against the exact scan); `None` is the exact path.
+    pub ann: Option<AnnSettings>,
 }
 
 impl ScaleConfig {
@@ -77,12 +97,16 @@ impl ScaleConfig {
             pop_sizes: population_ladder(athletes),
             probes_per_city: 8,
             store_dir: PathBuf::from("target/featstore"),
+            ann: None,
         }
     }
 
     /// Reads the scale knobs: `ELEV_POP_SIZE` (total athletes, default
     /// 10 000), `ELEV_SHARD_SIZE` (athletes per shard, default 1024),
-    /// `ELEV_STORE_DIR` (store path, default `target/featstore`).
+    /// `ELEV_STORE_DIR` (store path, default `target/featstore`),
+    /// `ELEV_ANN` (`1` switches matching to the IVF index),
+    /// `ELEV_ANN_CENTROIDS` / `ELEV_ANN_NPROBE` (index shape,
+    /// defaults 64 / 8).
     pub fn from_env(seed: u64) -> Self {
         let athletes = exec::env_budget("ELEV_POP_SIZE", || 10_000);
         let shard_size = exec::env_budget("ELEV_SHARD_SIZE", || 1_024);
@@ -93,14 +117,28 @@ impl ScaleConfig {
                 cfg.store_dir = PathBuf::from(dir);
             }
         }
+        let ann_on = std::env::var("ELEV_ANN")
+            .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
+            .unwrap_or(false);
+        if ann_on {
+            let defaults = AnnSettings::default();
+            cfg.ann = Some(AnnSettings {
+                centroids: exec::env_budget("ELEV_ANN_CENTROIDS", || defaults.centroids),
+                nprobe: exec::env_budget("ELEV_ANN_NPROBE", || defaults.nprobe),
+            });
+        }
         cfg
     }
 
     /// The store fingerprint: population config plus featurization
     /// config, so a store built for a different corpus or vocabulary
-    /// is never silently reused.
+    /// is never silently reused. Built on the population's *prefix*
+    /// fingerprint — the athlete count is deliberately excluded, so a
+    /// grown population appends shards to its store instead of
+    /// rebuilding it (the manifest's own `athletes` field guards the
+    /// size).
     pub fn store_fingerprint(&self) -> u64 {
-        exec::mix_seed(self.population.fingerprint() ^ FEAT_DOMAIN, SCALE_NGRAM as u64)
+        exec::mix_seed(self.population.prefix_fingerprint() ^ FEAT_DOMAIN, SCALE_NGRAM as u64)
     }
 }
 
@@ -144,7 +182,7 @@ fn fit_pipeline(pop: &PopulationConfig) -> crate::featcache::SharedPipeline {
 }
 
 /// Outcome of [`build_store`]: shape of the published store and
-/// whether an existing build was reused.
+/// whether an existing build was reused or grown.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreBuildReport {
     /// Feature-space width.
@@ -157,11 +195,61 @@ pub struct StoreBuildReport {
     pub bytes: u64,
     /// `true` when a matching published store was reused as-is.
     pub reused: bool,
+    /// Shards appended to an existing store (0 on reuse or rebuild).
+    pub appended: usize,
+}
+
+/// Featurizes one population shard through `pipeline` into a shard
+/// writer, returning its publish metadata.
+fn featurize_shard(
+    cfg: &ScaleConfig,
+    pipeline: &crate::featcache::SharedPipeline,
+    terrain: &terrain::SyntheticTerrain,
+    n_cols: usize,
+    fingerprint: u64,
+    s: usize,
+) -> Result<featstore::ShardMeta, StoreError> {
+    let shard = cfg.population.generate_shard(terrain, s);
+    let mut w = ShardWriter::create(&cfg.store_dir, s, n_cols as u64, fingerprint)?;
+    for athlete in &shard.athletes {
+        for (ai, act) in athlete.activities.iter().enumerate() {
+            let sv = pipeline.pipeline().transform_sparse(&act.elevation_profile());
+            w.append_row(
+                athlete.habits.id,
+                athlete.habits.city_index as u32,
+                ai as u32,
+                sv.indices(),
+                sv.values(),
+            )?;
+        }
+    }
+    w.finish()
+}
+
+fn store_report(m: &StoreManifest, dir: &Path, reused: bool, appended: usize) -> StoreBuildReport {
+    StoreBuildReport {
+        n_cols: m.n_cols as usize,
+        rows: m.shards.iter().map(|s| s.rows).sum(),
+        shards: m.shards.len(),
+        bytes: m
+            .shards
+            .iter()
+            .filter_map(|s| std::fs::metadata(dir.join(&s.file)).ok())
+            .map(|md| md.len())
+            .sum(),
+        reused,
+        appended,
+    }
 }
 
 /// Featurizes the population shard-parallel into `cfg.store_dir`,
 /// computing each shard once: a published store whose manifest matches
-/// the config fingerprint is reused without touching the corpus.
+/// the config fingerprint is reused as-is when the athlete count
+/// matches, and **grown in place** when the population is a larger
+/// extension of it — only the new shards are generated and
+/// featurized (the vocabulary is fitted on shard 0, which appends
+/// never touch), and the manifest generation bumps via the
+/// crash-safe append path.
 ///
 /// # Errors
 ///
@@ -169,25 +257,38 @@ pub struct StoreBuildReport {
 pub fn build_store(cfg: &ScaleConfig, exec: &Executor) -> Result<StoreBuildReport, StoreError> {
     let pop = &cfg.population;
     let fingerprint = cfg.store_fingerprint();
-    if let Ok(store) = FeatureStore::open(&cfg.store_dir) {
-        let m = store.manifest();
-        if m.config == fingerprint
-            && m.athletes == pop.athletes as u64
-            && m.shard_size == pop.shard_size as u64
+    if let Ok(mut store) = FeatureStore::open(&cfg.store_dir) {
+        let m = store.manifest().clone();
+        let compatible = m.config == fingerprint && m.shard_size == pop.shard_size as u64;
+        if compatible && m.athletes == pop.athletes as u64 {
+            return Ok(store_report(&m, &cfg.store_dir, true, 0));
+        }
+        // Grow in place: the published store must be a whole-shard
+        // prefix of the target population (a partial last shard would
+        // have to be rewritten, which the append path refuses).
+        if compatible
+            && m.athletes < pop.athletes as u64
+            && m.athletes % m.shard_size == 0
+            && m.shards.len() * pop.shard_size == m.athletes as usize
         {
-            let bytes = m
-                .shards
-                .iter()
-                .filter_map(|s| std::fs::metadata(cfg.store_dir.join(&s.file)).ok())
-                .map(|md| md.len())
-                .sum();
-            return Ok(StoreBuildReport {
-                n_cols: m.n_cols as usize,
-                rows: store.rows(),
-                shards: m.shards.len(),
-                bytes,
-                reused: true,
-            });
+            let pipeline = fit_pipeline(pop);
+            let n_cols = pipeline.pipeline().n_features();
+            if n_cols as u64 == m.n_cols {
+                let terrain = pop.terrain();
+                let new_ids: Vec<usize> = (m.shards.len()..pop.n_shards()).collect();
+                let metas = exec.map(&new_ids, |_, &s| {
+                    featurize_shard(cfg, &pipeline, &terrain, n_cols, fingerprint, s)
+                });
+                let metas: Vec<featstore::ShardMeta> =
+                    metas.into_iter().collect::<Result<_, _>>()?;
+                store.append_shards(fingerprint, pop.athletes as u64, &metas)?;
+                return Ok(store_report(
+                    store.manifest(),
+                    &cfg.store_dir,
+                    false,
+                    metas.len(),
+                ));
+            }
         }
     }
     std::fs::create_dir_all(&cfg.store_dir).map_err(|e| StoreError::Io(e.to_string()))?;
@@ -196,22 +297,8 @@ pub fn build_store(cfg: &ScaleConfig, exec: &Executor) -> Result<StoreBuildRepor
     let n_cols = pipeline.pipeline().n_features();
     let terrain = pop.terrain();
     let shard_ids: Vec<usize> = (0..pop.n_shards()).collect();
-    let metas = exec.map(&shard_ids, |_, &s| -> Result<featstore::ShardMeta, StoreError> {
-        let shard = pop.generate_shard(&terrain, s);
-        let mut w = ShardWriter::create(&cfg.store_dir, s, n_cols as u64, fingerprint)?;
-        for athlete in &shard.athletes {
-            for (ai, act) in athlete.activities.iter().enumerate() {
-                let sv = pipeline.pipeline().transform_sparse(&act.elevation_profile());
-                w.append_row(
-                    athlete.habits.id,
-                    athlete.habits.city_index as u32,
-                    ai as u32,
-                    sv.indices(),
-                    sv.values(),
-                )?;
-            }
-        }
-        w.finish()
+    let metas = exec.map(&shard_ids, |_, &s| {
+        featurize_shard(cfg, &pipeline, &terrain, n_cols, fingerprint, s)
     });
     let metas: Vec<featstore::ShardMeta> = metas.into_iter().collect::<Result<_, _>>()?;
 
@@ -220,6 +307,7 @@ pub fn build_store(cfg: &ScaleConfig, exec: &Executor) -> Result<StoreBuildRepor
         n_cols: n_cols as u64,
         shard_size: pop.shard_size as u64,
         athletes: pop.athletes as u64,
+        generation: 1,
         shards: metas
             .iter()
             .enumerate()
@@ -233,6 +321,7 @@ pub fn build_store(cfg: &ScaleConfig, exec: &Executor) -> Result<StoreBuildRepor
         shards: metas.len(),
         bytes: metas.iter().map(|m| m.bytes).sum(),
         reused: false,
+        appended: 0,
     })
 }
 
@@ -276,25 +365,62 @@ fn push_topk(top: &mut Vec<Hit>, hit: Hit, k: usize) {
     top.truncate(k);
 }
 
-/// Merge-join dot product of two sorted sparse vectors.
-fn sparse_dot(a_idx: &[u32], a_val: &[f32], b_idx: &[u32], b_val: &[f32]) -> f32 {
-    let (mut i, mut j, mut acc) = (0usize, 0usize, 0f32);
-    while i < a_idx.len() && j < b_idx.len() {
-        match a_idx[i].cmp(&b_idx[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                acc += a_val[i] * b_val[j];
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    acc
-}
-
 fn l2(values: &[f32]) -> f32 {
     values.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Width of the vocabulary-overlap bloom signature, in 64-bit words.
+const BLOOM_WORDS: usize = 8;
+
+/// A probe's overlap signature: feature-index range plus a 512-bit
+/// bloom over its indices. A row whose signature shares no range and
+/// no bloom bit with a probe provably has zero vocabulary overlap, so
+/// its dot product is exactly zero — which the scan discards anyway.
+/// The prefilter therefore only skips work, never changes output.
+struct OverlapSig {
+    first: u32,
+    last: u32,
+    bloom: [u64; BLOOM_WORDS],
+}
+
+impl OverlapSig {
+    fn new(indices: &[u32]) -> Self {
+        let mut bloom = [0u64; BLOOM_WORDS];
+        for &i in indices {
+            bloom[(i as usize >> 6) % BLOOM_WORDS] |= 1u64 << (i & 63);
+        }
+        Self {
+            first: indices.first().copied().unwrap_or(u32::MAX),
+            last: indices.last().copied().unwrap_or(0),
+            bloom,
+        }
+    }
+
+    fn may_overlap(&self, other: &Self) -> bool {
+        if self.first > other.last || other.first > self.last {
+            return false;
+        }
+        self.bloom.iter().zip(&other.bloom).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// First population-size index that includes `athlete`
+/// (`sizes.len()` when none does) — the branchless replacement for
+/// the linear `position` probe the scan used to run per row.
+fn first_size_index(sizes: &[usize], athlete: u64) -> usize {
+    sizes.partition_point(|&s| s as u64 <= athlete)
+}
+
+/// Folds per-bucket row counts into cumulative per-size track counts
+/// (a row first counted at size `i` is present at every size `>= i`).
+fn cumulative_tracks(buckets: &[u64]) -> Vec<u64> {
+    buckets
+        .iter()
+        .scan(0u64, |acc, &b| {
+            *acc += b;
+            Some(*acc)
+        })
+        .collect()
 }
 
 /// One accuracy point of the sweep.
@@ -312,6 +438,24 @@ pub struct ScalePoint {
     pub tm3_top1: f64,
 }
 
+/// IVF accounting attached to an ANN-mode sweep: how much of the scan
+/// was avoided, and what that cost in recall against the exact path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnInfo {
+    /// Centroids requested (`ELEV_ANN_CENTROIDS`).
+    pub centroids: usize,
+    /// Posting lists scanned per probe (`ELEV_ANN_NPROBE`).
+    pub nprobe: usize,
+    /// Candidate `(probe, row)` pairs the IVF scan rescored.
+    pub rows_scanned: u64,
+    /// Pairs the exact scan would have considered
+    /// (`probes x candidate rows` at the largest size).
+    pub rows_total: u64,
+    /// Per-point recall@3 of the ANN hit lists against the exact
+    /// scan's, aligned with `points`.
+    pub recall3: Vec<f64>,
+}
+
 /// The full sweep result (one JSON artifact).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleReport {
@@ -327,6 +471,9 @@ pub struct ScaleReport {
     pub probes: usize,
     /// One point per population size, ascending.
     pub points: Vec<ScalePoint>,
+    /// IVF accounting — `None` in exact mode, whose JSON rendering is
+    /// byte-identical to builds that predate the index.
+    pub ann: Option<AnnInfo>,
 }
 
 impl ScaleReport {
@@ -349,7 +496,22 @@ impl ScaleReport {
                 p.athletes, p.tracks, p.tm1_top1, p.tm1_top3, p.tm3_top1
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(ann) = &self.ann {
+            out.push_str(&format!(
+                ", \"ann\": {{\"centroids\": {}, \"nprobe\": {}, \"rows_scanned\": {}, \
+                 \"rows_total\": {}, \"recall3\": [",
+                ann.centroids, ann.nprobe, ann.rows_scanned, ann.rows_total
+            ));
+            for (i, r) in ann.recall3.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{r:.6}"));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
         out
     }
 }
@@ -387,33 +549,43 @@ fn build_probes(cfg: &ScaleConfig, pipeline: &crate::featcache::SharedPipeline) 
 /// Per-probe, per-population-size top-3 hit lists.
 type TopHits = Vec<Vec<Vec<Hit>>>;
 
-/// Scans one shard: for every probe and every population size, the
-/// top-3 distinct-athlete hits among the shard's rows with
+/// Scans one shard exactly: for every probe and every population
+/// size, the top-3 distinct-athlete hits among the shard's rows with
 /// `athlete < size`, plus the shard's per-size row counts.
+///
+/// Two pruning steps keep the inner loop cheap without changing a
+/// single output bit: the size bucket is a binary search folded into
+/// a cumulative counter (instead of a linear probe per row), and the
+/// [`OverlapSig`] prefilter skips probes that provably share no
+/// vocabulary with the row (their dot is exactly zero, which the
+/// `dot <= 0` gate discarded anyway).
 fn scan_shard(
     store: &FeatureStore,
     shard: usize,
     probes: &[Probe],
+    sigs: &[OverlapSig],
     sizes: &[usize],
     row: &mut RowBuf,
 ) -> Result<(TopHits, Vec<u64>), StoreError> {
     let mut top: TopHits = vec![vec![Vec::with_capacity(4); sizes.len()]; probes.len()];
-    let mut tracks = vec![0u64; sizes.len()];
+    let mut buckets = vec![0u64; sizes.len()];
     let mut reader = store.reader(shard)?;
     while reader.next_row(row)? {
-        let first_size = match sizes.iter().position(|&s| row.athlete < s as u64) {
-            Some(i) => i,
-            None => continue,
-        };
-        for t in &mut tracks[first_size..] {
-            *t += 1;
+        let first_size = first_size_index(sizes, row.athlete);
+        if first_size == sizes.len() {
+            continue;
         }
+        buckets[first_size] += 1;
         let row_norm = l2(&row.values);
         if row_norm == 0.0 {
             continue;
         }
+        let row_sig = OverlapSig::new(&row.indices);
         for (pi, probe) in probes.iter().enumerate() {
-            let dot = sparse_dot(
+            if !sigs[pi].may_overlap(&row_sig) {
+                continue;
+            }
+            let dot = dot_sorted(
                 probe.features.indices(),
                 probe.features.values(),
                 &row.indices,
@@ -429,7 +601,79 @@ fn scan_shard(
             }
         }
     }
-    Ok((top, tracks))
+    Ok((top, cumulative_tracks(&buckets)))
+}
+
+/// Scans one shard through the IVF index: for every probe, only the
+/// rows in the probe's `nprobe` closest posting lists are rescored
+/// with the exact dot product. Track counts still come from *all*
+/// posting entries (every row lands in exactly one list), so they are
+/// identical to the exact scan's. Returns the candidate `(probe,
+/// row)` pairs rescored, the sublinearity evidence.
+fn scan_shard_ann(
+    store: &FeatureStore,
+    index: &AnnIndex,
+    shard: usize,
+    probes: &[Probe],
+    probe_lists: &[Vec<u32>],
+    sizes: &[usize],
+    row: &mut RowBuf,
+) -> Result<(TopHits, Vec<u64>, u64), StoreError> {
+    let mut top: TopHits = vec![vec![Vec::with_capacity(4); sizes.len()]; probes.len()];
+    let mut buckets = vec![0u64; sizes.len()];
+    let lists = index.postings(shard)?;
+
+    // Invert probe -> centroid selections so each candidate row is
+    // read once and rescored only against interested probes.
+    let mut interested: Vec<Vec<u32>> = vec![Vec::new(); lists.len()];
+    for (pi, tops) in probe_lists.iter().enumerate() {
+        for &c in tops {
+            interested[c as usize].push(pi as u32);
+        }
+    }
+
+    for list in &lists {
+        for e in list {
+            let first_size = first_size_index(sizes, e.athlete);
+            if first_size < sizes.len() {
+                buckets[first_size] += 1;
+            }
+        }
+    }
+
+    let mut reader = store.reader(shard)?;
+    let mut scanned = 0u64;
+    for (c, list) in lists.iter().enumerate() {
+        if interested[c].is_empty() {
+            continue;
+        }
+        for e in list {
+            let first_size = first_size_index(sizes, e.athlete);
+            if first_size == sizes.len() || e.norm == 0.0 {
+                continue;
+            }
+            reader.read_row_at(e.offset, row)?;
+            for &pi in &interested[c] {
+                scanned += 1;
+                let probe = &probes[pi as usize];
+                let dot = dot_sorted(
+                    probe.features.indices(),
+                    probe.features.values(),
+                    &row.indices,
+                    &row.values,
+                );
+                if dot <= 0.0 {
+                    continue;
+                }
+                let hit =
+                    Hit { score: dot / (probe.norm * e.norm), athlete: e.athlete, city: e.city };
+                for per_size in top[pi as usize].iter_mut().skip(first_size) {
+                    push_topk(per_size, hit, 3);
+                }
+            }
+        }
+    }
+    Ok((top, cumulative_tracks(&buckets), scanned))
 }
 
 /// Runs the accuracy-vs-population sweep, shard-parallel, streaming
@@ -451,30 +695,81 @@ pub fn scale_sweep(cfg: &ScaleConfig, exec: &Executor) -> Result<ScaleReport, St
     let probes = build_probes(cfg, &pipeline);
     let sizes = &cfg.pop_sizes;
 
+    let sigs: Vec<OverlapSig> =
+        probes.iter().map(|p| OverlapSig::new(p.features.indices())).collect();
+
     let shard_ids: Vec<usize> = (0..store.manifest().shards.len()).collect();
     let partials = exec.map_with(
         &shard_ids,
         RowBuf::default,
-        |row, _, &s| scan_shard(&store, s, &probes, sizes, row),
+        |row, _, &s| scan_shard(&store, s, &probes, &sigs, sizes, row),
     );
+    let (exact_top, tracks) = merge_partials(partials, probes.len(), sizes.len())?;
 
-    // Merge per-shard partials in shard order (deterministic at any
-    // thread count: the partials vector is indexed by shard).
-    let mut merged: TopHits = vec![vec![Vec::with_capacity(4); sizes.len()]; probes.len()];
-    let mut tracks = vec![0u64; sizes.len()];
-    for partial in partials {
-        let (top, shard_tracks) = partial?;
-        for (si, t) in shard_tracks.iter().enumerate() {
-            tracks[si] += t;
+    // ANN mode scans through the IVF index and keeps the exact pass
+    // above as the recall reference; exact mode reports it directly.
+    let (merged, ann) = match cfg.ann {
+        None => (exact_top, None),
+        Some(settings) => {
+            let (index, _) =
+                AnnIndex::ensure(&store, settings.centroids, cfg.population.seed, exec)?;
+            let probe_lists: Vec<Vec<u32>> = probes
+                .iter()
+                .map(|p| {
+                    index.codebook().top_centroids(
+                        p.features.indices(),
+                        p.features.values(),
+                        settings.nprobe,
+                    )
+                })
+                .collect();
+            let ann_partials = exec.map_with(
+                &shard_ids,
+                RowBuf::default,
+                |row, _, &s| scan_shard_ann(&store, &index, s, &probes, &probe_lists, sizes, row),
+            );
+            let mut rows_scanned = 0u64;
+            let plain = ann_partials
+                .into_iter()
+                .map(|p| {
+                    p.map(|(top, shard_tracks, scanned)| {
+                        rows_scanned += scanned;
+                        (top, shard_tracks)
+                    })
+                })
+                .collect();
+            let (ann_top, ann_tracks) = merge_partials(plain, probes.len(), sizes.len())?;
+            debug_assert_eq!(ann_tracks, tracks, "posting lists must cover every row");
+            let recall3 = (0..sizes.len())
+                .map(|si| {
+                    let sum: f64 = (0..probes.len())
+                        .map(|pi| {
+                            let exact = &exact_top[pi][si];
+                            if exact.is_empty() {
+                                return 1.0;
+                            }
+                            let kept = exact
+                                .iter()
+                                .filter(|h| {
+                                    ann_top[pi][si].iter().any(|a| a.athlete == h.athlete)
+                                })
+                                .count();
+                            kept as f64 / exact.len() as f64
+                        })
+                        .sum();
+                    sum / probes.len().max(1) as f64
+                })
+                .collect();
+            let info = AnnInfo {
+                centroids: settings.centroids,
+                nprobe: settings.nprobe,
+                rows_scanned,
+                rows_total: probes.len() as u64 * tracks.last().copied().unwrap_or(0),
+                recall3,
+            };
+            (ann_top, Some(info))
         }
-        for (pi, per_probe) in top.into_iter().enumerate() {
-            for (si, hits) in per_probe.into_iter().enumerate() {
-                for h in hits {
-                    push_topk(&mut merged[pi][si], h, 3);
-                }
-            }
-        }
-    }
+    };
 
     let points = sizes
         .iter()
@@ -511,7 +806,33 @@ pub fn scale_sweep(cfg: &ScaleConfig, exec: &Executor) -> Result<ScaleReport, St
         store_rows: build.rows,
         probes: probes.len(),
         points,
+        ann,
     })
+}
+
+/// Merges per-shard scan partials in shard index order, giving the
+/// same hit lists and track counts at any thread count.
+fn merge_partials(
+    partials: Vec<Result<(TopHits, Vec<u64>), StoreError>>,
+    n_probes: usize,
+    n_sizes: usize,
+) -> Result<(TopHits, Vec<u64>), StoreError> {
+    let mut merged: TopHits = vec![vec![Vec::with_capacity(4); n_sizes]; n_probes];
+    let mut tracks = vec![0u64; n_sizes];
+    for partial in partials {
+        let (top, shard_tracks) = partial?;
+        for (si, t) in shard_tracks.iter().enumerate() {
+            tracks[si] += t;
+        }
+        for (pi, per_probe) in top.into_iter().enumerate() {
+            for (si, hits) in per_probe.into_iter().enumerate() {
+                for h in hits {
+                    push_topk(&mut merged[pi][si], h, 3);
+                }
+            }
+        }
+    }
+    Ok((merged, tracks))
 }
 
 /// Regenerates every population shard and returns its fingerprint —
@@ -658,5 +979,185 @@ mod tests {
         assert!(dir.join("data.txt").exists(), "foreign data must survive");
         let _ = std::fs::remove_dir_all(&dir);
         assert!(remove_store(&dir).is_ok(), "missing dir is a no-op");
+    }
+
+    /// The scan as it existed before the prefilters: linear size probe
+    /// per row, per-size track increments, no overlap signature. The
+    /// optimized scan must reproduce it bit for bit.
+    fn naive_scan(
+        store: &FeatureStore,
+        shard: usize,
+        probes: &[Probe],
+        sizes: &[usize],
+    ) -> (TopHits, Vec<u64>) {
+        let mut top: TopHits = vec![vec![Vec::new(); sizes.len()]; probes.len()];
+        let mut tracks = vec![0u64; sizes.len()];
+        let mut reader = store.reader(shard).expect("reader");
+        let mut row = RowBuf::default();
+        while reader.next_row(&mut row).expect("row") {
+            let Some(first_size) = sizes.iter().position(|&s| row.athlete < s as u64) else {
+                continue;
+            };
+            for t in tracks.iter_mut().skip(first_size) {
+                *t += 1;
+            }
+            let row_norm = l2(&row.values);
+            if row_norm == 0.0 {
+                continue;
+            }
+            for (pi, probe) in probes.iter().enumerate() {
+                let dot = dot_sorted(
+                    probe.features.indices(),
+                    probe.features.values(),
+                    &row.indices,
+                    &row.values,
+                );
+                if dot <= 0.0 {
+                    continue;
+                }
+                let hit = Hit {
+                    score: dot / (probe.norm * row_norm),
+                    athlete: row.athlete,
+                    city: row.city,
+                };
+                for per_size in top[pi].iter_mut().skip(first_size) {
+                    push_topk(per_size, hit, 3);
+                }
+            }
+        }
+        (top, tracks)
+    }
+
+    fn flatten(top: &TopHits) -> Vec<(u32, u64, u32)> {
+        top.iter().flatten().flatten().map(|h| (h.score.to_bits(), h.athlete, h.city)).collect()
+    }
+
+    #[test]
+    fn pruned_scan_matches_naive_reference() {
+        let cfg = tiny_cfg("naive", 24);
+        let exec = Executor::new(2);
+        build_store(&cfg, &exec).expect("build");
+        let store = FeatureStore::open(&cfg.store_dir).expect("open");
+        let pipeline = fit_pipeline(&cfg.population);
+        let probes = build_probes(&cfg, &pipeline);
+        assert!(!probes.is_empty(), "need probes for the comparison to mean anything");
+        let sigs: Vec<OverlapSig> =
+            probes.iter().map(|p| OverlapSig::new(p.features.indices())).collect();
+        let mut row = RowBuf::default();
+        for s in 0..store.manifest().shards.len() {
+            let (top, tracks) =
+                scan_shard(&store, s, &probes, &sigs, &cfg.pop_sizes, &mut row).expect("scan");
+            let (naive_top, naive_tracks) = naive_scan(&store, s, &probes, &cfg.pop_sizes);
+            assert_eq!(tracks, naive_tracks, "shard {s} track counts diverged");
+            assert_eq!(flatten(&top), flatten(&naive_top), "shard {s} hits diverged");
+        }
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn ann_sweep_is_thread_invariant_and_tracks_match_exact() {
+        let mut cfg = tiny_cfg("annsweep", 24);
+        cfg.ann = Some(AnnSettings { centroids: 8, nprobe: 3 });
+        let base = scale_sweep(&cfg, &Executor::new(1)).expect("sweep t1");
+        let wide = scale_sweep(&cfg, &Executor::new(4)).expect("sweep t4");
+        assert_eq!(base, wide, "ANN sweep must be bit-identical at any thread count");
+
+        let ann = base.ann.as_ref().expect("ANN accounting present");
+        assert_eq!((ann.centroids, ann.nprobe), (8, 3));
+        assert!(ann.rows_scanned <= ann.rows_total);
+        assert_eq!(ann.recall3.len(), base.points.len());
+        assert!(ann.recall3.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert!(base.to_json().contains("\"ann\": {"));
+
+        // Exact mode over the same store: identical track counts, and
+        // a JSON rendering with no ANN section at all (byte-compatible
+        // with builds that predate the index).
+        let mut exact_cfg = cfg.clone();
+        exact_cfg.ann = None;
+        let exact = scale_sweep(&exact_cfg, &Executor::new(2)).expect("exact sweep");
+        assert!(exact.ann.is_none());
+        assert!(!exact.to_json().contains("\"ann\""));
+        let ann_tracks: Vec<u64> = base.points.iter().map(|p| p.tracks).collect();
+        let exact_tracks: Vec<u64> = exact.points.iter().map(|p| p.tracks).collect();
+        assert_eq!(ann_tracks, exact_tracks, "posting lists must cover every row");
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn ann_recall_meets_floor_at_thousand_athletes() {
+        let mut cfg = ScaleConfig::new(1000, 99);
+        cfg.population.shard_size = 128;
+        cfg.pop_sizes = vec![300, 1000];
+        cfg.probes_per_city = 2;
+        cfg.store_dir =
+            std::env::temp_dir().join(format!("elev-scale-recall-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+        cfg.ann = Some(AnnSettings::default());
+
+        let report = scale_sweep(&cfg, &Executor::new(4)).expect("sweep");
+        let ann = report.ann.expect("ANN accounting present");
+        for (p, r) in report.points.iter().zip(&ann.recall3) {
+            assert!(*r >= 0.95, "recall@3 {:.3} at pool {} below floor", r, p.athletes);
+        }
+        assert!(
+            ann.rows_scanned * 2 < ann.rows_total,
+            "IVF scan rescored {}/{} pairs — not sublinear",
+            ann.rows_scanned,
+            ann.rows_total
+        );
+        let _ = std::fs::remove_dir_all(&cfg.store_dir);
+    }
+
+    #[test]
+    fn grown_store_matches_fresh_build_bit_for_bit() {
+        let exec = Executor::new(2);
+        let mut small = tiny_cfg("grow", 16);
+        small.ann = Some(AnnSettings { centroids: 8, nprobe: 3 });
+        scale_sweep(&small, &exec).expect("small sweep");
+
+        // Doubling the population appends shards in place (generation
+        // bump) instead of refitting and rewriting everything.
+        let mut grown = small.clone();
+        grown.population.athletes = 32;
+        grown.pop_sizes = vec![16, 32];
+        let build = build_store(&grown, &exec).expect("grow");
+        assert!(!build.reused);
+        assert_eq!(build.appended, 2, "two new shards appended");
+        assert_eq!(build.shards, 4);
+        let store = FeatureStore::open(&grown.store_dir).expect("open grown");
+        assert_eq!(store.manifest().generation, 2);
+        let grown_report = scale_sweep(&grown, &exec).expect("grown sweep");
+
+        // A from-scratch build of the same population must agree.
+        let mut fresh = grown.clone();
+        fresh.store_dir =
+            std::env::temp_dir().join(format!("elev-scale-grow-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&fresh.store_dir);
+        let fresh_report = scale_sweep(&fresh, &exec).expect("fresh sweep");
+        assert_eq!(grown_report, fresh_report, "grown and fresh sweeps diverged");
+
+        // Beyond report equality: every shard payload and every ANN
+        // sidecar (codebook included) is byte-identical; only the two
+        // manifests differ, by generation.
+        let fresh_store = FeatureStore::open(&fresh.store_dir).expect("open fresh");
+        assert_eq!(fresh_store.manifest().generation, 1);
+        let mut files: Vec<String> =
+            store.manifest().shards.iter().map(|s| s.file.clone()).collect();
+        for s in 0..store.manifest().shards.len() {
+            files.push(annindex::ann_shard_file_name(s));
+        }
+        files.push("codebook.ann".to_string());
+        for name in files {
+            let a = std::fs::read(grown.store_dir.join(&name)).expect("grown file");
+            let b = std::fs::read(fresh.store_dir.join(&name)).expect("fresh file");
+            assert_eq!(a, b, "{name} diverged between grown and fresh builds");
+        }
+
+        // Re-running against the grown store is a pure reuse.
+        let again = build_store(&grown, &exec).expect("reuse");
+        assert!(again.reused);
+        assert_eq!(again.appended, 0);
+        let _ = std::fs::remove_dir_all(&grown.store_dir);
+        let _ = std::fs::remove_dir_all(&fresh.store_dir);
     }
 }

@@ -71,7 +71,10 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn fnv1a64_continue(mut h: u64, bytes: &[u8]) -> u64 {
+/// Continues an FNV-1a-64 stream from state `h` — the running
+/// whole-file checksum the framed containers (shards and the IVF
+/// sidecars) maintain record by record.
+pub fn fnv1a64_continue(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -154,6 +157,35 @@ fn io_err(e: std::io::Error) -> StoreError {
 /// Canonical file name of shard `index`.
 pub fn shard_file_name(index: usize) -> String {
     format!("shard-{index:05}.fst")
+}
+
+/// Writes `bytes` to `path` atomically: hidden temp sibling, fsync,
+/// rename into place, directory fsync — the crash-safe publish
+/// discipline every manifest in the workspace follows.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on any filesystem failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .ok_or_else(|| StoreError::Io(format!("{} has no parent directory", path.display())))?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| StoreError::Io(format!("{} has no file name", path.display())))?;
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 // ---- writing -----------------------------------------------------------
@@ -474,26 +506,7 @@ impl ShardReader {
         let mut d = PayloadDec { buf: payload, pos: 0 };
         match d.u32()? {
             TAG_ROW => {
-                row.athlete = d.u64()?;
-                row.city = d.u32()?;
-                row.activity = d.u32()?;
-                let nnz = d.u32()? as usize;
-                row.indices.clear();
-                row.values.clear();
-                for _ in 0..nnz {
-                    let i = d.u32()?;
-                    if u64::from(i) >= self.n_cols {
-                        return Err(StoreError::Malformed(format!(
-                            "index {i} out of range for {} columns",
-                            self.n_cols
-                        )));
-                    }
-                    row.indices.push(i);
-                }
-                for _ in 0..nnz {
-                    row.values.push(f32::from_bits(d.u32()?));
-                }
-                d.end()?;
+                decode_row_fields(&mut d, self.n_cols, row)?;
                 self.rows_seen += 1;
                 Ok(true)
             }
@@ -526,6 +539,64 @@ impl ShardReader {
         }
     }
 
+    /// Byte offset of the next record the streaming cursor will
+    /// decode — captured *before* a [`next_row`](Self::next_row) call,
+    /// it addresses that row for later [`read_row_at`](Self::read_row_at)
+    /// access (the handle the IVF posting lists store).
+    pub fn stream_offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Decodes the single row record starting at `offset` — a value a
+    /// prior [`stream_offset`](Self::stream_offset) reported — without
+    /// disturbing the streaming cursor. The record checksum is
+    /// verified before any interior field is trusted, exactly as in
+    /// streaming reads. Returns the offset just past the record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] / [`StoreError::ChecksumMismatch`] on
+    /// torn or corrupt records; [`StoreError::Malformed`] when the
+    /// record at `offset` is not a row.
+    pub fn read_row_at(&mut self, offset: u64, row: &mut RowBuf) -> Result<u64, StoreError> {
+        let remaining = self.len.saturating_sub(offset) as usize;
+        if remaining < 4 {
+            return Err(StoreError::Truncated {
+                offset: offset as usize,
+                needed: 4 - remaining,
+                len: self.len as usize,
+            });
+        }
+        let mut len4 = [0u8; 4];
+        read_exact_at(&self.file, &mut len4, offset)?;
+        let payload_len = u32::from_le_bytes(len4) as usize;
+        if remaining < 4 + payload_len + 8 {
+            return Err(StoreError::Truncated {
+                offset: offset as usize,
+                needed: 4 + payload_len + 8 - remaining,
+                len: self.len as usize,
+            });
+        }
+        self.scratch.clear();
+        self.scratch.resize(payload_len + 8, 0);
+        read_exact_at(&self.file, &mut self.scratch, offset + 4)?;
+        let (payload, fnv8) = self.scratch.split_at(payload_len);
+        let stored = u64::from_le_bytes(fnv8.try_into().expect("8 bytes"));
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
+        let mut d = PayloadDec { buf: payload, pos: 0 };
+        let tag = d.u32()?;
+        if tag != TAG_ROW {
+            return Err(StoreError::Malformed(format!(
+                "record at offset {offset} has tag {tag}, not a row"
+            )));
+        }
+        decode_row_fields(&mut d, self.n_cols, row)?;
+        Ok(offset + 4 + payload_len as u64 + 8)
+    }
+
     /// Reads (and integrity-checks) the whole shard, returning the row
     /// count — the cheap full-file validation pass.
     ///
@@ -537,6 +608,33 @@ impl ShardReader {
         while self.next_row(&mut row)? {}
         Ok(self.rows_seen)
     }
+}
+
+/// Decodes the row fields following a `TAG_ROW` tag into `row`.
+fn decode_row_fields(
+    d: &mut PayloadDec<'_>,
+    n_cols: u64,
+    row: &mut RowBuf,
+) -> Result<(), StoreError> {
+    row.athlete = d.u64()?;
+    row.city = d.u32()?;
+    row.activity = d.u32()?;
+    let nnz = d.u32()? as usize;
+    row.indices.clear();
+    row.values.clear();
+    for _ in 0..nnz {
+        let i = d.u32()?;
+        if u64::from(i) >= n_cols {
+            return Err(StoreError::Malformed(format!(
+                "index {i} out of range for {n_cols} columns"
+            )));
+        }
+        row.indices.push(i);
+    }
+    for _ in 0..nnz {
+        row.values.push(f32::from_bits(d.u32()?));
+    }
+    d.end()
 }
 
 /// Positioned read: `pread` on unix, seek+read elsewhere.
@@ -614,6 +712,10 @@ pub struct StoreManifest {
     pub shard_size: u64,
     /// Total athletes featurized.
     pub athletes: u64,
+    /// Publish generation: 1 on first publish, bumped by every
+    /// [`FeatureStore::append_shards`] — derived sidecars (e.g. the
+    /// IVF index) record which generation they cover.
+    pub generation: u64,
     /// Shard entries in ascending index order.
     pub shards: Vec<ShardEntry>,
 }
@@ -627,6 +729,7 @@ impl StoreManifest {
         out.push_str(&format!("n_cols {}\n", self.n_cols));
         out.push_str(&format!("shard_size {}\n", self.shard_size));
         out.push_str(&format!("athletes {}\n", self.athletes));
+        out.push_str(&format!("generation {}\n", self.generation));
         out.push_str(&format!("shards {}\n", self.shards.len()));
         for s in &self.shards {
             out.push_str(&format!("{} {} {}\n", s.index, s.file, s.rows));
@@ -634,29 +737,40 @@ impl StoreManifest {
         out
     }
 
-    /// Parses manifest text.
+    /// Parses manifest text. The `generation` line is optional (stores
+    /// published before appends existed read as generation 1).
     ///
     /// # Errors
     ///
     /// [`StoreError::Malformed`] on any structural defect.
     pub fn parse(text: &str) -> Result<Self, StoreError> {
-        let mut lines = text.lines();
+        let mut lines = text.lines().peekable();
         let bad = |m: &str| StoreError::Malformed(format!("manifest: {m}"));
         if lines.next() != Some("elevfst v1") {
             return Err(bad("missing or unsupported header line"));
         }
-        let mut field = |name: &str| -> Result<String, StoreError> {
+        fn field<'a>(
+            lines: &mut impl Iterator<Item = &'a str>,
+            name: &str,
+        ) -> Result<String, StoreError> {
+            let bad = |m: &str| StoreError::Malformed(format!("manifest: {m}"));
             let line = lines.next().ok_or_else(|| bad(&format!("missing {name}")))?;
             line.strip_prefix(&format!("{name} "))
                 .map(str::to_owned)
                 .ok_or_else(|| bad(&format!("expected `{name} ...`, got `{line}`")))
-        };
-        let config = u64::from_str_radix(&field("config")?, 16)
+        }
+        let config = u64::from_str_radix(&field(&mut lines, "config")?, 16)
             .map_err(|_| bad("config is not hex"))?;
-        let n_cols = field("n_cols")?.parse().map_err(|_| bad("n_cols"))?;
-        let shard_size = field("shard_size")?.parse().map_err(|_| bad("shard_size"))?;
-        let athletes = field("athletes")?.parse().map_err(|_| bad("athletes"))?;
-        let count: usize = field("shards")?.parse().map_err(|_| bad("shards"))?;
+        let n_cols = field(&mut lines, "n_cols")?.parse().map_err(|_| bad("n_cols"))?;
+        let shard_size =
+            field(&mut lines, "shard_size")?.parse().map_err(|_| bad("shard_size"))?;
+        let athletes = field(&mut lines, "athletes")?.parse().map_err(|_| bad("athletes"))?;
+        let generation = if lines.peek().is_some_and(|l| l.starts_with("generation ")) {
+            field(&mut lines, "generation")?.parse().map_err(|_| bad("generation"))?
+        } else {
+            1
+        };
+        let count: usize = field(&mut lines, "shards")?.parse().map_err(|_| bad("shards"))?;
         let mut shards = Vec::with_capacity(count);
         for _ in 0..count {
             let line = lines.next().ok_or_else(|| bad("manifest ends mid shard list"))?;
@@ -681,7 +795,7 @@ impl StoreManifest {
         if shards.iter().enumerate().any(|(i, s)| s.index != i) {
             return Err(bad("shard indices are not dense ascending"));
         }
-        Ok(Self { config, n_cols, shard_size, athletes, shards })
+        Ok(Self { config, n_cols, shard_size, athletes, generation, shards })
     }
 }
 
@@ -708,6 +822,11 @@ impl FeatureStore {
     /// The parsed manifest.
     pub fn manifest(&self) -> &StoreManifest {
         &self.manifest
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// Total feature rows across all shards.
@@ -750,16 +869,73 @@ impl FeatureStore {
     ///
     /// [`StoreError::Io`] on filesystem failure.
     pub fn publish_manifest(dir: &Path, manifest: &StoreManifest) -> Result<(), StoreError> {
-        let tmp = dir.join(".store.txt.tmp");
-        {
-            let mut f = File::create(&tmp).map_err(io_err)?;
-            f.write_all(manifest.render().as_bytes()).map_err(io_err)?;
-            f.sync_all().map_err(io_err)?;
+        atomic_write(&dir.join(MANIFEST), manifest.render().as_bytes())
+    }
+
+    /// Extends a published store with freshly written shards — the
+    /// incremental-growth path. The vocabulary (and hence `n_cols`) is
+    /// frozen, so appends only add rows: `config` must match the
+    /// manifest fingerprint, every new shard must continue the dense
+    /// ascending index sequence and carry a matching header, and the
+    /// updated manifest (generation bumped, `athletes` raised) is
+    /// published atomically last.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] on a config mismatch, a shrinking
+    /// athlete count, or a shard whose name/header breaks the
+    /// sequence; any [`StoreError`] from reading a new shard's header
+    /// or publishing the manifest.
+    pub fn append_shards(
+        &mut self,
+        config: u64,
+        athletes: u64,
+        metas: &[ShardMeta],
+    ) -> Result<(), StoreError> {
+        if config != self.manifest.config {
+            return Err(StoreError::Malformed(format!(
+                "append config {config:016x} does not match store config {:016x}",
+                self.manifest.config
+            )));
         }
-        std::fs::rename(&tmp, dir.join(MANIFEST)).map_err(io_err)?;
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
+        if athletes < self.manifest.athletes {
+            return Err(StoreError::Malformed(format!(
+                "append would shrink the store: {} -> {athletes} athletes",
+                self.manifest.athletes
+            )));
         }
+        let mut shards = self.manifest.shards.clone();
+        for m in metas {
+            let index = shards.len();
+            if m.file != shard_file_name(index) {
+                return Err(StoreError::Malformed(format!(
+                    "appended shard `{}` does not continue the sequence at index {index}",
+                    m.file
+                )));
+            }
+            let r = ShardReader::open(&self.dir.join(&m.file))?;
+            if r.shard_index() != index as u64
+                || r.n_cols() != self.manifest.n_cols
+                || r.config() != self.manifest.config
+            {
+                return Err(StoreError::Malformed(format!(
+                    "appended shard {index} header disagrees with manifest \
+                     (index {}, n_cols {}, config {:016x})",
+                    r.shard_index(),
+                    r.n_cols(),
+                    r.config()
+                )));
+            }
+            shards.push(ShardEntry { index, file: m.file.clone(), rows: m.rows });
+        }
+        let manifest = StoreManifest {
+            athletes,
+            generation: self.manifest.generation + 1,
+            shards,
+            ..self.manifest.clone()
+        };
+        Self::publish_manifest(&self.dir, &manifest)?;
+        self.manifest = manifest;
         Ok(())
     }
 }
@@ -814,6 +990,7 @@ mod tests {
             n_cols: 512,
             shard_size: 64,
             athletes: 100,
+            generation: 3,
             shards: vec![
                 ShardEntry { index: 0, file: shard_file_name(0), rows: 128 },
                 ShardEntry { index: 1, file: shard_file_name(1), rows: 70 },
@@ -826,5 +1003,111 @@ mod tests {
         let mut swapped = m.clone();
         swapped.shards.swap(0, 1);
         assert!(StoreManifest::parse(&swapped.render()).is_err(), "non-dense indices");
+
+        // A pre-generation manifest (no `generation` line) parses as
+        // generation 1.
+        let legacy = m.render().lines().filter(|l| !l.starts_with("generation ")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        let parsed = StoreManifest::parse(&legacy).expect("legacy parses");
+        assert_eq!(parsed.generation, 1);
+        assert_eq!(parsed.shards, m.shards);
+    }
+
+    #[test]
+    fn positioned_row_reads_match_streaming() {
+        let dir = temp_dir("pread");
+        let mut w = ShardWriter::create(&dir, 0, 100, 0xABCD).expect("create");
+        w.append_row(7, 3, 0, &[1, 5, 99], &[1.0, 2.5, -3.0]).expect("row");
+        w.append_row(8, 4, 1, &[2], &[0.5]).expect("row");
+        let meta = w.finish().expect("finish");
+
+        let mut r = ShardReader::open(&dir.join(&meta.file)).expect("open");
+        let mut offsets = Vec::new();
+        let mut streamed = Vec::new();
+        let mut row = RowBuf::default();
+        loop {
+            let at = r.stream_offset();
+            if !r.next_row(&mut row).expect("row") {
+                break;
+            }
+            offsets.push(at);
+            streamed.push(row.clone());
+        }
+        for (at, want) in offsets.iter().zip(&streamed) {
+            let next = r.read_row_at(*at, &mut row).expect("pread row");
+            assert_eq!(&row, want);
+            assert!(next > *at);
+        }
+        // Streaming state survives interleaved positioned reads: a
+        // fresh reader mixing both still verifies the footer.
+        let mut r = ShardReader::open(&dir.join(&meta.file)).expect("open");
+        assert!(r.next_row(&mut row).expect("row 0"));
+        r.read_row_at(offsets[1], &mut row).expect("pread mid-stream");
+        assert!(r.next_row(&mut row).expect("row 1"));
+        assert!(!r.next_row(&mut row).expect("footer verifies"));
+
+        // A positioned read aimed at the footer refuses to decode it
+        // as a row; one aimed past the end classifies as truncation.
+        let eof = r.stream_offset();
+        let mut r = ShardReader::open(&dir.join(&meta.file)).expect("open");
+        let footer_at = r.read_row_at(offsets[1], &mut row).expect("last row");
+        assert_eq!(r.read_row_at(footer_at, &mut row).unwrap_err().name(), "malformed");
+        assert_eq!(r.read_row_at(eof + 1_000, &mut row).unwrap_err().name(), "truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_shards_extends_and_guards() {
+        let dir = temp_dir("append");
+        let mut w = ShardWriter::create(&dir, 0, 10, 0xC0FFEE).expect("create");
+        w.append_row(0, 0, 0, &[1], &[1.0]).expect("row");
+        let m0 = w.finish().expect("finish");
+        let manifest = StoreManifest {
+            config: 0xC0FFEE,
+            n_cols: 10,
+            shard_size: 1,
+            athletes: 1,
+            generation: 1,
+            shards: vec![ShardEntry { index: 0, file: m0.file.clone(), rows: m0.rows }],
+        };
+        FeatureStore::publish_manifest(&dir, &manifest).expect("publish");
+        let mut store = FeatureStore::open(&dir).expect("open");
+
+        let mut w = ShardWriter::create(&dir, 1, 10, 0xC0FFEE).expect("create");
+        w.append_row(1, 1, 0, &[2], &[2.0]).expect("row");
+        let m1 = w.finish().expect("finish");
+
+        // Wrong config: rejected before anything is touched.
+        assert_eq!(
+            store.append_shards(0xBAD, 2, std::slice::from_ref(&m1)).unwrap_err().name(),
+            "malformed"
+        );
+        // Shrinking athlete count: rejected.
+        assert_eq!(
+            store.append_shards(0xC0FFEE, 0, std::slice::from_ref(&m1)).unwrap_err().name(),
+            "malformed"
+        );
+        store.append_shards(0xC0FFEE, 2, std::slice::from_ref(&m1)).expect("append");
+        assert_eq!(store.manifest().generation, 2);
+        assert_eq!(store.manifest().athletes, 2);
+        assert_eq!(store.manifest().shards.len(), 2);
+
+        // The published manifest agrees with the in-memory one.
+        let reopened = FeatureStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.manifest(), store.manifest());
+        assert_eq!(reopened.reader(1).expect("reader").validate().expect("valid"), 1);
+
+        // Re-appending the same shard breaks the dense sequence.
+        assert_eq!(
+            store.append_shards(0xC0FFEE, 3, std::slice::from_ref(&m1)).unwrap_err().name(),
+            "malformed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -226,6 +226,7 @@ fn store_manifest_crosschecks_shard_headers() {
         n_cols: 64,
         shard_size: 8,
         athletes: 4,
+        generation: 1,
         shards: vec![ShardEntry { index: 0, file: shard_file_name(0), rows: rows.len() as u64 }],
     };
     FeatureStore::publish_manifest(&dir.0, &manifest).expect("publish");

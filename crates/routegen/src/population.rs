@@ -181,6 +181,28 @@ impl PopulationConfig {
             .f64(self.athlete.replay_jitter_m);
         f.finish()
     }
+
+    /// Like [`fingerprint`](Self::fingerprint) but excluding the
+    /// athlete count: two populations that differ only in size share a
+    /// prefix fingerprint, because the seed tree makes the smaller one
+    /// a bit-identical prefix of the larger. Incremental shard appends
+    /// key on this — growing a store must not invalidate it.
+    pub fn prefix_fingerprint(&self) -> u64 {
+        let mut f = Fnv::new();
+        f.u64(self.shard_size as u64).u64(self.seed);
+        f.u64(self.cities.len() as u64);
+        for c in &self.cities {
+            f.str(c.abbrev());
+        }
+        f.u64(self.max_weekly_cadence as u64);
+        f.f64(self.athlete.favorite_reuse_prob)
+            .u64(self.athlete.favorites_per_metro as u64)
+            .u64(self.athlete.anchors_per_metro as u64)
+            .f64(self.athlete.length_m_range.0)
+            .f64(self.athlete.length_m_range.1)
+            .f64(self.athlete.replay_jitter_m);
+        f.finish()
+    }
 }
 
 /// The per-athlete habit model: who they are, where they live, how
@@ -360,5 +382,15 @@ mod tests {
         let shard_other = other.generate_shard(&other.terrain(), 0);
         assert_ne!(shard.fingerprint(), shard_other.fingerprint());
         assert_ne!(cfg.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn prefix_fingerprint_ignores_size_only() {
+        let small = tiny(5);
+        let grown = PopulationConfig { athletes: 10, ..tiny(5) };
+        assert_eq!(small.prefix_fingerprint(), grown.prefix_fingerprint());
+        assert_ne!(small.fingerprint(), grown.fingerprint());
+        let reseeded = PopulationConfig { seed: 100, ..tiny(5) };
+        assert_ne!(small.prefix_fingerprint(), reseeded.prefix_fingerprint());
     }
 }

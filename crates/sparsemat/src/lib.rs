@@ -38,6 +38,27 @@
 use serde::{Deserialize, Serialize};
 use tensorlite::Tensor;
 
+/// Merge-join dot product of two sparse vectors given as parallel
+/// sorted index/value slices — the cosine-matching kernel the scale
+/// sweeps and the IVF index share. Accumulates in ascending index
+/// order, so the result is a pure function of the two operands
+/// (bit-identical at any call site).
+pub fn dot_sorted(a_idx: &[u32], a_val: &[f32], b_idx: &[u32], b_val: &[f32]) -> f32 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0f32);
+    while i < a_idx.len() && j < b_idx.len() {
+        match a_idx[i].cmp(&b_idx[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a_val[i] * b_val[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
 /// A sparse `f32` vector: sorted indices plus their nonzero values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SparseVec {

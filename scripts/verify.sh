@@ -232,6 +232,15 @@ if has bench; then
                              | select(.baseline_s != null)
                              | select(.note | test("MB/s"))]
                             | length == 1)' "$json" >/dev/null
+                # The probe-matching pair: exact full scan vs the IVF
+                # index, paired, with recall@3 and candidate-pair
+                # accounting in the note.
+                jq -e '[.benches[]
+                        | select(.name | startswith("ann_match_"))
+                        | select(.baseline_s != null and .speedup != null)
+                        | select(.note | test("recall@3"))
+                        | select(.note | test("candidate pairs"))]
+                       | length == 1' "$json" >/dev/null
             fi
             if [ "$suite" = serve ]; then
                 # The overload entries are part of the CI artifact: a
@@ -259,6 +268,11 @@ if os.environ["suite"] == "kernels":
            if b["name"].startswith("featstore_read")
            and b["baseline_s"] is not None and "MB/s" in b["note"]]
     assert len(fst) == 1, "missing featstore_read MB/s entry"
+    ann = [b for b in r["benches"]
+           if b["name"].startswith("ann_match_")
+           and b["baseline_s"] is not None and b["speedup"] is not None
+           and "recall@3" in b["note"] and "candidate pairs" in b["note"]]
+    assert len(ann) == 1, "missing ann_match exact-vs-IVF pair"
 if os.environ["suite"] == "serve":
     names = {b["name"]: b for b in r["benches"]}
     assert "served_overload_4x_p99" in names, "missing overload p99 entry"
@@ -310,9 +324,32 @@ assert all("tm1_top1" in p and "tm1_top3" in p and "tm3_top1" in p for p in pts)
 sizes = [p["athletes"] for p in pts]
 assert sizes == sorted(sizes), "population sizes must ascend"'
     fi
+    echo "scale: sweep artifact OK ($json)"
+
+    # ANN mode: the IVF sweep must be bit-identical at 1 vs 4 worker
+    # threads, hold recall@3 >= 0.95 against the exact scan at every
+    # pool size, and rescore a sublinear fraction of candidate pairs.
+    ELEV_ANN=1 ELEV_THREADS=4 ./target/release/scale_sweep > /dev/null
+    cp "$json" "$dir/ann_t4.json"
+    ELEV_ANN=1 ELEV_THREADS=1 ./target/release/scale_sweep > /dev/null
+    cmp "$dir/ann_t4.json" "$json"
+    if command -v jq >/dev/null 2>&1; then
+        jq -e '.ann != null
+               and ((.ann.recall3 | length) == (.points | length))
+               and (.ann.recall3 | all(. >= 0.95))
+               and (.ann.rows_scanned * 2 < .ann.rows_total)' \
+            "$json" >/dev/null
+    else
+        json="$json" python3 -c 'import json, os
+r = json.load(open(os.environ["json"]))
+ann = r["ann"]
+assert len(ann["recall3"]) == len(r["points"])
+assert all(v >= 0.95 for v in ann["recall3"]), "recall@3 below 0.95 floor"
+assert ann["rows_scanned"] * 2 < ann["rows_total"], "IVF scan not sublinear"'
+    fi
+    echo "scale: ANN sweep thread-invariant, recall@3 >= 0.95 at every pool size"
     unset ELEV_POP_SIZE ELEV_SHARD_SIZE ELEV_STORE_DIR
     rm -rf "$dir"
-    echo "scale: sweep artifact OK ($json)"
 fi
 
 if has smoke; then
